@@ -1,0 +1,81 @@
+//! Table 2: query sizes and corresponding search output sizes.
+//!
+//! Paper reference (real nr):
+//!
+//! | Query size  | 26 KB | 77 KB | 159 KB | 289 KB |
+//! | Output size | 11 MB | 47 MB | 96 MB  | 153 MB |
+//!
+//! i.e. output grows roughly linearly with query size at a ~500x
+//! amplification. The reproduction samples query ladders with the same
+//! *relative* sizes (scaled to the synthetic database) and renders the
+//! reports through the serial reference, which both parallel programs
+//! reproduce byte-for-byte.
+
+use blast_bench::workload::{default_db_residues, nr_like};
+use mpiblast::report::serial_report;
+use seqfmt::sampler::sample_queries;
+
+fn main() {
+    let db_residues = default_db_residues();
+    // The paper's ladder, scaled by our database / the 2005 nr (~1 G
+    // residues): keep the query:database ratio.
+    // x8 keeps the smallest ladder step above a single query's size
+    // at the default database scale.
+    let scale = 8.0 * db_residues as f64 / 1.0e9;
+    let base = nr_like(db_residues, 1024, 2005);
+    println!("== Table 2: query sizes and corresponding search output sizes ==");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "ladder", "query bytes", "output bytes", "amplification"
+    );
+    let mut rows = Vec::new();
+    let all_records: Vec<blast_core::seq::SeqRecord> = {
+        // Re-materialize database records for sampling.
+        use blast_core::search::SubjectSource;
+        let frag: Vec<_> = base
+            .db
+            .volumes
+            .iter()
+            .map(seqfmt::FragmentData::from_volume)
+            .collect();
+        frag.iter()
+            .flat_map(|f| {
+                (0..f.num_subjects()).map(|i| {
+                    let s = f.subject(i);
+                    blast_core::seq::SeqRecord {
+                        defline: String::from_utf8_lossy(s.defline).into_owned(),
+                        residues: s.residues.to_vec(),
+                        molecule: blast_core::Molecule::Protein,
+                    }
+                })
+            })
+            .collect()
+    };
+    for (name, paper_bytes) in [
+        ("26KB", 26u64 * 1024),
+        ("77KB", 77 * 1024),
+        ("159KB", 159 * 1024),
+        ("289KB", 289 * 1024),
+    ] {
+        let target = ((paper_bytes as f64 * scale) as u64).max(512);
+        let queries = sample_queries(&all_records, target, 42);
+        let query_bytes: u64 = queries.iter().map(seqfmt::sampler::fasta_size).sum();
+        let report = serial_report(&base.params, queries, &base.db, base.report);
+        println!(
+            "{:<12} {:>12} {:>14} {:>13.0}x",
+            name,
+            query_bytes,
+            report.len(),
+            report.len() as f64 / query_bytes as f64
+        );
+        rows.push((name, query_bytes, report.len() as u64));
+    }
+    // Shape check: output grows monotonically with query size.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].2 > pair[0].2,
+            "output size must grow with query size: {rows:?}"
+        );
+    }
+    println!("\npaper reference: 26KB->11MB, 77KB->47MB, 159KB->96MB, 289KB->153MB (~500x)");
+}

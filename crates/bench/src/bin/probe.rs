@@ -1,0 +1,37 @@
+//! A quick shape probe: one pass over the paper's main sweeps with
+//! compact output — handy when tuning model coefficients or platform
+//! profiles without running the full bench suite.
+
+use blast_bench::{run_once, Program};
+use blast_bench::workload::nr_like;
+use mpiblast::Platform;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let w = nr_like(12_000_000, 4*1024, 11);
+    println!("workload build: {:?}, db={} residues, {} seqs, {} queries",
+        t0.elapsed(), w.db.stats().total_residues, w.db.stats().num_sequences, w.queries.len());
+    for n in [8usize, 16, 32, 62] {
+        for prog in [Program::MpiBlast, Program::PioBlast] {
+            let t = std::time::Instant::now();
+            let s = run_once(prog, n, None, &Platform::altix(), &w);
+            println!("{:?} n={} host={:.1?} | copy/in={:.2} search={:.2} out={:.2} other={:.2} total={:.2} search%={:.1} bytes={}",
+                prog, n, t.elapsed(), s.copy_input, s.search, s.output, s.other, s.total, 100.0*s.search_share(), s.output_bytes);
+        }
+    }
+    println!("--- fragment sweep (mpiBLAST, 32 procs) ---");
+    for f in [31usize, 61, 96, 167] {
+        let t = std::time::Instant::now();
+        let s = run_once(Program::MpiBlast, 32, Some(f), &Platform::altix(), &w);
+        println!("frags={} host={:.1?} | copy/in={:.2} search={:.2} out={:.2} other={:.2} total={:.2}",
+            f, t.elapsed(), s.copy_input, s.search, s.output, s.other, s.total);
+    }
+    println!("--- blade/NFS (4..32 procs) ---");
+    for n in [4usize, 8, 16, 32] {
+        for prog in [Program::MpiBlast, Program::PioBlast] {
+            let s = run_once(prog, n, None, &Platform::blade_cluster(), &w);
+            println!("{:?} n={} | copy/in={:.2} search={:.2} out={:.2} other={:.2} total={:.2} search%={:.1}",
+                prog, n, s.copy_input, s.search, s.output, s.other, s.total, 100.0*s.search_share());
+        }
+    }
+}

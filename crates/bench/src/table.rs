@@ -1,0 +1,124 @@
+//! Table rendering and result persistence for the figure harnesses.
+
+use std::fmt::Write as _;
+
+use crate::runner::RunSummary;
+
+/// Render a paper-style breakdown table from run summaries.
+pub fn breakdown_table(title: &str, rows: &[RunSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>7} {:>12} {:>10} {:>10} {:>8} {:>10} {:>9} {:>11}",
+        "program", "procs", "frags", "copy/input", "search", "output", "other", "total", "search%", "out bytes"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>7} {:>12.2} {:>10.2} {:>10.2} {:>8.2} {:>10.2} {:>8.1}% {:>11}",
+            format!("{}-{}", r.program.label(), r.nprocs),
+            r.nprocs,
+            r.nfrags,
+            r.copy_input,
+            r.search,
+            r.output,
+            r.other,
+            r.total,
+            100.0 * r.search_share(),
+            r.output_bytes,
+        );
+    }
+    out
+}
+
+/// Render the paper's Figure-1(a)-style search/other split.
+pub fn split_series(title: &str, rows: &[RunSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>10} {:>9}",
+        "run", "search(s)", "other(s)", "total(s)", "search%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>8.1}%",
+            format!("{}-{}", r.program.label(), r.nprocs),
+            r.search,
+            r.non_search(),
+            r.total,
+            100.0 * r.search_share(),
+        );
+    }
+    out
+}
+
+/// Serialize summaries as a JSON array (hand-rolled; no extra deps).
+pub fn to_json(rows: &[RunSummary]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"program\":\"{}\",\"nprocs\":{},\"nfrags\":{},\"copy_input\":{:.6},\"search\":{:.6},\"output\":{:.6},\"other\":{:.6},\"total\":{:.6},\"output_bytes\":{}}}",
+            r.program.label(),
+            r.nprocs,
+            r.nfrags,
+            r.copy_input,
+            r.search,
+            r.output,
+            r.other,
+            r.total,
+            r.output_bytes
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write a result artifact under `target/paper-results/`.
+pub fn save_json(name: &str, rows: &[RunSummary]) {
+    let dir = std::path::Path::new("target/paper-results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), to_json(rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Program;
+
+    fn row() -> RunSummary {
+        RunSummary {
+            program: Program::PioBlast,
+            nprocs: 32,
+            nfrags: 31,
+            copy_input: 0.4,
+            search: 281.7,
+            output: 15.4,
+            other: 10.4,
+            total: 307.9,
+            output_bytes: 100_000_000,
+        }
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let t = breakdown_table("Table 1", &[row(), row()]);
+        assert_eq!(t.matches("pio-32").count(), 2);
+        assert!(t.contains("281.70"));
+        let s = split_series("Fig 1a", &[row()]);
+        assert!(s.contains("91.5%"));
+    }
+
+    #[test]
+    fn json_is_parsable_shape() {
+        let j = to_json(&[row()]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.contains("\"program\":\"pio\""));
+        assert!(j.trim_end().ends_with(']'));
+    }
+}

@@ -1,0 +1,277 @@
+//! Sequence alphabets and residue encodings.
+//!
+//! Proteins use a dense 0..=27 encoding modeled on NCBI's `ncbistdaa`
+//! alphabet; DNA uses a 0..=3 encoding with an explicit `N` code. Encoded
+//! residues index directly into scoring-matrix rows, which keeps the inner
+//! alignment loops branch-free.
+
+/// Number of codes in the protein alphabet (including ambiguity codes,
+/// the stop codon `*`, and the gap placeholder).
+pub const PROTEIN_ALPHABET_SIZE: usize = 28;
+
+/// Number of codes in the DNA alphabet (`A`, `C`, `G`, `T`, `N`).
+pub const DNA_ALPHABET_SIZE: usize = 5;
+
+/// The protein residue order used throughout this crate.
+///
+/// Index `i` of this string is the ASCII letter for encoded residue `i`.
+/// The first 20 codes are the standard amino acids in the order used by
+/// the embedded scoring matrices (see [`crate::matrix`]); the tail holds
+/// ambiguity codes (`B`, `Z`, `X`), the stop codon (`*`), selenocysteine
+/// (`U`), pyrrolysine (`O`), any-ambiguity (`J`) and a gap placeholder.
+pub const PROTEIN_LETTERS: &[u8; PROTEIN_ALPHABET_SIZE] = b"ARNDCQEGHILKMFPSTWYVBZX*UOJ-";
+
+/// The DNA base order: `A`, `C`, `G`, `T`, `N`.
+pub const DNA_LETTERS: &[u8; DNA_ALPHABET_SIZE] = b"ACGTN";
+
+/// Encoded code for the protein ambiguity residue `X`.
+pub const PROTEIN_X: u8 = 22;
+
+/// Encoded code for the DNA ambiguity base `N`.
+pub const DNA_N: u8 = 4;
+
+/// Which molecule a sequence or database holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Molecule {
+    /// Amino-acid sequences (e.g. GenBank nr).
+    Protein,
+    /// Nucleotide sequences (e.g. GenBank nt).
+    Dna,
+}
+
+impl Molecule {
+    /// Number of distinct residue codes for this molecule.
+    #[inline]
+    pub const fn alphabet_size(self) -> usize {
+        match self {
+            Molecule::Protein => PROTEIN_ALPHABET_SIZE,
+            Molecule::Dna => DNA_ALPHABET_SIZE,
+        }
+    }
+
+    /// The letter table mapping code -> ASCII letter.
+    #[inline]
+    pub const fn letters(self) -> &'static [u8] {
+        match self {
+            Molecule::Protein => PROTEIN_LETTERS,
+            Molecule::Dna => DNA_LETTERS,
+        }
+    }
+
+    /// The code used for an unrecognized/ambiguous input letter.
+    #[inline]
+    pub const fn ambiguity_code(self) -> u8 {
+        match self {
+            Molecule::Protein => PROTEIN_X,
+            Molecule::Dna => DNA_N,
+        }
+    }
+
+    /// A one-byte tag stored in formatted-database headers.
+    #[inline]
+    pub const fn tag(self) -> u8 {
+        match self {
+            Molecule::Protein => b'p',
+            Molecule::Dna => b'n',
+        }
+    }
+
+    /// Inverse of [`Molecule::tag`].
+    pub fn from_tag(tag: u8) -> Option<Molecule> {
+        match tag {
+            b'p' => Some(Molecule::Protein),
+            b'n' => Some(Molecule::Dna),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from encoding raw letters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A letter that is not even a plausible residue (e.g. a digit).
+    InvalidLetter {
+        /// The offending input byte.
+        letter: u8,
+        /// Position within the input slice.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::InvalidLetter { letter, position } => write!(
+                f,
+                "invalid residue letter {:?} (0x{letter:02x}) at position {position}",
+                char::from(*letter)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+const INVALID: u8 = 0xff;
+
+/// Code-lookup table for one molecule: ASCII byte -> residue code.
+struct CodeTable {
+    codes: [u8; 256],
+}
+
+impl CodeTable {
+    const fn build(letters: &[u8], ambiguity: u8, fold_unknown_alpha: bool) -> CodeTable {
+        let mut codes = [INVALID; 256];
+        let mut i = 0;
+        while i < letters.len() {
+            let upper = letters[i];
+            codes[upper as usize] = i as u8;
+            // Accept lowercase input letters too.
+            if upper.is_ascii_uppercase() {
+                codes[(upper + 32) as usize] = i as u8;
+            }
+            i += 1;
+        }
+        if fold_unknown_alpha {
+            // Any other alphabetic character folds to the ambiguity code; this
+            // mirrors how formatdb tolerates rare/ambiguous IUPAC letters.
+            let mut c = b'A';
+            while c <= b'Z' {
+                if codes[c as usize] == INVALID {
+                    codes[c as usize] = ambiguity;
+                    codes[(c + 32) as usize] = ambiguity;
+                }
+                c += 1;
+            }
+        }
+        CodeTable { codes }
+    }
+}
+
+static PROTEIN_CODES: CodeTable = CodeTable::build(PROTEIN_LETTERS, PROTEIN_X, true);
+static DNA_CODES: CodeTable = CodeTable::build(DNA_LETTERS, DNA_N, true);
+
+/// Encode one ASCII letter into a residue code for `molecule`.
+///
+/// Unknown alphabetic letters fold to the ambiguity code; non-alphabetic
+/// letters return `None`.
+#[inline]
+pub fn encode_letter(molecule: Molecule, letter: u8) -> Option<u8> {
+    let table = match molecule {
+        Molecule::Protein => &PROTEIN_CODES,
+        Molecule::Dna => &DNA_CODES,
+    };
+    let code = table.codes[letter as usize];
+    (code != INVALID).then_some(code)
+}
+
+/// Decode a residue code back to its canonical (uppercase) ASCII letter.
+///
+/// # Panics
+/// Panics if `code` is outside the molecule's alphabet.
+#[inline]
+pub fn decode_letter(molecule: Molecule, code: u8) -> u8 {
+    molecule.letters()[code as usize]
+}
+
+/// Encode a raw ASCII residue string.
+///
+/// Whitespace is skipped (FASTA bodies are line-wrapped); any other
+/// non-alphabetic byte is an error.
+pub fn encode(molecule: Molecule, raw: &[u8]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(raw.len());
+    for (position, &letter) in raw.iter().enumerate() {
+        if letter.is_ascii_whitespace() {
+            continue;
+        }
+        match encode_letter(molecule, letter) {
+            Some(code) => out.push(code),
+            None => return Err(EncodeError::InvalidLetter { letter, position }),
+        }
+    }
+    Ok(out)
+}
+
+/// Decode an encoded residue slice back into ASCII letters.
+pub fn decode(molecule: Molecule, codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| decode_letter(molecule, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_letters_round_trip() {
+        for (i, &letter) in PROTEIN_LETTERS.iter().enumerate() {
+            if letter == b'-' {
+                continue; // gap placeholder is output-only
+            }
+            let code = encode_letter(Molecule::Protein, letter).unwrap();
+            assert_eq!(code as usize, i, "letter {}", char::from(letter));
+            assert_eq!(decode_letter(Molecule::Protein, code), letter);
+        }
+    }
+
+    #[test]
+    fn dna_letters_round_trip() {
+        for (i, &letter) in DNA_LETTERS.iter().enumerate() {
+            let code = encode_letter(Molecule::Dna, letter).unwrap();
+            assert_eq!(code as usize, i);
+            assert_eq!(decode_letter(Molecule::Dna, code), letter);
+        }
+    }
+
+    #[test]
+    fn lowercase_input_is_accepted() {
+        assert_eq!(
+            encode_letter(Molecule::Protein, b'a'),
+            encode_letter(Molecule::Protein, b'A')
+        );
+        assert_eq!(
+            encode_letter(Molecule::Dna, b't'),
+            encode_letter(Molecule::Dna, b'T')
+        );
+    }
+
+    #[test]
+    fn unknown_alpha_folds_to_ambiguity() {
+        // 'J' exists in our protein alphabet, but e.g. 'B' does not exist in DNA.
+        assert_eq!(encode_letter(Molecule::Dna, b'R'), Some(DNA_N));
+        assert_eq!(encode_letter(Molecule::Dna, b'y'), Some(DNA_N));
+    }
+
+    #[test]
+    fn non_alpha_is_rejected() {
+        assert_eq!(encode_letter(Molecule::Protein, b'1'), None);
+        assert_eq!(encode_letter(Molecule::Protein, b'>'), None);
+        let err = encode(Molecule::Protein, b"AR1").unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::InvalidLetter {
+                letter: b'1',
+                position: 2
+            }
+        );
+    }
+
+    #[test]
+    fn encode_skips_whitespace() {
+        let encoded = encode(Molecule::Protein, b"AR\nND \tC").unwrap();
+        assert_eq!(decode(Molecule::Protein, &encoded), b"ARNDC");
+    }
+
+    #[test]
+    fn molecule_tags_round_trip() {
+        for m in [Molecule::Protein, Molecule::Dna] {
+            assert_eq!(Molecule::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(Molecule::from_tag(b'x'), None);
+    }
+
+    #[test]
+    fn stop_codon_is_encodable() {
+        let code = encode_letter(Molecule::Protein, b'*').unwrap();
+        assert_eq!(decode_letter(Molecule::Protein, code), b'*');
+    }
+}

@@ -1,0 +1,626 @@
+//! Alignment extension: ungapped X-drop, gapped X-drop (Zhang et al.),
+//! and a banded Gotoh alignment with traceback for final output.
+
+use crate::karlin::GapPenalties;
+use crate::matrix::ScoreMatrix;
+
+/// An ungapped extension result, in 0-based half-open coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UngappedHit {
+    /// Query range `[q_start, q_end)`.
+    pub q_start: u32,
+    /// End of the query range (exclusive).
+    pub q_end: u32,
+    /// Subject range `[s_start, s_end)`.
+    pub s_start: u32,
+    /// End of the subject range (exclusive).
+    pub s_end: u32,
+    /// Raw ungapped score.
+    pub score: i32,
+}
+
+impl UngappedHit {
+    /// The query position of the best-scoring cell, used as the gapped
+    /// extension seed point. We use the midpoint of the ungapped segment,
+    /// like NCBI's `BlastGetStartForGappedAlignment` does for short HSPs.
+    pub fn seed_point(&self) -> (u32, u32) {
+        let mid = (self.q_end - self.q_start) / 2;
+        (self.q_start + mid, self.s_start + mid)
+    }
+}
+
+/// Extend an exact/neighborhood word hit in both directions without gaps,
+/// dropping out when the running score falls `x_drop` below the best seen.
+///
+/// `q_pos`/`s_pos` point at the first residue of the matched word of length
+/// `word_len`. Returns the maximal-scoring ungapped segment through the word.
+pub fn ungapped_xdrop(
+    matrix: &ScoreMatrix,
+    query: &[u8],
+    subject: &[u8],
+    q_pos: u32,
+    s_pos: u32,
+    word_len: u32,
+    x_drop: i32,
+) -> UngappedHit {
+    debug_assert!(q_pos as usize + word_len as usize <= query.len());
+    debug_assert!(s_pos as usize + word_len as usize <= subject.len());
+
+    // Score of the seed word itself.
+    let mut score = 0i32;
+    for k in 0..word_len as usize {
+        score += matrix.score(query[q_pos as usize + k], subject[s_pos as usize + k]);
+    }
+
+    // Extend right of the word.
+    let mut best = score;
+    let mut running = score;
+    let mut q_end = q_pos + word_len;
+    let mut s_end = s_pos + word_len;
+    {
+        let (mut qi, mut si) = (q_end as usize, s_end as usize);
+        while qi < query.len() && si < subject.len() {
+            running += matrix.score(query[qi], subject[si]);
+            qi += 1;
+            si += 1;
+            if running > best {
+                best = running;
+                q_end = qi as u32;
+                s_end = si as u32;
+            } else if best - running > x_drop {
+                break;
+            }
+        }
+    }
+
+    // Extend left of the word.
+    let mut q_start = q_pos;
+    let mut s_start = s_pos;
+    running = best;
+    {
+        let (mut qi, mut si) = (q_pos as usize, s_pos as usize);
+        while qi > 0 && si > 0 {
+            qi -= 1;
+            si -= 1;
+            running += matrix.score(query[qi], subject[si]);
+            if running > best {
+                best = running;
+                q_start = qi as u32;
+                s_start = si as u32;
+            } else if best - running > x_drop {
+                break;
+            }
+        }
+    }
+
+    UngappedHit {
+        q_start,
+        q_end,
+        s_start,
+        s_end,
+        score: best,
+    }
+}
+
+/// Result of a one-directional gapped X-drop extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GappedHalf {
+    /// Best score of the half-extension (0 if extending is not worth it).
+    score: i32,
+    /// Query residues consumed at the best score.
+    q_ext: u32,
+    /// Subject residues consumed at the best score.
+    s_ext: u32,
+}
+
+/// A full gapped extension around a seed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GappedHit {
+    /// Query range `[q_start, q_end)` of the gapped alignment.
+    pub q_start: u32,
+    /// End of the query range (exclusive).
+    pub q_end: u32,
+    /// Subject range `[s_start, s_end)`.
+    pub s_start: u32,
+    /// End of the subject range (exclusive).
+    pub s_end: u32,
+    /// Raw gapped score.
+    pub score: i32,
+}
+
+/// Gapped X-drop extension (Zhang/Schwartz/Miller, as in NCBI's
+/// `s_BlastGappedExtension`): extend left and right from a seed pair
+/// `(q_seed, s_seed)`, each half an adaptive-band affine-gap DP that prunes
+/// cells more than `x_drop` below the best score seen so far.
+pub fn gapped_xdrop(
+    matrix: &ScoreMatrix,
+    gaps: GapPenalties,
+    query: &[u8],
+    subject: &[u8],
+    q_seed: u32,
+    s_seed: u32,
+    x_drop: i32,
+) -> GappedHit {
+    let seed_score = matrix.score(query[q_seed as usize], subject[s_seed as usize]);
+    let right = half_extension(
+        matrix,
+        gaps,
+        &query[q_seed as usize + 1..],
+        &subject[s_seed as usize + 1..],
+        x_drop,
+    );
+    let left = {
+        let q_rev: Vec<u8> = query[..q_seed as usize].iter().rev().copied().collect();
+        let s_rev: Vec<u8> = subject[..s_seed as usize].iter().rev().copied().collect();
+        half_extension(matrix, gaps, &q_rev, &s_rev, x_drop)
+    };
+    GappedHit {
+        q_start: q_seed - left.q_ext,
+        q_end: q_seed + 1 + right.q_ext,
+        s_start: s_seed - left.s_ext,
+        s_end: s_seed + 1 + right.s_ext,
+        score: seed_score + left.score + right.score,
+    }
+}
+
+/// One direction of the gapped X-drop DP.
+///
+/// Aligns prefixes of `q` and `s`, both starting at offset 0, where the
+/// empty extension scores 0. Row `i` covers query residue `i−1`; the band
+/// `[lo, hi)` of subject columns alive in a row shrinks as cells drop
+/// `x_drop` below the running best.
+fn half_extension(
+    matrix: &ScoreMatrix,
+    gaps: GapPenalties,
+    q: &[u8],
+    s: &[u8],
+    x_drop: i32,
+) -> GappedHalf {
+    const NEG: i32 = i32::MIN / 4;
+    if q.is_empty() || s.is_empty() {
+        // A pure gap extension can never help (gap costs are positive).
+        return GappedHalf {
+            score: 0,
+            q_ext: 0,
+            s_ext: 0,
+        };
+    }
+    let open_ext = gaps.open + gaps.extend;
+
+    let width = s.len() + 1;
+    // m[j]: best score ending at (i, j) in any state; e[j]: best ending in a
+    // gap-in-query state (horizontal); f[j]: gap-in-subject (vertical).
+    let mut m_prev = vec![NEG; width];
+    let mut f_prev = vec![NEG; width];
+    let mut m_cur = vec![NEG; width];
+    let mut f_cur = vec![NEG; width];
+
+    let mut best = 0i32;
+    let mut best_q = 0u32;
+    let mut best_s = 0u32;
+
+    // Row 0: leading gaps in the subject direction.
+    m_prev[0] = 0;
+    let mut lo = 0usize;
+    let mut hi = 1usize; // exclusive upper bound of alive columns in row 0
+    for j in 1..width {
+        let sc = -gaps.cost(j as i32);
+        if best - sc > x_drop {
+            break;
+        }
+        m_prev[j] = sc;
+        hi = j + 1;
+    }
+
+    for i in 1..=q.len() {
+        let qc = q[i - 1];
+        let row = matrix.row(qc);
+        let mut e = NEG; // horizontal gap state within this row
+        let mut new_lo = usize::MAX;
+        let mut new_hi = lo;
+        m_cur[lo..hi.min(width - 1) + 1].fill(NEG);
+        f_cur[lo..hi.min(width - 1) + 1].fill(NEG);
+        // Column range: can extend one beyond the previous row's band.
+        let col_end = (hi + 1).min(width);
+        for j in lo..col_end {
+            // Vertical: gap in subject (consume query residue).
+            let f = if m_prev[j] == NEG && f_prev[j] == NEG {
+                NEG
+            } else {
+                (m_prev[j] - open_ext).max(f_prev[j] - gaps.extend)
+            };
+            // Diagonal: match/mismatch.
+            let diag = if j >= 1 && m_prev[j - 1] > NEG {
+                m_prev[j - 1] + row[s[j - 1] as usize]
+            } else {
+                NEG
+            };
+            let m = diag.max(e).max(f);
+            if m > NEG && best - m <= x_drop {
+                m_cur[j] = m;
+                f_cur[j] = f;
+                if new_lo == usize::MAX {
+                    new_lo = j;
+                }
+                new_hi = j + 1;
+                if m > best {
+                    best = m;
+                    best_q = i as u32;
+                    best_s = j as u32;
+                }
+                // Horizontal gap for the next column.
+                e = (m - open_ext).max(e - gaps.extend);
+            } else {
+                m_cur[j] = NEG;
+                f_cur[j] = NEG;
+                e = (e - gaps.extend).max(NEG);
+            }
+        }
+        if new_lo == usize::MAX {
+            break; // entire row pruned: extension is finished
+        }
+        lo = new_lo;
+        hi = new_hi;
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+
+    GappedHalf {
+        score: best,
+        q_ext: best_q,
+        s_ext: best_s,
+    }
+}
+
+/// One run of alignment operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// `len` aligned residue pairs (matches or mismatches).
+    Aligned(u32),
+    /// `len` query residues aligned against a subject gap (insertion).
+    GapInSubject(u32),
+    /// `len` subject residues aligned against a query gap (deletion).
+    GapInQuery(u32),
+}
+
+/// A traceback-capable alignment of a query range to a subject range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Query range `[q_start, q_end)`.
+    pub q_start: u32,
+    /// End of query range (exclusive).
+    pub q_end: u32,
+    /// Subject range `[s_start, s_end)`.
+    pub s_start: u32,
+    /// End of subject range (exclusive).
+    pub s_end: u32,
+    /// Raw score under the matrix + gap penalties it was computed with.
+    pub score: i32,
+    /// Edit script from `(q_start, s_start)` to `(q_end, s_end)`.
+    pub ops: Vec<EditOp>,
+}
+
+impl Alignment {
+    /// Total alignment columns (pairs + gaps).
+    pub fn alignment_len(&self) -> u32 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                EditOp::Aligned(n) | EditOp::GapInSubject(n) | EditOp::GapInQuery(n) => *n,
+            })
+            .sum()
+    }
+
+    /// Number of gap columns.
+    pub fn gap_columns(&self) -> u32 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                EditOp::Aligned(_) => 0,
+                EditOp::GapInSubject(n) | EditOp::GapInQuery(n) => *n,
+            })
+            .sum()
+    }
+}
+
+/// Global banded Gotoh alignment of `query[q_range]` vs `subject[s_range]`
+/// with traceback, used to produce the final edit script for an HSP whose
+/// endpoints were fixed by [`gapped_xdrop`].
+///
+/// The band is centered on the straight line between the two corners and
+/// widened by `band_pad` cells on each side (plus the diagonal drift).
+pub fn banded_global(
+    matrix: &ScoreMatrix,
+    gaps: GapPenalties,
+    query: &[u8],
+    subject: &[u8],
+    band_pad: usize,
+) -> Alignment {
+    const NEG: i32 = i32::MIN / 4;
+    let n = query.len();
+    let m = subject.len();
+    assert!(n > 0 && m > 0, "banded_global needs non-empty ranges");
+
+    // Band half-width: diagonal drift plus padding.
+    let drift = n.abs_diff(m);
+    let half = drift + band_pad.max(1);
+
+    // For row i (0..=n), alive columns are j in [lo(i), hi(i)].
+    let lo = |i: usize| -> usize {
+        let center = i * m / n.max(1);
+        center.saturating_sub(half)
+    };
+    let hi = |i: usize| -> usize { ((i * m / n.max(1)) + half).min(m) };
+
+    let width = m + 1;
+    let cells = (n + 1) * width;
+    let mut dp_m = vec![NEG; cells];
+    let mut dp_e = vec![NEG; cells]; // gap in query (horizontal)
+    let mut dp_f = vec![NEG; cells]; // gap in subject (vertical)
+    let at = |i: usize, j: usize| i * width + j;
+
+    dp_m[at(0, 0)] = 0;
+    for j in 1..=hi(0) {
+        dp_e[at(0, j)] = -gaps.cost(j as i32);
+    }
+    for i in 1..=n {
+        if lo(i) == 0 {
+            dp_f[at(i, 0)] = -gaps.cost(i as i32);
+        }
+        let row = matrix.row(query[i - 1]);
+        for j in lo(i).max(1)..=hi(i) {
+            let sc = row[subject[j - 1] as usize];
+            let prev_best = dp_m[at(i - 1, j - 1)]
+                .max(dp_e[at(i - 1, j - 1)])
+                .max(dp_f[at(i - 1, j - 1)]);
+            if prev_best > NEG {
+                dp_m[at(i, j)] = prev_best + sc;
+            }
+            let up = dp_m[at(i - 1, j)].max(dp_f[at(i - 1, j)] + gaps.open);
+            if up > NEG {
+                dp_f[at(i, j)] = up - gaps.open - gaps.extend;
+            }
+            let left = dp_m[at(i, j - 1)].max(dp_e[at(i, j - 1)] + gaps.open);
+            if left > NEG {
+                dp_e[at(i, j)] = left - gaps.open - gaps.extend;
+            }
+        }
+    }
+
+    // Traceback from (n, m), choosing the best of the three states.
+    let mut i = n;
+    let mut j = m;
+    let score = dp_m[at(n, m)].max(dp_e[at(n, m)]).max(dp_f[at(n, m)]);
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        M,
+        E,
+        F,
+    }
+    let mut state = if score == dp_m[at(n, m)] {
+        St::M
+    } else if score == dp_e[at(n, m)] {
+        St::E
+    } else {
+        St::F
+    };
+    let mut rev_ops: Vec<EditOp> = Vec::new();
+    let push = |ops: &mut Vec<EditOp>, op: EditOp| {
+        // Merge with the previous run when the kind matches.
+        match (ops.last_mut(), op) {
+            (Some(EditOp::Aligned(n)), EditOp::Aligned(k)) => *n += k,
+            (Some(EditOp::GapInSubject(n)), EditOp::GapInSubject(k)) => *n += k,
+            (Some(EditOp::GapInQuery(n)), EditOp::GapInQuery(k)) => *n += k,
+            _ => ops.push(op),
+        }
+    };
+    while i > 0 || j > 0 {
+        match state {
+            St::M => {
+                debug_assert!(i > 0 && j > 0);
+                let sc = matrix.score(query[i - 1], subject[j - 1]);
+                let target = dp_m[at(i, j)] - sc;
+                push(&mut rev_ops, EditOp::Aligned(1));
+                i -= 1;
+                j -= 1;
+                state = if target == dp_m[at(i, j)] {
+                    St::M
+                } else if target == dp_e[at(i, j)] {
+                    St::E
+                } else {
+                    St::F
+                };
+            }
+            St::E => {
+                debug_assert!(j > 0);
+                let target = dp_e[at(i, j)];
+                push(&mut rev_ops, EditOp::GapInQuery(1));
+                // Came from M (open) or E (extend) at (i, j-1).
+                let from_open = dp_m[at(i, j - 1)] - gaps.open - gaps.extend;
+                j -= 1;
+                state = if target == from_open { St::M } else { St::E };
+            }
+            St::F => {
+                debug_assert!(i > 0);
+                let target = dp_f[at(i, j)];
+                push(&mut rev_ops, EditOp::GapInSubject(1));
+                let from_open = dp_m[at(i - 1, j)] - gaps.open - gaps.extend;
+                i -= 1;
+                state = if target == from_open { St::M } else { St::F };
+            }
+        }
+    }
+    rev_ops.reverse();
+    Alignment {
+        q_start: 0,
+        q_end: n as u32,
+        s_start: 0,
+        s_end: m as u32,
+        score,
+        ops: rev_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{encode, Molecule};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        encode(Molecule::Protein, s).unwrap()
+    }
+
+    fn m62() -> ScoreMatrix {
+        ScoreMatrix::blosum62()
+    }
+
+    fn self_score(m: &ScoreMatrix, s: &[u8]) -> i32 {
+        s.iter().map(|&c| m.score(c, c)).sum()
+    }
+
+    #[test]
+    fn ungapped_identical_sequences_extend_fully() {
+        let m = m62();
+        let q = enc(b"MKVLAAGHWRTE");
+        let hit = ungapped_xdrop(&m, &q, &q, 4, 4, 3, 16);
+        assert_eq!(hit.q_start, 0);
+        assert_eq!(hit.q_end, q.len() as u32);
+        assert_eq!(hit.score, self_score(&m, &q));
+    }
+
+    #[test]
+    fn ungapped_xdrop_stops_at_junk() {
+        let m = m62();
+        let q = enc(b"MKVLMKVL");
+        // Subject matches the first 8 residues then diverges badly.
+        let s = enc(b"MKVLMKVLPPPPPPPPPPPPPPPPPP");
+        let hit = ungapped_xdrop(&m, &q, &s, 0, 0, 3, 10);
+        assert_eq!(hit.q_end, 8);
+        assert_eq!(hit.s_end, 8);
+        assert_eq!(hit.score, self_score(&m, &q));
+    }
+
+    #[test]
+    fn ungapped_offset_hit() {
+        let m = m62();
+        let q = enc(b"GGGMKVLWGGG");
+        let s = enc(b"TTTTTMKVLWTTTTT");
+        // Word at q[3], s[5].
+        let hit = ungapped_xdrop(&m, &q, &s, 3, 5, 3, 7);
+        assert!(hit.q_start <= 3 && hit.q_end >= 8);
+        assert!(hit.score >= self_score(&m, &enc(b"MKVLW")));
+    }
+
+    #[test]
+    fn gapped_identical_equals_self_score() {
+        let m = m62();
+        let q = enc(b"MKVLAAGHWRTEYFNDCQ");
+        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 9, 9, 38);
+        assert_eq!(hit.q_start, 0);
+        assert_eq!(hit.q_end, q.len() as u32);
+        assert_eq!(hit.score, self_score(&m, &q));
+    }
+
+    #[test]
+    fn gapped_extension_crosses_a_gap() {
+        let m = m62();
+        let gaps = GapPenalties::BLOSUM62_DEFAULT;
+        // Subject = query with 2 residues deleted in the middle; flanks are
+        // long enough that bridging the gap beats stopping at it.
+        let q = enc(b"MKVLAAGHWRTEYFNDCQWHMKVLAAGHWRTEYFNDCQWH");
+        let mut s_vec = q.clone();
+        s_vec.drain(20..22);
+        let s = s_vec;
+        let hit = gapped_xdrop(&m, gaps, &q, &s, 5, 5, 40);
+        let expected = self_score(&m, &q) - m.score(q[20], q[20]) - m.score(q[21], q[21])
+            - gaps.cost(2);
+        assert_eq!(hit.score, expected);
+        assert_eq!(hit.q_end, q.len() as u32);
+        assert_eq!(hit.s_end, s.len() as u32);
+    }
+
+    #[test]
+    fn gapped_seed_at_sequence_edges() {
+        let m = m62();
+        let q = enc(b"MKVL");
+        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 0, 0, 20);
+        assert_eq!(hit.q_start, 0);
+        assert_eq!(hit.score, self_score(&m, &q));
+        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 3, 3, 20);
+        assert_eq!(hit.q_end, 4);
+        assert_eq!(hit.score, self_score(&m, &q));
+    }
+
+    #[test]
+    fn banded_global_identity() {
+        let m = m62();
+        let q = enc(b"MKVLAAGHWR");
+        let aln = banded_global(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 4);
+        assert_eq!(aln.score, self_score(&m, &q));
+        assert_eq!(aln.ops, vec![EditOp::Aligned(10)]);
+        assert_eq!(aln.alignment_len(), 10);
+        assert_eq!(aln.gap_columns(), 0);
+    }
+
+    #[test]
+    fn banded_global_with_deletion() {
+        let m = m62();
+        let gaps = GapPenalties::BLOSUM62_DEFAULT;
+        let q = enc(b"MKVLAAGHWRTEYFND");
+        let mut s = q.clone();
+        s.drain(8..11);
+        let aln = banded_global(&m, gaps, &q, &s, 6);
+        let gap_cols = aln.gap_columns();
+        assert_eq!(gap_cols, 3);
+        // Score = self score of remaining pairs minus gap cost.
+        let kept: i32 = self_score(&m, &q)
+            - q[8..11].iter().map(|&c| m.score(c, c)).sum::<i32>()
+            - gaps.cost(3);
+        assert_eq!(aln.score, kept);
+    }
+
+    #[test]
+    fn banded_global_matches_gapped_score() {
+        // The traceback alignment over the gapped hit's rectangle must
+        // reproduce the gapped extension's score for a clean homolog pair.
+        let m = m62();
+        let gaps = GapPenalties::BLOSUM62_DEFAULT;
+        let q = enc(b"MKVLAAGHWRTEYFNDCQWHERTYPLKJHGFDSAZXCVBNM");
+        let mut s = q.clone();
+        s[12] = 0; // one substitution
+        s.remove(30); // one deletion
+        let hit = gapped_xdrop(&m, gaps, &q, &s, 3, 3, 40);
+        let aln = banded_global(
+            &m,
+            gaps,
+            &q[hit.q_start as usize..hit.q_end as usize],
+            &s[hit.s_start as usize..hit.s_end as usize],
+            8,
+        );
+        assert_eq!(aln.score, hit.score);
+    }
+
+    #[test]
+    fn edit_ops_account_for_all_residues() {
+        let m = m62();
+        let gaps = GapPenalties::BLOSUM62_DEFAULT;
+        let q = enc(b"MKVLAAGHWRTEYF");
+        let mut s = q.clone();
+        s.insert(5, 7);
+        let aln = banded_global(&m, gaps, &q, &s, 5);
+        let mut q_used = 0u32;
+        let mut s_used = 0u32;
+        for op in &aln.ops {
+            match op {
+                EditOp::Aligned(n) => {
+                    q_used += n;
+                    s_used += n;
+                }
+                EditOp::GapInSubject(n) => q_used += n,
+                EditOp::GapInQuery(n) => s_used += n,
+            }
+        }
+        assert_eq!(q_used as usize, q.len());
+        assert_eq!(s_used as usize, s.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! Low-complexity filtering.
+//!
+//! blastp masks low-complexity query regions by default (`-F T`) using SEG;
+//! blastn uses DUST. We implement windowed-entropy variants of both: a
+//! sliding window's Shannon entropy (in bits per residue) is compared to a
+//! trigger threshold, triggered windows are extended while entropy stays
+//! under a release threshold, and the merged regions are masked with the
+//! molecule's ambiguity code. Masked residues never enter lookup words, so
+//! they cannot seed alignments — the same effect SEG/DUST have in NCBI
+//! BLAST.
+
+use crate::alphabet::Molecule;
+
+/// Parameters for the entropy filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterParams {
+    /// Window length (SEG default 12; DUST uses larger windows).
+    pub window: usize,
+    /// Entropy (bits/residue) below which a window triggers masking.
+    pub trigger: f64,
+    /// Entropy below which a region keeps extending once triggered
+    /// (must be >= trigger; SEG's locut/hicut pair).
+    pub release: f64,
+}
+
+impl FilterParams {
+    /// SEG-like defaults for protein queries (window 12, 2.2/2.5 bits).
+    pub const SEG: FilterParams = FilterParams {
+        window: 12,
+        trigger: 2.2,
+        release: 2.5,
+    };
+
+    /// DUST-like defaults for DNA queries.
+    pub const DUST: FilterParams = FilterParams {
+        window: 64,
+        trigger: 1.5,
+        release: 1.8,
+    };
+
+    /// Defaults for a molecule.
+    pub fn for_molecule(molecule: Molecule) -> FilterParams {
+        match molecule {
+            Molecule::Protein => FilterParams::SEG,
+            Molecule::Dna => FilterParams::DUST,
+        }
+    }
+}
+
+/// A maskable region, half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskRange {
+    /// Start offset.
+    pub start: u32,
+    /// End offset (exclusive).
+    pub end: u32,
+}
+
+/// Shannon entropy (bits per residue) of a residue count table.
+fn entropy_bits(counts: &[u32], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total_f;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Find low-complexity regions of an encoded sequence.
+pub fn find_low_complexity(
+    seq: &[u8],
+    alphabet_size: usize,
+    params: FilterParams,
+) -> Vec<MaskRange> {
+    let w = params.window;
+    if seq.len() < w || w == 0 {
+        return Vec::new();
+    }
+    let mut counts = vec![0u32; alphabet_size];
+    // Per-window entropies via a rolling count table.
+    let mut low_windows: Vec<(u32, u32, bool)> = Vec::new(); // (start, end, triggered)
+    for &c in &seq[..w] {
+        counts[c as usize] += 1;
+    }
+    let n_windows = seq.len() - w + 1;
+    for i in 0..n_windows {
+        let h = entropy_bits(&counts, w);
+        if h < params.release {
+            low_windows.push((i as u32, (i + w) as u32, h < params.trigger));
+        }
+        if i + 1 < n_windows {
+            counts[seq[i] as usize] -= 1;
+            counts[seq[i + w] as usize] += 1;
+        }
+    }
+    // Merge overlapping/adjacent low windows; a merged region is reported
+    // only if at least one member window actually triggered.
+    let mut out = Vec::new();
+    let mut cur: Option<(u32, u32, bool)> = None;
+    for (s, e, trig) in low_windows {
+        match cur {
+            Some((cs, ce, ct)) if s <= ce => cur = Some((cs, ce.max(e), ct || trig)),
+            Some((cs, ce, ct)) => {
+                if ct {
+                    out.push(MaskRange { start: cs, end: ce });
+                }
+                cur = Some((s, e, trig));
+            }
+            None => cur = Some((s, e, trig)),
+        }
+    }
+    if let Some((cs, ce, ct)) = cur {
+        if ct {
+            out.push(MaskRange { start: cs, end: ce });
+        }
+    }
+    out
+}
+
+/// Mask low-complexity regions of `seq` in place with the molecule's
+/// ambiguity code; returns the masked ranges.
+pub fn mask_in_place(seq: &mut [u8], molecule: Molecule, params: FilterParams) -> Vec<MaskRange> {
+    let ranges = find_low_complexity(seq, molecule.alphabet_size(), params);
+    let fill = molecule.ambiguity_code();
+    for r in &ranges {
+        for c in &mut seq[r.start as usize..r.end as usize] {
+            *c = fill;
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{encode, Molecule, PROTEIN_X};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        encode(Molecule::Protein, s).unwrap()
+    }
+
+    #[test]
+    fn homopolymer_is_masked() {
+        let mut seq = enc(b"MKVDERAAAAAAAAAAAAAAAAWGHKLMNPQRST");
+        let ranges = mask_in_place(&mut seq, Molecule::Protein, FilterParams::SEG);
+        assert_eq!(ranges.len(), 1);
+        let r = ranges[0];
+        // The poly-A run at 6..22 must be covered.
+        assert!(r.start <= 6 && r.end >= 22, "range {r:?}");
+        assert!(seq[8..20].iter().all(|&c| c == PROTEIN_X));
+    }
+
+    #[test]
+    fn diverse_sequence_is_untouched() {
+        let orig = enc(b"MKVDERWGHILNPQSTACFYMKDERWGHILNPQST");
+        let mut seq = orig.clone();
+        let ranges = mask_in_place(&mut seq, Molecule::Protein, FilterParams::SEG);
+        assert!(ranges.is_empty());
+        assert_eq!(seq, orig);
+    }
+
+    #[test]
+    fn short_sequences_are_skipped() {
+        let mut seq = enc(b"AAAA");
+        assert!(mask_in_place(&mut seq, Molecule::Protein, FilterParams::SEG).is_empty());
+    }
+
+    #[test]
+    fn two_separated_regions_report_separately() {
+        let mut seq = enc(
+            b"AAAAAAAAAAAAAAAAMKVDERWGHILNPQSTACFYWMKVDERWGHILNPQSTACFYWSSSSSSSSSSSSSSSS",
+        );
+        let ranges = mask_in_place(&mut seq, Molecule::Protein, FilterParams::SEG);
+        assert_eq!(ranges.len(), 2);
+        assert!(ranges[0].end <= ranges[1].start);
+    }
+
+    #[test]
+    fn entropy_of_uniform_window_is_log2() {
+        let counts = [3u32, 3, 3, 3];
+        let h = entropy_bits(&counts, 12);
+        assert!((h - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dust_masks_dna_repeats() {
+        let mut seq = Vec::new();
+        // 80 bases of ATATAT... then diverse-ish tail.
+        for i in 0..80 {
+            seq.push(if i % 2 == 0 { 0u8 } else { 3u8 });
+        }
+        let tail = encode(Molecule::Dna, b"ACGTAGCTTGCAACGTAGGCTATCGGATCACGTAGCTTGCAACGTAGGCTATCGGATCAACGTAGCTTGCA")
+            .unwrap();
+        seq.extend_from_slice(&tail);
+        let ranges = mask_in_place(&mut seq, Molecule::Dna, FilterParams::DUST);
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].start == 0 && ranges[0].end >= 80);
+    }
+
+    #[test]
+    fn trigger_vs_release_hysteresis() {
+        // A window whose entropy sits between trigger and release extends a
+        // region but cannot start one.
+        let params = FilterParams {
+            window: 4,
+            trigger: 1.0,
+            release: 1.6,
+        };
+        // "MKDE" has entropy 2.0 (4 distinct): untouched.
+        let seq = enc(b"MKDEMKDE");
+        assert!(find_low_complexity(&seq, 28, params).is_empty());
+        // "AABB" entropy 1.0 triggers at <= trigger? 1.0 < 1.0 is false, so
+        // AAAB (0.811) triggers while AABB (1.0) may only extend.
+        let seq2 = enc(b"AAABAABB");
+        let ranges = find_low_complexity(&seq2, 28, params);
+        assert_eq!(ranges.len(), 1);
+    }
+}

@@ -1,0 +1,833 @@
+//! The end-to-end BLAST search kernel.
+//!
+//! [`BlastSearcher`] runs the classic pipeline over one database partition:
+//! scan each subject against a query-set lookup table, trigger two-hit
+//! ungapped X-drop extensions, escalate good segments to gapped X-drop
+//! extensions, cull redundant HSPs, score against the *global* search
+//! space, and keep the best `hitlist_size` subjects per query.
+//!
+//! The kernel is partition-agnostic: it searches whatever
+//! [`SubjectSource`] it is handed — a whole database, a physical fragment
+//! file (mpiBLAST) or an in-memory virtual fragment (pioBLAST) — and its
+//! statistics stay identical because [`crate::stats::SearchSpace`] is
+//! always derived from whole-database statistics.
+
+use crate::alphabet::Molecule;
+use crate::extend::{gapped_xdrop, ungapped_xdrop, GappedHit};
+use crate::filter::{mask_in_place, FilterParams};
+use crate::hsp::{cull_contained, Hsp};
+use crate::karlin::{gapped_params, solve_ungapped, Background, GapPenalties, KarlinParams};
+use crate::lookup::{LookupTable, QuerySet};
+use crate::matrix::ScoreMatrix;
+use crate::seq::{SeqRecord, SubjectView};
+use crate::stats::{DbStats, SearchSpace};
+
+/// A source of database subjects for one search pass.
+pub trait SubjectSource {
+    /// Number of subjects in this partition.
+    fn num_subjects(&self) -> usize;
+    /// The `i`-th subject of this partition.
+    fn subject(&self, i: usize) -> SubjectView<'_>;
+}
+
+/// Search configuration (the blastp defaults mirror NCBI's).
+#[derive(Debug, Clone)]
+pub struct SearchParams {
+    /// Molecule searched.
+    pub molecule: Molecule,
+    /// Scoring matrix.
+    pub matrix: ScoreMatrix,
+    /// Affine gap penalties.
+    pub gaps: GapPenalties,
+    /// Seed word length (3 for blastp, 11 for blastn).
+    pub word_len: usize,
+    /// Word alphabet size (20 for protein, 4 for DNA).
+    pub word_alphabet: usize,
+    /// Neighborhood threshold `T` (word pairs scoring >= T seed).
+    pub threshold: i32,
+    /// Two-hit window `A` in residues; `0` selects single-hit seeding.
+    pub two_hit_window: u32,
+    /// Ungapped X-drop, in bits.
+    pub xdrop_ungapped_bits: f64,
+    /// Gapped X-drop, in bits.
+    pub xdrop_gapped_bits: f64,
+    /// Ungapped score (bits) that triggers a gapped extension.
+    pub gap_trigger_bits: f64,
+    /// E-value cutoff for reporting.
+    pub expect: f64,
+    /// Best subjects kept per query per partition.
+    pub hitlist_size: usize,
+    /// HSPs kept per (query, subject) pair.
+    pub max_hsps_per_subject: usize,
+    /// Whether to mask low-complexity query regions (`-F T`).
+    pub filter_query: bool,
+    /// Ungapped Karlin–Altschul parameters.
+    pub ungapped: KarlinParams,
+    /// Gapped Karlin–Altschul parameters.
+    pub gapped: KarlinParams,
+}
+
+impl SearchParams {
+    /// blastp defaults: BLOSUM62, gaps 11/1, word 3, T=11, two-hit A=40,
+    /// X-drops 7/15 bits, gap trigger 22 bits, E=10, hitlist 500.
+    pub fn blastp() -> SearchParams {
+        let matrix = ScoreMatrix::blosum62();
+        let ungapped = solve_ungapped(&matrix, &Background::protein())
+            .expect("BLOSUM62 has valid ungapped statistics");
+        let gaps = GapPenalties::BLOSUM62_DEFAULT;
+        let gapped = gapped_params("BLOSUM62", gaps).expect("default gapped table entry");
+        SearchParams {
+            molecule: Molecule::Protein,
+            matrix,
+            gaps,
+            word_len: 3,
+            word_alphabet: 20,
+            threshold: 11,
+            two_hit_window: 40,
+            xdrop_ungapped_bits: 7.0,
+            xdrop_gapped_bits: 15.0,
+            gap_trigger_bits: 22.0,
+            expect: 10.0,
+            hitlist_size: 500,
+            max_hsps_per_subject: 25,
+            filter_query: true,
+            ungapped,
+            gapped,
+        }
+    }
+
+    /// blastn-like defaults: +1/−3, word 11 exact, single-hit seeding.
+    pub fn blastn() -> SearchParams {
+        let matrix = ScoreMatrix::dna(1, -3);
+        let ungapped =
+            solve_ungapped(&matrix, &Background::dna()).expect("DNA matrix statistics");
+        // blastn gapped statistics are well approximated by ungapped ones
+        // for these small penalties (documented NCBI practice).
+        let gapped = ungapped;
+        let gaps = GapPenalties { open: 5, extend: 2 };
+        SearchParams {
+            molecule: Molecule::Dna,
+            matrix,
+            gaps,
+            word_len: 11,
+            word_alphabet: 4,
+            threshold: 11, // exact match: full self-score of a +1 word
+            two_hit_window: 0,
+            xdrop_ungapped_bits: 20.0,
+            xdrop_gapped_bits: 30.0,
+            gap_trigger_bits: 22.0,
+            expect: 10.0,
+            hitlist_size: 500,
+            max_hsps_per_subject: 25,
+            filter_query: true,
+            ungapped,
+            gapped,
+        }
+    }
+
+    /// Convert a bit quantity to raw score units via the ungapped lambda
+    /// (how NCBI converts X-drop and trigger settings).
+    fn bits_to_raw(&self, bits: f64) -> i32 {
+        (bits * std::f64::consts::LN_2 / self.ungapped.lambda).round() as i32
+    }
+}
+
+/// Queries prepared for searching: masked, concatenated, with the lookup
+/// table and per-query global search spaces. Build once, search any number
+/// of partitions.
+pub struct PreparedQueries {
+    /// Original (unmasked) query records, for output.
+    pub records: Vec<SeqRecord>,
+    set: QuerySet,
+    lookup: LookupTable,
+    /// Gapped search space per query (global statistics).
+    pub spaces: Vec<SearchSpace>,
+    /// Raw-score cutoff per query for the final E-value threshold.
+    cutoffs: Vec<i32>,
+}
+
+impl PreparedQueries {
+    /// Prepare `records` for search against a database with global
+    /// statistics `db`.
+    pub fn prepare(params: &SearchParams, records: Vec<SeqRecord>, db: DbStats) -> PreparedQueries {
+        let masked: Vec<Vec<u8>> = records
+            .iter()
+            .map(|r| {
+                let mut q = r.residues.clone();
+                if params.filter_query {
+                    mask_in_place(
+                        &mut q,
+                        params.molecule,
+                        FilterParams::for_molecule(params.molecule),
+                    );
+                }
+                q
+            })
+            .collect();
+        let sentinel = (params.molecule.alphabet_size() - 1) as u8;
+        let set = QuerySet::new(&masked, sentinel);
+        let lookup = LookupTable::build(
+            &set,
+            &params.matrix,
+            params.word_len,
+            params.word_alphabet,
+            params.threshold,
+        );
+        let spaces: Vec<SearchSpace> = records
+            .iter()
+            .map(|r| SearchSpace::new(params.gapped, r.len() as u64, db))
+            .collect();
+        let cutoffs = spaces
+            .iter()
+            .map(|sp| sp.cutoff_score(params.expect))
+            .collect();
+        PreparedQueries {
+            records,
+            set,
+            lookup,
+            spaces,
+            cutoffs,
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total query residues.
+    pub fn total_residues(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Size of the serialized form (for communication cost accounting):
+    /// residues plus deflines.
+    pub fn wire_size(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| (r.len() + r.defline.len() + 16) as u64)
+            .sum()
+    }
+}
+
+/// All hits of one query against one subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectHit {
+    /// Global ordinal id of the subject.
+    pub oid: u32,
+    /// Subject length in residues (needed for output).
+    pub subject_len: u32,
+    /// HSPs in canonical order (best first).
+    pub hsps: Vec<Hsp>,
+}
+
+impl SubjectHit {
+    /// Best (first) HSP's score.
+    pub fn best_score(&self) -> i32 {
+        self.hsps.first().map_or(0, |h| h.score)
+    }
+
+    /// Best (first) HSP's E-value.
+    pub fn best_evalue(&self) -> f64 {
+        self.hsps.first().map_or(f64::INFINITY, |h| h.evalue)
+    }
+}
+
+/// Results of searching one partition: per query, the retained subjects.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentResult {
+    /// `per_query[q]` lists hits of query `q`, best subject first.
+    pub per_query: Vec<Vec<SubjectHit>>,
+    /// Search-effort counters.
+    pub stats: SearchStats,
+}
+
+/// Instrumentation counters for one search pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Subjects scanned.
+    pub subjects: u64,
+    /// Residues scanned.
+    pub residues: u64,
+    /// Raw lookup hits.
+    pub seed_hits: u64,
+    /// Ungapped extensions triggered (two-hit pairs).
+    pub ungapped_extensions: u64,
+    /// Gapped extensions performed.
+    pub gapped_extensions: u64,
+    /// HSPs surviving all filters.
+    pub hsps_kept: u64,
+}
+
+impl SearchStats {
+    /// Accumulate another pass's counters.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.subjects += other.subjects;
+        self.residues += other.residues;
+        self.seed_hits += other.seed_hits;
+        self.ungapped_extensions += other.ungapped_extensions;
+        self.gapped_extensions += other.gapped_extensions;
+        self.hsps_kept += other.hsps_kept;
+    }
+}
+
+/// The search kernel. Create once per (params, queries) pair; call
+/// [`BlastSearcher::search`] once per partition.
+pub struct BlastSearcher<'a> {
+    params: &'a SearchParams,
+    queries: &'a PreparedQueries,
+    x_ungapped: i32,
+    x_gapped: i32,
+    gap_trigger: i32,
+}
+
+/// Per-diagonal scan state, stamped to avoid clearing between subjects.
+struct DiagState {
+    stamp: Vec<u32>,
+    last_hit: Vec<u32>,
+    ext_stamp: Vec<u32>,
+    last_ext_end: Vec<u32>,
+    current: u32,
+}
+
+impl DiagState {
+    fn new() -> DiagState {
+        DiagState {
+            stamp: Vec::new(),
+            last_hit: Vec::new(),
+            ext_stamp: Vec::new(),
+            last_ext_end: Vec::new(),
+            current: 0,
+        }
+    }
+
+    fn begin_subject(&mut self, diagonals: usize) {
+        if self.stamp.len() < diagonals {
+            self.stamp.resize(diagonals, 0);
+            self.last_hit.resize(diagonals, 0);
+            self.ext_stamp.resize(diagonals, 0);
+            self.last_ext_end.resize(diagonals, 0);
+        }
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Stamp wrapped: hard reset.
+            self.stamp.fill(0);
+            self.ext_stamp.fill(0);
+            self.current = 1;
+        }
+    }
+
+    /// Record a word hit at subject position `new_pos` on diagonal `d` and
+    /// decide whether it completes a two-hit pair.
+    ///
+    /// NCBI's rule: a new hit pairs with the stored one when they do not
+    /// overlap (`dist >= word_len`) and fall within the window `A`
+    /// (`dist <= window`). An overlapping hit *keeps* the stored position
+    /// (so a later hit can still pair with the original); a hit beyond the
+    /// window replaces it.
+    #[inline]
+    fn observe_hit(&mut self, d: usize, new_pos: u32, word_len: u32, window: u32) -> bool {
+        if window == 0 {
+            // Single-hit seeding.
+            self.stamp[d] = self.current;
+            self.last_hit[d] = new_pos;
+            return true;
+        }
+        if self.stamp[d] != self.current {
+            self.stamp[d] = self.current;
+            self.last_hit[d] = new_pos;
+            return false;
+        }
+        let dist = new_pos - self.last_hit[d];
+        if dist < word_len {
+            // Overlapping: keep the earlier hit.
+            false
+        } else if dist <= window {
+            // Two-hit pair completed; reset so the next seed needs a fresh pair.
+            self.last_hit[d] = new_pos;
+            true
+        } else {
+            // Too far: restart the pair from the new hit.
+            self.last_hit[d] = new_pos;
+            false
+        }
+    }
+
+    #[inline]
+    fn extension_end(&self, d: usize) -> Option<u32> {
+        (self.ext_stamp[d] == self.current).then(|| self.last_ext_end[d])
+    }
+
+    #[inline]
+    fn set_extension_end(&mut self, d: usize, end: u32) {
+        self.ext_stamp[d] = self.current;
+        self.last_ext_end[d] = end;
+    }
+}
+
+impl<'a> BlastSearcher<'a> {
+    /// Bind the kernel to a parameter set and prepared queries.
+    pub fn new(params: &'a SearchParams, queries: &'a PreparedQueries) -> BlastSearcher<'a> {
+        BlastSearcher {
+            params,
+            queries,
+            x_ungapped: params.bits_to_raw(params.xdrop_ungapped_bits),
+            x_gapped: params.bits_to_raw(params.xdrop_gapped_bits),
+            gap_trigger: params.bits_to_raw(params.gap_trigger_bits),
+        }
+    }
+
+    /// Search one partition, returning per-query subject hits.
+    pub fn search<S: SubjectSource + ?Sized>(&self, source: &S) -> FragmentResult {
+        let mut result = FragmentResult {
+            per_query: vec![Vec::new(); self.queries.len()],
+            stats: SearchStats::default(),
+        };
+        let mut diag = DiagState::new();
+        let concat_len = self.queries.set.concat().len();
+        for si in 0..source.num_subjects() {
+            let subject = source.subject(si);
+            self.search_subject(&subject, concat_len, &mut diag, &mut result);
+        }
+        // Keep only the best `hitlist_size` subjects per query.
+        for hits in &mut result.per_query {
+            hits.sort_by(|a, b| {
+                let ka = a.hsps[0].rank_key();
+                let kb = b.hsps[0].rank_key();
+                ka.cmp(&kb)
+            });
+            hits.truncate(self.params.hitlist_size);
+        }
+        result
+    }
+
+    fn search_subject(
+        &self,
+        subject: &SubjectView<'_>,
+        concat_len: usize,
+        diag: &mut DiagState,
+        result: &mut FragmentResult,
+    ) {
+        let params = self.params;
+        let w = params.word_len;
+        result.stats.subjects += 1;
+        result.stats.residues += subject.residues.len() as u64;
+        if subject.residues.len() < w {
+            return;
+        }
+        diag.begin_subject(concat_len + subject.residues.len() + 1);
+
+        let concat = self.queries.set.concat();
+        let s = subject.residues;
+        let s_len = s.len();
+        let alpha = params.word_alphabet as u32;
+        let word_span = alpha.pow(w as u32 - 1);
+
+        // (query_idx, gapped hit) envelopes found on this subject, used to
+        // suppress re-extension of seeds inside an existing alignment.
+        let mut gapped_hits: Vec<(u32, GappedHit)> = Vec::new();
+        // Ungapped-only HSP candidates (query_idx, hit).
+        let mut ungapped_keep: Vec<(u32, crate::extend::UngappedHit)> = Vec::new();
+
+        // Rolling word index over the subject.
+        let mut idx = 0u32;
+        let mut run = 0usize;
+        for sp_end in 0..s_len {
+            let c = s[sp_end];
+            if (c as u32) >= alpha {
+                run = 0;
+                idx = 0;
+                continue;
+            }
+            idx = (idx % word_span) * alpha + c as u32;
+            run += 1;
+            if run < w {
+                continue;
+            }
+            let sp = (sp_end + 1 - w) as u32; // word start in subject
+            let bucket = self.queries.lookup.hits(idx);
+            if bucket.is_empty() {
+                continue;
+            }
+            result.stats.seed_hits += bucket.len() as u64;
+            for &qp in bucket {
+                let d = (qp as usize + s_len) - sp as usize;
+                // Skip seeds inside an already-extended region.
+                if let Some(end) = diag.extension_end(d) {
+                    if sp + (w as u32) <= end {
+                        continue;
+                    }
+                }
+                if !diag.observe_hit(d, sp, w as u32, params.two_hit_window) {
+                    continue;
+                }
+                self.extend_seed(
+                    subject,
+                    concat,
+                    qp,
+                    sp,
+                    d,
+                    diag,
+                    &mut gapped_hits,
+                    &mut ungapped_keep,
+                    result,
+                );
+            }
+        }
+
+        self.collect_subject_hits(subject, gapped_hits, ungapped_keep, result);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_seed(
+        &self,
+        subject: &SubjectView<'_>,
+        concat: &[u8],
+        qp: u32,
+        sp: u32,
+        d: usize,
+        diag: &mut DiagState,
+        gapped_hits: &mut Vec<(u32, GappedHit)>,
+        ungapped_keep: &mut Vec<(u32, crate::extend::UngappedHit)>,
+        result: &mut FragmentResult,
+    ) {
+        let params = self.params;
+        result.stats.ungapped_extensions += 1;
+        let hit = ungapped_xdrop(
+            &params.matrix,
+            concat,
+            subject.residues,
+            qp,
+            sp,
+            params.word_len as u32,
+            self.x_ungapped,
+        );
+        diag.set_extension_end(d, hit.s_end);
+
+        // Identify which query this extension belongs to. Extensions cannot
+        // cross sentinels (they score UNDEFINED against everything), but be
+        // defensive: locate both ends.
+        let Some((query_idx, _)) = self.queries.set.locate(hit.q_start) else {
+            return;
+        };
+        let (q_lo, q_hi) = self.queries.set.range(query_idx);
+        if hit.q_end > q_hi {
+            return; // crossed a sentinel: discard (cannot happen with sane matrices)
+        }
+        let cutoff = self.queries.cutoffs[query_idx];
+
+        if hit.score >= self.gap_trigger {
+            // Gapped extension from the ungapped segment's midpoint, unless
+            // that seed already lies inside a gapped hit for this query.
+            let (seed_q, seed_s) = hit.seed_point();
+            let covered = gapped_hits.iter().any(|(qi, g)| {
+                *qi == query_idx as u32
+                    && seed_q >= g.q_start + q_lo
+                    && seed_q < g.q_end + q_lo
+                    && seed_s >= g.s_start
+                    && seed_s < g.s_end
+            });
+            if covered {
+                return;
+            }
+            result.stats.gapped_extensions += 1;
+            let query = &concat[q_lo as usize..q_hi as usize];
+            let g = gapped_xdrop(
+                &params.matrix,
+                params.gaps,
+                query,
+                subject.residues,
+                seed_q - q_lo,
+                seed_s,
+                self.x_gapped,
+            );
+            if g.score >= cutoff {
+                gapped_hits.push((query_idx as u32, g));
+            }
+        } else if hit.score >= cutoff {
+            // Strong enough ungapped-only HSP (rare with gapped cutoffs).
+            let mut h = hit;
+            h.q_start -= q_lo;
+            h.q_end -= q_lo;
+            ungapped_keep.push((query_idx as u32, h));
+        }
+    }
+
+    fn collect_subject_hits(
+        &self,
+        subject: &SubjectView<'_>,
+        gapped_hits: Vec<(u32, GappedHit)>,
+        ungapped_keep: Vec<(u32, crate::extend::UngappedHit)>,
+        result: &mut FragmentResult,
+    ) {
+        if gapped_hits.is_empty() && ungapped_keep.is_empty() {
+            return;
+        }
+        let params = self.params;
+        // Group HSPs per query.
+        let mut per_query: std::collections::BTreeMap<u32, Vec<Hsp>> =
+            std::collections::BTreeMap::new();
+        for (qi, g) in gapped_hits {
+            let sp = &self.queries.spaces[qi as usize];
+            per_query.entry(qi).or_default().push(Hsp {
+                query_idx: qi,
+                oid: subject.oid,
+                q_start: g.q_start,
+                q_end: g.q_end,
+                s_start: g.s_start,
+                s_end: g.s_end,
+                score: g.score,
+                bit_score: sp.bit_score(g.score),
+                evalue: sp.evalue(g.score),
+            });
+        }
+        for (qi, u) in ungapped_keep {
+            let sp = &self.queries.spaces[qi as usize];
+            per_query.entry(qi).or_default().push(Hsp {
+                query_idx: qi,
+                oid: subject.oid,
+                q_start: u.q_start,
+                q_end: u.q_end,
+                s_start: u.s_start,
+                s_end: u.s_end,
+                score: u.score,
+                bit_score: sp.bit_score(u.score),
+                evalue: sp.evalue(u.score),
+            });
+        }
+        for (qi, mut hsps) in per_query {
+            cull_contained(&mut hsps);
+            hsps.retain(|h| h.evalue <= params.expect);
+            hsps.truncate(params.max_hsps_per_subject);
+            if hsps.is_empty() {
+                continue;
+            }
+            result.stats.hsps_kept += hsps.len() as u64;
+            result.per_query[qi as usize].push(SubjectHit {
+                oid: subject.oid,
+                subject_len: subject.residues.len() as u32,
+                hsps,
+            });
+        }
+    }
+}
+
+/// A trivial in-memory [`SubjectSource`] over owned records, for tests and
+/// small serial searches.
+pub struct VecSource {
+    subjects: Vec<(u32, Vec<u8>, Vec<u8>)>, // (oid, residues, defline)
+}
+
+impl VecSource {
+    /// Build from records, assigning oids `0..n` in order.
+    pub fn from_records(records: &[SeqRecord]) -> VecSource {
+        VecSource {
+            subjects: records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as u32, r.residues.clone(), r.defline.clone().into_bytes()))
+                .collect(),
+        }
+    }
+
+    /// Build with explicit oids.
+    pub fn with_oids(subjects: Vec<(u32, Vec<u8>, Vec<u8>)>) -> VecSource {
+        VecSource { subjects }
+    }
+}
+
+impl SubjectSource for VecSource {
+    fn num_subjects(&self) -> usize {
+        self.subjects.len()
+    }
+
+    fn subject(&self, i: usize) -> SubjectView<'_> {
+        let (oid, residues, defline) = &self.subjects[i];
+        SubjectView {
+            oid: *oid,
+            residues,
+            defline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Molecule;
+    use crate::fasta;
+
+    fn db_records() -> Vec<SeqRecord> {
+        // A tiny database: one family of similar sequences plus noise.
+        let text = b">s0 family member A\n\
+MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNMMKVLAAGHWRTEYFNDCQ\n\
+>s1 family member B\n\
+MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNMMKVLAAGHWRTEYANDCQ\n\
+>s2 unrelated\n\
+GGGGPPPPGGGGPPPPGGGGPPPPGGGGPPPPGGGGPPPP\n\
+>s3 family member C distant\n\
+MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
+        fasta::parse(Molecule::Protein, text).unwrap()
+    }
+
+    fn stats_for(records: &[SeqRecord]) -> DbStats {
+        DbStats {
+            num_sequences: records.len() as u64,
+            total_residues: records.iter().map(|r| r.len() as u64).sum(),
+        }
+    }
+
+    fn search_with(query: &[u8]) -> FragmentResult {
+        let params = SearchParams::blastp();
+        let records = db_records();
+        let db = stats_for(&records);
+        let queries = vec![SeqRecord::from_ascii(Molecule::Protein, "q1", query).unwrap()];
+        let prepared = PreparedQueries::prepare(&params, queries, db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+        searcher.search(&VecSource::from_records(&records))
+    }
+
+    #[test]
+    fn query_from_family_hits_family() {
+        let result = search_with(b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM");
+        let hits = &result.per_query[0];
+        assert!(!hits.is_empty(), "expected hits, stats {:?}", result.stats);
+        let oids: Vec<u32> = hits.iter().map(|h| h.oid).collect();
+        assert!(oids.contains(&0), "oids {oids:?}");
+        assert!(oids.contains(&1), "oids {oids:?}");
+        // The unrelated low-complexity sequence must not appear.
+        assert!(!oids.contains(&2), "oids {oids:?}");
+        // Best hit first.
+        assert!(hits[0].best_score() >= hits.last().unwrap().best_score());
+    }
+
+    #[test]
+    fn unrelated_query_finds_nothing_significant() {
+        // A diverse sequence absent from the database. With E <= 10 and a
+        // tiny database, weak chance alignments may pass (as in real
+        // BLAST), but nothing remotely significant can.
+        let result = search_with(b"DEDEDKRKRHWYFWYHDEDKRKRHWYFWYHDKRHWYFWYH");
+        for hit in &result.per_query[0] {
+            assert!(
+                hit.best_evalue() > 1e-4,
+                "unexpected significant hit: {hit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn evalues_within_cutoff() {
+        let result = search_with(b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM");
+        for hit in &result.per_query[0] {
+            for h in &hit.hsps {
+                assert!(h.evalue <= 10.0);
+                assert!(h.score > 0);
+                assert!(h.q_end > h.q_start);
+                assert!(h.s_end > h.s_start);
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = search_with(b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM");
+        let b = search_with(b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM");
+        assert_eq!(a.per_query[0], b.per_query[0]);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn partitioned_search_equals_whole_search() {
+        // The core invariant behind database segmentation: searching two
+        // disjoint partitions yields exactly the whole-database hit set.
+        let params = SearchParams::blastp();
+        let records = db_records();
+        let db = stats_for(&records);
+        let queries = vec![SeqRecord::from_ascii(
+            Molecule::Protein,
+            "q1",
+            b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM",
+        )
+        .unwrap()];
+        let prepared = PreparedQueries::prepare(&params, queries, db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+
+        let whole = searcher.search(&VecSource::from_records(&records));
+
+        let all: Vec<(u32, Vec<u8>, Vec<u8>)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u32, r.residues.clone(), r.defline.clone().into_bytes()))
+            .collect();
+        let part_a = VecSource::with_oids(all[..2].to_vec());
+        let part_b = VecSource::with_oids(all[2..].to_vec());
+        let ra = searcher.search(&part_a);
+        let rb = searcher.search(&part_b);
+
+        let mut merged: Vec<SubjectHit> = ra.per_query[0]
+            .iter()
+            .chain(rb.per_query[0].iter())
+            .cloned()
+            .collect();
+        merged.sort_by(|a, b| a.hsps[0].rank_key().cmp(&b.hsps[0].rank_key()));
+        assert_eq!(merged, whole.per_query[0]);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let result = search_with(b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM");
+        assert_eq!(result.stats.subjects, 4);
+        assert!(result.stats.seed_hits > 0);
+        assert!(result.stats.ungapped_extensions > 0);
+        assert!(result.stats.gapped_extensions > 0);
+        assert!(result.stats.hsps_kept >= 2);
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let params = SearchParams::blastp();
+        let records = db_records();
+        let db = stats_for(&records);
+        let prepared = PreparedQueries::prepare(&params, Vec::new(), db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&VecSource::from_records(&records));
+        assert!(result.per_query.is_empty());
+    }
+
+    #[test]
+    fn short_subjects_are_skipped() {
+        let params = SearchParams::blastp();
+        let records = vec![SeqRecord::from_ascii(Molecule::Protein, "tiny", b"MK").unwrap()];
+        let db = stats_for(&records);
+        let queries =
+            vec![SeqRecord::from_ascii(Molecule::Protein, "q", b"MKVLAAGHWRTEYFND").unwrap()];
+        let prepared = PreparedQueries::prepare(&params, queries, db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&VecSource::from_records(&records));
+        assert!(result.per_query[0].is_empty());
+        assert_eq!(result.stats.subjects, 1);
+    }
+
+    #[test]
+    fn hitlist_size_truncates() {
+        let mut params = SearchParams::blastp();
+        params.hitlist_size = 1;
+        let records = db_records();
+        let db = stats_for(&records);
+        let queries = vec![SeqRecord::from_ascii(
+            Molecule::Protein,
+            "q1",
+            b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM",
+        )
+        .unwrap()];
+        let prepared = PreparedQueries::prepare(&params, queries, db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&VecSource::from_records(&records));
+        assert_eq!(result.per_query[0].len(), 1);
+    }
+}

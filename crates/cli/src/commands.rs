@@ -1,0 +1,378 @@
+//! The CLI subcommands: generate, formatdb, sample, run.
+
+use std::fs;
+use std::path::Path;
+
+use blast_core::alphabet::Molecule;
+use blast_core::fasta;
+use blast_core::search::SearchParams;
+use mpiblast::report::ReportOptions;
+use mpiblast::setup::{stage_fragments, stage_queries};
+use mpiblast::{ClusterEnv, ComputeModel, MpiBlastConfig, Platform};
+use pioblast::PioBlastConfig;
+use seqfmt::formatdb::FormatDbConfig;
+use seqfmt::sampler::sample_queries;
+use seqfmt::synth::{generate, generate_dna, SynthConfig};
+use seqfmt::{AliasFile, FormattedDb};
+use simcluster::Sim;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+pioblast-sim — simulated parallel BLAST (IPPS'05 pioBLAST reproduction)
+
+USAGE:
+  pioblast-sim gen      --residues N --out db.fa [--seed S] [--dna]
+  pioblast-sim formatdb --in db.fa --title NAME --out-dir DIR [--volume-cap N] [--dna]
+  pioblast-sim sample   --in db.fa --bytes N --out queries.fa [--seed S] [--dna]
+  pioblast-sim run      --program pio|mpi --procs N --db-dir DIR --queries q.fa
+                        --out report.txt [--platform altix|blade] [--frags N]
+                        [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
+
+Integer options accept k/M/G suffixes (e.g. --residues 12M).
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "gen" => cmd_gen(args),
+        "formatdb" => cmd_formatdb(args),
+        "sample" => cmd_sample(args),
+        "run" => cmd_run(args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn molecule_of(args: &ParsedArgs) -> Molecule {
+    if args.flag("dna") {
+        Molecule::Dna
+    } else {
+        Molecule::Protein
+    }
+}
+
+fn cmd_gen(args: &ParsedArgs) -> Result<String, CliError> {
+    let residues = args.require_u64("residues")?;
+    let out = args.require("out")?;
+    let seed = args.u64_or("seed", 42)?;
+    let molecule = molecule_of(args);
+    let cfg = match molecule {
+        Molecule::Protein => SynthConfig::nr_like(seed, residues),
+        Molecule::Dna => SynthConfig::nt_like_dna(seed, residues),
+    };
+    let records = match molecule {
+        Molecule::Protein => generate(&cfg),
+        Molecule::Dna => generate_dna(&cfg),
+    };
+    let text = fasta::to_string(&records, 60);
+    fs::write(out, &text)?;
+    Ok(format!(
+        "wrote {} sequences, {} residues ({} bytes FASTA) to {}",
+        records.len(),
+        records.iter().map(|r| r.len() as u64).sum::<u64>(),
+        text.len(),
+        out
+    ))
+}
+
+fn cmd_formatdb(args: &ParsedArgs) -> Result<String, CliError> {
+    let input = args.require("in")?;
+    let title = args.require("title")?;
+    let out_dir = args.require("out-dir")?;
+    let molecule = molecule_of(args);
+    let text = fs::read(input)?;
+    let db = seqfmt::format_fasta(
+        &text,
+        &FormatDbConfig {
+            title: title.to_string(),
+            molecule,
+            volume_residue_cap: args.u64_opt("volume-cap")?,
+        },
+    )
+    .map_err(|e| CliError(format!("parsing {input}: {e}")))?;
+    fs::create_dir_all(out_dir)?;
+    let mut bytes = 0u64;
+    let files = db.files();
+    for (name, data) in &files {
+        bytes += data.len() as u64;
+        fs::write(Path::new(out_dir).join(name), data)?;
+    }
+    Ok(format!(
+        "formatted {}: {} sequences, {} residues -> {} volume(s), {} files, {} bytes under {}",
+        title,
+        db.stats().num_sequences,
+        db.stats().total_residues,
+        db.volumes.len(),
+        files.len(),
+        bytes,
+        out_dir
+    ))
+}
+
+fn cmd_sample(args: &ParsedArgs) -> Result<String, CliError> {
+    let input = args.require("in")?;
+    let bytes = args.require_u64("bytes")?;
+    let out = args.require("out")?;
+    let seed = args.u64_or("seed", 7)?;
+    let molecule = molecule_of(args);
+    let text = fs::read(input)?;
+    let records =
+        fasta::parse(molecule, &text).map_err(|e| CliError(format!("parsing {input}: {e}")))?;
+    if records.is_empty() {
+        return Err(CliError(format!("{input} holds no sequences")));
+    }
+    let queries = sample_queries(&records, bytes, seed);
+    fs::write(out, fasta::to_string(&queries, 60))?;
+    Ok(format!("sampled {} queries to {}", queries.len(), out))
+}
+
+/// Load a formatted database from a host directory by its alias file.
+pub fn load_db(db_dir: &str) -> Result<FormattedDb, CliError> {
+    let dir = Path::new(db_dir);
+    let alias_path = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().map(|x| x == "al").unwrap_or(false))
+        .ok_or_else(|| CliError(format!("no .al alias file in {db_dir}")))?;
+    let alias = AliasFile::decode(&fs::read(&alias_path)?)
+        .map_err(|e| CliError(format!("bad alias file: {e}")))?;
+    let mut volumes = Vec::new();
+    for name in &alias.volumes {
+        let read = |ext: &str| -> Result<Vec<u8>, CliError> {
+            Ok(fs::read(dir.join(format!("{name}.{ext}")))?)
+        };
+        let idx = read("idx")?;
+        let index = seqfmt::VolumeIndex::decode(&idx)
+            .map_err(|e| CliError(format!("bad index {name}.idx: {e}")))?;
+        volumes.push(seqfmt::EncodedVolume {
+            name: name.clone(),
+            idx,
+            seq: read("seq")?,
+            hdr: read("hdr")?,
+            index,
+        });
+    }
+    Ok(FormattedDb { alias, volumes })
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
+    let program = args.require("program")?.to_string();
+    let nprocs = args.require_u64("procs")? as usize;
+    if nprocs < 2 {
+        return Err(CliError("--procs must be at least 2".into()));
+    }
+    let db_dir = args.require("db-dir")?;
+    let queries_path = args.require("queries")?;
+    let out = args.require("out")?;
+    let platform = match args.get("platform").unwrap_or("altix") {
+        "altix" => Platform::altix(),
+        "blade" => Platform::blade_cluster(),
+        other => return Err(CliError(format!("unknown platform {other:?}"))),
+    };
+    let molecule = molecule_of(args);
+    let params = match molecule {
+        Molecule::Protein => SearchParams::blastp(),
+        Molecule::Dna => SearchParams::blastn(),
+    };
+    let compute = if args.flag("measured") {
+        ComputeModel::measured()
+    } else {
+        ComputeModel::modeled()
+    };
+    let db = load_db(db_dir)?;
+    let query_text = fs::read(queries_path)?;
+    let queries = fasta::parse(molecule, &query_text)
+        .map_err(|e| CliError(format!("parsing {queries_path}: {e}")))?;
+    let nfrags = args.u64_opt("frags")?.map(|v| v as usize);
+
+    let sim = Sim::new(nprocs);
+    let env = ClusterEnv::new(&sim, &platform);
+    let query_path = stage_queries(&env.shared, &queries);
+    let output_path = "report.txt".to_string();
+    let (elapsed, stats) = match program.as_str() {
+        "mpi" => {
+            let fragment_names =
+                stage_fragments(&env.shared, &db, nfrags.unwrap_or(nprocs - 1));
+            let cfg = MpiBlastConfig {
+                platform,
+                env: env.clone(),
+                compute,
+                params,
+                report: ReportOptions::default(),
+                fragment_names,
+                query_path,
+                output_path: output_path.clone(),
+            };
+            let o = sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg));
+            (o.elapsed, o.stats)
+        }
+        "pio" => {
+            let db_alias = mpiblast::setup::stage_shared_db(&env.shared, &db);
+            let cfg = PioBlastConfig {
+                platform,
+                env: env.clone(),
+                compute,
+                params,
+                report: ReportOptions::default(),
+                db_alias,
+                query_path,
+                output_path: output_path.clone(),
+                num_fragments: nfrags,
+                collective_output: !args.flag("no-collective"),
+                local_prune: args.flag("prune"),
+                query_batch: args.u64_opt("batch")?.map(|v| v as usize),
+                collective_input: args.flag("collective-input"),
+                schedule: if args.flag("dynamic") {
+                    pioblast::FragmentSchedule::Dynamic
+                } else {
+                    pioblast::FragmentSchedule::Static
+                },
+                rank_compute: None,
+            };
+            let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
+            (o.elapsed, o.stats)
+        }
+        other => {
+            return Err(CliError(format!(
+                "--program must be pio or mpi, got {other:?}"
+            )))
+        }
+    };
+    let report = env
+        .shared
+        .peek(&output_path)
+        .map_err(|e| CliError(format!("no report produced: {e}")))?;
+    fs::write(out, &report)?;
+    Ok(format!(
+        "{program}BLAST, {nprocs} processes on {}: {:.3}s virtual time, {} messages, report {} bytes -> {}",
+        db.alias.title,
+        elapsed.as_secs_f64(),
+        stats.messages,
+        report.len(),
+        out
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pioblast-cli-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn gen_formatdb_sample_run_pipeline() {
+        let dir = tmpdir("pipeline");
+        let fa = dir.join("db.fa");
+        let qfa = dir.join("q.fa");
+        let dbdir = dir.join("db");
+        let report = dir.join("report.txt");
+
+        let msg = dispatch(&args(&[
+            "gen", "--residues", "30k", "--seed", "5", "--out", fa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let msg = dispatch(&args(&[
+            "formatdb", "--in", fa.to_str().unwrap(), "--title", "clidb", "--out-dir",
+            dbdir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("1 volume(s)"), "{msg}");
+
+        let msg = dispatch(&args(&[
+            "sample", "--in", fa.to_str().unwrap(), "--bytes", "1k", "--out",
+            qfa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("sampled"));
+
+        // Run both programs; reports must match byte-for-byte.
+        let mut outputs = Vec::new();
+        for program in ["pio", "mpi"] {
+            let out = dir.join(format!("{program}.txt"));
+            let msg = dispatch(&args(&[
+                "run", "--program", program, "--procs", "4", "--db-dir",
+                dbdir.to_str().unwrap(), "--queries", qfa.to_str().unwrap(), "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(msg.contains("report"), "{msg}");
+            outputs.push(fs::read(&out).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert!(!outputs[0].is_empty());
+        let _ = report;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multivolume_round_trips_through_disk() {
+        let dir = tmpdir("mv");
+        let fa = dir.join("db.fa");
+        let dbdir = dir.join("db");
+        dispatch(&args(&[
+            "gen", "--residues", "30k", "--out", fa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = dispatch(&args(&[
+            "formatdb", "--in", fa.to_str().unwrap(), "--title", "mv", "--out-dir",
+            dbdir.to_str().unwrap(), "--volume-cap", "10k",
+        ]))
+        .unwrap();
+        assert!(msg.contains("volume(s)"));
+        let db = load_db(dbdir.to_str().unwrap()).unwrap();
+        assert!(db.volumes.len() >= 3, "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(dispatch(&args(&["run", "--program", "pio"])).is_err());
+        assert!(dispatch(&args(&["nope"])).is_err());
+        assert!(dispatch(&args(&[
+            "run", "--program", "xyz", "--procs", "4", "--db-dir", "/nonexistent",
+            "--queries", "x", "--out", "y",
+        ]))
+        .is_err());
+        let help = dispatch(&args(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

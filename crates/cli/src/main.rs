@@ -1,0 +1,22 @@
+//! `pioblast-sim`: the command-line driver.
+
+use pioblast_cli::args::ParsedArgs;
+use pioblast_cli::commands::{dispatch, USAGE};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

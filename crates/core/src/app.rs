@@ -1,0 +1,848 @@
+//! The pioBLAST run: dynamic virtual partitioning, parallel input,
+//! worker-side result caching, metadata-only merging, and collective
+//! output (paper §3), plus the §5 extensions (query batching, local
+//! pruning, output-mode ablation).
+//!
+//! Differences from the mpiBLAST baseline, stage by stage:
+//!
+//! | stage   | mpiBLAST                              | pioBLAST (here) |
+//! |---------|----------------------------------------|-----------------|
+//! | prepare | pre-partitioned physical fragments     | none needed |
+//! | input   | copy fragment files, re-read in search | each worker `read_at`s its byte ranges of the shared files |
+//! | search  | I/O embedded via mmap                  | pure in-memory search |
+//! | results | full alignments to master, serialized per-alignment sequence fetch | metadata only; records formatted and cached where the data lives |
+//! | output  | master formats and writes everything   | master assigns offsets; workers write collectively via MPI-IO |
+//!
+//! **Query batching** (paper §5: "query batching and pipelining that
+//! adjust to the amount of available memory"): with
+//! [`PioBlastConfig::query_batch`] set, the query set is processed in
+//! batches — the database stays in memory across batches, but result
+//! caches and formatted buffers are bounded by the batch size. Output is
+//! byte-identical to an unbatched run; the cost is one search pass over
+//! the in-memory fragments per batch.
+
+use blast_core::fasta;
+use blast_core::format::ReportConfig;
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats};
+use blast_core::seq::SeqRecord;
+use bytes::Bytes;
+use mpiblast::phases;
+use mpiblast::platform::{ClusterEnv, Platform};
+use mpiblast::report::ReportOptions;
+use mpiblast::wire::{MetaSubmission, OffsetAssignment, QueryBundle};
+use mpiblast::{ComputeModel, RankReport, MASTER};
+use mpiio::{CollectiveHints, FileView, MpiFile};
+use mpisim::{Collectives, Comm};
+use seqfmt::{AliasFile, FragmentData, VolumeIndex};
+use simcluster::{PhaseTimes, RankCtx};
+
+use crate::cache::ResultCache;
+use crate::merge::merge_and_layout;
+use crate::proto::{chunk_evenly, FragmentAssignment, PartitionMessage};
+
+const TAG_FRAG_REQ: u64 = 1;
+const TAG_FRAG_ASSIGN: u64 = 2;
+
+/// How virtual fragments are handed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FragmentSchedule {
+    /// The master scatters a fixed, contiguous share to each worker up
+    /// front (the paper's implementation).
+    #[default]
+    Static,
+    /// Workers request fragments one at a time as they finish (paper §5:
+    /// "the file ranges can be decided at run time and differentiated
+    /// between different workers, ideal for ... heterogeneous nodes or
+    /// skewed search"). Output bytes are unchanged; only placement moves.
+    Dynamic,
+}
+
+/// Configuration of one pioBLAST run.
+pub struct PioBlastConfig {
+    /// Machine description.
+    pub platform: Platform,
+    /// Instantiated file systems.
+    pub env: ClusterEnv,
+    /// Compute-cost mode.
+    pub compute: ComputeModel,
+    /// BLAST search parameters.
+    pub params: blast_core::search::SearchParams,
+    /// Report-size limits.
+    pub report: ReportOptions,
+    /// Alias-file path of the shared formatted database.
+    pub db_alias: String,
+    /// Query FASTA path on the shared file system.
+    pub query_path: String,
+    /// Output report path on the shared file system.
+    pub output_path: String,
+    /// Virtual fragments to create (`None` = natural partitioning, one
+    /// per worker).
+    pub num_fragments: Option<usize>,
+    /// Write the report with two-phase collective I/O (the paper's
+    /// design). `false` falls back to one independent `write_at` per
+    /// record/section — the ablation showing what collective I/O buys.
+    pub collective_output: bool,
+    /// Paper §5 "early score communication" in its always-correct form:
+    /// workers prune their local hit lists to the report limits before
+    /// formatting/submitting (a worker can never contribute more than the
+    /// global top-N's size, so output bytes are unchanged).
+    pub local_prune: bool,
+    /// Process queries in batches of this many (paper §5 query batching;
+    /// `None` = one pass over the whole query set).
+    pub query_batch: Option<usize>,
+    /// Read the shared database files with two-phase collective reads
+    /// instead of independent ranged reads (the paper's §4 alternative of
+    /// "reading multiple global files simultaneously"). Requires the
+    /// static schedule.
+    pub collective_input: bool,
+    /// Fragment scheduling policy.
+    pub schedule: FragmentSchedule,
+    /// Per-rank compute-speed multipliers (> 1 = slower node), to model
+    /// heterogeneous clusters; `None` = homogeneous.
+    pub rank_compute: Option<Vec<f64>>,
+}
+
+impl PioBlastConfig {
+    /// The compute model for one rank, with any heterogeneity applied.
+    fn compute_for(&self, rank: usize) -> ComputeModel {
+        match &self.rank_compute {
+            Some(scales) => self.compute.scaled(scales.get(rank).copied().unwrap_or(1.0)),
+            None => self.compute,
+        }
+    }
+}
+
+/// Split the query set into processing batches. An empty query set still
+/// yields one (empty) round so the collectives stay matched.
+fn query_batches(queries: &[SeqRecord], batch: Option<usize>) -> Vec<Vec<SeqRecord>> {
+    let size = batch.unwrap_or(usize::MAX).max(1);
+    if queries.is_empty() {
+        return vec![Vec::new()];
+    }
+    queries.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// The per-rank body of a pioBLAST run.
+pub fn run_rank(ctx: &RankCtx, cfg: &PioBlastConfig) -> RankReport {
+    assert!(ctx.nranks() >= 2, "pioBLAST needs a master and a worker");
+    assert!(
+        !(cfg.collective_input && cfg.schedule == FragmentSchedule::Dynamic),
+        "collective input requires the static schedule"
+    );
+    let comm = Comm::new(ctx, cfg.platform.net);
+    if ctx.rank() == MASTER {
+        run_master(ctx, &comm, cfg)
+    } else {
+        run_worker(ctx, &comm, cfg)
+    }
+}
+
+fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
+    let shared = &cfg.env.shared;
+    let mut phase_times = PhaseTimes::new();
+    let now = || ctx.now();
+    let nworkers = ctx.nranks() - 1;
+
+    // ---- startup: alias + queries + broadcast ----
+    let start = now();
+    let alias_bytes = shared.read_all(ctx, &cfg.db_alias).expect("alias present");
+    let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
+    let query_text = shared
+        .read_all(ctx, &cfg.query_path)
+        .expect("query file present");
+    let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
+    let bundle = QueryBundle {
+        db_title: alias.title.clone(),
+        db_stats: alias.global_stats,
+        molecule: alias.molecule,
+        queries,
+    };
+    comm.bcast(MASTER, Bytes::from(bundle.encode()));
+    let report_cfg =
+        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
+    phase_times.add(phases::OTHER, now() - start);
+
+    // ---- dynamic partitioning: read indexes, compute ranges, scatter ----
+    let input_start = now();
+    let mut indexes: Vec<VolumeIndex> = Vec::new();
+    for vol in &alias.volumes {
+        let idx_bytes = shared
+            .read_all(ctx, &format!("db/{vol}.idx"))
+            .expect("volume index present");
+        indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
+    }
+    let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
+    let nfrags = cfg.num_fragments.unwrap_or(nworkers);
+    let specs = seqfmt::virtual_fragments(&index_refs, nfrags);
+    let assignments: Vec<FragmentAssignment> = specs
+        .into_iter()
+        .map(|spec| FragmentAssignment {
+            volume_name: alias.volumes[spec.volume].clone(),
+            spec,
+        })
+        .collect();
+    match cfg.schedule {
+        FragmentSchedule::Static => {
+            let mut pieces: Vec<Bytes> =
+                vec![Bytes::from(PartitionMessage::default().encode())];
+            for chunk in chunk_evenly(assignments, nworkers) {
+                pieces.push(Bytes::from(
+                    PartitionMessage {
+                        fragments: chunk,
+                        volumes: alias.volumes.clone(),
+                    }
+                    .encode(),
+                ));
+            }
+            comm.scatterv(MASTER, Some(pieces));
+            if cfg.collective_input {
+                // Collective reads involve every rank; the master joins
+                // each with an empty view.
+                crate::input::read_fragments_collective(
+                    comm,
+                    shared,
+                    &alias.volumes,
+                    &[],
+                    bundle.molecule,
+                    cfg.platform.aggregators,
+                );
+            }
+        }
+        FragmentSchedule::Dynamic => {
+            // Serve fragments first-come-first-served until every worker
+            // has drained the queue.
+            let mut next = 0usize;
+            let mut drained = 0usize;
+            while drained < nworkers {
+                let m = comm.recv(None, Some(TAG_FRAG_REQ));
+                let msg = if next < assignments.len() {
+                    let one = PartitionMessage {
+                        fragments: vec![assignments[next].clone()],
+                        volumes: alias.volumes.clone(),
+                    };
+                    next += 1;
+                    one
+                } else {
+                    drained += 1;
+                    PartitionMessage::default()
+                };
+                comm.send(m.src, TAG_FRAG_ASSIGN, Bytes::from(msg.encode()));
+            }
+        }
+    }
+    phase_times.add(phases::INPUT, now() - input_start);
+
+    // ---- per batch: merge metadata + collective output ----
+    let mut file_offset = 0u64;
+    for batch in query_batches(&bundle.queries, cfg.query_batch) {
+        // Prepare this batch (headers/footers need spaces and records).
+        let t = now();
+        let batch_residues: u64 = batch.iter().map(|q| q.len() as u64).sum();
+        let prepared = cfg.compute.run_prepare(ctx, batch_residues, || {
+            PreparedQueries::prepare(&cfg.params, batch, bundle.db_stats)
+        });
+        phase_times.add(phases::OTHER, now() - t);
+
+        // The gather blocks until every worker finished searching the
+        // batch; the wait is the workers' input+search epochs, not master
+        // output time.
+        let subs_bytes = comm
+            .gather(MASTER, Bytes::from(MetaSubmission::default().encode()))
+            .expect("master gathers");
+        let out_start = now();
+        let subs: Vec<MetaSubmission> = subs_bytes
+            .iter()
+            .map(|b| MetaSubmission::decode(b).expect("valid metadata"))
+            .collect();
+        let outcome = cfg.compute.run_format(
+            ctx,
+            || {
+                merge_and_layout(
+                    &report_cfg,
+                    &cfg.params,
+                    &prepared,
+                    &subs,
+                    cfg.report,
+                    file_offset,
+                )
+            },
+            |o| o.master_sections.iter().map(|(_, s)| s.len() as u64).sum(),
+        );
+        cfg.compute.run_merge(ctx, outcome.merged_items, || ());
+        file_offset += outcome.total_bytes;
+
+        // Tell each worker where its selected records go.
+        let mut pieces: Vec<Bytes> = Vec::with_capacity(ctx.nranks());
+        for a in &outcome.per_rank {
+            pieces.push(Bytes::from(a.encode()));
+        }
+        comm.scatterv(MASTER, Some(pieces));
+
+        // Master writes headers/summaries/footers as its share of the
+        // collective write (or independently in the ablation mode).
+        if cfg.collective_output {
+            let mut regions = Vec::with_capacity(outcome.master_sections.len());
+            let mut data = Vec::new();
+            for (off, text) in &outcome.master_sections {
+                regions.push((*off, text.len() as u64));
+                data.extend_from_slice(text.as_bytes());
+            }
+            let view = FileView::new(0, regions).expect("master regions are ordered");
+            let file =
+                MpiFile::open(comm, shared, &cfg.output_path).with_hints(CollectiveHints {
+                    aggregators: cfg.platform.aggregators,
+                });
+            file.write_at_all(&view, &data);
+        } else {
+            for (off, text) in &outcome.master_sections {
+                shared.write_at(ctx, &cfg.output_path, *off, text.as_bytes());
+            }
+            comm.barrier();
+        }
+        phase_times.add(phases::OUTPUT, now() - out_start);
+    }
+
+    RankReport {
+        phases: phase_times,
+        search_stats: SearchStats::default(),
+    }
+}
+
+fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
+    let shared = &cfg.env.shared;
+    let compute = cfg.compute_for(ctx.rank());
+    let mut phase_times = PhaseTimes::new();
+    let now = || ctx.now();
+
+    // ---- startup ----
+    let bundle_bytes = comm.bcast(MASTER, Bytes::new());
+    let bundle = QueryBundle::decode(&bundle_bytes).expect("valid query bundle");
+    let report_cfg =
+        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
+    let mut stats_total = SearchStats::default();
+    let batches = query_batches(&bundle.queries, cfg.query_batch);
+
+    // One fragment's four ranged reads (the parallel input unit).
+    let input_fragment = |assignment: &FragmentAssignment| -> FragmentData {
+        let spec = &assignment.spec;
+        let vol = &assignment.volume_name;
+        let idx_path = format!("db/{vol}.idx");
+        let idx_seq = shared
+            .read_at(
+                ctx,
+                &idx_path,
+                spec.idx_seq_range.0,
+                spec.idx_seq_range.1 - spec.idx_seq_range.0,
+            )
+            .expect("index range");
+        let idx_hdr = shared
+            .read_at(
+                ctx,
+                &idx_path,
+                spec.idx_hdr_range.0,
+                spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
+            )
+            .expect("index range");
+        let seq = shared
+            .read_at(
+                ctx,
+                &format!("db/{vol}.seq"),
+                spec.seq_range.0,
+                spec.seq_range.1 - spec.seq_range.0,
+            )
+            .expect("sequence range");
+        let hdr = shared
+            .read_at(
+                ctx,
+                &format!("db/{vol}.hdr"),
+                spec.hdr_range.0,
+                spec.hdr_range.1 - spec.hdr_range.0,
+            )
+            .expect("header range");
+        FragmentData::from_ranges(
+            bundle.molecule,
+            spec.base_oid,
+            &idx_seq,
+            &idx_hdr,
+            seq,
+            hdr,
+        )
+        .expect("consistent fragment ranges")
+    };
+
+    // Prepare one query batch (masking, lookup, search spaces), charged.
+    let prepare_batch = |batch: Vec<SeqRecord>, phase_times: &mut PhaseTimes| {
+        let t = now();
+        let residues: u64 = batch.iter().map(|q| q.len() as u64).sum();
+        let prepared = compute.run_prepare(ctx, residues, || {
+            PreparedQueries::prepare(&cfg.params, batch, bundle.db_stats)
+        });
+        phase_times.add(phases::OTHER, now() - t);
+        prepared
+    };
+
+    // Search one fragment against a prepared batch and cache the
+    // formatted records (the search + result-caching stages).
+    let mut search_into = |prepared: &PreparedQueries,
+                           frag: &FragmentData,
+                           cache: &mut ResultCache,
+                           phase_times: &mut PhaseTimes| {
+        let searcher = BlastSearcher::new(&cfg.params, prepared);
+        let search_start = now();
+        let (per_query, stats) = compute.run_search(ctx, || {
+            let r = searcher.search(frag);
+            (r.per_query, r.stats)
+        });
+        stats_total.merge(&stats);
+        phase_times.add(phases::SEARCH, now() - search_start);
+
+        let cache_start = now();
+        let per_query = if cfg.local_prune {
+            // Paper §5: a worker's hits beyond the global report limit can
+            // never appear in the output; prune before formatting.
+            let keep = cfg.report.num_descriptions.max(cfg.report.num_alignments);
+            per_query
+                .into_iter()
+                .map(|mut hits| {
+                    hits.truncate(keep);
+                    hits
+                })
+                .collect()
+        } else {
+            per_query
+        };
+        compute.run_format(
+            ctx,
+            || cache.add_fragment(&cfg.params, &report_cfg, prepared, frag, per_query),
+            |bytes| *bytes,
+        );
+        phase_times.add(phases::OUTPUT, now() - cache_start);
+    };
+
+    // ---- acquire fragments ----
+    // Static: one scatter, then input everything. Dynamic: request loop —
+    // each granted fragment is input *and searched against the first
+    // batch* before the next request, so grants follow this worker's real
+    // pace (paper §5 dynamic load balancing).
+    let mut fragments: Vec<FragmentData> = Vec::new();
+    let mut batch0_done: Option<(PreparedQueries, ResultCache)> = None;
+    match cfg.schedule {
+        FragmentSchedule::Static => {
+            let part_bytes = comm.scatterv(MASTER, None);
+            let part = PartitionMessage::decode(&part_bytes).expect("valid partition");
+            let input_start = now();
+            if cfg.collective_input {
+                fragments = crate::input::read_fragments_collective(
+                    comm,
+                    shared,
+                    &part.volumes,
+                    &part.fragments,
+                    bundle.molecule,
+                    cfg.platform.aggregators,
+                );
+            } else {
+                for assignment in &part.fragments {
+                    fragments.push(input_fragment(assignment));
+                }
+            }
+            phase_times.add(phases::INPUT, now() - input_start);
+        }
+        FragmentSchedule::Dynamic => {
+            let prepared0 = prepare_batch(batches[0].clone(), &mut phase_times);
+            let mut cache0 = ResultCache::default();
+            loop {
+                comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
+                let m = comm.recv(Some(MASTER), Some(TAG_FRAG_ASSIGN));
+                let part = PartitionMessage::decode(&m.payload).expect("valid grant");
+                let Some(assignment) = part.fragments.first() else {
+                    break;
+                };
+                let input_start = now();
+                let frag = input_fragment(assignment);
+                phase_times.add(phases::INPUT, now() - input_start);
+                search_into(&prepared0, &frag, &mut cache0, &mut phase_times);
+                fragments.push(frag);
+            }
+            batch0_done = Some((prepared0, cache0));
+        }
+    }
+
+    // ---- per batch: search, cache, merge, write ----
+    for (bi, batch) in batches.iter().enumerate() {
+        let (prepared, cache) = match (bi, batch0_done.take()) {
+            (0, Some(done)) => done,
+            (_, stash) => {
+                debug_assert!(stash.is_none());
+                let prepared = prepare_batch(batch.clone(), &mut phase_times);
+                let mut cache = ResultCache::default();
+                for frag in &fragments {
+                    search_into(&prepared, frag, &mut cache, &mut phase_times);
+                }
+                (prepared, cache)
+            }
+        };
+        let _ = prepared;
+
+        // ---- metadata-only merge + collective write ----
+        let out_start = now();
+        comm.gather(MASTER, Bytes::from(cache.metadata().encode()));
+        let assign_bytes = comm.scatterv(MASTER, None);
+        let assignment = OffsetAssignment::decode(&assign_bytes).expect("valid assignment");
+        if cfg.collective_output {
+            let mut regions = Vec::with_capacity(assignment.records.len());
+            let mut data = Vec::new();
+            for &(q, oid, off) in &assignment.records {
+                let record = cache.record(q, oid).expect("assigned record is cached");
+                regions.push((off, record.len() as u64));
+                data.extend_from_slice(record.as_bytes());
+            }
+            let view = FileView::new(0, regions).expect("assignments are ordered");
+            let file =
+                MpiFile::open(comm, shared, &cfg.output_path).with_hints(CollectiveHints {
+                    aggregators: cfg.platform.aggregators,
+                });
+            file.write_at_all(&view, &data);
+        } else {
+            for &(q, oid, off) in &assignment.records {
+                let record = cache.record(q, oid).expect("assigned record is cached");
+                shared.write_at(ctx, &cfg.output_path, off, record.as_bytes());
+            }
+            comm.barrier();
+        }
+        phase_times.add(phases::OUTPUT, now() - out_start);
+    }
+
+    RankReport {
+        phases: phase_times,
+        search_stats: stats_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_core::search::SearchParams;
+    use mpiblast::report::serial_report;
+    use mpiblast::setup::{stage_queries, stage_shared_db};
+    use seqfmt::formatdb::{format_records, FormatDbConfig};
+    use seqfmt::synth::{generate, SynthConfig};
+    use simcluster::Sim;
+
+    fn small_db(cap: Option<u64>) -> seqfmt::FormattedDb {
+        let recs = generate(&SynthConfig::nr_like(21, 40_000));
+        let cfg = FormatDbConfig {
+            title: "nr-test".into(),
+            molecule: blast_core::Molecule::Protein,
+            volume_residue_cap: cap,
+        };
+        format_records(&recs, &cfg)
+    }
+
+    fn sample_queries(db: &seqfmt::FormattedDb, n: usize) -> Vec<SeqRecord> {
+        use blast_core::search::SubjectSource;
+        let frag = FragmentData::from_volume(&db.volumes[0]);
+        (0..n)
+            .map(|i| {
+                let s = frag.subject((i * 13) % frag.num_subjects());
+                SeqRecord {
+                    defline: format!("query_{i:05} sampled"),
+                    residues: s.residues.to_vec(),
+                    molecule: blast_core::Molecule::Protein,
+                }
+            })
+            .collect()
+    }
+
+    struct Opts {
+        nranks: usize,
+        nfrags: Option<usize>,
+        platform: Platform,
+        cap: Option<u64>,
+        collective_output: bool,
+        local_prune: bool,
+        query_batch: Option<usize>,
+        n_queries: usize,
+        collective_input: bool,
+        schedule: FragmentSchedule,
+        rank_compute: Option<Vec<f64>>,
+    }
+
+    impl Default for Opts {
+        fn default() -> Opts {
+            Opts {
+                nranks: 4,
+                nfrags: None,
+                platform: Platform::altix(),
+                cap: None,
+                collective_output: true,
+                local_prune: false,
+                query_batch: None,
+                n_queries: 3,
+                collective_input: false,
+                schedule: FragmentSchedule::Static,
+                rank_compute: None,
+            }
+        }
+    }
+
+    fn run_opts(opts: Opts) -> (Vec<u8>, Vec<RankReport>) {
+        let db = small_db(opts.cap);
+        let queries = sample_queries(&db, opts.n_queries);
+        let sim = Sim::new(opts.nranks);
+        let env = ClusterEnv::new(&sim, &opts.platform);
+        let db_alias = stage_shared_db(&env.shared, &db);
+        let query_path = stage_queries(&env.shared, &queries);
+        let cfg = PioBlastConfig {
+            platform: opts.platform,
+            env: env.clone(),
+            compute: ComputeModel::modeled(),
+            params: SearchParams::blastp(),
+            report: ReportOptions::default(),
+            db_alias,
+            query_path,
+            output_path: "results.txt".to_string(),
+            num_fragments: opts.nfrags,
+            collective_output: opts.collective_output,
+            local_prune: opts.local_prune,
+            query_batch: opts.query_batch,
+            collective_input: opts.collective_input,
+            schedule: opts.schedule,
+            rank_compute: opts.rank_compute.clone(),
+        };
+        let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
+        let output = env.shared.peek("results.txt").unwrap_or_default();
+        (output, outcome.outputs)
+    }
+
+    fn run_once(
+        nranks: usize,
+        nfrags: Option<usize>,
+        platform: Platform,
+        cap: Option<u64>,
+    ) -> (Vec<u8>, Vec<RankReport>) {
+        run_opts(Opts {
+            nranks,
+            nfrags,
+            platform,
+            cap,
+            ..Opts::default()
+        })
+    }
+
+    #[test]
+    fn output_matches_serial_reference() {
+        let db = small_db(None);
+        let queries = sample_queries(&db, 3);
+        let expected = serial_report(
+            &SearchParams::blastp(),
+            queries,
+            &db,
+            ReportOptions::default(),
+        );
+        let (got, _) = run_once(4, None, Platform::altix(), None);
+        assert_eq!(
+            String::from_utf8_lossy(&got),
+            String::from_utf8_lossy(&expected)
+        );
+    }
+
+    #[test]
+    fn output_is_invariant_to_worker_and_fragment_count() {
+        let (a, _) = run_once(3, None, Platform::altix(), None);
+        let (b, _) = run_once(6, None, Platform::altix(), None);
+        let (c, _) = run_once(4, Some(7), Platform::altix(), None);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn multi_volume_database_works() {
+        // The paper left multi-volume (nt-scale) databases as future work;
+        // our implementation handles them via per-volume fragments.
+        let (a, _) = run_once(4, None, Platform::altix(), None);
+        let (b, _) = run_once(4, None, Platform::altix(), Some(15_000));
+        assert_eq!(a, b, "volume split must not change output bytes");
+    }
+
+    #[test]
+    fn blade_platform_works() {
+        let (a, _) = run_once(3, None, Platform::blade_cluster(), None);
+        let (b, _) = run_once(3, None, Platform::altix(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phases_are_populated_and_copy_free() {
+        let (_, reports) = run_once(4, None, Platform::altix(), None);
+        for r in &reports[1..] {
+            assert!(r.phases.get(phases::INPUT) > simcluster::SimDuration::ZERO);
+            assert!(r.phases.get(phases::SEARCH) > simcluster::SimDuration::ZERO);
+            assert_eq!(r.phases.get(phases::COPY), simcluster::SimDuration::ZERO);
+        }
+        assert!(reports[0].phases.get(phases::OUTPUT) > simcluster::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn independent_output_mode_is_byte_identical() {
+        let (a, _) = run_opts(Opts::default());
+        let (b, _) = run_opts(Opts {
+            collective_output: false,
+            ..Opts::default()
+        });
+        assert_eq!(a, b, "ablation must only change timing, not bytes");
+    }
+
+    #[test]
+    fn local_prune_is_byte_identical() {
+        let (a, _) = run_opts(Opts {
+            nranks: 5,
+            ..Opts::default()
+        });
+        let (b, _) = run_opts(Opts {
+            nranks: 5,
+            local_prune: true,
+            ..Opts::default()
+        });
+        assert_eq!(a, b, "local pruning must never change the output");
+    }
+
+    #[test]
+    fn finer_granularity_is_byte_identical() {
+        // Paper §5: partition granularity is a pure performance knob.
+        let (a, _) = run_once(4, None, Platform::altix(), None);
+        let (b, _) = run_once(4, Some(12), Platform::altix(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_batching_is_byte_identical() {
+        // Paper §5: batching bounds memory; it must not change the report.
+        let (reference, _) = run_opts(Opts {
+            n_queries: 5,
+            ..Opts::default()
+        });
+        for batch in [1usize, 2, 3, 5, 100] {
+            let (batched, _) = run_opts(Opts {
+                n_queries: 5,
+                query_batch: Some(batch),
+                ..Opts::default()
+            });
+            assert_eq!(batched, reference, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    fn query_batching_searches_fragments_repeatedly() {
+        let (_, unbatched) = run_opts(Opts {
+            n_queries: 4,
+            ..Opts::default()
+        });
+        let (_, batched) = run_opts(Opts {
+            n_queries: 4,
+            query_batch: Some(1),
+            ..Opts::default()
+        });
+        // Four batches -> four search passes per fragment.
+        let subjects = |rs: &[RankReport]| -> u64 {
+            rs.iter().map(|r| r.search_stats.subjects).sum()
+        };
+        assert_eq!(subjects(&batched), 4 * subjects(&unbatched));
+    }
+
+    #[test]
+    fn collective_input_is_byte_identical() {
+        // Paper §4's deferred design alternative: reading the global
+        // files with collective I/O must not change a single output byte,
+        // for any volume layout or fragment granularity.
+        let (a, _) = run_opts(Opts::default());
+        for cap in [None, Some(15_000)] {
+            for nfrags in [None, Some(9)] {
+                let (b, _) = run_opts(Opts {
+                    cap,
+                    nfrags,
+                    collective_input: true,
+                    ..Opts::default()
+                });
+                assert_eq!(a, b, "cap {cap:?} nfrags {nfrags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_is_byte_identical() {
+        let (a, _) = run_opts(Opts::default());
+        for nfrags in [None, Some(9)] {
+            let (b, _) = run_opts(Opts {
+                nfrags,
+                schedule: FragmentSchedule::Dynamic,
+                ..Opts::default()
+            });
+            assert_eq!(a, b, "dynamic scheduling must not change bytes");
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_heterogeneous_nodes() {
+        // One worker 8x slower; with 4 fragments per worker, dynamic
+        // scheduling should beat static placement.
+        let hetero = Some(vec![1.0, 8.0, 1.0, 1.0, 1.0]);
+        let base = Opts {
+            nranks: 5,
+            nfrags: Some(16),
+            n_queries: 4,
+            rank_compute: hetero.clone(),
+            ..Opts::default()
+        };
+        let run_total = |schedule: FragmentSchedule| -> u64 {
+            let db = small_db(base.cap);
+            let queries = sample_queries(&db, base.n_queries);
+            let sim = Sim::new(base.nranks);
+            let env = ClusterEnv::new(&sim, &base.platform);
+            let db_alias = stage_shared_db(&env.shared, &db);
+            let query_path = stage_queries(&env.shared, &queries);
+            let cfg = PioBlastConfig {
+                platform: base.platform.clone(),
+                env: env.clone(),
+                compute: ComputeModel::modeled(),
+                params: SearchParams::blastp(),
+                report: ReportOptions::default(),
+                db_alias,
+                query_path,
+                output_path: "results.txt".to_string(),
+                num_fragments: base.nfrags,
+                collective_output: true,
+                local_prune: false,
+                query_batch: None,
+                collective_input: false,
+                schedule,
+                rank_compute: hetero.clone(),
+            };
+            sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0
+        };
+        let static_total = run_total(FragmentSchedule::Static);
+        let dynamic_total = run_total(FragmentSchedule::Dynamic);
+        assert!(
+            dynamic_total < static_total,
+            "dynamic {dynamic_total} ns should beat static {static_total} ns on a heterogeneous cluster"
+        );
+    }
+
+    #[test]
+    fn empty_query_set_still_runs() {
+        let (output, _) = run_opts(Opts {
+            n_queries: 0,
+            ..Opts::default()
+        });
+        assert!(output.is_empty(), "no queries -> empty report file");
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_modeled_mode() {
+        let (a, ra) = run_once(4, None, Platform::altix(), None);
+        let (b, rb) = run_once(4, None, Platform::altix(), None);
+        assert_eq!(a, b);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.phases, y.phases);
+        }
+    }
+}

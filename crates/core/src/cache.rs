@@ -1,0 +1,181 @@
+//! The worker-side result cache.
+//!
+//! As local results are discovered, a pioBLAST worker formats each
+//! alignment record into a memory buffer immediately — while the subject's
+//! residues and defline are still in its in-memory fragment — and records
+//! only metadata (ordering key, record size, defline) for the master.
+//! This is the paper's §3.2: it eliminates the mpiBLAST master's
+//! per-alignment sequence-data fetch entirely, and it is what makes the
+//! later collective write possible (record sizes are known up front).
+
+use std::collections::HashMap;
+
+use blast_core::format::{self, ReportConfig};
+use blast_core::search::{PreparedQueries, SearchParams, SubjectHit};
+use mpiblast::wire::{MetaHit, MetaSubmission};
+use seqfmt::FragmentData;
+
+/// A worker's formatted-record cache plus the metadata to submit.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    records: HashMap<(u32, u32), String>,
+    per_query: Vec<(u32, Vec<MetaHit>)>,
+}
+
+impl ResultCache {
+    /// Format and cache every hit of one searched fragment.
+    ///
+    /// `per_query[q]` holds query `q`'s subjects found in `fragment`.
+    /// Returns the number of record bytes formatted (for cost accounting).
+    pub fn add_fragment(
+        &mut self,
+        params: &SearchParams,
+        report_cfg: &ReportConfig,
+        prepared: &PreparedQueries,
+        fragment: &FragmentData,
+        per_query: Vec<Vec<SubjectHit>>,
+    ) -> u64 {
+        let mut bytes = 0u64;
+        for (q, hits) in per_query.into_iter().enumerate() {
+            if hits.is_empty() {
+                continue;
+            }
+            let query = &prepared.records[q];
+            let mut metas = Vec::with_capacity(hits.len());
+            for hit in hits {
+                let defline_bytes = fragment
+                    .defline_of(hit.oid)
+                    .expect("hit subject in fragment");
+                let residues = fragment
+                    .residues_of(hit.oid)
+                    .expect("hit subject in fragment");
+                let defline = String::from_utf8_lossy(defline_bytes).into_owned();
+                let record = format::alignment_record(
+                    params,
+                    report_cfg,
+                    &query.residues,
+                    &defline,
+                    residues,
+                    &hit.hsps,
+                );
+                bytes += record.len() as u64;
+                metas.push(MetaHit {
+                    oid: hit.oid,
+                    subject_len: hit.subject_len,
+                    record_size: record.len() as u64,
+                    defline,
+                    best: hit.hsps[0],
+                });
+                self.records.insert((q as u32, hit.oid), record);
+            }
+            // Merge into any existing list for this query (multiple
+            // fragments per worker).
+            match self.per_query.iter_mut().find(|(qi, _)| *qi == q as u32) {
+                Some((_, list)) => list.extend(metas),
+                None => self.per_query.push((q as u32, metas)),
+            }
+        }
+        bytes
+    }
+
+    /// The metadata submission for the master (sorted by query index).
+    pub fn metadata(&self) -> MetaSubmission {
+        let mut per_query = self.per_query.clone();
+        per_query.sort_by_key(|(q, _)| *q);
+        MetaSubmission { per_query }
+    }
+
+    /// A cached record's bytes.
+    pub fn record(&self, query_idx: u32, oid: u32) -> Option<&str> {
+        self.records.get(&(query_idx, oid)).map(|s| s.as_str())
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total cached bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.values().map(|r| r.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_core::search::BlastSearcher;
+    use blast_core::seq::SeqRecord;
+    use blast_core::Molecule;
+    use seqfmt::formatdb::{format_records, FormatDbConfig};
+    use seqfmt::synth::{generate, SynthConfig};
+
+    fn setup() -> (SearchParams, ReportConfig, PreparedQueries, FragmentData) {
+        let recs = generate(&SynthConfig::nr_like(33, 20_000));
+        let db = format_records(&recs, &FormatDbConfig::protein("cache-test"));
+        let frag = FragmentData::from_volume(&db.volumes[0]);
+        use blast_core::search::SubjectSource;
+        let q = frag.subject(0);
+        let queries = vec![SeqRecord {
+            defline: "query_0 sampled".into(),
+            residues: q.residues.to_vec(),
+            molecule: Molecule::Protein,
+        }];
+        let params = SearchParams::blastp();
+        let prepared = PreparedQueries::prepare(&params, queries, db.stats());
+        let report_cfg = ReportConfig::blastp("cache-test", db.stats());
+        (params, report_cfg, prepared, frag)
+    }
+
+    #[test]
+    fn cache_holds_formatted_records_with_exact_sizes() {
+        let (params, cfg, prepared, frag) = setup();
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&frag);
+        let mut cache = ResultCache::default();
+        let bytes =
+            cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone());
+        assert!(!cache.is_empty());
+        assert_eq!(bytes, cache.total_bytes());
+        let meta = cache.metadata();
+        assert_eq!(meta.per_query.len(), 1);
+        for (q, hits) in &meta.per_query {
+            for h in hits {
+                let rec = cache.record(*q, h.oid).expect("cached record");
+                assert_eq!(rec.len() as u64, h.record_size);
+                assert!(rec.starts_with('>'), "record starts with defline");
+                assert!(rec.contains("Score ="));
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_best_hsp_matches_search_order() {
+        let (params, cfg, prepared, frag) = setup();
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&frag);
+        let best_score = result.per_query[0][0].hsps[0].score;
+        let mut cache = ResultCache::default();
+        cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query);
+        let meta = cache.metadata();
+        let max_meta = meta.per_query[0]
+            .1
+            .iter()
+            .map(|h| h.best.score)
+            .max()
+            .unwrap();
+        assert_eq!(max_meta, best_score);
+    }
+
+    #[test]
+    fn missing_record_is_none() {
+        let cache = ResultCache::default();
+        assert!(cache.record(0, 42).is_none());
+        assert_eq!(cache.metadata().per_query.len(), 0);
+    }
+}

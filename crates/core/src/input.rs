@@ -1,0 +1,195 @@
+//! The parallel input stage.
+//!
+//! pioBLAST's default input is *individual* MPI-IO: each worker issues one
+//! ranged read per file region (the paper: "since each worker accesses a
+//! single, sequential part of the global files, we use the individual I/O
+//! interfaces of MPI-IO in the input phase"). This module also implements
+//! the design alternative the paper's §4 discusses — reading the global
+//! files *collectively*: every rank participates in one two-phase
+//! collective read per shared file, which shines when fragments are fine
+//! (many noncontiguous ranges per worker) or the file system punishes
+//! small independent reads.
+
+use blast_core::alphabet::Molecule;
+use mpiio::{CollectiveHints, FileView, MpiFile};
+use mpisim::Comm;
+use parafs::SimFs;
+use seqfmt::FragmentData;
+
+use crate::proto::FragmentAssignment;
+
+/// The bytes of a set of disjoint file spans, addressable by absolute
+/// file offset.
+#[derive(Debug, Clone, Default)]
+pub struct RangeBuffers {
+    /// Disjoint, sorted `(offset, len)` spans.
+    spans: Vec<(u64, u64)>,
+    /// Concatenated span bytes, in span order.
+    data: Vec<u8>,
+}
+
+impl RangeBuffers {
+    /// Build from the spans a collective read used and the bytes it
+    /// returned (concatenated in span order).
+    pub fn new(spans: Vec<(u64, u64)>, data: Vec<u8>) -> RangeBuffers {
+        debug_assert_eq!(
+            spans.iter().map(|&(_, l)| l).sum::<u64>(),
+            data.len() as u64
+        );
+        RangeBuffers { spans, data }
+    }
+
+    /// The bytes at absolute file range `[offset, offset + len)`.
+    ///
+    /// # Panics
+    /// Panics if the range is not fully covered by one span.
+    pub fn slice(&self, offset: u64, len: u64) -> &[u8] {
+        let mut base = 0u64;
+        for &(span_off, span_len) in &self.spans {
+            if offset >= span_off && offset + len <= span_off + span_len {
+                let start = (base + offset - span_off) as usize;
+                return &self.data[start..start + len as usize];
+            }
+            base += span_len;
+        }
+        panic!("range [{offset}, {offset}+{len}) not covered by read spans");
+    }
+}
+
+/// Merge sorted-or-not, possibly overlapping/adjacent ranges into disjoint
+/// sorted spans.
+pub fn coalesce_spans(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.retain(|&(_, l)| l > 0);
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (o, l) in ranges {
+        match out.last_mut() {
+            Some((ro, rl)) if *ro + *rl >= o => {
+                let end = (o + l).max(*ro + *rl);
+                *rl = end - *ro;
+            }
+            _ => out.push((o, l)),
+        }
+    }
+    out
+}
+
+/// Collectively read every rank's fragment ranges of the shared database
+/// files and materialize this rank's fragments.
+///
+/// All ranks (including the master, with an empty `assignments`) must call
+/// this with the same `volume_names`, in the same order — it issues one
+/// collective read per volume file.
+pub fn read_fragments_collective(
+    comm: &Comm,
+    fs: &SimFs,
+    volume_names: &[String],
+    assignments: &[FragmentAssignment],
+    molecule: Molecule,
+    aggregators: usize,
+) -> Vec<FragmentData> {
+    // Per (volume index), the buffers of its three files.
+    let mut buffers: Vec<[RangeBuffers; 3]> = Vec::with_capacity(volume_names.len());
+    for (vi, vol) in volume_names.iter().enumerate() {
+        let _ = vi;
+        let mine: Vec<&FragmentAssignment> = assignments
+            .iter()
+            .filter(|a| a.volume_name == *vol)
+            .collect();
+        // Index file: both table slices of every fragment (adjacent
+        // fragments share a boundary entry, so spans must be coalesced).
+        let idx_spans = coalesce_spans(
+            mine.iter()
+                .flat_map(|a| [a.spec.idx_seq_range, a.spec.idx_hdr_range])
+                .map(|(lo, hi)| (lo, hi - lo))
+                .collect(),
+        );
+        let seq_spans = coalesce_spans(
+            mine.iter()
+                .map(|a| (a.spec.seq_range.0, a.spec.seq_range.1 - a.spec.seq_range.0))
+                .collect(),
+        );
+        let hdr_spans = coalesce_spans(
+            mine.iter()
+                .map(|a| (a.spec.hdr_range.0, a.spec.hdr_range.1 - a.spec.hdr_range.0))
+                .collect(),
+        );
+        let read = |ext: &str, spans: &[(u64, u64)]| -> RangeBuffers {
+            let file = MpiFile::open(comm, fs, &format!("db/{vol}.{ext}"))
+                .with_hints(CollectiveHints { aggregators });
+            let view = FileView::new(0, spans.to_vec()).expect("coalesced spans are disjoint");
+            let data = file.read_at_all(&view).expect("database file readable");
+            RangeBuffers::new(spans.to_vec(), data)
+        };
+        buffers.push([
+            read("idx", &idx_spans),
+            read("seq", &seq_spans),
+            read("hdr", &hdr_spans),
+        ]);
+    }
+
+    // Materialize this rank's fragments from the buffered spans.
+    assignments
+        .iter()
+        .map(|a| {
+            let vi = volume_names
+                .iter()
+                .position(|v| *v == a.volume_name)
+                .expect("assignment volume is in the alias");
+            let [idx, seq, hdr] = &buffers[vi];
+            let spec = &a.spec;
+            FragmentData::from_ranges(
+                molecule,
+                spec.base_oid,
+                idx.slice(
+                    spec.idx_seq_range.0,
+                    spec.idx_seq_range.1 - spec.idx_seq_range.0,
+                ),
+                idx.slice(
+                    spec.idx_hdr_range.0,
+                    spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
+                ),
+                seq.slice(spec.seq_range.0, spec.seq_range.1 - spec.seq_range.0)
+                    .to_vec(),
+                hdr.slice(spec.hdr_range.0, spec.hdr_range.1 - spec.hdr_range.0)
+                    .to_vec(),
+            )
+            .expect("consistent fragment ranges")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_overlaps_and_adjacency() {
+        assert_eq!(
+            coalesce_spans(vec![(10, 5), (0, 5), (5, 5), (30, 2)]),
+            vec![(0, 15), (30, 2)]
+        );
+        // Overlapping boundary entries (the shared index-table entry).
+        assert_eq!(coalesce_spans(vec![(0, 16), (8, 16)]), vec![(0, 24)]);
+        assert_eq!(coalesce_spans(vec![(4, 0), (2, 1)]), vec![(2, 1)]);
+        assert!(coalesce_spans(vec![]).is_empty());
+    }
+
+    #[test]
+    fn range_buffers_slice_by_absolute_offset() {
+        let spans = vec![(10u64, 4u64), (20, 6)];
+        let data = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let rb = RangeBuffers::new(spans, data);
+        assert_eq!(rb.slice(10, 4), &[1, 2, 3, 4]);
+        assert_eq!(rb.slice(11, 2), &[2, 3]);
+        assert_eq!(rb.slice(20, 6), &[5, 6, 7, 8, 9, 10]);
+        assert_eq!(rb.slice(23, 1), &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn uncovered_slice_panics() {
+        let rb = RangeBuffers::new(vec![(0, 4)], vec![0, 1, 2, 3]);
+        let _ = rb.slice(2, 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! pioBLAST-specific protocol payloads: partition assignments.
+
+use seqfmt::codec::{CodecError, Reader, Writer};
+use seqfmt::FragmentSpec;
+
+use mpiblast::wire::{decode_fragment_spec, encode_fragment_spec};
+
+/// One virtual fragment assigned to a worker: the byte ranges plus the
+/// volume base name whose files they index into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentAssignment {
+    /// The byte ranges.
+    pub spec: FragmentSpec,
+    /// Volume base name (e.g. `nr-sim` or `nt-sim.01`), resolved against
+    /// the shared `db/` directory.
+    pub volume_name: String,
+}
+
+/// The master's scatter payload: a worker's list of assignments, plus the
+/// global volume list (needed when every rank must iterate the volumes in
+/// lockstep, e.g. for collective input).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionMessage {
+    /// Assigned fragments, searched in order.
+    pub fragments: Vec<FragmentAssignment>,
+    /// All volume base names of the database, in oid order.
+    pub volumes: Vec<String>,
+}
+
+impl PartitionMessage {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.fragments.len() as u32);
+        for f in &self.fragments {
+            let spec = encode_fragment_spec(&f.spec);
+            w.u32(spec.len() as u32);
+            w.bytes(&spec);
+            w.string(&f.volume_name);
+        }
+        w.u32(self.volumes.len() as u32);
+        for v in &self.volumes {
+            w.string(v);
+        }
+        w.finish()
+    }
+
+    /// Deserialize.
+    pub fn decode(buf: &[u8]) -> Result<PartitionMessage, CodecError> {
+        let mut r = Reader::new(buf);
+        let n = r.u32("fragment count")? as usize;
+        let mut fragments = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.u32("spec len")? as usize;
+            let spec_bytes = r.bytes(len, "spec")?;
+            let spec = decode_fragment_spec(spec_bytes)?;
+            let volume_name = r.string("volume name")?;
+            fragments.push(FragmentAssignment { spec, volume_name });
+        }
+        let nv = r.u32("volume count")? as usize;
+        let mut volumes = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            volumes.push(r.string("volume")?);
+        }
+        Ok(PartitionMessage { fragments, volumes })
+    }
+}
+
+/// Deal `items` out to `workers` bins, contiguously and as evenly as
+/// possible (worker `w` gets `items[start_w..end_w]`).
+pub fn chunk_evenly<T>(mut items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    assert!(workers > 0);
+    let total = items.len();
+    let mut out = Vec::with_capacity(workers);
+    let mut taken = 0usize;
+    let mut rest = items.drain(..);
+    for w in 0..workers {
+        let end = total * (w + 1) / workers;
+        let count = end - taken;
+        taken = end;
+        out.push(rest.by_ref().take(count).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FragmentSpec {
+        FragmentSpec {
+            volume: 0,
+            first_seq: 0,
+            last_seq: 5,
+            base_oid: 0,
+            seq_range: (0, 500),
+            hdr_range: (0, 80),
+            idx_seq_range: (64, 112),
+            idx_hdr_range: (112, 160),
+            residues: 500,
+        }
+    }
+
+    #[test]
+    fn partition_message_round_trips() {
+        let m = PartitionMessage {
+            fragments: vec![FragmentAssignment {
+                spec: spec(),
+                volume_name: "nr-sim".into(),
+            }],
+            volumes: vec!["nr-sim".into()],
+        };
+        assert_eq!(PartitionMessage::decode(&m.encode()).unwrap(), m);
+        let empty = PartitionMessage::default();
+        assert_eq!(PartitionMessage::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn chunk_evenly_partitions_in_order() {
+        let chunks = chunk_evenly((0..10).collect(), 3);
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8, 9]]);
+        let chunks = chunk_evenly(Vec::<u8>::new(), 2);
+        assert_eq!(chunks, vec![vec![], vec![]]);
+        let chunks = chunk_evenly(vec![1], 3);
+        assert_eq!(chunks.iter().flatten().count(), 1);
+    }
+}

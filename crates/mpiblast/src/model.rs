@@ -1,0 +1,262 @@
+//! Compute-cost accounting.
+//!
+//! Two modes: `Measured` charges the real wall time of real code (honest,
+//! used by the benchmark harnesses), `Modeled` charges deterministic
+//! analytical costs from work counters (used by tests, where results must
+//! be bit-stable across hosts). Both modes run the *actual* computation —
+//! only the virtual-time charge differs.
+
+use blast_core::search::SearchStats;
+use simcluster::{RankCtx, SimDuration};
+
+/// How compute segments are charged to the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeModel {
+    /// Charge measured wall time × `scale`.
+    Measured {
+        /// Wall-time multiplier (models a slower/faster CPU).
+        scale: f64,
+    },
+    /// Charge analytical costs.
+    Modeled(ModelParams),
+}
+
+/// Cost coefficients for `Modeled` mode, loosely calibrated to a ~2004
+/// Itanium2 running NCBI BLAST.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Seconds per subject residue scanned.
+    pub per_residue: f64,
+    /// Seconds per lookup-table seed hit (scales search cost with the
+    /// query-set size, as the real scan loop does).
+    pub per_seed: f64,
+    /// Seconds per ungapped extension.
+    pub per_ungapped: f64,
+    /// Seconds per gapped extension.
+    pub per_gapped: f64,
+    /// Fixed seconds per fragment search (kernel init, diagonal arrays).
+    pub per_fragment: f64,
+    /// Seconds per formatted output byte (traceback + rendering).
+    pub per_output_byte: f64,
+    /// Seconds per item handled in a merge/sort step.
+    pub per_merge_item: f64,
+    /// Seconds per query residue for lookup-table construction.
+    pub per_prepare_residue: f64,
+    /// Master-side seconds per fetched alignment (NCBI-toolkit sequence
+    /// marshalling: readdb lookup, BioSeq construction, deserialization).
+    pub per_fetch: f64,
+    /// Master-side seconds per result message received (ASN.1 SeqAlign
+    /// list deserialization and bookkeeping; mpiBLAST sends one message
+    /// per (fragment, query) pair).
+    pub per_submission: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> ModelParams {
+        ModelParams {
+            per_residue: 40e-9,
+            per_seed: 150e-9,
+            per_ungapped: 400e-9,
+            per_gapped: 30e-6,
+            per_fragment: 20e-3,
+            per_output_byte: 80e-9,
+            per_merge_item: 2e-6,
+            per_prepare_residue: 0.5e-6,
+            per_fetch: 250e-6,
+            per_submission: 1.0e-3,
+        }
+    }
+}
+
+impl ComputeModel {
+    /// Deterministic test default.
+    pub fn modeled() -> ComputeModel {
+        ComputeModel::Modeled(ModelParams::default())
+    }
+
+    /// This model with every compute cost multiplied by `factor` — a
+    /// slower (or faster) node. Used to simulate heterogeneous clusters.
+    pub fn scaled(self, factor: f64) -> ComputeModel {
+        assert!(factor.is_finite() && factor > 0.0);
+        match self {
+            ComputeModel::Measured { scale } => ComputeModel::Measured {
+                scale: scale * factor,
+            },
+            ComputeModel::Modeled(p) => ComputeModel::Modeled(ModelParams {
+                per_residue: p.per_residue * factor,
+                per_seed: p.per_seed * factor,
+                per_ungapped: p.per_ungapped * factor,
+                per_gapped: p.per_gapped * factor,
+                per_fragment: p.per_fragment * factor,
+                per_output_byte: p.per_output_byte * factor,
+                per_merge_item: p.per_merge_item * factor,
+                per_prepare_residue: p.per_prepare_residue * factor,
+                per_fetch: p.per_fetch * factor,
+                per_submission: p.per_submission * factor,
+            }),
+        }
+    }
+
+    /// Honest-measurement default.
+    pub fn measured() -> ComputeModel {
+        ComputeModel::Measured { scale: 1.0 }
+    }
+
+    /// Run a fragment search, charging by mode. `f` must return the
+    /// search's stats along with its result.
+    pub fn run_search<T>(
+        &self,
+        ctx: &RankCtx,
+        f: impl FnOnce() -> (T, SearchStats),
+    ) -> (T, SearchStats) {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let (out, stats) = f();
+                let secs = p.per_fragment
+                    + p.per_residue * stats.residues as f64
+                    + p.per_seed * stats.seed_hits as f64
+                    + p.per_ungapped * stats.ungapped_extensions as f64
+                    + p.per_gapped * stats.gapped_extensions as f64;
+                ctx.charge(SimDuration::from_secs_f64(secs));
+                (out, stats)
+            }
+        }
+    }
+
+    /// Run output formatting that produces `bytes` of text.
+    pub fn run_format<T>(&self, ctx: &RankCtx, f: impl FnOnce() -> T, bytes: impl Fn(&T) -> u64) -> T {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let out = f();
+                let secs = p.per_output_byte * bytes(&out) as f64;
+                ctx.charge(SimDuration::from_secs_f64(secs));
+                out
+            }
+        }
+    }
+
+    /// Run query preparation (masking + lookup build) over `residues`
+    /// total query residues.
+    pub fn run_prepare<T>(&self, ctx: &RankCtx, residues: u64, f: impl FnOnce() -> T) -> T {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let out = f();
+                ctx.charge(SimDuration::from_secs_f64(
+                    p.per_prepare_residue * residues as f64,
+                ));
+                out
+            }
+        }
+    }
+
+    /// Run the master-side handling of one received result message.
+    pub fn run_submission_handling<T>(&self, ctx: &RankCtx, items: u64, f: impl FnOnce() -> T) -> T {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let out = f();
+                ctx.charge(SimDuration::from_secs_f64(
+                    p.per_submission + p.per_merge_item * items as f64,
+                ));
+                out
+            }
+        }
+    }
+
+    /// Run the master-side handling of one fetched alignment's sequence
+    /// data (mpiBLAST's serialized result retrieval).
+    pub fn run_fetch_handling<T>(&self, ctx: &RankCtx, f: impl FnOnce() -> T) -> T {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let out = f();
+                ctx.charge(SimDuration::from_secs_f64(p.per_fetch));
+                out
+            }
+        }
+    }
+
+    /// Run a merge/sort step over `items` items.
+    pub fn run_merge<T>(&self, ctx: &RankCtx, items: u64, f: impl FnOnce() -> T) -> T {
+        match *self {
+            ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
+            ComputeModel::Modeled(p) => {
+                let out = f();
+                ctx.charge(SimDuration::from_secs_f64(p.per_merge_item * items as f64));
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::Sim;
+
+    #[test]
+    fn modeled_charges_are_deterministic() {
+        let run = || {
+            let sim = Sim::new(1);
+            sim.run(|ctx| {
+                let model = ComputeModel::modeled();
+                let stats = SearchStats {
+                    subjects: 10,
+                    residues: 1_000_000,
+                    seed_hits: 5_000,
+                    ungapped_extensions: 1_000,
+                    gapped_extensions: 50,
+                    hsps_kept: 20,
+                };
+                model.run_search(&ctx, || ((), stats));
+                model.run_format(&ctx, || "x".repeat(1000), |s| s.len() as u64);
+                model.run_merge(&ctx, 500, || ());
+                ctx.now().0
+            })
+            .outputs[0]
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // per_fragment 20ms + 40ms residues + 0.4ms ungapped + 1.5ms gapped
+        // + 0.08ms format + 1ms merge ≈ 63 ms.
+        let secs = a as f64 / 1e9;
+        assert!((0.05..0.08).contains(&secs), "charged {secs}s");
+    }
+
+    #[test]
+    fn scaled_model_multiplies_costs() {
+        let run = |model: ComputeModel| {
+            let sim = Sim::new(1);
+            sim.run(move |ctx| {
+                model.run_merge(&ctx, 1000, || ());
+                ctx.now().0
+            })
+            .outputs[0]
+        };
+        let base = run(ComputeModel::modeled());
+        let double = run(ComputeModel::modeled().scaled(2.0));
+        assert_eq!(double, base * 2);
+    }
+
+    #[test]
+    fn measured_charges_something() {
+        let sim = Sim::new(1);
+        let t = sim
+            .run(|ctx| {
+                let model = ComputeModel::measured();
+                model.run_merge(&ctx, 0, || {
+                    let mut x = 0u64;
+                    for i in 0..100_000u64 {
+                        x = x.wrapping_add(i * i);
+                    }
+                    x
+                });
+                ctx.now().0
+            })
+            .outputs[0];
+        assert!(t > 0);
+    }
+}

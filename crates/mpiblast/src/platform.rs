@@ -1,0 +1,117 @@
+//! Simulated platform descriptions and the per-run cluster environment.
+
+use mpisim::NetProfile;
+use parafs::{FsProfile, SimFs};
+use simcluster::Sim;
+
+/// Everything that distinguishes one of the paper's machines from the
+/// other: interconnect, shared file system, and node-local disks.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Display name.
+    pub name: String,
+    /// Interconnect model.
+    pub net: NetProfile,
+    /// Shared file-system profile.
+    pub shared_fs: FsProfile,
+    /// Node-local disk profile; `None` means no user-accessible local
+    /// storage (the Altix case — fragment "copies" go to shared scratch).
+    pub local_disk: Option<FsProfile>,
+    /// Collective-I/O aggregator count.
+    pub aggregators: usize,
+    /// Wall-time scale factor for measured compute (1.0 = charge host
+    /// time as-is).
+    pub compute_scale: f64,
+}
+
+impl Platform {
+    /// The ORNL SGI Altix "Ram": NUMAlink + XFS, no user local disks.
+    pub fn altix() -> Platform {
+        Platform {
+            name: "ORNL SGI Altix (Ram)".to_string(),
+            net: NetProfile::altix_numalink(),
+            shared_fs: FsProfile::altix_xfs(),
+            local_disk: None,
+            aggregators: 8,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// The NCSU IBM blade cluster: gigabit Ethernet + NFS + local disks.
+    pub fn blade_cluster() -> Platform {
+        Platform {
+            name: "NCSU IBM Blade Cluster".to_string(),
+            net: NetProfile::blade_gigabit(),
+            shared_fs: FsProfile::blade_nfs(),
+            local_disk: Some(FsProfile::local_disk()),
+            aggregators: 4,
+            compute_scale: 1.0,
+        }
+    }
+}
+
+/// The instantiated file systems of one simulated run.
+#[derive(Clone)]
+pub struct ClusterEnv {
+    /// The shared (parallel or NFS) file system.
+    pub shared: SimFs,
+    /// One private disk per rank (empty when the platform has none).
+    pub locals: Vec<SimFs>,
+}
+
+impl ClusterEnv {
+    /// Build the environment for a simulation.
+    pub fn new(sim: &Sim, platform: &Platform) -> ClusterEnv {
+        let shared = SimFs::new(sim.handle(), "shared", platform.shared_fs);
+        let locals = match platform.local_disk {
+            Some(profile) => (0..sim.nranks())
+                .map(|r| SimFs::new(sim.handle(), &format!("local{r}"), profile))
+                .collect(),
+            None => Vec::new(),
+        };
+        ClusterEnv { shared, locals }
+    }
+
+    /// The file system and path prefix rank `r` should use for private
+    /// copies: its local disk, or a rank-scoped scratch directory on the
+    /// shared file system when no local disk exists (the paper's Altix
+    /// behaviour).
+    pub fn private_store(&self, rank: usize) -> (&SimFs, String) {
+        match self.locals.get(rank) {
+            Some(fs) => (fs, String::new()),
+            None => (&self.shared, format!("scratch/rank{rank}/")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn altix_has_no_local_disks() {
+        let sim = Sim::new(4);
+        let env = ClusterEnv::new(&sim, &Platform::altix());
+        assert!(env.locals.is_empty());
+        let (_, prefix) = env.private_store(2);
+        assert_eq!(prefix, "scratch/rank2/");
+    }
+
+    #[test]
+    fn blade_has_one_disk_per_rank() {
+        let sim = Sim::new(4);
+        let env = ClusterEnv::new(&sim, &Platform::blade_cluster());
+        assert_eq!(env.locals.len(), 4);
+        let (fs, prefix) = env.private_store(1);
+        assert_eq!(fs.name(), "local1");
+        assert!(prefix.is_empty());
+    }
+
+    #[test]
+    fn platform_profiles_differ_as_in_the_paper() {
+        let altix = Platform::altix();
+        let blade = Platform::blade_cluster();
+        assert!(altix.shared_fs.aggregate_bw > 10.0 * blade.shared_fs.aggregate_bw);
+        assert!(altix.net.latency < blade.net.latency);
+    }
+}

@@ -1,0 +1,334 @@
+//! Shared report semantics: selection, ordering, and section assembly.
+//!
+//! mpiBLAST's one hard correctness requirement — which pioBLAST inherits —
+//! is that the parallel programs produce exactly the serial program's
+//! output file. This module centralizes everything that determines output
+//! bytes: the canonical hit ordering, the per-query selection rule, the
+//! section layout, and a full serial reference implementation used as the
+//! oracle in tests.
+
+use blast_core::format::{self, ReportConfig};
+use blast_core::search::{
+    BlastSearcher, PreparedQueries, SearchParams, SubjectHit, SubjectSource,
+};
+use blast_core::seq::SeqRecord;
+use seqfmt::FormattedDb;
+
+use crate::wire::MetaHit;
+
+/// Report-size limits (NCBI `-v`/`-b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportOptions {
+    /// One-line summaries kept per query.
+    pub num_descriptions: usize,
+    /// Alignment records kept per query.
+    pub num_alignments: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> ReportOptions {
+        ReportOptions {
+            num_descriptions: 500,
+            num_alignments: 250,
+        }
+    }
+}
+
+/// Sort subject hits into canonical reporting order (best first; total
+/// and deterministic).
+pub fn order_hits(hits: &mut [SubjectHit]) {
+    hits.sort_by(|a, b| {
+        a.hsps[0]
+            .rank_key()
+            .cmp(&b.hsps[0].rank_key())
+    });
+}
+
+/// The same ordering over metadata-only hits.
+pub fn order_meta(hits: &mut [MetaHit]) {
+    hits.sort_by(|a, b| a.best.rank_key().cmp(&b.best.rank_key()));
+}
+
+/// One query's fully determined output layout.
+#[derive(Debug, Clone)]
+pub struct QueryLayout {
+    /// Header text.
+    pub header: String,
+    /// Summary section text (or the no-hits notice).
+    pub summary: String,
+    /// Footer text.
+    pub footer: String,
+    /// Sizes of the alignment records, in file order.
+    pub record_sizes: Vec<u64>,
+}
+
+impl QueryLayout {
+    /// Total bytes of this query's section.
+    pub fn total(&self) -> u64 {
+        self.header.len() as u64
+            + self.summary.len() as u64
+            + self.record_sizes.iter().sum::<u64>()
+            + self.footer.len() as u64
+    }
+
+    /// Absolute offset of record `i`, given the section's start offset.
+    pub fn record_offset(&self, section_start: u64, i: usize) -> u64 {
+        section_start
+            + self.header.len() as u64
+            + self.summary.len() as u64
+            + self.record_sizes[..i].iter().sum::<u64>()
+    }
+}
+
+/// Build a query's layout from already-ordered, already-selected summary
+/// entries and record sizes. `summaries` are `(defline, bit, evalue)` for
+/// the top `num_descriptions` hits; `record_sizes` covers the top
+/// `num_alignments`.
+pub fn build_layout(
+    cfg: &ReportConfig,
+    params: &SearchParams,
+    query: &SeqRecord,
+    space: &blast_core::stats::SearchSpace,
+    summaries: &[(String, f64, f64)],
+    record_sizes: Vec<u64>,
+) -> QueryLayout {
+    let header = format::query_header(cfg, query);
+    let summary = if summaries.is_empty() {
+        format::no_hits_section()
+    } else {
+        let lines: Vec<String> = summaries
+            .iter()
+            .map(|(d, b, e)| format::summary_line(d, *b, *e))
+            .collect();
+        format::summary_section(&lines)
+    };
+    let footer = format::query_footer(params, space);
+    QueryLayout {
+        header,
+        summary,
+        footer,
+        record_sizes,
+    }
+}
+
+/// The serial reference: search the whole database in-process and render
+/// the complete report. This is what `blastall` would print, and the
+/// oracle both parallel programs are tested against.
+pub fn serial_report(
+    params: &SearchParams,
+    queries: Vec<SeqRecord>,
+    db: &FormattedDb,
+    opts: ReportOptions,
+) -> Vec<u8> {
+    let cfg = ReportConfig::for_molecule(db.alias.molecule, db.alias.title.clone(), db.stats());
+    let prepared = PreparedQueries::prepare(params, queries, db.stats());
+    let searcher = BlastSearcher::new(params, &prepared);
+
+    // Search all volumes, merging per-query hit lists.
+    let mut per_query: Vec<Vec<SubjectHit>> = vec![Vec::new(); prepared.len()];
+    let mut fragments: Vec<seqfmt::FragmentData> = Vec::new();
+    for vol in &db.volumes {
+        let frag = seqfmt::FragmentData::from_volume(vol);
+        let result = searcher.search(&frag);
+        for (q, hits) in result.per_query.into_iter().enumerate() {
+            per_query[q].extend(hits);
+        }
+        fragments.push(frag);
+    }
+    let subject_of = |oid: u32| -> (&[u8], &[u8]) {
+        for f in &fragments {
+            if let (Some(r), Some(d)) = (f.residues_of(oid), f.defline_of(oid)) {
+                return (r, d);
+            }
+        }
+        panic!("oid {oid} not in database");
+    };
+
+    let mut out = Vec::new();
+    for (q, mut hits) in per_query.into_iter().enumerate() {
+        order_hits(&mut hits);
+        let query = &prepared.records[q];
+        let space = &prepared.spaces[q];
+        let summaries: Vec<(String, f64, f64)> = hits
+            .iter()
+            .take(opts.num_descriptions)
+            .map(|h| {
+                let (_, defline) = subject_of(h.oid);
+                (
+                    String::from_utf8_lossy(defline).into_owned(),
+                    h.hsps[0].bit_score,
+                    h.hsps[0].evalue,
+                )
+            })
+            .collect();
+        let records: Vec<String> = hits
+            .iter()
+            .take(opts.num_alignments)
+            .map(|h| {
+                let (residues, defline) = subject_of(h.oid);
+                format::alignment_record(
+                    params,
+                    &cfg,
+                    &query.residues,
+                    &String::from_utf8_lossy(defline),
+                    residues,
+                    &h.hsps,
+                )
+            })
+            .collect();
+        let layout = build_layout(
+            &cfg,
+            params,
+            query,
+            space,
+            &summaries,
+            records.iter().map(|r| r.len() as u64).collect(),
+        );
+        out.extend_from_slice(layout.header.as_bytes());
+        out.extend_from_slice(layout.summary.as_bytes());
+        for r in &records {
+            out.extend_from_slice(r.as_bytes());
+        }
+        out.extend_from_slice(layout.footer.as_bytes());
+    }
+    out
+}
+
+/// Convenience: search one [`SubjectSource`] and return per-query hits
+/// (used by both apps' workers).
+pub fn search_source<S: SubjectSource + ?Sized>(
+    searcher: &BlastSearcher<'_>,
+    source: &S,
+) -> (Vec<Vec<SubjectHit>>, blast_core::search::SearchStats) {
+    let result = searcher.search(source);
+    (result.per_query, result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_core::alphabet::Molecule;
+    use blast_core::hsp::Hsp;
+    use seqfmt::formatdb::{format_records, FormatDbConfig};
+    use seqfmt::synth::{generate, SynthConfig};
+
+    fn tiny_db() -> FormattedDb {
+        let recs = generate(&SynthConfig::nr_like(5, 30_000));
+        format_records(&recs, &FormatDbConfig::protein("nr-tiny"))
+    }
+
+    fn sample_queries(db: &FormattedDb, n: usize) -> Vec<SeqRecord> {
+        let vol = &db.volumes[0];
+        let frag = seqfmt::FragmentData::from_volume(vol);
+        use blast_core::search::SubjectSource;
+        (0..n)
+            .map(|i| {
+                let s = frag.subject((i * 7) % frag.num_subjects());
+                SeqRecord {
+                    defline: format!("query_{i:05} sampled"),
+                    residues: s.residues.to_vec(),
+                    molecule: Molecule::Protein,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_report_contains_all_query_sections() {
+        let db = tiny_db();
+        let queries = sample_queries(&db, 3);
+        let params = SearchParams::blastp();
+        let report = serial_report(&params, queries, &db, ReportOptions::default());
+        let text = String::from_utf8_lossy(&report);
+        assert_eq!(text.matches("Query= query_").count(), 3);
+        assert_eq!(text.matches("Sequences producing significant alignments").count(), 3);
+        assert!(text.contains("Score = "));
+        assert!(text.contains("Lambda     K      H"));
+    }
+
+    #[test]
+    fn serial_report_is_deterministic() {
+        let db = tiny_db();
+        let params = SearchParams::blastp();
+        let a = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default());
+        let b = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn num_alignments_truncates_records() {
+        let db = tiny_db();
+        let queries = sample_queries(&db, 1);
+        let params = SearchParams::blastp();
+        let full = serial_report(&params, queries.clone(), &db, ReportOptions::default());
+        let trimmed = serial_report(
+            &params,
+            queries,
+            &db,
+            ReportOptions {
+                num_descriptions: 500,
+                num_alignments: 1,
+            },
+        );
+        let count = |r: &[u8]| String::from_utf8_lossy(r).matches("\n Score = ").count();
+        assert!(count(&full) > count(&trimmed) || count(&full) == 1);
+        assert!(trimmed.len() <= full.len());
+    }
+
+    #[test]
+    fn layout_offsets_are_consistent() {
+        let layout = QueryLayout {
+            header: "HH".into(),
+            summary: "SSS".into(),
+            footer: "F".into(),
+            record_sizes: vec![10, 20, 30],
+        };
+        assert_eq!(layout.total(), 2 + 3 + 60 + 1);
+        assert_eq!(layout.record_offset(100, 0), 105);
+        assert_eq!(layout.record_offset(100, 1), 115);
+        assert_eq!(layout.record_offset(100, 2), 135);
+    }
+
+    #[test]
+    fn order_hits_and_order_meta_agree() {
+        let mk = |score: i32, oid: u32| Hsp {
+            query_idx: 0,
+            oid,
+            q_start: 0,
+            q_end: 10,
+            s_start: 0,
+            s_end: 10,
+            score,
+            bit_score: score as f64,
+            evalue: 1.0 / score as f64,
+        };
+        let mut hits = vec![
+            SubjectHit {
+                oid: 2,
+                subject_len: 10,
+                hsps: vec![mk(50, 2)],
+            },
+            SubjectHit {
+                oid: 1,
+                subject_len: 10,
+                hsps: vec![mk(90, 1)],
+            },
+        ];
+        let mut meta: Vec<MetaHit> = hits
+            .iter()
+            .map(|h| MetaHit {
+                oid: h.oid,
+                subject_len: h.subject_len,
+                record_size: 1,
+                defline: String::new(),
+                best: h.hsps[0],
+            })
+            .collect();
+        order_hits(&mut hits);
+        order_meta(&mut meta);
+        let a: Vec<u32> = hits.iter().map(|h| h.oid).collect();
+        let b: Vec<u32> = meta.iter().map(|h| h.oid).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2]);
+    }
+}

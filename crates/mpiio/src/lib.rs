@@ -1,0 +1,21 @@
+//! # mpiio
+//!
+//! MPI-IO over the simulated cluster: [`view::FileView`]s (displacement +
+//! noncontiguous regions, as set by `MPI_File_set_view`), independent
+//! `read_at`/`write_at`, and a faithful *two-phase collective I/O*
+//! implementation ([`fileio::MpiFile::write_at_all`] /
+//! [`fileio::MpiFile::read_at_all`]): view exchange, file-domain
+//! partitioning across aggregator ranks, point-to-point data shuffling,
+//! and large coalesced file-system transfers.
+//!
+//! This is the substrate behind both of pioBLAST's headline I/O moves:
+//! parallel input of virtual database fragments, and collective output of
+//! scattered result records into one shared report file.
+
+#![warn(missing_docs)]
+
+pub mod fileio;
+pub mod view;
+
+pub use fileio::{CollectiveHints, MpiFile};
+pub use view::{FileView, ViewError};

@@ -1,0 +1,21 @@
+//! # mpisim
+//!
+//! An MPI-like communication layer over the `simcluster` discrete-event
+//! engine: point-to-point send/receive with a latency + bandwidth cost
+//! model ([`net::NetProfile`], the Hockney model), and collectives
+//! (binomial-tree barrier and broadcast, flat gather/scatter) whose costs
+//! emerge from real per-hop messages.
+//!
+//! This is the stand-in for the MPI library mpiBLAST and pioBLAST run on;
+//! the presets mirror the paper's machines (Altix NUMAlink, blade-cluster
+//! gigabit Ethernet).
+
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod comm;
+pub mod net;
+
+pub use coll::Collectives;
+pub use comm::Comm;
+pub use net::NetProfile;

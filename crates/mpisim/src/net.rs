@@ -1,0 +1,66 @@
+//! Interconnect cost models.
+
+/// Latency/bandwidth parameters of a cluster interconnect.
+///
+/// A message of `b` bytes occupies the sender for `b / bandwidth` seconds
+/// and arrives `latency + b / bandwidth` after the send begins — the
+/// classic Hockney model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// One-way small-message latency, seconds.
+    pub latency: f64,
+    /// Point-to-point stream bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl NetProfile {
+    /// SGI Altix NUMAlink: shared-memory-class messaging.
+    pub fn altix_numalink() -> NetProfile {
+        NetProfile {
+            latency: 3.0e-6,
+            bandwidth: 1.6e9,
+        }
+    }
+
+    /// Gigabit Ethernet on the NCSU blade cluster.
+    pub fn blade_gigabit() -> NetProfile {
+        NetProfile {
+            latency: 60.0e-6,
+            bandwidth: 110.0e6,
+        }
+    }
+
+    /// Seconds the sender is occupied by a `bytes`-byte message.
+    pub fn occupancy(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// Seconds until a `bytes`-byte message arrives at the receiver.
+    pub fn delivery(&self, bytes: u64) -> f64 {
+        self.latency + self.occupancy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hockney_model_costs() {
+        let n = NetProfile {
+            latency: 1e-3,
+            bandwidth: 1e6,
+        };
+        assert!((n.occupancy(500_000) - 0.5).abs() < 1e-12);
+        assert!((n.delivery(500_000) - 0.501).abs() < 1e-12);
+        assert!((n.delivery(0) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let altix = NetProfile::altix_numalink();
+        let blade = NetProfile::blade_gigabit();
+        assert!(altix.latency < blade.latency);
+        assert!(altix.bandwidth > blade.bandwidth);
+    }
+}

@@ -1,0 +1,431 @@
+//! The simulated file system: an object store behind a processor-sharing
+//! bandwidth model.
+//!
+//! Every data transfer (read or write) becomes an *active stream*. At any
+//! instant, each of the `n` active streams proceeds at
+//! `min(per_client_bw, aggregate_bw / n)`. Whenever the active set changes
+//! — a stream starts or finishes — the model retimes every pending
+//! stream's completion and reschedules its owner's wake in the discrete-
+//! event engine. This is the standard fluid model of shared-storage
+//! contention, and it is what makes the XFS and NFS profiles reproduce
+//! the paper's Figure 3 vs Figure 4 contrast.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simcluster::{RankCtx, SimDuration, SimHandle, SimTime, WakeId};
+
+use crate::profile::FsProfile;
+use crate::store::{FileStore, StoreError};
+
+/// Byte-level counters for one file system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsCounters {
+    /// Bytes moved by reads.
+    pub bytes_read: u64,
+    /// Bytes moved by writes.
+    pub bytes_written: u64,
+    /// Data operations issued.
+    pub data_ops: u64,
+    /// Metadata operations issued.
+    pub meta_ops: u64,
+}
+
+struct Stream {
+    rank: usize,
+    remaining: f64,
+    rate: f64,
+    wake: Option<WakeId>,
+}
+
+struct FsState {
+    store: FileStore,
+    streams: Vec<Stream>,
+    last_update: SimTime,
+    counters: FsCounters,
+}
+
+/// A simulated file system shared by all ranks (or private to one node,
+/// depending on how it is used).
+#[derive(Clone)]
+pub struct SimFs {
+    handle: SimHandle,
+    profile: FsProfile,
+    /// Display name for diagnostics.
+    name: Arc<str>,
+    state: Arc<Mutex<FsState>>,
+}
+
+impl SimFs {
+    /// Create a file system on a simulation.
+    pub fn new(handle: SimHandle, name: &str, profile: FsProfile) -> SimFs {
+        SimFs {
+            handle,
+            profile,
+            name: Arc::from(name),
+            state: Arc::new(Mutex::new(FsState {
+                store: FileStore::new(),
+                streams: Vec::new(),
+                last_update: SimTime::ZERO,
+                counters: FsCounters::default(),
+            })),
+        }
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> FsProfile {
+        self.profile
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot of the byte counters.
+    pub fn counters(&self) -> FsCounters {
+        self.state.lock().counters
+    }
+
+    /// Pre-load a file outside simulated time (for run setup: "the
+    /// formatted database is already on shared storage").
+    pub fn preload(&self, path: &str, data: Vec<u8>) {
+        self.state.lock().store.put(path, data);
+    }
+
+    /// Read a file's bytes outside simulated time (for post-run
+    /// verification of outputs).
+    pub fn peek(&self, path: &str) -> Result<Vec<u8>, StoreError> {
+        self.state.lock().store.read_all(path)
+    }
+
+    /// List paths with a prefix outside simulated time.
+    pub fn peek_list(&self, prefix: &str) -> Vec<String> {
+        self.state.lock().store.list_prefix(prefix)
+    }
+
+    // ---- simulated operations (charge virtual time) ----
+
+    /// Stat: returns the file size if it exists. Charges one metadata op.
+    pub fn stat(&self, ctx: &RankCtx, path: &str) -> Option<u64> {
+        self.meta_op(ctx);
+        self.state.lock().store.len(path)
+    }
+
+    /// Create/truncate a file. Charges one metadata op.
+    pub fn create(&self, ctx: &RankCtx, path: &str) {
+        self.meta_op(ctx);
+        let mut st = self.state.lock();
+        st.store.create(path);
+    }
+
+    /// Delete a file. Charges one metadata op.
+    pub fn delete(&self, ctx: &RankCtx, path: &str) -> Result<(), StoreError> {
+        self.meta_op(ctx);
+        self.state.lock().store.delete(path)
+    }
+
+    /// List files with a prefix. Charges one metadata op.
+    pub fn list(&self, ctx: &RankCtx, prefix: &str) -> Vec<String> {
+        self.meta_op(ctx);
+        self.state.lock().store.list_prefix(prefix)
+    }
+
+    /// Read `len` bytes at `offset`, charging latency plus contended
+    /// transfer time.
+    pub fn read_at(
+        &self,
+        ctx: &RankCtx,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        // Validate before charging transfer time, like a real EOF error.
+        {
+            let mut st = self.state.lock();
+            st.counters.meta_ops += 1;
+            let size = st.store.len(path).ok_or_else(|| StoreError::NotFound {
+                path: path.to_string(),
+            })?;
+            if offset.checked_add(len).is_none_or(|e| e > size) {
+                return Err(StoreError::OutOfRange {
+                    path: path.to_string(),
+                    offset,
+                    len,
+                    size,
+                });
+            }
+        }
+        ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
+        self.transfer(ctx, len);
+        let mut st = self.state.lock();
+        st.counters.bytes_read += len;
+        st.counters.data_ops += 1;
+        st.store.read_at(path, offset, len)
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, ctx: &RankCtx, path: &str) -> Result<Vec<u8>, StoreError> {
+        let size = {
+            let st = self.state.lock();
+            st.store.len(path).ok_or_else(|| StoreError::NotFound {
+                path: path.to_string(),
+            })?
+        };
+        self.read_at(ctx, path, 0, size)
+    }
+
+    /// Write `data` at `offset`, charging latency plus contended transfer
+    /// time. Creates/extends the file as needed.
+    pub fn write_at(&self, ctx: &RankCtx, path: &str, offset: u64, data: &[u8]) {
+        ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
+        self.transfer(ctx, data.len() as u64);
+        let mut st = self.state.lock();
+        st.counters.bytes_written += data.len() as u64;
+        st.counters.data_ops += 1;
+        st.store.write_at(path, offset, data);
+    }
+
+    /// Replace a file's contents.
+    pub fn write_all(&self, ctx: &RankCtx, path: &str, data: &[u8]) {
+        self.create(ctx, path);
+        self.write_at(ctx, path, 0, data);
+    }
+
+    fn meta_op(&self, ctx: &RankCtx) {
+        self.state.lock().counters.meta_ops += 1;
+        ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
+    }
+
+    /// Block the calling rank for the contended transfer of `bytes`.
+    fn transfer(&self, ctx: &RankCtx, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let rank = ctx.rank();
+        {
+            let mut st = self.state.lock();
+            let now = self.handle.now();
+            debug_assert!(
+                st.streams.iter().all(|s| s.rank != rank),
+                "rank {rank} already has an active stream on {}",
+                self.name
+            );
+            self.settle(&mut st, now);
+            st.streams.push(Stream {
+                rank,
+                remaining: bytes as f64,
+                rate: 0.0,
+                wake: None,
+            });
+            self.retime(&mut st, now);
+        }
+        loop {
+            ctx.wait_woken();
+            let mut st = self.state.lock();
+            let now = self.handle.now();
+            self.settle(&mut st, now);
+            let idx = st
+                .streams
+                .iter()
+                .position(|s| s.rank == rank)
+                .expect("stream vanished while owner was blocked");
+            if st.streams[idx].remaining <= 0.5 {
+                let done = st.streams.swap_remove(idx);
+                if let Some(w) = done.wake {
+                    self.handle.cancel_wake(w);
+                }
+                self.retime(&mut st, now);
+                return;
+            }
+            // Spurious wake: make sure our completion is still scheduled.
+            self.retime(&mut st, now);
+        }
+    }
+
+    /// Advance every stream's remaining bytes to `now` at its current rate.
+    fn settle(&self, st: &mut FsState, now: SimTime) {
+        let dt = (now - st.last_update).as_secs_f64();
+        if dt > 0.0 {
+            for s in &mut st.streams {
+                s.remaining = (s.remaining - s.rate * dt).max(0.0);
+            }
+        }
+        st.last_update = now;
+    }
+
+    /// Recompute fair-share rates and reschedule every stream's wake.
+    fn retime(&self, st: &mut FsState, now: SimTime) {
+        let n = st.streams.len();
+        if n == 0 {
+            return;
+        }
+        let rate = self.profile.stream_bw(n);
+        for s in &mut st.streams {
+            s.rate = rate;
+            if let Some(w) = s.wake.take() {
+                self.handle.cancel_wake(w);
+            }
+            let finish = now + SimDuration::from_secs_f64(s.remaining / rate);
+            s.wake = Some(self.handle.schedule_wake(s.rank, finish));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::Sim;
+
+    fn test_profile() -> FsProfile {
+        FsProfile {
+            per_client_bw: 100.0e6, // 100 MB/s per client
+            aggregate_bw: 200.0e6,  // 200 MB/s total
+            op_latency: 0.001,
+        }
+    }
+
+    #[test]
+    fn solo_read_takes_latency_plus_bandwidth_time() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![7u8; 100_000_000]);
+        let out = sim.run(|ctx| {
+            let data = fs.read_at(&ctx, "f", 0, 100_000_000).unwrap();
+            assert_eq!(data.len(), 100_000_000);
+            ctx.now()
+        });
+        // 1 ms latency + 1 s transfer at 100 MB/s.
+        let t = out.outputs[0].as_secs_f64();
+        assert!((t - 1.001).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn two_concurrent_readers_share_the_aggregate() {
+        // 200 MB/s aggregate, 2 readers -> each gets its full 100 MB/s.
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 200_000_000]);
+        let out = sim.run(|ctx| {
+            fs.read_at(&ctx, "f", ctx.rank() as u64 * 100_000_000, 100_000_000)
+                .unwrap();
+            ctx.now().as_secs_f64()
+        });
+        for t in &out.outputs {
+            assert!((t - 1.001).abs() < 1e-6, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn four_concurrent_readers_contend() {
+        // 4 readers on 200 MB/s -> 50 MB/s each; 100 MB takes 2 s.
+        let sim = Sim::new(4);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 400_000_000]);
+        let out = sim.run(|ctx| {
+            fs.read_at(&ctx, "f", ctx.rank() as u64 * 100_000_000, 100_000_000)
+                .unwrap();
+            ctx.now().as_secs_f64()
+        });
+        for t in &out.outputs {
+            assert!((t - 2.001).abs() < 1e-4, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_stream() {
+        // Rank 0 starts a 100 MB read alone (100 MB/s). At t=0.5 s it has
+        // 50 MB left. Rank 1 then reads too; with 2 streams each still
+        // gets 100 MB/s (aggregate 200), so no slowdown. With a tighter
+        // aggregate (120 MB/s), rates drop to 60 each.
+        let tight = FsProfile {
+            per_client_bw: 100.0e6,
+            aggregate_bw: 120.0e6,
+            op_latency: 0.0,
+        };
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "t", tight);
+        fs.preload("f", vec![0u8; 200_000_000]);
+        let out = sim.run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.charge(SimDuration::from_secs_f64(0.5));
+            }
+            fs.read_at(&ctx, "f", ctx.rank() as u64 * 100_000_000, 100_000_000)
+                .unwrap();
+            ctx.now().as_secs_f64()
+        });
+        // Rank 0: 50 MB alone at 100 MB/s (0.5 s), then shares 120 MB/s
+        // (60 each) for its remaining 50 MB -> 0.5 + 50/60 = 1.3333 s.
+        assert!((out.outputs[0] - (0.5 + 50.0 / 60.0)).abs() < 1e-4, "{out:?}");
+        // Rank 1: starts at 0.5 with 100 MB. Shares 60 MB/s until rank 0
+        // finishes at 1.3333 (having moved 50 MB), then 66.67 MB/s... but
+        // per-client capped at 100: remaining 50 MB at 100 MB/s? No: alone
+        // it gets min(100, 120) = 100. 0.5 + 0.8333 + 50/100 = 1.8333 s.
+        assert!((out.outputs[1] - (0.5 + 50.0 / 60.0 + 0.5)).abs() < 1e-4, "{out:?}");
+    }
+
+    #[test]
+    fn writes_and_reads_round_trip_through_sim() {
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        let out = sim.run(|ctx| {
+            if ctx.rank() == 0 {
+                fs.write_at(&ctx, "shared", 0, b"rank0 data");
+                ctx.post(1, 1, bytes::Bytes::new(), SimDuration::ZERO);
+                true
+            } else {
+                ctx.recv(Some(0), Some(1));
+                let data = fs.read_all(&ctx, "shared").unwrap();
+                data == b"rank0 data"
+            }
+        });
+        assert!(out.outputs[1]);
+        let c = fs.counters();
+        assert_eq!(c.bytes_written, 10);
+        assert_eq!(c.bytes_read, 10);
+    }
+
+    #[test]
+    fn read_errors_cost_no_transfer_time() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 10]);
+        let out = sim.run(|ctx| {
+            assert!(fs.read_at(&ctx, "missing", 0, 5).is_err());
+            assert!(fs.read_at(&ctx, "f", 8, 5).is_err());
+            ctx.now().as_secs_f64()
+        });
+        assert!(out.outputs[0] < 1e-6, "errors should be instant-ish");
+    }
+
+    #[test]
+    fn metadata_ops_charge_latency() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        let out = sim.run(|ctx| {
+            fs.create(&ctx, "a");
+            assert_eq!(fs.stat(&ctx, "a"), Some(0));
+            assert_eq!(fs.stat(&ctx, "b"), None);
+            fs.delete(&ctx, "a").unwrap();
+            assert_eq!(fs.list(&ctx, "").len(), 0);
+            ctx.now().as_secs_f64()
+        });
+        assert!((out.outputs[0] - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_conservation_under_contention() {
+        // However the streams interleave, exactly the requested bytes move.
+        let sim = Sim::new(8);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 8_000_000]);
+        sim.run(|ctx| {
+            for chunk in 0..4 {
+                fs.read_at(&ctx, "f", (ctx.rank() * 4 + chunk) as u64 * 250_000, 250_000)
+                    .unwrap();
+            }
+        });
+        assert_eq!(fs.counters().bytes_read, 8_000_000);
+        assert_eq!(fs.counters().data_ops, 32);
+    }
+}

@@ -1,0 +1,87 @@
+//! File-system performance profiles.
+//!
+//! The paper's two platforms differ almost entirely in their shared file
+//! systems: the ORNL Altix ("Ram") ran XFS with high aggregate bandwidth,
+//! while the NCSU blade cluster shared an NFS server that collapses under
+//! concurrent clients. These profiles parameterize the contention model in
+//! [`crate::fs::SimFs`].
+
+/// Performance parameters of a (simulated) file system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsProfile {
+    /// Maximum transfer bandwidth one client stream can get (bytes/s).
+    pub per_client_bw: f64,
+    /// Total bandwidth shared by all concurrent streams (bytes/s).
+    pub aggregate_bw: f64,
+    /// Fixed latency charged per operation (metadata or data), seconds.
+    pub op_latency: f64,
+}
+
+impl FsProfile {
+    /// XFS on the SGI Altix: striped, high aggregate throughput; many
+    /// clients can stream concurrently before saturating.
+    pub fn altix_xfs() -> FsProfile {
+        FsProfile {
+            per_client_bw: 400.0e6,
+            aggregate_bw: 3.2e9,
+            op_latency: 300e-6,
+        }
+    }
+
+    /// NFS on the NCSU blade cluster: a single server; per-client speed is
+    /// modest and the aggregate cap is barely above it, so concurrent
+    /// clients mostly serialize.
+    pub fn blade_nfs() -> FsProfile {
+        FsProfile {
+            per_client_bw: 60.0e6,
+            aggregate_bw: 90.0e6,
+            op_latency: 2.0e-3,
+        }
+    }
+
+    /// A node-local IDE/SCSI disk of the era (the blades' 40 GB disks).
+    pub fn local_disk() -> FsProfile {
+        FsProfile {
+            per_client_bw: 50.0e6,
+            aggregate_bw: 50.0e6,
+            op_latency: 1.0e-3,
+        }
+    }
+
+    /// Effective per-stream bandwidth when `n` streams are active.
+    pub fn stream_bw(&self, n: usize) -> f64 {
+        debug_assert!(n > 0);
+        self.per_client_bw.min(self.aggregate_bw / n as f64)
+    }
+
+    /// Seconds to move `bytes` as the only active stream (plus latency).
+    pub fn solo_seconds(&self, bytes: u64) -> f64 {
+        self.op_latency + bytes as f64 / self.per_client_bw.min(self.aggregate_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xfs_scales_with_clients_nfs_does_not() {
+        let xfs = FsProfile::altix_xfs();
+        let nfs = FsProfile::blade_nfs();
+        // With 8 clients XFS still gives each its full stream rate.
+        assert_eq!(xfs.stream_bw(8), xfs.per_client_bw);
+        // NFS is already aggregate-bound at 2 clients.
+        assert!(nfs.stream_bw(2) < nfs.per_client_bw);
+        assert!((nfs.stream_bw(30) - 3.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn solo_seconds_includes_latency() {
+        let p = FsProfile {
+            per_client_bw: 100.0,
+            aggregate_bw: 1000.0,
+            op_latency: 0.5,
+        };
+        assert!((p.solo_seconds(100) - 1.5).abs() < 1e-12);
+    }
+}

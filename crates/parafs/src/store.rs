@@ -1,0 +1,217 @@
+//! The in-memory object store backing a simulated file system.
+
+use std::collections::BTreeMap;
+
+/// A flat namespace of files (paths are plain strings; `/`-separated
+/// prefixes act as directories for listing purposes).
+#[derive(Debug, Default, Clone)]
+pub struct FileStore {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named file does not exist.
+    NotFound {
+        /// The requested path.
+        path: String,
+    },
+    /// A ranged read fell outside the file.
+    OutOfRange {
+        /// The requested path.
+        path: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound { path } => write!(f, "file not found: {path}"),
+            StoreError::OutOfRange {
+                path,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read [{offset}, {offset}+{len}) out of range for {path} (size {size})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl FileStore {
+    /// An empty store.
+    pub fn new() -> FileStore {
+        FileStore::default()
+    }
+
+    /// Create or truncate a file.
+    pub fn create(&mut self, path: &str) {
+        self.files.insert(path.to_string(), Vec::new());
+    }
+
+    /// Replace a file's entire contents.
+    pub fn put(&mut self, path: &str, data: Vec<u8>) {
+        self.files.insert(path.to_string(), data);
+    }
+
+    /// Whether the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// File size, if it exists.
+    pub fn len(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|d| d.len() as u64)
+    }
+
+    /// Whether the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let data = self.files.get(path).ok_or_else(|| StoreError::NotFound {
+            path: path.to_string(),
+        })?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len() as u64)
+            .ok_or_else(|| StoreError::OutOfRange {
+                path: path.to_string(),
+                offset,
+                len,
+                size: data.len() as u64,
+            })?;
+        Ok(data[offset as usize..end as usize].to_vec())
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, StoreError> {
+        self.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    /// Write at `offset`, zero-padding any gap and extending as needed.
+    /// Creates the file if absent (like O_CREAT).
+    pub fn write_at(&mut self, path: &str, offset: u64, data: &[u8]) {
+        let file = self.files.entry(path.to_string()).or_default();
+        let end = offset as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(data);
+    }
+
+    /// Delete a file.
+    pub fn delete(&mut self, path: &str) -> Result<(), StoreError> {
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    /// Paths starting with `prefix`, in lexicographic order.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|d| d.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_read_round_trip() {
+        let mut s = FileStore::new();
+        s.put("a/b.txt", b"hello world".to_vec());
+        assert_eq!(s.read_all("a/b.txt").unwrap(), b"hello world");
+        assert_eq!(s.read_at("a/b.txt", 6, 5).unwrap(), b"world");
+        assert_eq!(s.len("a/b.txt"), Some(11));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let s = FileStore::new();
+        assert!(matches!(
+            s.read_all("nope").unwrap_err(),
+            StoreError::NotFound { .. }
+        ));
+        assert_eq!(s.len("nope"), None);
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let mut s = FileStore::new();
+        s.put("f", vec![1, 2, 3]);
+        assert!(matches!(
+            s.read_at("f", 2, 5).unwrap_err(),
+            StoreError::OutOfRange { size: 3, .. }
+        ));
+        // Overflowing offset+len is also caught.
+        assert!(s.read_at("f", u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn write_at_extends_and_pads() {
+        let mut s = FileStore::new();
+        s.write_at("f", 4, b"abc");
+        assert_eq!(s.read_all("f").unwrap(), vec![0, 0, 0, 0, b'a', b'b', b'c']);
+        s.write_at("f", 0, b"zz");
+        assert_eq!(s.read_at("f", 0, 2).unwrap(), b"zz");
+        assert_eq!(s.len("f"), Some(7));
+    }
+
+    #[test]
+    fn list_prefix_is_ordered_and_scoped() {
+        let mut s = FileStore::new();
+        s.create("db/nr.idx");
+        s.create("db/nr.seq");
+        s.create("out/result");
+        assert_eq!(s.list_prefix("db/"), vec!["db/nr.idx", "db/nr.seq"]);
+        assert!(s.list_prefix("zzz").is_empty());
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = FileStore::new();
+        s.create("x");
+        assert!(s.delete("x").is_ok());
+        assert!(!s.exists("x"));
+        assert!(s.delete("x").is_err());
+    }
+
+    #[test]
+    fn total_bytes_sums() {
+        let mut s = FileStore::new();
+        s.put("a", vec![0; 10]);
+        s.put("b", vec![0; 5]);
+        assert_eq!(s.total_bytes(), 15);
+    }
+}

@@ -1,0 +1,198 @@
+//! Little-endian binary encode/decode helpers for the database format.
+
+/// Decoding errors shared by all seqfmt readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a field was complete.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A magic tag or enum byte had an unexpected value.
+    BadValue {
+        /// What was being read.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "truncated input while reading {what}"),
+            CodecError::BadValue { what } => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over a byte slice with typed little-endian reads.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a length-prefixed (u32) UTF-8 string.
+    pub fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.bytes(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadValue { what })
+    }
+}
+
+/// Typed little-endian appends onto a `Vec<u8>`.
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start an empty buffer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Start with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed (u32) string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Take the finished buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xDEADBEEF).u64(u64::MAX - 1).string("héllo");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.string("d").unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            r.u64("field").unwrap_err(),
+            CodecError::Truncated { what: "field" }
+        );
+        // Position is unchanged after a failed read.
+        assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut w = Writer::new();
+        w.u32(2).bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            r.string("s").unwrap_err(),
+            CodecError::BadValue { what: "s" }
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Fragment readers: turning raw file bytes (or ranges of them) into a
+//! searchable [`SubjectSource`].
+
+use blast_core::alphabet::Molecule;
+use blast_core::search::SubjectSource;
+use blast_core::seq::SubjectView;
+
+use crate::codec::CodecError;
+use crate::frag::FragmentSpec;
+use crate::volume::{EncodedVolume, VolumeIndex};
+
+/// An in-memory database fragment: the unit a worker searches.
+///
+/// pioBLAST workers build this from four ranged reads of the shared files
+/// ([`FragmentData::from_ranges`] — the paper's parallel input stage);
+/// mpiBLAST workers build it from whole fragment files they copied
+/// ([`FragmentData::from_volume`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentData {
+    /// Molecule type.
+    pub molecule: Molecule,
+    /// Global ordinal id of the first sequence.
+    pub base_oid: u64,
+    /// Residue offsets rebased to this fragment's `seq` buffer
+    /// (`num_seqs + 1` entries).
+    seq_offsets: Vec<u64>,
+    /// Defline offsets rebased to `hdr`.
+    hdr_offsets: Vec<u64>,
+    /// Concatenated encoded residues.
+    seq: Vec<u8>,
+    /// Concatenated defline bytes.
+    hdr: Vec<u8>,
+}
+
+impl FragmentData {
+    /// Build from the four byte ranges named by a [`FragmentSpec`]:
+    /// slices of the `.idx` offset tables plus the `.seq`/`.hdr` ranges.
+    ///
+    /// This is the pioBLAST input path: each buffer is exactly what one
+    /// `read_at` of the shared files returns; nothing else is needed.
+    pub fn from_ranges(
+        molecule: Molecule,
+        base_oid: u64,
+        idx_seq_table: &[u8],
+        idx_hdr_table: &[u8],
+        seq: Vec<u8>,
+        hdr: Vec<u8>,
+    ) -> Result<FragmentData, CodecError> {
+        let seq_offsets = decode_rebased_table(idx_seq_table, "seq offset table")?;
+        let hdr_offsets = decode_rebased_table(idx_hdr_table, "hdr offset table")?;
+        if seq_offsets.len() != hdr_offsets.len() {
+            return Err(CodecError::BadValue {
+                what: "offset table lengths",
+            });
+        }
+        if seq_offsets.last().copied().unwrap_or(0) != seq.len() as u64
+            || hdr_offsets.last().copied().unwrap_or(0) != hdr.len() as u64
+        {
+            return Err(CodecError::BadValue {
+                what: "offset table vs data length",
+            });
+        }
+        Ok(FragmentData {
+            molecule,
+            base_oid,
+            seq_offsets,
+            hdr_offsets,
+            seq,
+            hdr,
+        })
+    }
+
+    /// Build from the raw bytes of a volume's three files, as read back
+    /// from disk (the mpiBLAST worker path: fragment files were copied to
+    /// local storage and are now loaded for searching).
+    pub fn from_file_bytes(
+        idx: &[u8],
+        seq: Vec<u8>,
+        hdr: Vec<u8>,
+    ) -> Result<FragmentData, CodecError> {
+        let index = VolumeIndex::decode(idx)?;
+        if index.seq_offsets.last().copied().unwrap_or(0) != seq.len() as u64
+            || index.hdr_offsets.last().copied().unwrap_or(0) != hdr.len() as u64
+        {
+            return Err(CodecError::BadValue {
+                what: "volume data length vs index",
+            });
+        }
+        Ok(FragmentData {
+            molecule: index.molecule,
+            base_oid: index.base_oid,
+            seq_offsets: index.seq_offsets,
+            hdr_offsets: index.hdr_offsets,
+            seq,
+            hdr,
+        })
+    }
+
+    /// Build from a whole in-memory volume (mpiBLAST fragment files, or a
+    /// serial whole-database search).
+    pub fn from_volume(vol: &EncodedVolume) -> FragmentData {
+        FragmentData {
+            molecule: vol.index.molecule,
+            base_oid: vol.index.base_oid,
+            seq_offsets: vol.index.seq_offsets.clone(),
+            hdr_offsets: vol.index.hdr_offsets.clone(),
+            seq: vol.seq.clone(),
+            hdr: vol.hdr.clone(),
+        }
+    }
+
+    /// Build by slicing a whole volume with a [`FragmentSpec`] (a virtual
+    /// fragment materialized locally — used in tests to validate the
+    /// ranged-read path against an in-memory reference).
+    pub fn from_volume_slice(vol: &EncodedVolume, spec: &FragmentSpec) -> FragmentData {
+        let first = spec.first_seq as usize;
+        let last = spec.last_seq as usize;
+        FragmentData {
+            molecule: vol.index.molecule,
+            base_oid: spec.base_oid,
+            seq_offsets: vol.index.seq_offsets[first..=last]
+                .iter()
+                .map(|&o| o - spec.seq_range.0)
+                .collect(),
+            hdr_offsets: vol.index.hdr_offsets[first..=last]
+                .iter()
+                .map(|&o| o - spec.hdr_range.0)
+                .collect(),
+            seq: vol.seq[spec.seq_range.0 as usize..spec.seq_range.1 as usize].to_vec(),
+            hdr: vol.hdr[spec.hdr_range.0 as usize..spec.hdr_range.1 as usize].to_vec(),
+        }
+    }
+
+    /// Number of sequences.
+    pub fn num_seqs(&self) -> usize {
+        self.seq_offsets.len().saturating_sub(1)
+    }
+
+    /// Total residues held.
+    pub fn total_residues(&self) -> u64 {
+        self.seq.len() as u64
+    }
+
+    /// Total bytes of all buffers (memory footprint; equals the bytes read
+    /// from the file system to build it, minus the index slices).
+    pub fn data_bytes(&self) -> u64 {
+        (self.seq.len() + self.hdr.len() + 16 * self.seq_offsets.len()) as u64
+    }
+
+    /// Residues of a subject by *global* oid.
+    pub fn residues_of(&self, oid: u32) -> Option<&[u8]> {
+        let local = (oid as u64).checked_sub(self.base_oid)? as usize;
+        if local >= self.num_seqs() {
+            return None;
+        }
+        Some(&self.seq[self.seq_offsets[local] as usize..self.seq_offsets[local + 1] as usize])
+    }
+
+    /// Defline bytes of a subject by global oid.
+    pub fn defline_of(&self, oid: u32) -> Option<&[u8]> {
+        let local = (oid as u64).checked_sub(self.base_oid)? as usize;
+        if local >= self.num_seqs() {
+            return None;
+        }
+        Some(&self.hdr[self.hdr_offsets[local] as usize..self.hdr_offsets[local + 1] as usize])
+    }
+}
+
+/// Decode a slice of the fixed-stride offset table, rebasing so the first
+/// entry is zero.
+fn decode_rebased_table(bytes: &[u8], what: &'static str) -> Result<Vec<u64>, CodecError> {
+    if bytes.len() % 8 != 0 || bytes.is_empty() {
+        return Err(CodecError::BadValue { what });
+    }
+    let base = u64::from_le_bytes(bytes[..8].try_into().expect("checked length"));
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    for chunk in bytes.chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().expect("exact chunks"));
+        if v < base {
+            return Err(CodecError::BadValue { what });
+        }
+        out.push(v - base);
+    }
+    Ok(out)
+}
+
+impl SubjectSource for FragmentData {
+    fn num_subjects(&self) -> usize {
+        self.num_seqs()
+    }
+
+    fn subject(&self, i: usize) -> SubjectView<'_> {
+        SubjectView {
+            oid: (self.base_oid + i as u64) as u32,
+            residues: &self.seq
+                [self.seq_offsets[i] as usize..self.seq_offsets[i + 1] as usize],
+            defline: &self.hdr
+                [self.hdr_offsets[i] as usize..self.hdr_offsets[i + 1] as usize],
+        }
+    }
+}
+
+/// Reconstruct a volume's full index from bytes (convenience re-export
+/// point for apps that read the whole `.idx` file).
+pub fn decode_index(idx_bytes: &[u8]) -> Result<VolumeIndex, CodecError> {
+    VolumeIndex::decode(idx_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formatdb::{format_records, FormatDbConfig};
+    use crate::frag::virtual_fragments;
+    use blast_core::seq::SeqRecord;
+
+    fn make_db() -> crate::formatdb::FormattedDb {
+        let recs: Vec<SeqRecord> = (0..6)
+            .map(|i| SeqRecord {
+                defline: format!("gi|{i}| protein number {i}"),
+                residues: (0..(10 + i * 3)).map(|j| ((i + j) % 20) as u8).collect(),
+                molecule: Molecule::Protein,
+            })
+            .collect();
+        format_records(&recs, &FormatDbConfig::protein("rdb"))
+    }
+
+    #[test]
+    fn from_volume_exposes_all_subjects() {
+        let db = make_db();
+        let frag = FragmentData::from_volume(&db.volumes[0]);
+        assert_eq!(frag.num_subjects(), 6);
+        let s = frag.subject(2);
+        assert_eq!(s.oid, 2);
+        assert_eq!(s.residues.len(), 16);
+        assert_eq!(s.defline, b"gi|2| protein number 2");
+    }
+
+    #[test]
+    fn ranged_read_path_matches_local_slice_path() {
+        let db = make_db();
+        let vol = &db.volumes[0];
+        let indexes = vec![&vol.index];
+        for n in [1, 2, 3] {
+            for spec in virtual_fragments(&indexes, n) {
+                let reference = FragmentData::from_volume_slice(vol, &spec);
+                // Simulate the four ranged reads a pioBLAST worker issues.
+                let idx_seq =
+                    &vol.idx[spec.idx_seq_range.0 as usize..spec.idx_seq_range.1 as usize];
+                let idx_hdr =
+                    &vol.idx[spec.idx_hdr_range.0 as usize..spec.idx_hdr_range.1 as usize];
+                let seq =
+                    vol.seq[spec.seq_range.0 as usize..spec.seq_range.1 as usize].to_vec();
+                let hdr =
+                    vol.hdr[spec.hdr_range.0 as usize..spec.hdr_range.1 as usize].to_vec();
+                let from_ranges = FragmentData::from_ranges(
+                    Molecule::Protein,
+                    spec.base_oid,
+                    idx_seq,
+                    idx_hdr,
+                    seq,
+                    hdr,
+                )
+                .unwrap();
+                assert_eq!(from_ranges, reference, "n = {n}, spec = {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oid_lookups_respect_base() {
+        let db = make_db();
+        let vol = &db.volumes[0];
+        let indexes = vec![&vol.index];
+        let specs = virtual_fragments(&indexes, 2);
+        let frag = FragmentData::from_volume_slice(vol, &specs[1]);
+        let first_oid = specs[1].base_oid as u32;
+        assert!(frag.residues_of(first_oid).is_some());
+        assert!(frag.residues_of(first_oid.wrapping_sub(1)).is_none());
+        assert!(frag
+            .defline_of(first_oid)
+            .unwrap()
+            .starts_with(b"gi|"));
+        let past = (specs[1].base_oid + specs[1].num_seqs()) as u32;
+        assert!(frag.residues_of(past).is_none());
+    }
+
+    #[test]
+    fn corrupted_tables_are_rejected() {
+        assert!(decode_rebased_table(&[1, 2, 3], "x").is_err());
+        assert!(decode_rebased_table(&[], "x").is_err());
+        // Decreasing offsets are invalid.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&10u64.to_le_bytes());
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        assert!(decode_rebased_table(&bytes, "x").is_err());
+    }
+
+    #[test]
+    fn mismatched_data_length_is_rejected() {
+        let db = make_db();
+        let vol = &db.volumes[0];
+        let spec = virtual_fragments(&[&vol.index], 1)[0];
+        let idx_seq = &vol.idx[spec.idx_seq_range.0 as usize..spec.idx_seq_range.1 as usize];
+        let idx_hdr = &vol.idx[spec.idx_hdr_range.0 as usize..spec.idx_hdr_range.1 as usize];
+        let result = FragmentData::from_ranges(
+            Molecule::Protein,
+            0,
+            idx_seq,
+            idx_hdr,
+            vec![0u8; 3], // wrong length
+            vol.hdr.clone(),
+        );
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! The formatted-database volume layout.
+//!
+//! A *volume* is one indexed chunk of a database, stored as three files
+//! (mirroring formatdb's `.pin`/`.psq`/`.phr` triple):
+//!
+//! * `<name>.idx` — header (magic, molecule, title, statistics) followed by
+//!   two fixed-stride offset tables: sequence offsets into `.seq` and
+//!   defline offsets into `.hdr`. Fixed stride is the property pioBLAST's
+//!   dynamic partitioning depends on: the byte range of any sequence
+//!   interval's index entries is computable without reading the file.
+//! * `<name>.seq` — concatenated encoded residues.
+//! * `<name>.hdr` — concatenated defline bytes.
+//!
+//! Databases larger than a volume cap are split into `name.00`, `name.01`,
+//! ... with a text alias file `<name>.al` naming the volumes (formatdb's
+//! `.pal`). All encode/decode works on in-memory byte buffers so volumes
+//! can live on the simulated cluster file system or the host file system
+//! alike.
+
+use blast_core::alphabet::Molecule;
+use blast_core::stats::DbStats;
+
+use crate::codec::{CodecError, Reader, Writer};
+
+/// Magic bytes opening every `.idx` file.
+pub const IDX_MAGIC: &[u8; 8] = b"PIOBDB1\0";
+
+/// File-name extensions of the volume triple.
+pub const EXT_IDX: &str = "idx";
+/// Sequence-file extension.
+pub const EXT_SEQ: &str = "seq";
+/// Header-file extension.
+pub const EXT_HDR: &str = "hdr";
+/// Alias-file extension.
+pub const EXT_ALIAS: &str = "al";
+
+/// Parsed contents of a volume's `.idx` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeIndex {
+    /// Molecule type of the residues in `.seq`.
+    pub molecule: Molecule,
+    /// Database title.
+    pub title: String,
+    /// Ordinal id (within the whole database) of this volume's first
+    /// sequence.
+    pub base_oid: u64,
+    /// Statistics of this volume only.
+    pub volume_stats: DbStats,
+    /// Statistics of the whole database (all volumes), so any single
+    /// volume suffices to compute global E-values.
+    pub global_stats: DbStats,
+    /// `seq_offsets[i]..seq_offsets[i+1]` is sequence `i`'s byte range in
+    /// `.seq` (local oid `i`; `num_seqs + 1` entries).
+    pub seq_offsets: Vec<u64>,
+    /// Same for deflines in `.hdr`.
+    pub hdr_offsets: Vec<u64>,
+}
+
+impl VolumeIndex {
+    /// Number of sequences in this volume.
+    pub fn num_seqs(&self) -> usize {
+        self.seq_offsets.len().saturating_sub(1)
+    }
+
+    /// Length in residues of local sequence `i`.
+    pub fn seq_len(&self, i: usize) -> u64 {
+        self.seq_offsets[i + 1] - self.seq_offsets[i]
+    }
+
+    /// Serialize to `.idx` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64 + 16 * self.seq_offsets.len());
+        w.bytes(IDX_MAGIC);
+        w.u8(self.molecule.tag());
+        w.bytes(&[0u8; 3]); // pad to a 4-byte boundary
+        w.string(&self.title);
+        w.u64(self.base_oid);
+        w.u64(self.volume_stats.num_sequences);
+        w.u64(self.volume_stats.total_residues);
+        w.u64(self.global_stats.num_sequences);
+        w.u64(self.global_stats.total_residues);
+        w.u64(self.seq_offsets.len() as u64);
+        for &o in &self.seq_offsets {
+            w.u64(o);
+        }
+        for &o in &self.hdr_offsets {
+            w.u64(o);
+        }
+        w.finish()
+    }
+
+    /// Parse `.idx` bytes.
+    pub fn decode(buf: &[u8]) -> Result<VolumeIndex, CodecError> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes(8, "idx magic")?;
+        if magic != IDX_MAGIC {
+            return Err(CodecError::BadValue { what: "idx magic" });
+        }
+        let tag = r.u8("molecule tag")?;
+        let molecule =
+            Molecule::from_tag(tag).ok_or(CodecError::BadValue { what: "molecule tag" })?;
+        r.bytes(3, "pad")?;
+        let title = r.string("title")?;
+        let base_oid = r.u64("base oid")?;
+        let volume_stats = DbStats {
+            num_sequences: r.u64("volume num_seqs")?,
+            total_residues: r.u64("volume residues")?,
+        };
+        let global_stats = DbStats {
+            num_sequences: r.u64("global num_seqs")?,
+            total_residues: r.u64("global residues")?,
+        };
+        let n = r.u64("offset count")? as usize;
+        let mut seq_offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            seq_offsets.push(r.u64("seq offset")?);
+        }
+        let mut hdr_offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            hdr_offsets.push(r.u64("hdr offset")?);
+        }
+        Ok(VolumeIndex {
+            molecule,
+            title,
+            base_oid,
+            volume_stats,
+            global_stats,
+            seq_offsets,
+            hdr_offsets,
+        })
+    }
+
+    /// Byte offset, within the `.idx` file, where the sequence-offset
+    /// table begins. Entries are 8 bytes each, so entry `i` lives at
+    /// `seq_table_start() + 8*i`. This is what lets a worker read just its
+    /// fragment's slice of the index with a ranged read.
+    pub fn seq_table_start(&self) -> u64 {
+        // magic(8) + tag(1) + pad(3) + title(4 + len) + 5×u64 stats/base +
+        // count(8)
+        (8 + 4 + 4 + self.title.len() + 5 * 8 + 8) as u64
+    }
+
+    /// Byte offset of the header-offset table.
+    pub fn hdr_table_start(&self) -> u64 {
+        self.seq_table_start() + 8 * self.seq_offsets.len() as u64
+    }
+}
+
+/// The three files of an encoded volume, plus its parsed index.
+#[derive(Debug, Clone)]
+pub struct EncodedVolume {
+    /// Volume base name, e.g. `nr-sim.00`.
+    pub name: String,
+    /// `.idx` bytes.
+    pub idx: Vec<u8>,
+    /// `.seq` bytes.
+    pub seq: Vec<u8>,
+    /// `.hdr` bytes.
+    pub hdr: Vec<u8>,
+    /// The index these bytes encode.
+    pub index: VolumeIndex,
+}
+
+impl EncodedVolume {
+    /// The `(file name, contents)` pairs of this volume.
+    pub fn files(&self) -> [(String, &[u8]); 3] {
+        [
+            (format!("{}.{}", self.name, EXT_IDX), &self.idx[..]),
+            (format!("{}.{}", self.name, EXT_SEQ), &self.seq[..]),
+            (format!("{}.{}", self.name, EXT_HDR), &self.hdr[..]),
+        ]
+    }
+}
+
+/// The alias file describing a multi-volume database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasFile {
+    /// Database title.
+    pub title: String,
+    /// Molecule type.
+    pub molecule: Molecule,
+    /// Volume base names, in oid order.
+    pub volumes: Vec<String>,
+    /// Whole-database statistics.
+    pub global_stats: DbStats,
+}
+
+impl AliasFile {
+    /// Render the text form (a formatdb-like key/value file).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut s = String::new();
+        s.push_str("# pioblast-rs database alias\n");
+        s.push_str(&format!("TITLE {}\n", self.title));
+        s.push_str(&format!("MOLECULE {}\n", self.molecule.tag() as char));
+        s.push_str(&format!("NSEQ {}\n", self.global_stats.num_sequences));
+        s.push_str(&format!("LENGTH {}\n", self.global_stats.total_residues));
+        s.push_str(&format!("DBLIST {}\n", self.volumes.join(" ")));
+        s.into_bytes()
+    }
+
+    /// Parse the text form.
+    pub fn decode(buf: &[u8]) -> Result<AliasFile, CodecError> {
+        let text =
+            std::str::from_utf8(buf).map_err(|_| CodecError::BadValue { what: "alias utf8" })?;
+        let mut title = None;
+        let mut molecule = None;
+        let mut nseq = None;
+        let mut length = None;
+        let mut volumes = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(' ') else {
+                continue;
+            };
+            match key {
+                "TITLE" => title = Some(value.to_string()),
+                "MOLECULE" => {
+                    molecule = Molecule::from_tag(value.as_bytes().first().copied().unwrap_or(0))
+                }
+                "NSEQ" => {
+                    nseq = Some(value.parse::<u64>().map_err(|_| CodecError::BadValue {
+                        what: "alias NSEQ",
+                    })?)
+                }
+                "LENGTH" => {
+                    length = Some(value.parse::<u64>().map_err(|_| CodecError::BadValue {
+                        what: "alias LENGTH",
+                    })?)
+                }
+                "DBLIST" => volumes = value.split_whitespace().map(String::from).collect(),
+                _ => {}
+            }
+        }
+        Ok(AliasFile {
+            title: title.ok_or(CodecError::BadValue { what: "alias TITLE" })?,
+            molecule: molecule.ok_or(CodecError::BadValue {
+                what: "alias MOLECULE",
+            })?,
+            volumes,
+            global_stats: DbStats {
+                num_sequences: nseq.ok_or(CodecError::BadValue { what: "alias NSEQ" })?,
+                total_residues: length.ok_or(CodecError::BadValue {
+                    what: "alias LENGTH",
+                })?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> VolumeIndex {
+        VolumeIndex {
+            molecule: Molecule::Protein,
+            title: "nr-sim".to_string(),
+            base_oid: 100,
+            volume_stats: DbStats {
+                num_sequences: 3,
+                total_residues: 30,
+            },
+            global_stats: DbStats {
+                num_sequences: 10,
+                total_residues: 100,
+            },
+            seq_offsets: vec![0, 10, 22, 30],
+            hdr_offsets: vec![0, 5, 11, 20],
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let idx = sample_index();
+        let bytes = idx.encode();
+        let back = VolumeIndex::decode(&bytes).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn table_starts_are_correct() {
+        let idx = sample_index();
+        let bytes = idx.encode();
+        let s = idx.seq_table_start() as usize;
+        // Entry 0 of the sequence table must decode to seq_offsets[0].
+        let v = u64::from_le_bytes(bytes[s..s + 8].try_into().unwrap());
+        assert_eq!(v, 0);
+        let v = u64::from_le_bytes(bytes[s + 8..s + 16].try_into().unwrap());
+        assert_eq!(v, 10);
+        let h = idx.hdr_table_start() as usize;
+        let v = u64::from_le_bytes(bytes[h + 8..h + 16].try_into().unwrap());
+        assert_eq!(v, 5);
+        // The header table ends exactly at the file end.
+        assert_eq!(h + 8 * idx.hdr_offsets.len(), bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_index().encode();
+        bytes[0] = b'X';
+        assert!(VolumeIndex::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_index_is_rejected() {
+        let bytes = sample_index().encode();
+        assert!(VolumeIndex::decode(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn seq_len_uses_offsets() {
+        let idx = sample_index();
+        assert_eq!(idx.num_seqs(), 3);
+        assert_eq!(idx.seq_len(0), 10);
+        assert_eq!(idx.seq_len(1), 12);
+        assert_eq!(idx.seq_len(2), 8);
+    }
+
+    #[test]
+    fn alias_round_trips() {
+        let alias = AliasFile {
+            title: "nt-sim".to_string(),
+            molecule: Molecule::Dna,
+            volumes: vec!["nt-sim.00".into(), "nt-sim.01".into()],
+            global_stats: DbStats {
+                num_sequences: 42,
+                total_residues: 12345,
+            },
+        };
+        let bytes = alias.encode();
+        assert_eq!(AliasFile::decode(&bytes).unwrap(), alias);
+    }
+
+    #[test]
+    fn alias_with_missing_fields_is_rejected() {
+        assert!(AliasFile::decode(b"TITLE x\n").is_err());
+        assert!(AliasFile::decode(b"# nothing\n").is_err());
+    }
+}

@@ -1,0 +1,804 @@
+//! The discrete-event engine and rank runtime.
+//!
+//! Each simulated MPI rank runs as a real OS thread, but the engine
+//! coschedules them so *exactly one* thread is ever runnable: the
+//! scheduler pops the earliest event, resumes its target rank, and waits
+//! for that rank to block again (on a timer, a message receive, or a
+//! service-managed wake such as a file-system transfer). Virtual time
+//! advances only between events, so 64 simulated ranks scale perfectly in
+//! virtual time on any host.
+//!
+//! Because only one thread runs at a time, a rank can execute *real*
+//! computation (e.g. an actual BLAST fragment search) and charge its
+//! measured wall time to the virtual clock ([`RankCtx::run_measured`]) —
+//! the mechanism the benchmark harnesses use to get honest compute costs
+//! inside the simulation.
+//!
+//! Services (like the simulated file system in the `parafs` crate) get a
+//! [`SimHandle`] that can schedule and cancel wakes for blocked ranks,
+//! which is what lets a processor-sharing bandwidth model retime pending
+//! transfers whenever contention changes.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled wake, used to cancel or replace it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WakeId(u64);
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Virtual time the message arrived at the receiver.
+    pub arrival: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Blocked,
+    Running,
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedMsg {
+    src: usize,
+    tag: u64,
+    payload: Bytes,
+    arrival: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Filter {
+    src: Option<usize>,
+    tag: Option<u64>,
+}
+
+impl Filter {
+    fn matches(&self, m: &QueuedMsg) -> bool {
+        self.src.is_none_or(|s| s == m.src) && self.tag.is_none_or(|t| t == m.tag)
+    }
+}
+
+/// Aggregate engine statistics reported at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Messages posted.
+    pub messages: u64,
+    /// Payload bytes posted.
+    pub message_bytes: u64,
+    /// Events processed by the scheduler.
+    pub events: u64,
+}
+
+struct EngineState {
+    clock: u64,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>, // (time, gen)
+    wake_target: HashMap<u64, usize>,
+    status: Vec<Status>,
+    mailboxes: Vec<Vec<QueuedMsg>>,
+    recv_filter: Vec<Option<Filter>>,
+    recv_wakes: Vec<Vec<u64>>,
+    next_gen: u64,
+    next_seq: u64,
+    stats: EngineStats,
+}
+
+impl EngineState {
+    fn schedule(&mut self, rank: usize, time: u64) -> WakeId {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.heap.push(std::cmp::Reverse((time, gen)));
+        self.wake_target.insert(gen, rank);
+        WakeId(gen)
+    }
+
+    fn cancel(&mut self, id: WakeId) {
+        self.wake_target.remove(&id.0);
+    }
+}
+
+/// Per-rank resume gate. A gate can be signalled to run once, or put into
+/// shutdown mode (after a scheduler panic) so parked rank threads unwind
+/// instead of blocking `thread::scope` forever.
+struct Gate {
+    flag: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum GateState {
+    Parked,
+    Run,
+    Shutdown,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            flag: Mutex::new(GateState::Parked),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resume(&self) {
+        let mut f = self.flag.lock();
+        if *f != GateState::Shutdown {
+            *f = GateState::Run;
+        }
+        self.cv.notify_one();
+    }
+
+    fn shutdown(&self) {
+        let mut f = self.flag.lock();
+        *f = GateState::Shutdown;
+        self.cv.notify_one();
+    }
+
+    /// Park until resumed; panics (to unwind the rank body) on shutdown.
+    fn wait(&self) {
+        let mut f = self.flag.lock();
+        while *f == GateState::Parked {
+            self.cv.wait(&mut f);
+        }
+        match *f {
+            GateState::Run => *f = GateState::Parked,
+            GateState::Shutdown => {
+                drop(f);
+                std::panic::panic_any(SimAborted);
+            }
+            GateState::Parked => unreachable!(),
+        }
+    }
+}
+
+/// Panic payload used to unwind rank threads when the scheduler aborts.
+struct SimAborted;
+
+enum YieldMsg {
+    Blocked(usize),
+    Finished(usize),
+    Panicked(usize, String),
+}
+
+struct Inner {
+    state: Mutex<EngineState>,
+    gates: Vec<Gate>,
+    yield_tx: Sender<YieldMsg>,
+    yield_rx: Receiver<YieldMsg>,
+}
+
+/// A simulated cluster, fixed at `nranks` ranks.
+pub struct Sim {
+    inner: Arc<Inner>,
+    nranks: usize,
+}
+
+/// The result of a completed simulation.
+#[derive(Debug)]
+pub struct SimOutcome<R> {
+    /// Per-rank return values of the rank body.
+    pub outputs: Vec<R>,
+    /// Virtual time when the last rank finished.
+    pub elapsed: SimTime,
+    /// Engine counters.
+    pub stats: EngineStats,
+}
+
+impl Sim {
+    /// Create a simulation with `nranks` ranks.
+    pub fn new(nranks: usize) -> Sim {
+        assert!(nranks > 0, "need at least one rank");
+        let (yield_tx, yield_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            state: Mutex::new(EngineState {
+                clock: 0,
+                heap: BinaryHeap::new(),
+                wake_target: HashMap::new(),
+                status: vec![Status::Blocked; nranks],
+                mailboxes: vec![Vec::new(); nranks],
+                recv_filter: vec![None; nranks],
+                recv_wakes: vec![Vec::new(); nranks],
+                next_gen: 0,
+                next_seq: 0,
+                stats: EngineStats::default(),
+            }),
+            gates: (0..nranks).map(|_| Gate::new()).collect(),
+            yield_tx,
+            yield_rx,
+        });
+        Sim { inner, nranks }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// A handle for services (file systems, etc.) created before `run`.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Run the simulation: every rank executes `body`, and the call
+    /// returns when all ranks have finished.
+    ///
+    /// # Panics
+    /// Panics if any rank body panics, or on deadlock (no runnable rank
+    /// and no pending event while unfinished ranks remain).
+    pub fn run<R, F>(self, body: F) -> SimOutcome<R>
+    where
+        R: Send,
+        F: Fn(RankCtx) -> R + Sync,
+    {
+        let n = self.nranks;
+        let inner = &self.inner;
+        // Seed: every rank wakes at t = 0.
+        {
+            let mut st = inner.state.lock();
+            for r in 0..n {
+                st.schedule(r, 0);
+            }
+        }
+        let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let body = &body;
+        let outputs_ref = &outputs;
+
+        std::thread::scope(|scope| {
+            for rank in 0..n {
+                let inner = Arc::clone(inner);
+                scope.spawn(move || {
+                    inner.gates[rank].wait();
+                    let ctx = RankCtx {
+                        inner: Arc::clone(&inner),
+                        rank,
+                        nranks: n,
+                    };
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                    match result {
+                        Ok(out) => {
+                            *outputs_ref[rank].lock() = Some(out);
+                            let _ = inner.yield_tx.send(YieldMsg::Finished(rank));
+                        }
+                        Err(payload) if payload.is::<SimAborted>() => {
+                            // The scheduler is tearing the run down; exit
+                            // quietly so thread::scope can join.
+                        }
+                        Err(payload) => {
+                            // `&*payload`: downcast the payload itself, not the Box.
+                            let msg = panic_message(&*payload);
+                            let _ = inner.yield_tx.send(YieldMsg::Panicked(rank, msg));
+                        }
+                    }
+                });
+            }
+
+            // Scheduler loop (runs on the calling thread). On any fatal
+            // condition, shut all gates down first so parked rank threads
+            // unwind and thread::scope can join before the panic.
+            let abort = |message: String| -> ! {
+                for g in &inner.gates {
+                    g.shutdown();
+                }
+                panic!("{message}");
+            };
+            let mut finished = 0usize;
+            while finished < n {
+                let rank = {
+                    let mut st = inner.state.lock();
+                    loop {
+                        match st.heap.pop() {
+                            Some(std::cmp::Reverse((time, gen))) => {
+                                if let Some(rank) = st.wake_target.remove(&gen) {
+                                    if st.status[rank] == Status::Finished {
+                                        continue; // stale wake for a finished rank
+                                    }
+                                    st.stats.events += 1;
+                                    st.clock = st.clock.max(time);
+                                    st.status[rank] = Status::Running;
+                                    break Ok(rank);
+                                }
+                                // canceled wake
+                            }
+                            None => {
+                                let blocked: Vec<usize> = st
+                                    .status
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, s)| **s != Status::Finished)
+                                    .map(|(r, _)| r)
+                                    .collect();
+                                break Err(format!(
+                                    "simcluster deadlock at {}: ranks {blocked:?} blocked with no pending events",
+                                    SimTime(st.clock)
+                                ));
+                            }
+                        }
+                    }
+                };
+                let rank = match rank {
+                    Ok(r) => r,
+                    Err(msg) => abort(msg),
+                };
+                inner.gates[rank].resume();
+                match inner.yield_rx.recv().expect("rank threads outlive scheduler") {
+                    YieldMsg::Blocked(r) => {
+                        let mut st = inner.state.lock();
+                        st.status[r] = Status::Blocked;
+                    }
+                    YieldMsg::Finished(r) => {
+                        let mut st = inner.state.lock();
+                        st.status[r] = Status::Finished;
+                        finished += 1;
+                    }
+                    YieldMsg::Panicked(r, msg) => {
+                        abort(format!("rank {r} panicked: {msg}"));
+                    }
+                }
+            }
+        });
+
+        let st = inner.state.lock();
+        SimOutcome {
+            outputs: outputs
+                .iter()
+                .map(|m| m.lock().take().expect("all ranks finished"))
+                .collect(),
+            elapsed: SimTime(st.clock),
+            stats: st.stats,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A cloneable handle for services that schedule wakes and post messages.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Arc<Inner>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.state.lock().clock)
+    }
+
+    /// Schedule `rank` to wake at `time` (must not be in the past).
+    pub fn schedule_wake(&self, rank: usize, time: SimTime) -> WakeId {
+        let mut st = self.inner.state.lock();
+        let t = time.0.max(st.clock);
+        st.schedule(rank, t)
+    }
+
+    /// Cancel a previously scheduled wake (no-op if already fired).
+    pub fn cancel_wake(&self, id: WakeId) {
+        self.inner.state.lock().cancel(id);
+    }
+
+    /// Post a message from `src` to `dst`, arriving `delay` from now.
+    pub fn post(&self, src: usize, dst: usize, tag: u64, payload: Bytes, delay: SimDuration) {
+        let mut st = self.inner.state.lock();
+        let arrival = st.clock + delay.0;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.stats.messages += 1;
+        st.stats.message_bytes += payload.len() as u64;
+        let msg = QueuedMsg {
+            src,
+            tag,
+            payload,
+            arrival,
+            seq,
+        };
+        let wake = match &st.recv_filter[dst] {
+            Some(f) if f.matches(&msg) => true,
+            _ => false,
+        };
+        st.mailboxes[dst].push(msg);
+        if wake {
+            let gen = st.schedule(dst, arrival);
+            st.recv_wakes[dst].push(gen.0);
+        }
+    }
+}
+
+/// The per-rank API handed to a rank body.
+pub struct RankCtx {
+    inner: Arc<Inner>,
+    rank: usize,
+    nranks: usize,
+}
+
+impl RankCtx {
+    /// This rank's id, `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total rank count.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.state.lock().clock)
+    }
+
+    /// A service handle sharing this simulation.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Yield to the scheduler and block until some wake fires for this
+    /// rank. The caller must have arranged a wake (or be a service's
+    /// registered waiter), or the run will deadlock-panic.
+    pub fn wait_woken(&self) {
+        let _ = self
+            .inner
+            .yield_tx
+            .send(YieldMsg::Blocked(self.rank));
+        self.inner.gates[self.rank].wait();
+    }
+
+    /// Advance this rank's virtual time by `d` (a pure compute charge).
+    pub fn charge(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let target = {
+            let mut st = self.inner.state.lock();
+            let t = st.clock + d.0;
+            st.schedule(self.rank, t);
+            t
+        };
+        loop {
+            self.wait_woken();
+            if self.inner.state.lock().clock >= target {
+                return;
+            }
+            // Spurious wake: re-arm.
+            let mut st = self.inner.state.lock();
+            st.schedule(self.rank, target);
+        }
+    }
+
+    /// Run real code and charge its measured wall time (scaled by
+    /// `scale`) to the virtual clock. Only one rank thread runs at a
+    /// time, so the measurement is not polluted by sibling ranks.
+    pub fn run_measured<T>(&self, scale: f64, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64() * scale;
+        self.charge(SimDuration::from_secs_f64(elapsed));
+        out
+    }
+
+    /// Post a message to `dst` arriving after `delay`. This is the raw
+    /// primitive; the `mpisim` crate layers send-side occupancy and
+    /// latency/bandwidth models over it.
+    pub fn post(&self, dst: usize, tag: u64, payload: Bytes, delay: SimDuration) {
+        self.handle().post(self.rank, dst, tag, payload, delay);
+    }
+
+    /// Receive the earliest message matching the optional source and tag
+    /// filters, blocking in virtual time until one arrives.
+    pub fn recv(&self, src: Option<usize>, tag: Option<u64>) -> Message {
+        let filter = Filter { src, tag };
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                // Earliest matching message by (arrival, seq).
+                let best = st.mailboxes[self.rank]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| filter.matches(m))
+                    .min_by_key(|(_, m)| (m.arrival, m.seq))
+                    .map(|(i, m)| (i, m.arrival));
+                match best {
+                    Some((i, arrival)) if arrival <= st.clock => {
+                        let m = st.mailboxes[self.rank].remove(i);
+                        st.recv_filter[self.rank] = None;
+                        let stale: Vec<u64> = st.recv_wakes[self.rank].drain(..).collect();
+                        for gen in stale {
+                            st.cancel(WakeId(gen));
+                        }
+                        return Message {
+                            src: m.src,
+                            tag: m.tag,
+                            payload: m.payload,
+                            arrival: SimTime(m.arrival),
+                        };
+                    }
+                    Some((_, arrival)) => {
+                        // In flight: wake when it lands.
+                        let gen = st.schedule(self.rank, arrival);
+                        st.recv_wakes[self.rank].push(gen.0);
+                        st.recv_filter[self.rank] = Some(filter);
+                    }
+                    None => {
+                        st.recv_filter[self.rank] = Some(filter);
+                    }
+                }
+            }
+            self.wait_woken();
+        }
+    }
+
+    /// Non-blocking receive: the earliest already-arrived matching
+    /// message, if any.
+    pub fn try_recv(&self, src: Option<usize>, tag: Option<u64>) -> Option<Message> {
+        let filter = Filter { src, tag };
+        let mut st = self.inner.state.lock();
+        let clock = st.clock;
+        let best = st.mailboxes[self.rank]
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| filter.matches(m) && m.arrival <= clock)
+            .min_by_key(|(_, m)| (m.arrival, m.seq))
+            .map(|(i, _)| i);
+        best.map(|i| {
+            let m = st.mailboxes[self.rank].remove(i);
+            Message {
+                src: m.src,
+                tag: m.tag,
+                payload: m.payload,
+                arrival: SimTime(m.arrival),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_charges() {
+        let sim = Sim::new(2);
+        let out = sim.run(|ctx| {
+            ctx.charge(SimDuration::from_secs(ctx.rank() as u64 + 1));
+            ctx.now()
+        });
+        assert_eq!(out.outputs[0], SimTime(1_000_000_000));
+        assert_eq!(out.outputs[1], SimTime(2_000_000_000));
+        assert_eq!(out.elapsed, SimTime(2_000_000_000));
+    }
+
+    #[test]
+    fn ping_pong_accumulates_latency() {
+        let sim = Sim::new(2);
+        let lat = SimDuration::from_micros(50);
+        let out = sim.run(move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.post(1, 1, Bytes::from_static(b"ping"), lat);
+                let m = ctx.recv(Some(1), Some(2));
+                assert_eq!(&m.payload[..], b"pong");
+                ctx.now()
+            } else {
+                let m = ctx.recv(Some(0), Some(1));
+                assert_eq!(&m.payload[..], b"ping");
+                assert_eq!(m.arrival, SimTime(50_000));
+                ctx.post(0, 2, Bytes::from_static(b"pong"), lat);
+                ctx.now()
+            }
+        });
+        // Rank 0 received the pong at 100 us.
+        assert_eq!(out.outputs[0], SimTime(100_000));
+        assert_eq!(out.stats.messages, 2);
+        assert_eq!(out.stats.message_bytes, 8);
+    }
+
+    #[test]
+    fn recv_any_source_takes_earliest_arrival() {
+        let sim = Sim::new(3);
+        let out = sim.run(|ctx| {
+            match ctx.rank() {
+                0 => {
+                    // Wait so both messages are posted first.
+                    let a = ctx.recv(None, None);
+                    let b = ctx.recv(None, None);
+                    vec![(a.src, a.arrival), (b.src, b.arrival)]
+                }
+                1 => {
+                    ctx.post(0, 9, Bytes::from_static(b"slow"), SimDuration::from_millis(10));
+                    Vec::new()
+                }
+                2 => {
+                    ctx.post(0, 9, Bytes::from_static(b"fast"), SimDuration::from_millis(2));
+                    Vec::new()
+                }
+                _ => unreachable!(),
+            }
+        });
+        let got = &out.outputs[0];
+        assert_eq!(got[0].0, 2, "earlier arrival wins");
+        assert_eq!(got[0].1, SimTime(2_000_000));
+        assert_eq!(got[1].0, 1);
+        assert_eq!(got[1].1, SimTime(10_000_000));
+    }
+
+    #[test]
+    fn tag_filters_select_messages() {
+        let sim = Sim::new(2);
+        let out = sim.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.post(1, 7, Bytes::from_static(b"seven"), SimDuration::ZERO);
+                ctx.post(1, 8, Bytes::from_static(b"eight"), SimDuration::ZERO);
+                String::new()
+            } else {
+                // Receive tag 8 first even though 7 arrived first.
+                let m8 = ctx.recv(None, Some(8));
+                let m7 = ctx.recv(None, Some(7));
+                format!(
+                    "{}-{}",
+                    String::from_utf8_lossy(&m8.payload),
+                    String::from_utf8_lossy(&m7.payload)
+                )
+            }
+        });
+        assert_eq!(out.outputs[1], "eight-seven");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let sim = Sim::new(8);
+            let out = sim.run(|ctx| {
+                // All-to-one with per-rank delays, then a reply storm.
+                if ctx.rank() == 0 {
+                    let mut order = Vec::new();
+                    for _ in 1..8 {
+                        let m = ctx.recv(None, None);
+                        order.push((m.src, m.arrival.0));
+                    }
+                    order
+                } else {
+                    ctx.charge(SimDuration::from_micros((ctx.rank() * 13 % 5) as u64));
+                    ctx.post(
+                        0,
+                        1,
+                        Bytes::from(vec![ctx.rank() as u8]),
+                        SimDuration::from_micros(10),
+                    );
+                    Vec::new()
+                }
+            });
+            (out.outputs, out.elapsed, out.stats)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn service_wakes_and_cancels() {
+        let sim = Sim::new(2);
+        let handle = sim.handle();
+        let out = sim.run(move |ctx| {
+            if ctx.rank() == 0 {
+                // Rank 1 arranged our wake at 5 ms; a canceled earlier wake
+                // at 1 ms must not fire.
+                ctx.recv(Some(1), Some(0)); // sync: wait for arrangement
+                ctx.wait_woken();
+                ctx.now()
+            } else {
+                let early = handle.schedule_wake(0, SimTime(1_000_000));
+                handle.cancel_wake(early);
+                handle.schedule_wake(0, SimTime(5_000_000));
+                ctx.post(0, 0, Bytes::new(), SimDuration::ZERO);
+                ctx.now()
+            }
+        });
+        assert_eq!(out.outputs[0], SimTime(5_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Sim::new(2);
+        sim.run(|ctx| {
+            if ctx.rank() == 0 {
+                // Waits forever: rank 1 never sends.
+                ctx.recv(Some(1), None);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked: boom")]
+    fn rank_panic_propagates() {
+        let sim = Sim::new(2);
+        sim.run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.charge(SimDuration::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn measured_compute_advances_clock() {
+        let sim = Sim::new(1);
+        let out = sim.run(|ctx| {
+            let v = ctx.run_measured(1.0, || {
+                // Busy work that takes measurable time.
+                let mut acc = 0u64;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                acc
+            });
+            let _ = v;
+            ctx.now()
+        });
+        assert!(out.outputs[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sixty_four_ranks_all_to_all_completes() {
+        let sim = Sim::new(64);
+        let out = sim.run(|ctx| {
+            let me = ctx.rank();
+            for dst in 0..ctx.nranks() {
+                if dst != me {
+                    ctx.post(dst, 1, Bytes::from(vec![me as u8]), SimDuration::from_micros(5));
+                }
+            }
+            let mut sum = 0u64;
+            for _ in 0..ctx.nranks() - 1 {
+                let m = ctx.recv(None, Some(1));
+                sum += m.payload[0] as u64;
+            }
+            sum
+        });
+        let expect: u64 = (0..64).sum();
+        for (r, s) in out.outputs.iter().enumerate() {
+            assert_eq!(*s, expect - r as u64);
+        }
+        assert_eq!(out.stats.messages, 64 * 63);
+    }
+
+    #[test]
+    fn try_recv_sees_only_arrived() {
+        let sim = Sim::new(2);
+        let out = sim.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.post(1, 1, Bytes::from_static(b"x"), SimDuration::from_millis(5));
+                true
+            } else {
+                // Nothing arrived yet at t=0.
+                let before = ctx.try_recv(None, None).is_none();
+                ctx.charge(SimDuration::from_millis(10));
+                let after = ctx.try_recv(None, None).is_some();
+                before && after
+            }
+        });
+        assert!(out.outputs[1]);
+    }
+}

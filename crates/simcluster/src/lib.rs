@@ -1,0 +1,28 @@
+//! # simcluster
+//!
+//! A deterministic discrete-event simulator for a message-passing cluster
+//! — the substitute for the SGI Altix and the IBM blade cluster the paper
+//! ran on.
+//!
+//! Every simulated MPI rank is an OS thread coscheduled by the [`engine`]
+//! so exactly one thread runs at a time against a shared virtual clock.
+//! Communication and I/O charge *modeled* time; computation can charge
+//! either modeled time ([`engine::RankCtx::charge`]) or the *measured*
+//! wall time of real code ([`engine::RankCtx::run_measured`]), which is
+//! how the benchmark harnesses embed genuine BLAST searches in simulated
+//! 64-rank runs.
+//!
+//! Services built on the [`engine::SimHandle`] (the `parafs` file system,
+//! the `mpisim` communication layer) can schedule and cancel wakes for
+//! blocked ranks, enabling contention models that retime pending
+//! operations as load changes.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod time;
+
+pub use engine::{Message, RankCtx, Sim, SimHandle, SimOutcome, WakeId};
+pub use metrics::PhaseTimes;
+pub use time::{SimDuration, SimTime};

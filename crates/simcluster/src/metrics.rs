@@ -1,0 +1,131 @@
+//! Per-rank phase timing, the currency of every figure in the paper.
+//!
+//! Rank bodies wrap their stages (`copy`, `input`, `search`, `output`,
+//! `other`) in [`PhaseTimes::timed`] and return the table; harnesses merge
+//! tables across ranks and print the breakdowns of Table 1 / Figures 1-4.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulated virtual time per named phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    phases: BTreeMap<String, SimDuration>,
+}
+
+impl PhaseTimes {
+    /// An empty table.
+    pub fn new() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    /// Add `d` to `phase`.
+    pub fn add(&mut self, phase: &str, d: SimDuration) {
+        *self.phases.entry(phase.to_string()).or_default() += d;
+    }
+
+    /// Time accumulated in `phase` (zero if never recorded).
+    pub fn get(&self, phase: &str) -> SimDuration {
+        self.phases.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> SimDuration {
+        self.phases.values().fold(SimDuration::ZERO, |a, &b| a + b)
+    }
+
+    /// Iterate `(phase, duration)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SimDuration)> {
+        self.phases.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another table into this one (summing shared phases).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (k, &v) in &other.phases {
+            *self.phases.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// Pointwise maximum with another table — the "slowest rank" view
+    /// used when phases run concurrently across ranks.
+    pub fn max_merge(&mut self, other: &PhaseTimes) {
+        for (k, &v) in &other.phases {
+            let e = self.phases.entry(k.clone()).or_default();
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// Time a closure with a virtual clock sampled before and after, and
+    /// record it under `phase`. `now` supplies the current virtual time.
+    pub fn timed<T>(
+        &mut self,
+        phase: &str,
+        now: impl Fn() -> SimTime,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let start = now();
+        let out = f();
+        self.add(phase, now() - start);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut p = PhaseTimes::new();
+        p.add("search", SimDuration::from_secs(2));
+        p.add("search", SimDuration::from_secs(3));
+        p.add("output", SimDuration::from_secs(1));
+        assert_eq!(p.get("search"), SimDuration::from_secs(5));
+        assert_eq!(p.get("missing"), SimDuration::ZERO);
+        assert_eq!(p.total(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn merge_sums_and_max_merge_maxes() {
+        let mut a = PhaseTimes::new();
+        a.add("x", SimDuration::from_secs(2));
+        let mut b = PhaseTimes::new();
+        b.add("x", SimDuration::from_secs(3));
+        b.add("y", SimDuration::from_secs(1));
+        let mut sum = a.clone();
+        sum.merge(&b);
+        assert_eq!(sum.get("x"), SimDuration::from_secs(5));
+        assert_eq!(sum.get("y"), SimDuration::from_secs(1));
+        a.max_merge(&b);
+        assert_eq!(a.get("x"), SimDuration::from_secs(3));
+        assert_eq!(a.get("y"), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn timed_records_elapsed() {
+        let mut p = PhaseTimes::new();
+        let fake_clock = std::cell::Cell::new(SimTime::ZERO);
+        let out = p.timed(
+            "stage",
+            || fake_clock.get(),
+            || {
+                fake_clock.set(SimTime(42));
+                "done"
+            },
+        );
+        assert_eq!(out, "done");
+        assert_eq!(p.get("stage"), SimDuration(42));
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut p = PhaseTimes::new();
+        p.add("b", SimDuration(1));
+        p.add("a", SimDuration(2));
+        let names: Vec<&str> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

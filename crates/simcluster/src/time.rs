@@ -1,0 +1,145 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since epoch as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// From whole milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From whole microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// From fractional seconds, rounding up so nonzero spans never vanish.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        SimDuration((s * 1e9).ceil() as u64)
+    }
+
+    /// Seconds as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let t = SimTime::ZERO + SimDuration::from_secs(2) + SimDuration::from_millis(500);
+        assert_eq!(t.0, 2_500_000_000);
+        assert_eq!(t.as_secs_f64(), 2.5);
+        assert_eq!(t - SimTime(500_000_000), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime(5).since(SimTime(10)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_up() {
+        assert_eq!(SimDuration::from_secs_f64(1e-12).0, 1);
+        assert_eq!(SimDuration::from_secs_f64(0.0).0, 0);
+        assert_eq!(SimDuration::from_secs_f64(1.5).0, 1_500_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_duration_panics() {
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(SimTime(1_500_000).to_string(), "0.001500s");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "0.000007s");
+    }
+}

@@ -1,0 +1,13 @@
+//! Facade crate for the pioBLAST reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. Library users should depend on the member crates
+//! directly ([`pioblast`], [`blast_core`], ...).
+pub use blast_core;
+pub use mpiblast;
+pub use mpiio;
+pub use mpisim;
+pub use parafs;
+pub use pioblast;
+pub use seqfmt;
+pub use simcluster;

@@ -1,0 +1,100 @@
+//! End-to-end nucleotide (blastn) runs: the whole stack is
+//! molecule-generic, so an nt-like DNA database searches through the same
+//! parallel machinery, and the three implementations still agree
+//! byte-for-byte.
+
+use blast_core::search::SearchParams;
+use blast_core::Molecule;
+use mpiblast::report::{serial_report, ReportOptions};
+use mpiblast::setup::{stage_fragments, stage_queries, stage_shared_db};
+use mpiblast::{ClusterEnv, ComputeModel, MpiBlastConfig, Platform};
+use pioblast::PioBlastConfig;
+use seqfmt::formatdb::{format_records, FormatDbConfig};
+use seqfmt::sampler::sample_queries;
+use seqfmt::synth::{generate_dna, SynthConfig};
+use simcluster::Sim;
+
+#[test]
+fn blastn_all_three_implementations_agree() {
+    let records = generate_dna(&SynthConfig::nt_like_dna(17, 120_000));
+    assert!(records.iter().all(|r| r.molecule == Molecule::Dna));
+    let cfg = FormatDbConfig {
+        title: "nt-e2e".into(),
+        molecule: Molecule::Dna,
+        volume_residue_cap: None,
+    };
+    let db = format_records(&records, &cfg);
+    let queries = sample_queries(&records, 3000, 9);
+    let params = SearchParams::blastn();
+
+    let oracle = serial_report(&params, queries.clone(), &db, ReportOptions::default());
+    let text = String::from_utf8_lossy(&oracle);
+    assert!(text.contains("BLASTN 2.2.10-sim"), "blastn banner expected");
+    assert!(text.contains("Score = "), "queries sampled from nt must hit");
+
+    // pioBLAST.
+    let sim = Sim::new(4);
+    let env = ClusterEnv::new(&sim, &Platform::altix());
+    let db_alias = stage_shared_db(&env.shared, &db);
+    let query_path = stage_queries(&env.shared, &queries);
+    let pio_cfg = PioBlastConfig {
+        platform: Platform::altix(),
+        env: env.clone(),
+        compute: ComputeModel::modeled(),
+        params: SearchParams::blastn(),
+        report: ReportOptions::default(),
+        db_alias,
+        query_path,
+        output_path: "pio.txt".into(),
+        num_fragments: None,
+        collective_output: true,
+        local_prune: false,
+        query_batch: None,
+        collective_input: false,
+        schedule: Default::default(),
+        rank_compute: None,
+    };
+    sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
+    let pio = env.shared.peek("pio.txt").unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&pio),
+        String::from_utf8_lossy(&oracle)
+    );
+
+    // mpiBLAST.
+    let sim = Sim::new(4);
+    let env = ClusterEnv::new(&sim, &Platform::altix());
+    let fragment_names = stage_fragments(&env.shared, &db, 3);
+    let query_path = stage_queries(&env.shared, &queries);
+    let mpi_cfg = MpiBlastConfig {
+        platform: Platform::altix(),
+        env: env.clone(),
+        compute: ComputeModel::modeled(),
+        params: SearchParams::blastn(),
+        report: ReportOptions::default(),
+        fragment_names,
+        query_path,
+        output_path: "mpi.txt".into(),
+    };
+    sim.run(|ctx| mpiblast::run_rank(&ctx, &mpi_cfg));
+    let mpi = env.shared.peek("mpi.txt").unwrap();
+    assert_eq!(mpi, oracle);
+}
+
+#[test]
+fn dna_bases_are_roughly_uniform() {
+    let records = generate_dna(&SynthConfig::nt_like_dna(3, 100_000));
+    let mut counts = [0u64; 5];
+    let mut total = 0u64;
+    for r in &records {
+        for &b in &r.residues {
+            counts[b as usize] += 1;
+            total += 1;
+        }
+    }
+    for base in 0..4 {
+        let f = counts[base] as f64 / total as f64;
+        assert!((0.2..0.3).contains(&f), "base {base} frequency {f}");
+    }
+    assert_eq!(counts[4], 0, "no N bases generated");
+}
