@@ -84,13 +84,20 @@ fn main() {
                 query_batch: None,
                 collective_input,
                 schedule: Default::default(),
+                fault: Default::default(),
                 rank_compute: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             let input_max = outcome
                 .outputs
                 .iter()
-                .map(|r| r.phases.get(mpiblast::phases::INPUT).as_secs_f64())
+                .map(|r| {
+                    r.as_ref()
+                        .expect("rank completed")
+                        .phases
+                        .get(mpiblast::phases::INPUT)
+                        .as_secs_f64()
+                })
                 .fold(0.0, f64::max);
             input_times.push(input_max);
         }

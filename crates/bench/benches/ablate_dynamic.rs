@@ -51,6 +51,7 @@ fn main() {
                 query_batch: None,
                 collective_input: false,
                 schedule,
+                fault: Default::default(),
                 rank_compute: Some(scales.clone()),
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

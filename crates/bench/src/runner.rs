@@ -80,10 +80,20 @@ fn summarize(
             .map(|r| r.phases.get(name).as_secs_f64())
             .fold(0.0, f64::max)
     };
-    let copy_input = max_phase(phases::COPY).max(max_phase(phases::INPUT));
-    let search = max_phase(phases::SEARCH);
-    let output = max_phase(phases::OUTPUT);
+    let mut copy_input = max_phase(phases::COPY).max(max_phase(phases::INPUT));
+    let mut search = max_phase(phases::SEARCH);
+    let mut output = max_phase(phases::OUTPUT);
     let total = total.as_secs_f64();
+    // Each phase is a max over ranks, so the maxima can come from
+    // different ranks and sum past the wall time; scale them back so the
+    // summary stays a partition of `total`.
+    let accounted = copy_input + search + output;
+    if accounted > total && accounted > 0.0 {
+        let scale = total / accounted;
+        copy_input *= scale;
+        search *= scale;
+        output *= scale;
+    }
     let other = (total - copy_input - search - output).max(0.0);
     RunSummary {
         program,
@@ -158,9 +168,15 @@ pub fn run_with_options(
                 fragment_names,
                 query_path,
                 output_path: output_path.clone(),
+                fault_detection: false,
             };
             let outcome = sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg));
-            (outcome.outputs, outcome.elapsed, actual)
+            let reports = outcome
+                .outputs
+                .into_iter()
+                .map(|r| r.expect("fault-free run completes"))
+                .collect();
+            (reports, outcome.elapsed, actual)
         }
         Program::PioBlast => {
             let db_alias = stage_shared_db(&env.shared, &workload.db);
@@ -179,10 +195,16 @@ pub fn run_with_options(
                 query_batch: None,
                 collective_input: false,
                 schedule: Default::default(),
+                fault: Default::default(),
                 rank_compute: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
-            (outcome.outputs, outcome.elapsed, nfrags.unwrap_or(nworkers))
+            let reports: Vec<RankReport> = outcome
+                .outputs
+                .into_iter()
+                .map(|r| r.expect("fault-free run completes"))
+                .collect();
+            (reports, outcome.elapsed, nfrags.unwrap_or(nworkers))
         }
     };
     let output_bytes = env

@@ -203,12 +203,12 @@ fn half_extension(
     m_prev[0] = 0;
     let mut lo = 0usize;
     let mut hi = 1usize; // exclusive upper bound of alive columns in row 0
-    for j in 1..width {
+    for (j, slot) in m_prev.iter_mut().enumerate().take(width).skip(1) {
         let sc = -gaps.cost(j as i32);
         if best - sc > x_drop {
             break;
         }
-        m_prev[j] = sc;
+        *slot = sc;
         hi = j + 1;
     }
 

@@ -77,7 +77,7 @@ pub fn commas(n: u64) -> String {
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     let lead = digits.len() % 3;
     for (i, c) in digits.chars().enumerate() {
-        if i != 0 && (i + 3 - lead) % 3 == 0 {
+        if i != 0 && (i + 3 - lead).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -207,11 +207,7 @@ pub fn count_alignment(
 
 /// Percentage in NCBI style (rounded down like `28/88 (31%)`).
 fn pct(part: u32, whole: u32) -> u32 {
-    if whole == 0 {
-        0
-    } else {
-        part * 100 / whole
-    }
+    (part * 100).checked_div(whole).unwrap_or(0)
 }
 
 /// Format one full alignment record: the subject defline block followed by
@@ -346,8 +342,8 @@ fn render_alignment_lines(
         let m_chunk = &mid[start..end];
         let q_res = q_chunk.iter().filter(|&&c| c != b'-').count() as u32;
         let s_res = s_chunk.iter().filter(|&&c| c != b'-').count() as u32;
-        let q_end_pos = q_pos + q_res.saturating_sub(1).max(0);
-        let s_end_pos = s_pos + s_res.saturating_sub(1).max(0);
+        let q_end_pos = q_pos + q_res.saturating_sub(1);
+        let s_end_pos = s_pos + s_res.saturating_sub(1);
         out.push_str(&format!(
             "Query: {:<5} {} {}\n",
             q_pos,

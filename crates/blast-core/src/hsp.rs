@@ -54,7 +54,7 @@ impl Hsp {
 
 /// Sort HSPs into canonical reporting order (best first, deterministic).
 pub fn sort_canonical(hsps: &mut [Hsp]) {
-    hsps.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+    hsps.sort_by_key(|a| a.rank_key());
 }
 
 /// Remove HSPs wholly contained in a higher-scoring HSP of the same

@@ -260,8 +260,8 @@ fn enumerate_neighbors(
             return;
         }
         let row = matrix.row(word[depth]);
-        for c in 0..alphabet {
-            let s = score + row[c];
+        for (c, &row_score) in row.iter().enumerate().take(alphabet) {
+            let s = score + row_score;
             // Prune: even perfect remaining letters cannot reach threshold.
             if s + suffix_max[depth + 1] < threshold {
                 continue;

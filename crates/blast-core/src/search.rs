@@ -437,8 +437,7 @@ impl<'a> BlastSearcher<'a> {
         // Rolling word index over the subject.
         let mut idx = 0u32;
         let mut run = 0usize;
-        for sp_end in 0..s_len {
-            let c = s[sp_end];
+        for (sp_end, &c) in s.iter().enumerate().take(s_len) {
             if (c as u32) >= alpha {
                 run = 0;
                 idx = 0;

@@ -220,7 +220,7 @@ proptest! {
     #[test]
     fn lookup_matches_brute_force(q in arb_protein(3..12)) {
         let matrix = ScoreMatrix::blosum62();
-        let set = QuerySet::new(&[q.clone()], 27);
+        let set = QuerySet::new(std::slice::from_ref(&q), 27);
         let t = 11;
         let table = LookupTable::build(&set, &matrix, 3, 20, t);
         for w0 in 0..20u8 {

@@ -53,6 +53,7 @@ USAGE:
   pioblast-sim run      --program pio|mpi --procs N --db-dir DIR --queries q.fa
                         --out report.txt [--platform altix|blade] [--frags N]
                         [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
+                        [--fault-detect] [--recover]
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
 ";
@@ -230,8 +231,14 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 fragment_names,
                 query_path,
                 output_path: output_path.clone(),
+                fault_detection: args.flag("fault-detect"),
             };
             let o = sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg));
+            for r in &o.outputs {
+                if let Err(e) = r {
+                    return Err(CliError(format!("run failed: {e}")));
+                }
+            }
             (o.elapsed, o.stats)
         }
         "pio" => {
@@ -250,14 +257,26 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 local_prune: args.flag("prune"),
                 query_batch: args.u64_opt("batch")?.map(|v| v as usize),
                 collective_input: args.flag("collective-input"),
-                schedule: if args.flag("dynamic") {
+                schedule: if args.flag("dynamic") || args.flag("recover") {
                     pioblast::FragmentSchedule::Dynamic
                 } else {
                     pioblast::FragmentSchedule::Static
                 },
+                fault: if args.flag("recover") {
+                    pioblast::FaultMode::Recover
+                } else if args.flag("fault-detect") {
+                    pioblast::FaultMode::Detect
+                } else {
+                    pioblast::FaultMode::Off
+                },
                 rank_compute: None,
             };
             let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
+            for r in &o.outputs {
+                if let Err(e) = r {
+                    return Err(CliError(format!("run failed: {e}")));
+                }
+            }
             (o.elapsed, o.stats)
         }
         other => {

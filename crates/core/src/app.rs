@@ -37,10 +37,11 @@ use seqfmt::{AliasFile, FragmentData, VolumeIndex};
 use simcluster::{PhaseTimes, RankCtx};
 
 use crate::cache::ResultCache;
+use crate::fault::{FaultMode, PioError};
 use crate::merge::merge_and_layout;
 use crate::proto::{chunk_evenly, FragmentAssignment, PartitionMessage};
 
-const TAG_FRAG_REQ: u64 = 1;
+pub(crate) const TAG_FRAG_REQ: u64 = 1;
 const TAG_FRAG_ASSIGN: u64 = 2;
 
 /// How virtual fragments are handed to workers.
@@ -97,6 +98,13 @@ pub struct PioBlastConfig {
     pub collective_input: bool,
     /// Fragment scheduling policy.
     pub schedule: FragmentSchedule,
+    /// Fault-tolerance mode (see [`crate::fault`]). `Off` runs the plain
+    /// collective protocol; `Detect` and `Recover` switch to a
+    /// point-to-point master-driven protocol that notices rank death.
+    /// Fault modes always write the report independently
+    /// (`collective_output` is ignored) and do not support query batching
+    /// or collective input.
+    pub fault: FaultMode,
     /// Per-rank compute-speed multipliers (> 1 = slower node), to model
     /// heterogeneous clusters; `None` = homogeneous.
     pub rank_compute: Option<Vec<f64>>,
@@ -104,7 +112,7 @@ pub struct PioBlastConfig {
 
 impl PioBlastConfig {
     /// The compute model for one rank, with any heterogeneity applied.
-    fn compute_for(&self, rank: usize) -> ComputeModel {
+    pub(crate) fn compute_for(&self, rank: usize) -> ComputeModel {
         match &self.rank_compute {
             Some(scales) => self.compute.scaled(scales.get(rank).copied().unwrap_or(1.0)),
             None => self.compute,
@@ -123,18 +131,42 @@ fn query_batches(queries: &[SeqRecord], batch: Option<usize>) -> Vec<Vec<SeqReco
 }
 
 /// The per-rank body of a pioBLAST run.
-pub fn run_rank(ctx: &RankCtx, cfg: &PioBlastConfig) -> RankReport {
+///
+/// With [`PioBlastConfig::fault`] at its default (`Off`) this cannot fail
+/// in a fault-free simulation; in `Detect`/`Recover` mode it returns a
+/// typed [`PioError`] when the run cannot complete (master death, all
+/// workers dead, detected death in `Detect` mode).
+pub fn run_rank(ctx: &RankCtx, cfg: &PioBlastConfig) -> Result<RankReport, PioError> {
     assert!(ctx.nranks() >= 2, "pioBLAST needs a master and a worker");
     assert!(
         !(cfg.collective_input && cfg.schedule == FragmentSchedule::Dynamic),
         "collective input requires the static schedule"
     );
     let comm = Comm::new(ctx, cfg.platform.net);
-    if ctx.rank() == MASTER {
+    if cfg.fault != FaultMode::Off {
+        assert!(
+            cfg.query_batch.is_none(),
+            "fault tolerance does not support query batching"
+        );
+        assert!(
+            !cfg.collective_input,
+            "fault tolerance requires independent input reads"
+        );
+        assert!(
+            !(cfg.fault == FaultMode::Recover && cfg.schedule == FragmentSchedule::Static),
+            "fault recovery requires the dynamic schedule"
+        );
+        return if ctx.rank() == MASTER {
+            crate::fault::run_master_fault(ctx, &comm, cfg)
+        } else {
+            crate::fault::run_worker_fault(ctx, &comm, cfg)
+        };
+    }
+    Ok(if ctx.rank() == MASTER {
         run_master(ctx, &comm, cfg)
     } else {
         run_worker(ctx, &comm, cfg)
-    }
+    })
 }
 
 fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
@@ -308,6 +340,101 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
     }
 }
 
+/// One fragment's four ranged reads (the parallel input unit). Shared by
+/// the normal worker and the fault-tolerant worker.
+pub(crate) fn input_fragment(
+    ctx: &RankCtx,
+    cfg: &PioBlastConfig,
+    molecule: blast_core::Molecule,
+    assignment: &FragmentAssignment,
+) -> FragmentData {
+    let shared = &cfg.env.shared;
+    let spec = &assignment.spec;
+    let vol = &assignment.volume_name;
+    let idx_path = format!("db/{vol}.idx");
+    let idx_seq = shared
+        .read_at(
+            ctx,
+            &idx_path,
+            spec.idx_seq_range.0,
+            spec.idx_seq_range.1 - spec.idx_seq_range.0,
+        )
+        .expect("index range");
+    let idx_hdr = shared
+        .read_at(
+            ctx,
+            &idx_path,
+            spec.idx_hdr_range.0,
+            spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
+        )
+        .expect("index range");
+    let seq = shared
+        .read_at(
+            ctx,
+            &format!("db/{vol}.seq"),
+            spec.seq_range.0,
+            spec.seq_range.1 - spec.seq_range.0,
+        )
+        .expect("sequence range");
+    let hdr = shared
+        .read_at(
+            ctx,
+            &format!("db/{vol}.hdr"),
+            spec.hdr_range.0,
+            spec.hdr_range.1 - spec.hdr_range.0,
+        )
+        .expect("header range");
+    FragmentData::from_ranges(molecule, spec.base_oid, &idx_seq, &idx_hdr, seq, hdr)
+        .expect("consistent fragment ranges")
+}
+
+/// Search one fragment against a prepared batch and cache the formatted
+/// records (the search + result-caching stages). Shared by the normal
+/// worker and the fault-tolerant worker.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_fragment_into(
+    ctx: &RankCtx,
+    cfg: &PioBlastConfig,
+    compute: ComputeModel,
+    report_cfg: &ReportConfig,
+    prepared: &PreparedQueries,
+    frag: &FragmentData,
+    cache: &mut ResultCache,
+    stats_total: &mut SearchStats,
+    phase_times: &mut PhaseTimes,
+) {
+    let searcher = BlastSearcher::new(&cfg.params, prepared);
+    let search_start = ctx.now();
+    let (per_query, stats) = compute.run_search(ctx, || {
+        let r = searcher.search(frag);
+        (r.per_query, r.stats)
+    });
+    stats_total.merge(&stats);
+    phase_times.add(phases::SEARCH, ctx.now() - search_start);
+
+    let cache_start = ctx.now();
+    let per_query = if cfg.local_prune {
+        // Paper §5: a worker's hits beyond the global report limit can
+        // never appear in the output; prune before formatting.
+        let keep = cfg.report.num_descriptions.max(cfg.report.num_alignments);
+        per_query
+            .into_iter()
+            .map(|mut hits| {
+                hits.truncate(keep);
+                hits
+            })
+            .collect()
+    } else {
+        per_query
+    };
+    compute.run_format(
+        ctx,
+        || cache.add_fragment(&cfg.params, report_cfg, prepared, frag, per_query),
+        |bytes| *bytes,
+    );
+    phase_times.add(phases::OUTPUT, ctx.now() - cache_start);
+}
+
 fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
     let shared = &cfg.env.shared;
     let compute = cfg.compute_for(ctx.rank());
@@ -322,54 +449,6 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
     let mut stats_total = SearchStats::default();
     let batches = query_batches(&bundle.queries, cfg.query_batch);
 
-    // One fragment's four ranged reads (the parallel input unit).
-    let input_fragment = |assignment: &FragmentAssignment| -> FragmentData {
-        let spec = &assignment.spec;
-        let vol = &assignment.volume_name;
-        let idx_path = format!("db/{vol}.idx");
-        let idx_seq = shared
-            .read_at(
-                ctx,
-                &idx_path,
-                spec.idx_seq_range.0,
-                spec.idx_seq_range.1 - spec.idx_seq_range.0,
-            )
-            .expect("index range");
-        let idx_hdr = shared
-            .read_at(
-                ctx,
-                &idx_path,
-                spec.idx_hdr_range.0,
-                spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
-            )
-            .expect("index range");
-        let seq = shared
-            .read_at(
-                ctx,
-                &format!("db/{vol}.seq"),
-                spec.seq_range.0,
-                spec.seq_range.1 - spec.seq_range.0,
-            )
-            .expect("sequence range");
-        let hdr = shared
-            .read_at(
-                ctx,
-                &format!("db/{vol}.hdr"),
-                spec.hdr_range.0,
-                spec.hdr_range.1 - spec.hdr_range.0,
-            )
-            .expect("header range");
-        FragmentData::from_ranges(
-            bundle.molecule,
-            spec.base_oid,
-            &idx_seq,
-            &idx_hdr,
-            seq,
-            hdr,
-        )
-        .expect("consistent fragment ranges")
-    };
-
     // Prepare one query batch (masking, lookup, search spaces), charged.
     let prepare_batch = |batch: Vec<SeqRecord>, phase_times: &mut PhaseTimes| {
         let t = now();
@@ -379,44 +458,6 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
         });
         phase_times.add(phases::OTHER, now() - t);
         prepared
-    };
-
-    // Search one fragment against a prepared batch and cache the
-    // formatted records (the search + result-caching stages).
-    let mut search_into = |prepared: &PreparedQueries,
-                           frag: &FragmentData,
-                           cache: &mut ResultCache,
-                           phase_times: &mut PhaseTimes| {
-        let searcher = BlastSearcher::new(&cfg.params, prepared);
-        let search_start = now();
-        let (per_query, stats) = compute.run_search(ctx, || {
-            let r = searcher.search(frag);
-            (r.per_query, r.stats)
-        });
-        stats_total.merge(&stats);
-        phase_times.add(phases::SEARCH, now() - search_start);
-
-        let cache_start = now();
-        let per_query = if cfg.local_prune {
-            // Paper §5: a worker's hits beyond the global report limit can
-            // never appear in the output; prune before formatting.
-            let keep = cfg.report.num_descriptions.max(cfg.report.num_alignments);
-            per_query
-                .into_iter()
-                .map(|mut hits| {
-                    hits.truncate(keep);
-                    hits
-                })
-                .collect()
-        } else {
-            per_query
-        };
-        compute.run_format(
-            ctx,
-            || cache.add_fragment(&cfg.params, &report_cfg, prepared, frag, per_query),
-            |bytes| *bytes,
-        );
-        phase_times.add(phases::OUTPUT, now() - cache_start);
     };
 
     // ---- acquire fragments ----
@@ -442,7 +483,7 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
                 );
             } else {
                 for assignment in &part.fragments {
-                    fragments.push(input_fragment(assignment));
+                    fragments.push(input_fragment(ctx, cfg, bundle.molecule, assignment));
                 }
             }
             phase_times.add(phases::INPUT, now() - input_start);
@@ -458,9 +499,19 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
                     break;
                 };
                 let input_start = now();
-                let frag = input_fragment(assignment);
+                let frag = input_fragment(ctx, cfg, bundle.molecule, assignment);
                 phase_times.add(phases::INPUT, now() - input_start);
-                search_into(&prepared0, &frag, &mut cache0, &mut phase_times);
+                search_fragment_into(
+                    ctx,
+                    cfg,
+                    compute,
+                    &report_cfg,
+                    &prepared0,
+                    &frag,
+                    &mut cache0,
+                    &mut stats_total,
+                    &mut phase_times,
+                );
                 fragments.push(frag);
             }
             batch0_done = Some((prepared0, cache0));
@@ -476,7 +527,17 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
                 let prepared = prepare_batch(batch.clone(), &mut phase_times);
                 let mut cache = ResultCache::default();
                 for frag in &fragments {
-                    search_into(&prepared, frag, &mut cache, &mut phase_times);
+                    search_fragment_into(
+                        ctx,
+                        cfg,
+                        compute,
+                        &report_cfg,
+                        &prepared,
+                        frag,
+                        &mut cache,
+                        &mut stats_total,
+                        &mut phase_times,
+                    );
                 }
                 (prepared, cache)
             }
@@ -564,6 +625,7 @@ mod tests {
         n_queries: usize,
         collective_input: bool,
         schedule: FragmentSchedule,
+        fault: FaultMode,
         rank_compute: Option<Vec<f64>>,
     }
 
@@ -580,6 +642,7 @@ mod tests {
                 n_queries: 3,
                 collective_input: false,
                 schedule: FragmentSchedule::Static,
+                fault: FaultMode::Off,
                 rank_compute: None,
             }
         }
@@ -607,11 +670,17 @@ mod tests {
             query_batch: opts.query_batch,
             collective_input: opts.collective_input,
             schedule: opts.schedule,
+            fault: opts.fault,
             rank_compute: opts.rank_compute.clone(),
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
         let output = env.shared.peek("results.txt").unwrap_or_default();
-        (output, outcome.outputs)
+        let reports = outcome
+            .outputs
+            .into_iter()
+            .map(|r| r.expect("rank completed"))
+            .collect();
+        (output, reports)
     }
 
     fn run_once(
@@ -638,7 +707,8 @@ mod tests {
             queries,
             &db,
             ReportOptions::default(),
-        );
+        )
+        .expect("serial oracle");
         let (got, _) = run_once(4, None, Platform::altix(), None);
         assert_eq!(
             String::from_utf8_lossy(&got),
@@ -815,6 +885,7 @@ mod tests {
                 query_batch: None,
                 collective_input: false,
                 schedule,
+                fault: FaultMode::Off,
                 rank_compute: hetero.clone(),
             };
             sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0

@@ -16,7 +16,33 @@ use mpisim::Comm;
 use parafs::SimFs;
 use seqfmt::FragmentData;
 
+use std::fmt;
+
 use crate::proto::FragmentAssignment;
+
+/// Why an input-stage buffer lookup failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputError {
+    /// The requested file range is not covered by the buffered spans.
+    Uncovered {
+        /// Requested absolute file offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+    },
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::Uncovered { offset, len } => {
+                write!(f, "range [{offset}, {offset}+{len}) not covered by read spans")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
 
 /// The bytes of a set of disjoint file spans, addressable by absolute
 /// file offset.
@@ -41,34 +67,55 @@ impl RangeBuffers {
 
     /// The bytes at absolute file range `[offset, offset + len)`.
     ///
-    /// # Panics
-    /// Panics if the range is not fully covered by one span.
-    pub fn slice(&self, offset: u64, len: u64) -> &[u8] {
+    /// The range may straddle several spans as long as they are
+    /// contiguous in the file: the bytes of adjacent spans are also
+    /// adjacent in the backing buffer, so the view stays a single slice.
+    pub fn slice(&self, offset: u64, len: u64) -> Result<&[u8], InputError> {
+        let err = InputError::Uncovered { offset, len };
+        let end = offset.checked_add(len).ok_or(err)?;
         let mut base = 0u64;
-        for &(span_off, span_len) in &self.spans {
-            if offset >= span_off && offset + len <= span_off + span_len {
+        for (i, &(span_off, span_len)) in self.spans.iter().enumerate() {
+            if offset >= span_off && offset < span_off + span_len {
+                // Walk forward over file-contiguous spans until the range
+                // is covered (or a gap in the file breaks the run).
+                let mut covered_to = span_off + span_len;
+                for &(next_off, next_len) in &self.spans[i + 1..] {
+                    if covered_to >= end || next_off != covered_to {
+                        break;
+                    }
+                    covered_to += next_len;
+                }
+                if covered_to < end {
+                    return Err(err);
+                }
                 let start = (base + offset - span_off) as usize;
-                return &self.data[start..start + len as usize];
+                return Ok(&self.data[start..start + len as usize]);
             }
             base += span_len;
         }
-        panic!("range [{offset}, {offset}+{len}) not covered by read spans");
+        if len == 0 {
+            return Ok(&[]);
+        }
+        Err(err)
     }
 }
 
 /// Merge sorted-or-not, possibly overlapping/adjacent ranges into disjoint
-/// sorted spans.
+/// sorted spans. All arithmetic is checked: a span whose `offset + len`
+/// would overflow `u64` is clamped to end at `u64::MAX` instead of
+/// wrapping (and silently swallowing every later span).
 pub fn coalesce_spans(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     ranges.retain(|&(_, l)| l > 0);
     ranges.sort_unstable();
+    let span_end = |o: u64, l: u64| o.saturating_add(l);
     let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
     for (o, l) in ranges {
         match out.last_mut() {
-            Some((ro, rl)) if *ro + *rl >= o => {
-                let end = (o + l).max(*ro + *rl);
+            Some((ro, rl)) if span_end(*ro, *rl) >= o => {
+                let end = span_end(o, l).max(span_end(*ro, *rl));
                 *rl = end - *ro;
             }
-            _ => out.push((o, l)),
+            _ => out.push((o, l.min(u64::MAX - o))),
         }
     }
     out
@@ -138,20 +185,25 @@ pub fn read_fragments_collective(
                 .expect("assignment volume is in the alias");
             let [idx, seq, hdr] = &buffers[vi];
             let spec = &a.spec;
+            let covered = "fragment range covered by the collective read";
             FragmentData::from_ranges(
                 molecule,
                 spec.base_oid,
                 idx.slice(
                     spec.idx_seq_range.0,
                     spec.idx_seq_range.1 - spec.idx_seq_range.0,
-                ),
+                )
+                .expect(covered),
                 idx.slice(
                     spec.idx_hdr_range.0,
                     spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
-                ),
+                )
+                .expect(covered),
                 seq.slice(spec.seq_range.0, spec.seq_range.1 - spec.seq_range.0)
+                    .expect(covered)
                     .to_vec(),
                 hdr.slice(spec.hdr_range.0, spec.hdr_range.1 - spec.hdr_range.0)
+                    .expect(covered)
                     .to_vec(),
             )
             .expect("consistent fragment ranges")
@@ -176,20 +228,59 @@ mod tests {
     }
 
     #[test]
+    fn coalesce_clamps_overflowing_spans() {
+        // `offset + len` past u64::MAX must not wrap (which would make the
+        // span swallow every later one); it clamps to end at u64::MAX.
+        assert_eq!(
+            coalesce_spans(vec![(u64::MAX - 4, 10), (0, 1)]),
+            vec![(0, 1), (u64::MAX - 4, 4)]
+        );
+        assert_eq!(
+            coalesce_spans(vec![(u64::MAX - 8, 4), (u64::MAX - 4, 10)]),
+            vec![(u64::MAX - 8, 8)]
+        );
+    }
+
+    #[test]
     fn range_buffers_slice_by_absolute_offset() {
         let spans = vec![(10u64, 4u64), (20, 6)];
         let data = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
         let rb = RangeBuffers::new(spans, data);
-        assert_eq!(rb.slice(10, 4), &[1, 2, 3, 4]);
-        assert_eq!(rb.slice(11, 2), &[2, 3]);
-        assert_eq!(rb.slice(20, 6), &[5, 6, 7, 8, 9, 10]);
-        assert_eq!(rb.slice(23, 1), &[8]);
+        assert_eq!(rb.slice(10, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(rb.slice(11, 2).unwrap(), &[2, 3]);
+        assert_eq!(rb.slice(20, 6).unwrap(), &[5, 6, 7, 8, 9, 10]);
+        assert_eq!(rb.slice(23, 1).unwrap(), &[8]);
     }
 
     #[test]
-    #[should_panic(expected = "not covered")]
-    fn uncovered_slice_panics() {
+    fn slice_straddles_file_contiguous_spans() {
+        // Spans (0,4) and (4,6) touch in the file, so their bytes are
+        // adjacent in the buffer and a straddling range is one slice.
+        let rb = RangeBuffers::new(
+            vec![(0, 4), (4, 6), (20, 2)],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        );
+        assert_eq!(rb.slice(2, 5).unwrap(), &[2, 3, 4, 5, 6]);
+        assert_eq!(rb.slice(0, 10).unwrap(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // A gap in the file breaks the run even though the buffer bytes
+        // happen to be adjacent.
+        assert_eq!(
+            rb.slice(8, 14),
+            Err(InputError::Uncovered { offset: 8, len: 14 })
+        );
+    }
+
+    #[test]
+    fn uncovered_slice_is_a_typed_error() {
         let rb = RangeBuffers::new(vec![(0, 4)], vec![0, 1, 2, 3]);
-        let _ = rb.slice(2, 5);
+        assert_eq!(
+            rb.slice(2, 5),
+            Err(InputError::Uncovered { offset: 2, len: 5 })
+        );
+        assert_eq!(
+            rb.slice(10, 1),
+            Err(InputError::Uncovered { offset: 10, len: 1 })
+        );
+        assert!(rb.slice(u64::MAX, 2).unwrap_err().to_string().contains("not covered"));
     }
 }

@@ -34,12 +34,15 @@
 
 pub mod app;
 pub mod cache;
+pub mod fault;
 pub mod input;
 pub mod merge;
 pub mod proto;
 
 pub use app::{run_rank, FragmentSchedule, PioBlastConfig};
 pub use cache::ResultCache;
+pub use fault::{FaultMode, PioError};
+pub use input::InputError;
 pub use merge::{merge_and_layout, MergeOutcome};
 
 // Re-export the pieces callers need to assemble a run.

@@ -62,7 +62,7 @@ pub fn merge_and_layout(
             let mut keyed: Vec<MetaHit> = hits.iter().map(|(h, _)| h.clone()).collect();
             order_meta(&mut keyed);
             // Sort the paired list with the same comparison.
-            hits.sort_by(|a, b| a.0.best.rank_key().cmp(&b.0.best.rank_key()));
+            hits.sort_by_key(|a| a.0.best.rank_key());
             debug_assert!(keyed
                 .iter()
                 .zip(&hits)

@@ -17,13 +17,15 @@
 //! paper quantifies (Table 1: 1007 s of output time against pioBLAST's
 //! 15.4 s); it is reproduced here structurally, not hard-coded.
 
+use std::fmt;
+
 use blast_core::fasta;
 use blast_core::format::{self, ReportConfig};
 use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats, SubjectHit};
 use bytes::Bytes;
-use mpisim::{Collectives, Comm};
+use mpisim::{Collectives, Comm, RecvError};
 use seqfmt::{FragmentData, VolumeIndex};
-use simcluster::{PhaseTimes, RankCtx};
+use simcluster::{Message, PhaseTimes, RankCtx, SimDuration};
 
 use crate::model::ComputeModel;
 use crate::phases;
@@ -41,9 +43,57 @@ const TAG_FETCH_REQ: u64 = 4;
 const TAG_FETCH_RESP: u64 = 5;
 const TAG_DONE: u64 = 6;
 const TAG_FRAG_DONE: u64 = 7;
+const TAG_ABORT: u64 = 8;
 
 /// No-more-fragments sentinel.
 const FRAG_NONE: u32 = u32::MAX;
+
+/// How often a detecting rank wakes from a blocking receive to sweep for
+/// dead peers.
+fn sweep_interval() -> SimDuration {
+    SimDuration::from_millis(25)
+}
+
+/// Why an mpiBLAST run failed instead of completing.
+///
+/// Stock mpiBLAST deadlocks when a rank disappears; with
+/// [`MpiBlastConfig::fault_detection`] enabled the job fails fast with one
+/// of these instead. Malformed protocol traffic (an unexpected tag) is
+/// always reported this way rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A rank received a message tag its protocol state cannot accept.
+    UnexpectedTag {
+        /// Which role received it ("master" or "worker").
+        role: &'static str,
+        /// The offending tag.
+        tag: u64,
+    },
+    /// The master detected a dead worker and aborted the job.
+    WorkerDied {
+        /// The dead worker's rank.
+        rank: usize,
+    },
+    /// A worker detected that the master died.
+    MasterDied,
+    /// A worker was told to abort by the master (another rank died).
+    Aborted,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnexpectedTag { role, tag } => {
+                write!(f, "{role} got unexpected tag {tag}")
+            }
+            ProtocolError::WorkerDied { rank } => write!(f, "worker rank {rank} died"),
+            ProtocolError::MasterDied => write!(f, "master rank died"),
+            ProtocolError::Aborted => write!(f, "aborted by master after a rank death"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Configuration of one mpiBLAST run.
 pub struct MpiBlastConfig {
@@ -63,10 +113,15 @@ pub struct MpiBlastConfig {
     pub query_path: String,
     /// Output report path on the shared file system.
     pub output_path: String,
+    /// Detect dead ranks and fail fast with a typed [`ProtocolError`]
+    /// instead of deadlocking (stock MPI behaviour). Detection covers the
+    /// scheduling and output epochs; it does not change fault-free timing
+    /// or output bytes.
+    pub fault_detection: bool,
 }
 
 /// What each rank reports at the end of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RankReport {
     /// Per-phase virtual time.
     pub phases: PhaseTimes,
@@ -76,7 +131,7 @@ pub struct RankReport {
 
 /// The per-rank body of an mpiBLAST run; call from every rank of a
 /// simulation.
-pub fn run_rank(ctx: &RankCtx, cfg: &MpiBlastConfig) -> RankReport {
+pub fn run_rank(ctx: &RankCtx, cfg: &MpiBlastConfig) -> Result<RankReport, ProtocolError> {
     assert!(ctx.nranks() >= 2, "mpiBLAST needs a master and a worker");
     let comm = Comm::new(ctx, cfg.platform.net);
     if ctx.rank() == MASTER {
@@ -86,12 +141,54 @@ pub fn run_rank(ctx: &RankCtx, cfg: &MpiBlastConfig) -> RankReport {
     }
 }
 
-fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
+/// Tell every still-live worker to abort (best effort; sends to dead
+/// ranks are dropped).
+fn abort_workers(comm: &Comm, live: &[bool]) {
+    for (w, &alive) in live.iter().enumerate().skip(1) {
+        if alive {
+            let _ = comm.send_checked(w, TAG_ABORT, Bytes::new());
+        }
+    }
+}
+
+/// Mark newly dead workers in `live`; returns the first one found.
+fn sweep_dead(ctx: &RankCtx, live: &mut [bool]) -> Option<usize> {
+    let mut found = None;
+    for (w, alive) in live.iter_mut().enumerate().skip(1) {
+        if *alive && ctx.is_dead(w) {
+            *alive = false;
+            found.get_or_insert(w);
+        }
+    }
+    found
+}
+
+/// A worker's receive from the master: blocking in stock mode, a
+/// patience loop with fast master-death detection in detecting mode.
+fn recv_from_master(comm: &Comm, detect: bool) -> Result<Message, ProtocolError> {
+    if !detect {
+        return Ok(comm.recv(Some(MASTER), None));
+    }
+    loop {
+        match comm.recv_timeout(Some(MASTER), None, sweep_interval()) {
+            Ok(m) => return Ok(m),
+            Err(RecvError::DeadPeer { .. }) => return Err(ProtocolError::MasterDied),
+            Err(RecvError::Timeout { .. }) => {}
+        }
+    }
+}
+
+fn run_master(
+    ctx: &RankCtx,
+    comm: &Comm,
+    cfg: &MpiBlastConfig,
+) -> Result<RankReport, ProtocolError> {
     let shared = &cfg.env.shared;
     let mut phases = PhaseTimes::new();
     let now = || ctx.now();
     let nworkers = ctx.nranks() - 1;
     let nfrag = cfg.fragment_names.len();
+    let mut live = vec![true; ctx.nranks()];
 
     // ---- startup: read the index and queries, broadcast the bundle ----
     let start = now();
@@ -128,7 +225,23 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
     let mut fragments_done = 0usize;
     let mut drained_workers = 0usize;
     while fragments_done < nfrag || drained_workers < nworkers {
-        let m = comm.recv(None, None);
+        let m = if cfg.fault_detection {
+            match comm.recv_timeout(None, None, sweep_interval()) {
+                Ok(m) => m,
+                Err(_) => {
+                    // Nothing arrived within the sweep interval; check for
+                    // dead workers before blocking again. Without this a
+                    // lost worker's unfinished fragment hangs the job.
+                    if let Some(w) = sweep_dead(ctx, &mut live) {
+                        abort_workers(comm, &live);
+                        return Err(ProtocolError::WorkerDied { rank: w });
+                    }
+                    continue;
+                }
+            }
+        } else {
+            comm.recv(None, None)
+        };
         match m.tag {
             TAG_FRAG_REQ => {
                 if next_frag < nfrag {
@@ -163,7 +276,13 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
             TAG_FRAG_DONE => {
                 fragments_done += 1;
             }
-            other => panic!("master got unexpected tag {other}"),
+            other => {
+                abort_workers(comm, &live);
+                return Err(ProtocolError::UnexpectedTag {
+                    role: "master",
+                    tag: other,
+                });
+            }
         }
     }
 
@@ -171,8 +290,8 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
     let out_start = now();
     shared.create(ctx, &cfg.output_path);
     let mut file_off = 0u64;
-    for q in 0..prepared.len() {
-        let mut hits = std::mem::take(&mut merged[q]);
+    for (q, merged_slot) in merged.iter_mut().enumerate() {
+        let mut hits = std::mem::take(merged_slot);
         cfg.compute.run_merge(ctx, hits.len() as u64, || {
             hits.sort_by(|a, b| a.0.hsps[0].rank_key().cmp(&b.0.hsps[0].rank_key()));
         });
@@ -189,7 +308,22 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
                 oid: hit.oid,
             };
             comm.send(*owner, TAG_FETCH_REQ, Bytes::from(req.encode()));
-            let resp = comm.recv(Some(*owner), Some(TAG_FETCH_RESP));
+            let resp = if cfg.fault_detection {
+                loop {
+                    match comm.recv_timeout(Some(*owner), Some(TAG_FETCH_RESP), sweep_interval())
+                    {
+                        Ok(m) => break m,
+                        Err(RecvError::DeadPeer { rank }) => {
+                            live[rank] = false;
+                            abort_workers(comm, &live);
+                            return Err(ProtocolError::WorkerDied { rank });
+                        }
+                        Err(RecvError::Timeout { .. }) => {}
+                    }
+                }
+            } else {
+                comm.recv(Some(*owner), Some(TAG_FETCH_RESP))
+            };
             let decoded = cfg.compute.run_fetch_handling(ctx, || {
                 FetchResponse::decode(&resp.payload).expect("valid fetch response")
             });
@@ -251,18 +385,24 @@ fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
         shared.write_at(ctx, &cfg.output_path, file_off, &section);
         file_off += section.len() as u64;
     }
-    for w in 1..ctx.nranks() {
-        comm.send(w, TAG_DONE, Bytes::new());
+    for (w, &alive) in live.iter().enumerate().skip(1) {
+        if alive {
+            comm.send(w, TAG_DONE, Bytes::new());
+        }
     }
     phases.add(phases::OUTPUT, now() - out_start);
 
-    RankReport {
+    Ok(RankReport {
         phases,
         search_stats: SearchStats::default(),
-    }
+    })
 }
 
-fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
+fn run_worker(
+    ctx: &RankCtx,
+    comm: &Comm,
+    cfg: &MpiBlastConfig,
+) -> Result<RankReport, ProtocolError> {
     let shared = &cfg.env.shared;
     let (private, prefix) = cfg.env.private_store(ctx.rank());
     let mut phases = PhaseTimes::new();
@@ -280,8 +420,19 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
     // ---- fragment loop ----
     loop {
         comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
-        let m = comm.recv(Some(MASTER), Some(TAG_FRAG_ASSIGN));
-        let fid = u32::from_le_bytes(m.payload[..4].try_into().expect("assign payload"));
+        let m = recv_from_master(comm, cfg.fault_detection)?;
+        let fid = match m.tag {
+            TAG_FRAG_ASSIGN => {
+                u32::from_le_bytes(m.payload[..4].try_into().expect("assign payload"))
+            }
+            TAG_ABORT => return Err(ProtocolError::Aborted),
+            other => {
+                return Err(ProtocolError::UnexpectedTag {
+                    role: "worker",
+                    tag: other,
+                })
+            }
+        };
         if fid == FRAG_NONE {
             break;
         }
@@ -345,9 +496,10 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
 
     // ---- serve the master's serialized fetch requests ----
     loop {
-        let m = comm.recv(Some(MASTER), None);
+        let m = recv_from_master(comm, cfg.fault_detection)?;
         match m.tag {
             TAG_DONE => break,
+            TAG_ABORT => return Err(ProtocolError::Aborted),
             TAG_FETCH_REQ => {
                 let req = FetchRequest::decode(&m.payload).expect("valid fetch request");
                 let frag = kept
@@ -360,14 +512,19 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &MpiBlastConfig) -> RankReport {
                 };
                 comm.send(MASTER, TAG_FETCH_RESP, Bytes::from(resp.encode()));
             }
-            other => panic!("worker got unexpected tag {other}"),
+            other => {
+                return Err(ProtocolError::UnexpectedTag {
+                    role: "worker",
+                    tag: other,
+                })
+            }
         }
     }
 
-    RankReport {
+    Ok(RankReport {
         phases,
         search_stats: stats_total,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -417,10 +574,16 @@ mod tests {
             fragment_names,
             query_path,
             output_path: "results.txt".to_string(),
+            fault_detection: false,
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
         let output = env.shared.peek("results.txt").expect("output written");
-        (output, outcome.outputs)
+        let reports = outcome
+            .outputs
+            .into_iter()
+            .map(|r| r.expect("rank completed"))
+            .collect();
+        (output, reports)
     }
 
     #[test]
@@ -432,7 +595,8 @@ mod tests {
             queries,
             &db,
             ReportOptions::default(),
-        );
+        )
+        .expect("serial oracle");
         let (got, _) = run_once(4, 3, Platform::altix());
         assert_eq!(
             String::from_utf8_lossy(&got),
@@ -474,5 +638,78 @@ mod tests {
         for (x, y) in ra.iter().zip(&rb) {
             assert_eq!(x.phases, y.phases);
         }
+    }
+
+    fn faulty_cfg(nranks: usize, nfrags: usize) -> (simcluster::Sim, ClusterEnv, MpiBlastConfig) {
+        let db = small_db();
+        let queries = sample_queries(&db, 3);
+        let sim = simcluster::Sim::new(nranks);
+        let platform = Platform::altix();
+        let env = ClusterEnv::new(&sim, &platform);
+        let fragment_names = stage_fragments(&env.shared, &db, nfrags);
+        let query_path = stage_queries(&env.shared, &queries);
+        let cfg = MpiBlastConfig {
+            platform,
+            env: env.clone(),
+            compute: ComputeModel::modeled(),
+            params: SearchParams::blastp(),
+            report: ReportOptions::default(),
+            fragment_names,
+            query_path,
+            output_path: "results.txt".to_string(),
+            fault_detection: true,
+        };
+        (sim, env, cfg)
+    }
+
+    #[test]
+    fn worker_death_fails_fast_with_typed_error() {
+        // Kill worker 2 after a few sends (past the startup broadcast,
+        // mid-scheduling). The master must detect it and abort the job
+        // with typed errors on every surviving rank — no hang, no panic.
+        let (sim, _env, cfg) = faulty_cfg(4, 6);
+        let plan = simcluster::FaultPlan::none().kill_after_sends(2, 3);
+        let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
+        assert_eq!(out.killed, vec![2]);
+        assert_eq!(out.outputs[2], None, "killed rank yields nothing");
+        assert_eq!(
+            out.outputs[0],
+            Some(Err(ProtocolError::WorkerDied { rank: 2 }))
+        );
+        for w in [1usize, 3] {
+            assert_eq!(
+                out.outputs[w],
+                Some(Err(ProtocolError::Aborted)),
+                "survivor {w} must be told to abort"
+            );
+        }
+    }
+
+    #[test]
+    fn master_death_is_detected_by_workers() {
+        // Kill the master after it has broadcast and granted fragments;
+        // workers fail fast with MasterDied instead of waiting forever.
+        let (sim, _env, cfg) = faulty_cfg(3, 4);
+        let plan = simcluster::FaultPlan::none().kill_after_sends(0, 4);
+        let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
+        assert_eq!(out.killed, vec![0]);
+        assert_eq!(out.outputs[0], None);
+        for w in 1..3 {
+            assert_eq!(out.outputs[w], Some(Err(ProtocolError::MasterDied)));
+        }
+    }
+
+    #[test]
+    fn fault_detection_does_not_change_output_or_timing() {
+        let run = |detect: bool| {
+            let (sim, env, mut cfg) = faulty_cfg(4, 3);
+            cfg.fault_detection = detect;
+            let out = sim.run(|ctx| run_rank(&ctx, &cfg));
+            (env.shared.peek("results.txt").expect("output"), out.elapsed)
+        };
+        let (bytes_off, elapsed_off) = run(false);
+        let (bytes_on, elapsed_on) = run(true);
+        assert_eq!(bytes_off, bytes_on);
+        assert_eq!(elapsed_off, elapsed_on, "detection must be timing-neutral");
     }
 }

@@ -27,10 +27,10 @@ pub mod report;
 pub mod setup;
 pub mod wire;
 
-pub use app::{run_rank, MpiBlastConfig, RankReport, MASTER};
+pub use app::{run_rank, MpiBlastConfig, ProtocolError, RankReport, MASTER};
 pub use model::{ComputeModel, ModelParams};
 pub use platform::{ClusterEnv, Platform};
-pub use report::ReportOptions;
+pub use report::{ReportError, ReportOptions};
 
 /// Phase-name constants shared by both applications and the harnesses.
 pub mod phases {

@@ -16,6 +16,26 @@ use seqfmt::FormattedDb;
 
 use crate::wire::MetaHit;
 
+/// Why building a report failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportError {
+    /// A hit references a subject oid that no searched fragment holds.
+    UnknownOid {
+        /// The dangling subject oid.
+        oid: u32,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::UnknownOid { oid } => write!(f, "oid {oid} not in database"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// Report-size limits (NCBI `-v`/`-b`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReportOptions {
@@ -46,7 +66,7 @@ pub fn order_hits(hits: &mut [SubjectHit]) {
 
 /// The same ordering over metadata-only hits.
 pub fn order_meta(hits: &mut [MetaHit]) {
-    hits.sort_by(|a, b| a.best.rank_key().cmp(&b.best.rank_key()));
+    hits.sort_by_key(|a| a.best.rank_key());
 }
 
 /// One query's fully determined output layout.
@@ -113,13 +133,15 @@ pub fn build_layout(
 
 /// The serial reference: search the whole database in-process and render
 /// the complete report. This is what `blastall` would print, and the
-/// oracle both parallel programs are tested against.
+/// oracle both parallel programs are tested against. Fails with
+/// [`ReportError::UnknownOid`] if a hit references a subject no volume
+/// holds (a corrupt database or search result).
 pub fn serial_report(
     params: &SearchParams,
     queries: Vec<SeqRecord>,
     db: &FormattedDb,
     opts: ReportOptions,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, ReportError> {
     let cfg = ReportConfig::for_molecule(db.alias.molecule, db.alias.title.clone(), db.stats());
     let prepared = PreparedQueries::prepare(params, queries, db.stats());
     let searcher = BlastSearcher::new(params, &prepared);
@@ -135,13 +157,13 @@ pub fn serial_report(
         }
         fragments.push(frag);
     }
-    let subject_of = |oid: u32| -> (&[u8], &[u8]) {
+    let subject_of = |oid: u32| -> Result<(&[u8], &[u8]), ReportError> {
         for f in &fragments {
             if let (Some(r), Some(d)) = (f.residues_of(oid), f.defline_of(oid)) {
-                return (r, d);
+                return Ok((r, d));
             }
         }
-        panic!("oid {oid} not in database");
+        Err(ReportError::UnknownOid { oid })
     };
 
     let mut out = Vec::new();
@@ -153,29 +175,29 @@ pub fn serial_report(
             .iter()
             .take(opts.num_descriptions)
             .map(|h| {
-                let (_, defline) = subject_of(h.oid);
-                (
+                let (_, defline) = subject_of(h.oid)?;
+                Ok((
                     String::from_utf8_lossy(defline).into_owned(),
                     h.hsps[0].bit_score,
                     h.hsps[0].evalue,
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<_, ReportError>>()?;
         let records: Vec<String> = hits
             .iter()
             .take(opts.num_alignments)
             .map(|h| {
-                let (residues, defline) = subject_of(h.oid);
-                format::alignment_record(
+                let (residues, defline) = subject_of(h.oid)?;
+                Ok(format::alignment_record(
                     params,
                     &cfg,
                     &query.residues,
                     &String::from_utf8_lossy(defline),
                     residues,
                     &h.hsps,
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<_, ReportError>>()?;
         let layout = build_layout(
             &cfg,
             params,
@@ -191,7 +213,7 @@ pub fn serial_report(
         }
         out.extend_from_slice(layout.footer.as_bytes());
     }
-    out
+    Ok(out)
 }
 
 /// Convenience: search one [`SubjectSource`] and return per-query hits
@@ -238,7 +260,7 @@ mod tests {
         let db = tiny_db();
         let queries = sample_queries(&db, 3);
         let params = SearchParams::blastp();
-        let report = serial_report(&params, queries, &db, ReportOptions::default());
+        let report = serial_report(&params, queries, &db, ReportOptions::default()).unwrap();
         let text = String::from_utf8_lossy(&report);
         assert_eq!(text.matches("Query= query_").count(), 3);
         assert_eq!(text.matches("Sequences producing significant alignments").count(), 3);
@@ -250,8 +272,8 @@ mod tests {
     fn serial_report_is_deterministic() {
         let db = tiny_db();
         let params = SearchParams::blastp();
-        let a = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default());
-        let b = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default());
+        let a = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default()).unwrap();
+        let b = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -260,7 +282,7 @@ mod tests {
         let db = tiny_db();
         let queries = sample_queries(&db, 1);
         let params = SearchParams::blastp();
-        let full = serial_report(&params, queries.clone(), &db, ReportOptions::default());
+        let full = serial_report(&params, queries.clone(), &db, ReportOptions::default()).unwrap();
         let trimmed = serial_report(
             &params,
             queries,
@@ -269,7 +291,8 @@ mod tests {
                 num_descriptions: 500,
                 num_alignments: 1,
             },
-        );
+        )
+        .unwrap();
         let count = |r: &[u8]| String::from_utf8_lossy(r).matches("\n Score = ").count();
         assert!(count(&full) > count(&trimmed) || count(&full) == 1);
         assert!(trimmed.len() <= full.len());

@@ -144,8 +144,8 @@ impl<'a, 'c> MpiFile<'a, 'c> {
         // order, coalesce, and issue large writes.
         if let Some(my_domain) = domains.domain_of(me) {
             let mut chunks: Vec<(u64, Vec<u8>)> = Vec::new();
-            for src in 0..self.comm.size() {
-                for (abs, len) in all_views[src].absolute() {
+            for (src, view) in all_views.iter().enumerate() {
+                for (abs, len) in view.absolute() {
                     for (d, off, piece_len) in domains.split(abs, len) {
                         if d != my_domain {
                             continue;
@@ -188,8 +188,8 @@ impl<'a, 'c> MpiFile<'a, 'c> {
         if let Some(my_domain) = domains.domain_of(me) {
             // Collect every chunk in my domain across all ranks.
             let mut wanted: Vec<(usize, u64, u64)> = Vec::new(); // (src, off, len)
-            for src in 0..self.comm.size() {
-                for (abs, len) in all_views[src].absolute() {
+            for (src, view) in all_views.iter().enumerate() {
+                for (abs, len) in view.absolute() {
                     for (d, off, piece_len) in domains.split(abs, len) {
                         if d == my_domain {
                             wanted.push((src, off, piece_len));

@@ -1,0 +1,276 @@
+//! Fault-aware communication: typed errors, timed receives, and a
+//! retry/backoff helper.
+//!
+//! The plain [`Comm`](crate::Comm) operations assume every peer is alive
+//! and block forever otherwise — matching stock MPI, where a lost rank
+//! hangs the job. The operations here surface rank death (injected via
+//! [`simcluster::FaultPlan`]) as typed errors instead, which is what the
+//! fault-tolerant pioBLAST scheduler and the fail-fast mpiBLAST baseline
+//! build on.
+
+use std::fmt;
+
+use bytes::Bytes;
+use simcluster::{Message, SimDuration, SimTime};
+
+use crate::comm::{Comm, RESERVED_TAG_BASE};
+
+/// Why a checked send failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination rank is dead; the message would vanish.
+    DeadPeer {
+        /// The dead destination.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::DeadPeer { rank } => write!(f, "send failed: rank {rank} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Why a timed receive failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived by the deadline.
+    Timeout {
+        /// The deadline that passed.
+        deadline: SimTime,
+    },
+    /// The awaited source rank is dead with no matching message queued
+    /// or in flight, so none can ever arrive.
+    DeadPeer {
+        /// The dead source.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout { deadline } => {
+                write!(f, "receive timed out at {deadline}")
+            }
+            RecvError::DeadPeer { rank } => {
+                write!(f, "receive failed: rank {rank} is dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl Comm<'_> {
+    /// Like [`Comm::send`], but fails with a typed error instead of
+    /// silently losing the message when `dst` is dead.
+    pub fn send_checked(&self, dst: usize, tag: u64, payload: Bytes) -> Result<(), SendError> {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        if self.ctx().is_dead(dst) {
+            return Err(SendError::DeadPeer { rank: dst });
+        }
+        self.send(dst, tag, payload);
+        Ok(())
+    }
+
+    /// Receive with an absolute deadline. Fails with
+    /// [`RecvError::DeadPeer`] as soon as a specifically-awaited source
+    /// dies (without waiting out the deadline), or with
+    /// [`RecvError::Timeout`] when the deadline passes.
+    pub fn recv_deadline(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        deadline: SimTime,
+    ) -> Result<Message, RecvError> {
+        match self.ctx().recv_until(src, tag, deadline) {
+            Some(m) => Ok(m),
+            None => match src {
+                Some(s) if self.ctx().is_dead(s) => Err(RecvError::DeadPeer { rank: s }),
+                _ => Err(RecvError::Timeout { deadline }),
+            },
+        }
+    }
+
+    /// [`Comm::recv_deadline`] with a deadline relative to now.
+    pub fn recv_timeout(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        timeout: SimDuration,
+    ) -> Result<Message, RecvError> {
+        self.recv_deadline(src, tag, self.ctx().now() + timeout)
+    }
+
+    /// Run `op` up to `attempts` times, charging exponentially growing
+    /// virtual-time backoff (`base`, `2*base`, `4*base`, ...) between
+    /// failures. Returns the first success or the last error.
+    pub fn retry_with_backoff<T, E>(
+        &self,
+        attempts: u32,
+        base: SimDuration,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        assert!(attempts > 0, "need at least one attempt");
+        let mut backoff = base;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        self.ctx().charge(backoff);
+                        backoff = backoff + backoff;
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetProfile;
+    use simcluster::{FaultPlan, Sim};
+
+    fn net() -> NetProfile {
+        NetProfile {
+            latency: 1e-6,
+            bandwidth: 1e9,
+        }
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_typed_error() {
+        let sim = Sim::new(2);
+        let out = sim.run(|ctx| {
+            let comm = Comm::new(&ctx, net());
+            if ctx.rank() == 0 {
+                let err = comm
+                    .recv_timeout(Some(1), Some(4), SimDuration::from_millis(3))
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    RecvError::Timeout {
+                        deadline: SimTime(3_000_000)
+                    }
+                );
+                ctx.now()
+            } else {
+                // Sends far too late for the deadline.
+                ctx.charge(SimDuration::from_secs(1));
+                comm.send(0, 4, Bytes::from_static(b"late"));
+                ctx.now()
+            }
+        });
+        // The receiver resumed exactly at its deadline.
+        assert_eq!(out.outputs[0], SimTime(3_000_000));
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_a_typed_error() {
+        let sim = Sim::new(2);
+        let plan = FaultPlan::none().kill_at(1, SimTime(1_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            let comm = Comm::new(&ctx, net());
+            if ctx.rank() == 0 {
+                ctx.charge(SimDuration::from_micros(10));
+                let err = comm.send_checked(1, 2, Bytes::from_static(b"x")).unwrap_err();
+                assert_eq!(err, SendError::DeadPeer { rank: 1 });
+                true
+            } else {
+                let _ = ctx.recv(Some(0), None); // killed while blocked
+                false
+            }
+        });
+        assert_eq!(out.outputs[0], Some(true));
+        assert_eq!(out.outputs[1], None);
+    }
+
+    #[test]
+    fn recv_from_dead_peer_fails_fast() {
+        let sim = Sim::new(2);
+        let plan = FaultPlan::none().kill_at(1, SimTime(5_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            let comm = Comm::new(&ctx, net());
+            if ctx.rank() == 0 {
+                // One-hour deadline, but the death at 5 us cuts it short.
+                let err = comm
+                    .recv_timeout(Some(1), None, SimDuration::from_secs(3600))
+                    .unwrap_err();
+                assert_eq!(err, RecvError::DeadPeer { rank: 1 });
+                ctx.now()
+            } else {
+                let _ = ctx.recv(Some(0), None);
+                SimTime::ZERO
+            }
+        });
+        assert_eq!(out.outputs[0], Some(SimTime(5_000)));
+    }
+
+    #[test]
+    fn in_flight_message_from_dead_sender_still_delivers() {
+        let sim = Sim::new(2);
+        // Killed after its first (and only) send: the message is on the
+        // wire and must still arrive.
+        let plan = FaultPlan::none().kill_after_sends(1, 1);
+        let out = sim.run_faulty(plan, |ctx| {
+            let comm = Comm::new(&ctx, net());
+            if ctx.rank() == 0 {
+                let m = comm
+                    .recv_timeout(Some(1), Some(3), SimDuration::from_secs(1))
+                    .expect("wire message survives the sender");
+                m.payload.to_vec()
+            } else {
+                comm.send(0, 3, Bytes::from_static(b"will"));
+                ctx.charge(SimDuration::from_secs(10)); // never completes
+                Vec::new()
+            }
+        });
+        assert_eq!(out.outputs[0].as_deref(), Some(&b"will"[..]));
+        assert_eq!(out.killed, vec![1]);
+    }
+
+    #[test]
+    fn retry_backoff_charges_virtual_time() {
+        let sim = Sim::new(1);
+        let out = sim.run(|ctx| {
+            let comm = Comm::new(&ctx, net());
+            let mut calls = 0u32;
+            let res: Result<u32, &str> =
+                comm.retry_with_backoff(4, SimDuration::from_millis(1), |attempt| {
+                    calls += 1;
+                    if attempt < 2 {
+                        Err("not yet")
+                    } else {
+                        Ok(attempt)
+                    }
+                });
+            assert_eq!(res, Ok(2));
+            assert_eq!(calls, 3);
+            // Backoffs: 1 ms + 2 ms.
+            ctx.now()
+        });
+        assert_eq!(out.outputs[0], SimTime(3_000_000));
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_last_error() {
+        let sim = Sim::new(1);
+        let out = sim.run(|ctx| {
+            let comm = Comm::new(&ctx, net());
+            let res: Result<(), u32> =
+                comm.retry_with_backoff(3, SimDuration::from_micros(10), Err);
+            res.unwrap_err()
+        });
+        assert_eq!(out.outputs[0], 2);
+    }
+}

@@ -14,8 +14,10 @@
 
 pub mod coll;
 pub mod comm;
+pub mod fault;
 pub mod net;
 
 pub use coll::Collectives;
 pub use comm::Comm;
+pub use fault::{RecvError, SendError};
 pub use net::NetProfile;

@@ -169,7 +169,7 @@ impl FragmentData {
 /// Decode a slice of the fixed-stride offset table, rebasing so the first
 /// entry is zero.
 fn decode_rebased_table(bytes: &[u8], what: &'static str) -> Result<Vec<u64>, CodecError> {
-    if bytes.len() % 8 != 0 || bytes.is_empty() {
+    if !bytes.len().is_multiple_of(8) || bytes.is_empty() {
         return Err(CodecError::BadValue { what });
     }
     let base = u64::from_le_bytes(bytes[..8].try_into().expect("checked length"));

@@ -83,16 +83,79 @@ pub struct EngineStats {
     pub message_bytes: u64,
     /// Events processed by the scheduler.
     pub events: u64,
+    /// Messages dropped because the destination rank was dead.
+    pub dropped_to_dead: u64,
+}
+
+/// When an injected fault kills its rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Kill at this virtual time (takes effect at the rank's next
+    /// scheduling point at or after the time).
+    AtTime(SimTime),
+    /// Kill once the rank has posted this many messages (takes effect at
+    /// the rank's next scheduling point after the triggering send).
+    AfterSends(u64),
+}
+
+/// One injected rank failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Rank to kill.
+    pub rank: usize,
+    /// When to kill it.
+    pub trigger: FaultTrigger,
+}
+
+/// A set of injected failures for one run (crash-stop model: a killed
+/// rank silently stops executing, its queued and in-flight messages are
+/// discarded, and later messages to it vanish — peers observe the death
+/// only through [`RankCtx::is_dead`] or timed-out receives).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected failures.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// No injected failures.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a kill of `rank` at virtual time `time`.
+    pub fn kill_at(mut self, rank: usize, time: SimTime) -> FaultPlan {
+        self.faults.push(FaultSpec {
+            rank,
+            trigger: FaultTrigger::AtTime(time),
+        });
+        self
+    }
+
+    /// Add a kill of `rank` after its `sends`-th posted message.
+    pub fn kill_after_sends(mut self, rank: usize, sends: u64) -> FaultPlan {
+        self.faults.push(FaultSpec {
+            rank,
+            trigger: FaultTrigger::AfterSends(sends),
+        });
+        self
+    }
 }
 
 struct EngineState {
     clock: u64,
     heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>, // (time, gen)
     wake_target: HashMap<u64, usize>,
+    /// Events that kill a rank instead of waking it.
+    kill_target: HashMap<u64, usize>,
     status: Vec<Status>,
+    dead: Vec<bool>,
     mailboxes: Vec<Vec<QueuedMsg>>,
     recv_filter: Vec<Option<Filter>>,
     recv_wakes: Vec<Vec<u64>>,
+    /// Sends remaining until an `AfterSends` fault arms, per doomed rank.
+    sends_until_kill: HashMap<usize, u64>,
+    send_counts: Vec<u64>,
     next_gen: u64,
     next_seq: u64,
     stats: EngineStats,
@@ -107,8 +170,36 @@ impl EngineState {
         WakeId(gen)
     }
 
+    fn schedule_kill(&mut self, rank: usize, time: u64) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.heap.push(std::cmp::Reverse((time, gen)));
+        self.kill_target.insert(gen, rank);
+    }
+
     fn cancel(&mut self, id: WakeId) {
         self.wake_target.remove(&id.0);
+    }
+
+    /// Crash-stop `rank`: discard its mailbox and pending recv state, and
+    /// give every rank blocked in a receive a spurious wake so
+    /// deadline-aware receives can re-check liveness promptly.
+    fn mark_dead(&mut self, rank: usize) {
+        self.dead[rank] = true;
+        self.status[rank] = Status::Finished;
+        self.mailboxes[rank].clear();
+        self.recv_filter[rank] = None;
+        let stale: Vec<u64> = self.recv_wakes[rank].drain(..).collect();
+        for gen in stale {
+            self.cancel(WakeId(gen));
+        }
+        let clock = self.clock;
+        for peer in 0..self.status.len() {
+            if peer != rank && self.recv_filter[peer].is_some() {
+                let gen = self.schedule(peer, clock);
+                self.recv_wakes[peer].push(gen.0);
+            }
+        }
     }
 }
 
@@ -159,7 +250,9 @@ impl Gate {
             GateState::Run => *f = GateState::Parked,
             GateState::Shutdown => {
                 drop(f);
-                std::panic::panic_any(SimAborted);
+                // resume_unwind skips the panic hook: rank teardown is a
+                // scheduler-internal control transfer, not an error.
+                std::panic::resume_unwind(Box::new(SimAborted));
             }
             GateState::Parked => unreachable!(),
         }
@@ -199,6 +292,20 @@ pub struct SimOutcome<R> {
     pub stats: EngineStats,
 }
 
+/// The result of a simulation run under a [`FaultPlan`]: killed ranks
+/// have no output.
+#[derive(Debug)]
+pub struct FaultySimOutcome<R> {
+    /// Per-rank return values; `None` for ranks killed by the plan.
+    pub outputs: Vec<Option<R>>,
+    /// Virtual time when the last surviving rank finished.
+    pub elapsed: SimTime,
+    /// Engine counters.
+    pub stats: EngineStats,
+    /// Ranks actually killed, ascending.
+    pub killed: Vec<usize>,
+}
+
 impl Sim {
     /// Create a simulation with `nranks` ranks.
     pub fn new(nranks: usize) -> Sim {
@@ -209,10 +316,14 @@ impl Sim {
                 clock: 0,
                 heap: BinaryHeap::new(),
                 wake_target: HashMap::new(),
+                kill_target: HashMap::new(),
                 status: vec![Status::Blocked; nranks],
+                dead: vec![false; nranks],
                 mailboxes: vec![Vec::new(); nranks],
                 recv_filter: vec![None; nranks],
                 recv_wakes: vec![Vec::new(); nranks],
+                sends_until_kill: HashMap::new(),
+                send_counts: vec![0; nranks],
                 next_gen: 0,
                 next_seq: 0,
                 stats: EngineStats::default(),
@@ -247,21 +358,57 @@ impl Sim {
         R: Send,
         F: Fn(RankCtx) -> R + Sync,
     {
+        let faulty = self.run_faulty(FaultPlan::none(), body);
+        SimOutcome {
+            outputs: faulty
+                .outputs
+                .into_iter()
+                .map(|o| o.expect("no faults injected, so every rank finished"))
+                .collect(),
+            elapsed: faulty.elapsed,
+            stats: faulty.stats,
+        }
+    }
+
+    /// Run the simulation under an injected [`FaultPlan`]. Killed ranks
+    /// produce `None` outputs; everything else matches [`Sim::run`].
+    ///
+    /// # Panics
+    /// Panics if any surviving rank body panics, or on deadlock among
+    /// surviving ranks.
+    pub fn run_faulty<R, F>(self, plan: FaultPlan, body: F) -> FaultySimOutcome<R>
+    where
+        R: Send,
+        F: Fn(RankCtx) -> R + Sync,
+    {
         let n = self.nranks;
         let inner = &self.inner;
-        // Seed: every rank wakes at t = 0.
+        // Seed: every rank wakes at t = 0, and faults arm.
         {
             let mut st = inner.state.lock();
             for r in 0..n {
                 st.schedule(r, 0);
             }
+            for f in &plan.faults {
+                assert!(f.rank < n, "fault targets rank {} of {n}", f.rank);
+                match f.trigger {
+                    FaultTrigger::AtTime(t) => st.schedule_kill(f.rank, t.0),
+                    FaultTrigger::AfterSends(0) => st.schedule_kill(f.rank, 0),
+                    FaultTrigger::AfterSends(k) => {
+                        st.sends_until_kill.insert(f.rank, k);
+                    }
+                }
+            }
         }
         let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let body = &body;
         let outputs_ref = &outputs;
+        let mut killed: Vec<usize> = Vec::new();
+        let killed_ref = &mut killed;
 
         std::thread::scope(|scope| {
-            for rank in 0..n {
+            let killed = killed_ref;
+            for (rank, out_slot) in outputs_ref.iter().enumerate() {
                 let inner = Arc::clone(inner);
                 scope.spawn(move || {
                     inner.gates[rank].wait();
@@ -273,7 +420,7 @@ impl Sim {
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
                     match result {
                         Ok(out) => {
-                            *outputs_ref[rank].lock() = Some(out);
+                            *out_slot.lock() = Some(out);
                             let _ = inner.yield_tx.send(YieldMsg::Finished(rank));
                         }
                         Err(payload) if payload.is::<SimAborted>() => {
@@ -300,11 +447,25 @@ impl Sim {
             };
             let mut finished = 0usize;
             while finished < n {
-                let rank = {
+                enum Next {
+                    Resume(usize),
+                    Kill(usize),
+                    Deadlock(String),
+                }
+                let next = {
                     let mut st = inner.state.lock();
                     loop {
                         match st.heap.pop() {
                             Some(std::cmp::Reverse((time, gen))) => {
+                                if let Some(rank) = st.kill_target.remove(&gen) {
+                                    if st.status[rank] == Status::Finished {
+                                        continue; // already finished or dead
+                                    }
+                                    st.stats.events += 1;
+                                    st.clock = st.clock.max(time);
+                                    st.mark_dead(rank);
+                                    break Next::Kill(rank);
+                                }
                                 if let Some(rank) = st.wake_target.remove(&gen) {
                                     if st.status[rank] == Status::Finished {
                                         continue; // stale wake for a finished rank
@@ -312,7 +473,7 @@ impl Sim {
                                     st.stats.events += 1;
                                     st.clock = st.clock.max(time);
                                     st.status[rank] = Status::Running;
-                                    break Ok(rank);
+                                    break Next::Resume(rank);
                                 }
                                 // canceled wake
                             }
@@ -324,7 +485,7 @@ impl Sim {
                                     .filter(|(_, s)| **s != Status::Finished)
                                     .map(|(r, _)| r)
                                     .collect();
-                                break Err(format!(
+                                break Next::Deadlock(format!(
                                     "simcluster deadlock at {}: ranks {blocked:?} blocked with no pending events",
                                     SimTime(st.clock)
                                 ));
@@ -332,9 +493,18 @@ impl Sim {
                         }
                     }
                 };
-                let rank = match rank {
-                    Ok(r) => r,
-                    Err(msg) => abort(msg),
+                let rank = match next {
+                    Next::Resume(r) => r,
+                    Next::Kill(r) => {
+                        // The rank thread is parked at its gate; shutdown
+                        // unwinds it through the quiet `SimAborted` path,
+                        // so it never reports an output.
+                        inner.gates[r].shutdown();
+                        killed.push(r);
+                        finished += 1;
+                        continue;
+                    }
+                    Next::Deadlock(msg) => abort(msg),
                 };
                 inner.gates[rank].resume();
                 match inner.yield_rx.recv().expect("rank threads outlive scheduler") {
@@ -354,14 +524,13 @@ impl Sim {
             }
         });
 
+        killed.sort_unstable();
         let st = inner.state.lock();
-        SimOutcome {
-            outputs: outputs
-                .iter()
-                .map(|m| m.lock().take().expect("all ranks finished"))
-                .collect(),
+        FaultySimOutcome {
+            outputs: outputs.iter().map(|m| m.lock().take()).collect(),
             elapsed: SimTime(st.clock),
             stats: st.stats,
+            killed,
         }
     }
 }
@@ -401,8 +570,22 @@ impl SimHandle {
     }
 
     /// Post a message from `src` to `dst`, arriving `delay` from now.
+    /// Messages to a dead rank are silently dropped (crash-stop model).
     pub fn post(&self, src: usize, dst: usize, tag: u64, payload: Bytes, delay: SimDuration) {
         let mut st = self.inner.state.lock();
+        st.send_counts[src] += 1;
+        if let Some(remaining) = st.sends_until_kill.get_mut(&src) {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                st.sends_until_kill.remove(&src);
+                let clock = st.clock;
+                st.schedule_kill(src, clock);
+            }
+        }
+        if st.dead[dst] {
+            st.stats.dropped_to_dead += 1;
+            return;
+        }
         let arrival = st.clock + delay.0;
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -415,15 +598,17 @@ impl SimHandle {
             arrival,
             seq,
         };
-        let wake = match &st.recv_filter[dst] {
-            Some(f) if f.matches(&msg) => true,
-            _ => false,
-        };
+        let wake = matches!(&st.recv_filter[dst], Some(f) if f.matches(&msg));
         st.mailboxes[dst].push(msg);
         if wake {
             let gen = st.schedule(dst, arrival);
             st.recv_wakes[dst].push(gen.0);
         }
+    }
+
+    /// Whether `rank` has been killed by an injected fault.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.inner.state.lock().dead[rank]
     }
 }
 
@@ -550,6 +735,84 @@ impl RankCtx {
             }
             self.wait_woken();
         }
+    }
+
+    /// Like [`RankCtx::recv`], but gives up at `deadline`: returns `None`
+    /// if no matching message has arrived by then. A message arriving
+    /// exactly at the deadline is still delivered. The deadline wake is
+    /// canceled on delivery, so a receive that succeeds costs the same
+    /// virtual time as a plain [`RankCtx::recv`].
+    pub fn recv_until(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        deadline: SimTime,
+    ) -> Option<Message> {
+        let filter = Filter { src, tag };
+        // Arm the deadline wake once; it rides in `recv_wakes`, so a
+        // successful receive cancels it along with any arrival wakes.
+        {
+            let mut st = self.inner.state.lock();
+            let t = deadline.0.max(st.clock);
+            let gen = st.schedule(self.rank, t);
+            st.recv_wakes[self.rank].push(gen.0);
+        }
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                let best = st.mailboxes[self.rank]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| filter.matches(m))
+                    .min_by_key(|(_, m)| (m.arrival, m.seq))
+                    .map(|(i, m)| (i, m.arrival));
+                match best {
+                    Some((i, arrival)) if arrival <= st.clock => {
+                        let m = st.mailboxes[self.rank].remove(i);
+                        st.recv_filter[self.rank] = None;
+                        let stale: Vec<u64> = st.recv_wakes[self.rank].drain(..).collect();
+                        for gen in stale {
+                            st.cancel(WakeId(gen));
+                        }
+                        return Some(Message {
+                            src: m.src,
+                            tag: m.tag,
+                            payload: m.payload,
+                            arrival: SimTime(m.arrival),
+                        });
+                    }
+                    Some((_, arrival)) if arrival <= deadline.0 => {
+                        // In flight and lands in time: wake at arrival.
+                        let gen = st.schedule(self.rank, arrival);
+                        st.recv_wakes[self.rank].push(gen.0);
+                        st.recv_filter[self.rank] = Some(filter);
+                    }
+                    _ => {
+                        // Give up at the deadline — or immediately if the
+                        // awaited source is dead with nothing matching
+                        // queued or in flight (no message can ever come:
+                        // in-flight sends are already in the mailbox).
+                        let src_dead = src.is_some_and(|s| st.dead[s]);
+                        if st.clock >= deadline.0 || src_dead {
+                            st.recv_filter[self.rank] = None;
+                            let stale: Vec<u64> =
+                                st.recv_wakes[self.rank].drain(..).collect();
+                            for gen in stale {
+                                st.cancel(WakeId(gen));
+                            }
+                            return None;
+                        }
+                        st.recv_filter[self.rank] = Some(filter);
+                    }
+                }
+            }
+            self.wait_woken();
+        }
+    }
+
+    /// Whether `rank` has been killed by an injected fault.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.inner.state.lock().dead[rank]
     }
 
     /// Non-blocking receive: the earliest already-arrived matching
@@ -782,6 +1045,128 @@ mod tests {
             assert_eq!(*s, expect - r as u64);
         }
         assert_eq!(out.stats.messages, 64 * 63);
+    }
+
+    #[test]
+    fn killed_rank_yields_no_output_and_messages_drop() {
+        let sim = Sim::new(3);
+        let plan = FaultPlan::none().kill_at(2, SimTime(5_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            if ctx.rank() == 0 {
+                // Give the kill time to land, then message the corpse.
+                ctx.charge(SimDuration::from_micros(10));
+                ctx.post(2, 1, Bytes::from_static(b"late"), SimDuration::ZERO);
+                assert!(ctx.is_dead(2));
+                assert!(!ctx.is_dead(1));
+            }
+            if ctx.rank() == 2 {
+                // Stay busy past the kill time so the fault lands.
+                ctx.charge(SimDuration::from_secs(1));
+            }
+            ctx.rank()
+        });
+        assert_eq!(out.killed, vec![2]);
+        assert_eq!(out.outputs[0], Some(0));
+        assert_eq!(out.outputs[1], Some(1));
+        assert_eq!(out.outputs[2], None);
+        assert_eq!(out.stats.dropped_to_dead, 1);
+    }
+
+    #[test]
+    fn kill_after_sends_stops_midstream() {
+        let sim = Sim::new(2);
+        let plan = FaultPlan::none().kill_after_sends(1, 3);
+        let out = sim.run_faulty(plan, |ctx| {
+            if ctx.rank() == 0 {
+                let mut got = 0u32;
+                while ctx
+                    .recv_until(Some(1), Some(1), ctx.now() + SimDuration::from_millis(50))
+                    .is_some()
+                {
+                    got += 1;
+                }
+                got
+            } else {
+                for _ in 0..10 {
+                    ctx.post(0, 1, Bytes::from_static(b"m"), SimDuration::from_micros(1));
+                    ctx.charge(SimDuration::from_micros(5));
+                }
+                99
+            }
+        });
+        // The sender dies at its next scheduling point after send #3.
+        assert_eq!(out.killed, vec![1]);
+        assert_eq!(out.outputs[0], Some(3));
+        assert_eq!(out.outputs[1], None);
+    }
+
+    #[test]
+    fn recv_until_expires_and_delivery_cancels_deadline() {
+        let sim = Sim::new(2);
+        let out = sim.run(|ctx| {
+            if ctx.rank() == 0 {
+                // First wait expires: nothing sent yet.
+                let missed = ctx.recv_until(Some(1), Some(7), SimTime(1_000_000));
+                assert!(missed.is_none());
+                assert_eq!(ctx.now(), SimTime(1_000_000));
+                // Second wait succeeds well before its deadline, and the
+                // unused deadline wake must not disturb the clock later.
+                let got = ctx.recv_until(Some(1), Some(7), SimTime(1_000_000_000));
+                let got = got.expect("message arrives in time");
+                ctx.charge(SimDuration::from_micros(1));
+                (got.arrival, ctx.now())
+            } else {
+                ctx.charge(SimDuration::from_millis(2));
+                ctx.post(0, 7, Bytes::from_static(b"hi"), SimDuration::from_micros(3));
+                (SimTime::ZERO, ctx.now())
+            }
+        });
+        let (arrival, after) = out.outputs[0];
+        assert_eq!(arrival, SimTime(2_003_000));
+        assert_eq!(after, SimTime(2_004_000));
+    }
+
+    #[test]
+    fn death_wakes_blocked_receivers() {
+        let sim = Sim::new(2);
+        let plan = FaultPlan::none().kill_at(1, SimTime(3_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            if ctx.rank() == 0 {
+                // Far-future deadline: the death wake at 3 us lets the
+                // receive notice the dead source immediately instead of
+                // sitting until the 1 s deadline.
+                let m = ctx.recv_until(Some(1), None, SimTime(1_000_000_000));
+                assert!(m.is_none());
+                assert!(ctx.is_dead(1));
+                ctx.now()
+            } else {
+                // Blocks forever; killed at 3 us.
+                let _ = ctx.recv(Some(0), None);
+                SimTime::ZERO
+            }
+        });
+        assert_eq!(out.killed, vec![1]);
+        assert_eq!(out.outputs[0], Some(SimTime(3_000)));
+    }
+
+    #[test]
+    fn faultless_run_faulty_matches_run() {
+        let body = |ctx: RankCtx| {
+            if ctx.rank() == 0 {
+                let m = ctx.recv(Some(1), Some(1));
+                m.arrival
+            } else {
+                ctx.charge(SimDuration::from_micros(7));
+                ctx.post(0, 1, Bytes::from_static(b"x"), SimDuration::from_micros(2));
+                ctx.now()
+            }
+        };
+        let a = Sim::new(2).run(body);
+        let b = Sim::new(2).run_faulty(FaultPlan::none(), body);
+        assert_eq!(a.outputs[0], b.outputs[0].unwrap());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.stats, b.stats);
+        assert!(b.killed.is_empty());
     }
 
     #[test]

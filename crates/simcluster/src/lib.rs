@@ -23,6 +23,9 @@ pub mod engine;
 pub mod metrics;
 pub mod time;
 
-pub use engine::{Message, RankCtx, Sim, SimHandle, SimOutcome, WakeId};
+pub use engine::{
+    FaultPlan, FaultSpec, FaultTrigger, FaultySimOutcome, Message, RankCtx, Sim, SimHandle,
+    SimOutcome, WakeId,
+};
 pub use metrics::PhaseTimes;
 pub use time::{SimDuration, SimTime};

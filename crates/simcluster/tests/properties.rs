@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use simcluster::{Sim, SimDuration, SimTime};
+use simcluster::{Sim, SimDuration};
 
 /// A randomized traffic schedule: each rank sends a list of
 /// (destination, delay-before-send, message-latency) actions.
@@ -100,13 +100,12 @@ proptest! {
                 ctx.charge(SimDuration::from_micros(wait));
                 ctx.post(dst, 1, Bytes::new(), SimDuration::from_micros(lat));
             }
-            let mut prev = SimTime::ZERO;
             let mut ok = true;
             for _ in 0..expected[me] {
+                // Arrivals can interleave across senders; only the local
+                // clock invariant holds.
                 let m = ctx.recv(None, Some(1));
-                ok &= m.arrival >= prev || true; // arrivals can interleave; clock check below
                 ok &= ctx.now() >= m.arrival;
-                prev = m.arrival;
             }
             ok && ctx.now().0 >= min_latency * u64::from(expected[me] > 0)
         });

@@ -85,6 +85,7 @@ fn main() {
             query_batch: spec.query_batch,
             collective_input: false,
             schedule: spec.schedule,
+            fault: Default::default(),
             rank_compute: Some(scales.clone()),
         };
         let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

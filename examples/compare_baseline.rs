@@ -39,6 +39,7 @@ fn main() {
         fragment_names,
         query_path,
         output_path: "mpi.txt".into(),
+        fault_detection: false,
     };
     let mpi = sim.run(|ctx| mpiblast::run_rank(&ctx, &mpi_cfg));
     let mpi_out = env.shared.peek("mpi.txt").unwrap();
@@ -64,6 +65,7 @@ fn main() {
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     let pio = sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));

@@ -75,6 +75,7 @@ fn main() {
                     fragment_names,
                     query_path,
                     output_path: "out.txt".into(),
+                    fault_detection: false,
                 };
                 sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg)).elapsed
             } else {
@@ -94,6 +95,7 @@ fn main() {
                     query_batch: None,
                     collective_input: false,
                     schedule: Default::default(),
+                    fault: Default::default(),
                     rank_compute: None,
                 };
                 sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed

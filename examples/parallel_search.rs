@@ -46,6 +46,7 @@ fn main() {
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -58,7 +59,7 @@ fn main() {
         outcome.stats.message_bytes
     );
     for (rank, report) in outcome.outputs.iter().enumerate() {
-        let p = &report.phases;
+        let p = &report.as_ref().expect("rank completed").phases;
         println!(
             "  rank {rank:>2}: input {:>9} search {:>9} output {:>9}",
             p.get(phases::INPUT).to_string(),

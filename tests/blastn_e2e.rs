@@ -27,7 +27,8 @@ fn blastn_all_three_implementations_agree() {
     let queries = sample_queries(&records, 3000, 9);
     let params = SearchParams::blastn();
 
-    let oracle = serial_report(&params, queries.clone(), &db, ReportOptions::default());
+    let oracle = serial_report(&params, queries.clone(), &db, ReportOptions::default())
+        .expect("serial oracle");
     let text = String::from_utf8_lossy(&oracle);
     assert!(text.contains("BLASTN 2.2.10-sim"), "blastn banner expected");
     assert!(text.contains("Score = "), "queries sampled from nt must hit");
@@ -52,6 +53,7 @@ fn blastn_all_three_implementations_agree() {
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
@@ -75,6 +77,7 @@ fn blastn_all_three_implementations_agree() {
         fragment_names,
         query_path,
         output_path: "mpi.txt".into(),
+        fault_detection: false,
     };
     sim.run(|ctx| mpiblast::run_rank(&ctx, &mpi_cfg));
     let mpi = env.shared.peek("mpi.txt").unwrap();
@@ -92,8 +95,8 @@ fn dna_bases_are_roughly_uniform() {
             total += 1;
         }
     }
-    for base in 0..4 {
-        let f = counts[base] as f64 / total as f64;
+    for (base, &count) in counts.iter().enumerate().take(4) {
+        let f = count as f64 / total as f64;
         assert!((0.2..0.3).contains(&f), "base {base} frequency {f}");
     }
     assert_eq!(counts[4], 0, "no N bases generated");

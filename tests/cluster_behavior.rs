@@ -41,6 +41,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         fragment_names,
         query_path,
         output_path: "out.txt".into(),
+        fault_detection: false,
     };
     sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg));
     let mpi_counters = env.shared.counters();
@@ -65,6 +66,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -106,11 +108,13 @@ fn phase_totals_cover_the_run() {
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     let total = outcome.elapsed.since(simcluster::SimTime::ZERO);
     for (rank, report) in outcome.outputs.iter().enumerate() {
+        let report = report.as_ref().expect("rank completed");
         let sum = report.phases.total();
         assert!(
             sum <= total + SimDuration::from_millis(1),
@@ -148,6 +152,7 @@ fn virtual_time_is_host_independent() {
                 query_batch: None,
                 collective_input: false,
                 schedule: Default::default(),
+                fault: Default::default(),
                 rank_compute: None,
             };
             let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -183,6 +188,7 @@ fn measured_and_modeled_modes_agree_on_results() {
             query_batch: None,
             collective_input: false,
             schedule: Default::default(),
+            fault: Default::default(),
             rank_compute: None,
         };
         sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -215,6 +221,7 @@ fn nfs_slows_everything_down() {
             query_batch: None,
             collective_input: false,
             schedule: Default::default(),
+            fault: Default::default(),
             rank_compute: None,
         };
         totals.push(sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed);

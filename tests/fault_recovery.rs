@@ -1,0 +1,109 @@
+//! Property test for the fault-recovery protocol: under an arbitrary
+//! single-worker failure — any victim rank, any kill point in the
+//! protocol — a Dynamic-schedule pioBLAST run in `FaultMode::Recover`
+//! produces output byte-identical to a fault-free run.
+//!
+//! The kill trigger counts the victim's *sends* (initial fragment
+//! request, per-grant acks, submission, merge acknowledgment), so the
+//! sampled kill points land at every stage of the master/worker
+//! exchange. Triggers past the victim's last send simply never fire;
+//! the run then completes fault-free and must still match the
+//! reference, so both branches of the property are meaningful.
+
+use std::sync::OnceLock;
+
+use blast_core::search::SearchParams;
+use blast_core::seq::SeqRecord;
+use mpiblast::setup::{stage_queries, stage_shared_db};
+use mpiblast::{ClusterEnv, ComputeModel, Platform, ReportOptions};
+use pioblast::{FaultMode, FragmentSchedule, PioBlastConfig};
+use proptest::prelude::*;
+use seqfmt::formatdb::{format_records, FormatDbConfig};
+use seqfmt::synth::{generate, SynthConfig};
+use seqfmt::FormattedDb;
+use simcluster::{FaultPlan, Sim};
+
+fn small_db() -> FormattedDb {
+    let recs = generate(&SynthConfig::nr_like(21, 40_000));
+    format_records(&recs, &FormatDbConfig::protein("nr-ft"))
+}
+
+fn sample_queries(db: &FormattedDb, n: usize) -> Vec<SeqRecord> {
+    use blast_core::search::SubjectSource;
+    let frag = seqfmt::FragmentData::from_volume(&db.volumes[0]);
+    (0..n)
+        .map(|i| {
+            let s = frag.subject((i * 13) % frag.num_subjects());
+            SeqRecord {
+                defline: format!("query_{i:05} sampled"),
+                residues: s.residues.to_vec(),
+                molecule: blast_core::Molecule::Protein,
+            }
+        })
+        .collect()
+}
+
+fn run_recover(nranks: usize, nfrags: usize, plan: FaultPlan) -> (Vec<u8>, Vec<usize>) {
+    let db = small_db();
+    let queries = sample_queries(&db, 3);
+    let sim = Sim::new(nranks);
+    let env = ClusterEnv::new(&sim, &Platform::altix());
+    let db_alias = stage_shared_db(&env.shared, &db);
+    let query_path = stage_queries(&env.shared, &queries);
+    let cfg = PioBlastConfig {
+        platform: Platform::altix(),
+        env: env.clone(),
+        compute: ComputeModel::modeled(),
+        params: SearchParams::blastp(),
+        report: ReportOptions::default(),
+        db_alias,
+        query_path,
+        output_path: "results.txt".into(),
+        num_fragments: Some(nfrags),
+        collective_output: false,
+        local_prune: false,
+        query_batch: None,
+        collective_input: false,
+        schedule: FragmentSchedule::Dynamic,
+        fault: FaultMode::Recover,
+        rank_compute: None,
+    };
+    let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
+    let bytes = env.shared.peek("results.txt").unwrap_or_default();
+    (bytes, out.killed)
+}
+
+fn reference_bytes() -> &'static [u8] {
+    static REF: OnceLock<Vec<u8>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let (bytes, killed) = run_recover(4, 9, FaultPlan::none());
+        assert!(killed.is_empty());
+        assert!(!bytes.is_empty(), "reference run produced no output");
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_single_worker_failure_recovers_byte_identically(
+        nranks in 3usize..=5,
+        nfrags in 4usize..=10,
+        victim_seed in 0usize..64,
+        kill_after in 1u64..=8,
+    ) {
+        let victim = 1 + victim_seed % (nranks - 1);
+        let plan = FaultPlan::none().kill_after_sends(victim, kill_after);
+        let (bytes, killed) = run_recover(nranks, nfrags, plan);
+        // The trigger may never fire (the victim finishes before its
+        // kill_after-th send); either way the bytes must match.
+        prop_assert!(killed.is_empty() || killed == vec![victim]);
+        prop_assert_eq!(
+            &bytes[..],
+            reference_bytes(),
+            "nranks={} nfrags={} victim={} kill_after={} killed={:?}",
+            nranks, nfrags, victim, kill_after, killed
+        );
+    }
+}

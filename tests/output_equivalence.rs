@@ -46,6 +46,7 @@ fn run_mpi(
         fragment_names,
         query_path,
         output_path: "out.txt".into(),
+        fault_detection: false,
     };
     sim.run(|ctx| mpiblast::run_rank(&ctx, &cfg));
     env.shared.peek("out.txt").expect("mpi output")
@@ -78,6 +79,7 @@ fn run_pio(
         query_batch: None,
         collective_input: false,
         schedule: Default::default(),
+        fault: Default::default(),
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -93,7 +95,8 @@ fn all_three_implementations_agree() {
         queries.clone(),
         &db,
         ReportOptions::default(),
-    );
+    )
+    .expect("serial oracle");
     assert!(!oracle.is_empty());
     let mpi = run_mpi(&db, &queries, 5, 4, Platform::altix());
     let pio = run_pio(&db, &queries, 5, None, Platform::altix(), true);

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds in containers with no crates.io access, so the
+//! handful of external dependencies are vendored as minimal local
+//! implementations. This one provides [`Bytes`]: an immutable,
+//! reference-counted byte buffer whose clones share one allocation, with
+//! the subset of the real crate's API the workspace uses.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Empty }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(data),
+        }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Empty => &[],
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        if self.len() > 64 {
+            write!(f, "... {} bytes", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn static_and_empty_do_not_allocate() {
+        let s = Bytes::from_static(b"abc");
+        assert_eq!(&s[..], b"abc");
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slicing_and_indexing_work_through_deref() {
+        let b = Bytes::from(vec![10u8, 20, 30, 40]);
+        assert_eq!(b[0], 10);
+        assert_eq!(&b[1..3], &[20, 30]);
+        assert_eq!(b.len(), 4);
+    }
+}

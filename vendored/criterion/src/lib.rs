@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's surface shape:
+//! groups, throughput annotations, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` entry points. Reports
+//! median-of-samples timing to stdout; no statistics beyond that, no
+//! plotting, no baseline storage. Honours `--bench`/`--test` style
+//! argument filters loosely by ignoring unknown CLI arguments, so
+//! `cargo bench` and `cargo test --benches` both run.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How a benchmark's workload size is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration input handling for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One setup per measured invocation (large inputs).
+    LargeInput,
+    /// Small batches (treated the same here).
+    SmallInput,
+    /// Per-iteration setup (treated the same here).
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, in seconds.
+    elapsed: f64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.elapsed = median(&mut times);
+    }
+
+    /// Time `f` on fresh input from `setup` each invocation; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(f(input));
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.elapsed = median(&mut times);
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn report(name: &str, secs: f64, throughput: Option<Throughput>) {
+    let time = format_duration(secs);
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / secs / 1e6;
+            println!("{name:<45} {time:>12}   {rate:>10.1} MB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / secs / 1e6;
+            println!("{name:<45} {time:>12}   {rate:>10.2} Melem/s");
+        }
+        None => println!("{name:<45} {time:>12}"),
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) harness CLI arguments such as `--bench`.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: 0.0,
+        };
+        f(&mut b);
+        report(name, b.elapsed, None);
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput for rate
+    /// reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.elapsed, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Total wall-clock budget hint; accepted for API compatibility.
+pub fn measurement_time(_d: Duration) {}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |mut v| {
+                    v.push(2);
+                    v.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}

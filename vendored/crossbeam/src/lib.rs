@@ -1,0 +1,121 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` over
+//! `std::sync::mpsc`, with the receiver made `Sync` (callable through a
+//! shared reference) by serializing receives behind a mutex — the shape
+//! `simcluster` needs when the receiver lives in an `Arc`-shared struct.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Error returned by [`Sender::send`] when the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel. Receives are
+    /// serialized internally so `&Receiver` is usable from any thread.
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; fails only if every sender was
+        /// dropped and the queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: `None` if no value is currently queued.
+        pub fn try_recv(&self) -> Option<T> {
+            let rx = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_recv().ok()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn values_arrive_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn receiver_is_usable_behind_an_arc() {
+            use std::sync::Arc;
+            let (tx, rx) = unbounded::<u32>();
+            let rx = Arc::new(rx);
+            let rx2 = Arc::clone(&rx);
+            let t = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer-range and
+//! tuple and collection strategies, a `[a-z]{1,12}`-style string
+//! strategy, `any::<T>()`, and the `proptest!`/`prop_assert!`/
+//! `prop_assert_eq!` macros. Inputs are drawn from a deterministic
+//! SplitMix64 stream, so failures reproduce exactly; there is no
+//! shrinking — the failing input is printed instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted size arguments for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Lower/upper(+1) bounds of the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `Vec` strategy: each case draws a length in `size`, then that many
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty vec size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below((self.max_exclusive - self.min) as u64) as usize + self.min;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` with probability 3/4 (matching proptest's default weight),
+    /// `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so tests can write `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Fail the current property case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), config);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}

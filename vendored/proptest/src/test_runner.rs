@@ -1,0 +1,133 @@
+//! Case generation and execution for [`proptest!`](crate::proptest).
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic random source for strategies (SplitMix64). Seeded from
+/// the test name, so each test sees a stable, distinct input stream and
+/// failures reproduce exactly on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    #[cfg(test)]
+    pub(crate) fn test_only(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` without modulo bias; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives a strategy and a test closure over `config.cases` inputs.
+pub struct TestRunner {
+    name: &'static str,
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner for the named test.
+    pub fn new(name: &'static str, config: ProptestConfig) -> TestRunner {
+        TestRunner {
+            name,
+            config,
+            rng: TestRng::from_name(name),
+        }
+    }
+
+    /// Run `f` over `cases` inputs drawn from `strategy`; panics (failing
+    /// the surrounding `#[test]`) on the first case that returns `Err`.
+    /// No shrinking: the failing case index identifies the input, which
+    /// is reproduced deterministically on re-run.
+    pub fn run<S, F>(&mut self, strategy: &S, mut f: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            if let Err(e) = f(value) {
+                panic!(
+                    "proptest '{}' failed at case {}/{}: {}",
+                    self.name, case, self.config.cases, e
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Deterministic pseudo-randomness for workload synthesis only — never
+//! used for anything security-sensitive. `StdRng` is SplitMix64, which
+//! passes through `seed_from_u64` unchanged so sampled workloads are
+//! stable across runs and platforms.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a "standard" value for a type (the subset of
+/// `rand::distributions::Standard` the workspace needs).
+pub trait SampleStandard {
+    /// Draw one value from `rng`.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+/// Uniform sampling from a range type.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value uniformly from `self`.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+/// User-facing generator methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a standard value: `f64` in `[0, 1)`, fair `bool`, full-range ints.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    /// Draw uniformly from a range; panics on an empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Raw 64-bit output source.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Downcast helper so the generic [`Rng`] methods can reach the concrete
+/// generator (the workspace only ever uses [`StdRng`]).
+pub trait AsStdRng {
+    /// Borrow self as the concrete generator.
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+impl AsStdRng for StdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// Generator namespaces, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The standard generator: SplitMix64.
+///
+/// Chosen for its trivial, well-known update function and full 64-bit
+/// state injection from `seed_from_u64` — adequate statistical quality
+/// for synthetic workload generation and fully deterministic.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+fn uniform_u64_below(rng: &mut StdRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Rejection sampling over the largest multiple of `bound` to avoid
+    // modulo bias.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let width = (self.end - self.start) as u64;
+        self.start + uniform_u64_below(rng, width) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_u64_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_u64_below(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        let width = (end - start) as u64 + 1;
+        start + uniform_u64_below(rng, width) as usize
+    }
+}
+
+/// Slice extensions, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, StdRng};
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..10usize);
+            assert!((5..10).contains(&v));
+            let w = rng.gen_range(1..=8usize);
+            assert!((1..=8).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}
