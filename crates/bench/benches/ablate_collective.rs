@@ -34,13 +34,20 @@ fn main() {
                     local_prune: false,
                 },
             );
-            labels.push(if collective { "collective" } else { "independent" });
+            labels.push(if collective {
+                "collective"
+            } else {
+                "independent"
+            });
             rows.push(s);
         }
         println!(
             "{}",
             breakdown_table(
-                &format!("Ablation: collective vs independent output ({})", platform.name),
+                &format!(
+                    "Ablation: collective vs independent output ({})",
+                    platform.name
+                ),
                 &rows
             )
         );
@@ -85,6 +92,7 @@ fn main() {
                 collective_input,
                 schedule: Default::default(),
                 fault: Default::default(),
+                checkpoint: false,
                 rank_compute: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -109,6 +117,8 @@ fn main() {
             input_times[0] / input_times[1].max(1e-12)
         );
     }
-    println!("
-paper §4: 'extend pioBLAST's parallel input function to read multiple global files simultaneously'");
+    println!(
+        "
+paper §4: 'extend pioBLAST's parallel input function to read multiple global files simultaneously'"
+    );
 }

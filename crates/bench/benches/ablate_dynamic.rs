@@ -7,8 +7,8 @@
 //! static contiguous scatter against demand-driven fragment grants, at
 //! several granularities.
 
-use blast_core::search::SearchParams;
 use blast_bench::workload::{default_db_residues, default_query_bytes, nr_like};
+use blast_core::search::SearchParams;
 use mpiblast::setup::{stage_queries, stage_shared_db};
 use mpiblast::{ClusterEnv, Platform};
 use pioblast::{FragmentSchedule, PioBlastConfig};
@@ -23,7 +23,9 @@ fn main() {
     for r in [8usize, 16, 24] {
         scales[r] = 4.0;
     }
-    println!("== Ablation: static vs dynamic fragment scheduling, 32 processes, 3 slow nodes (4x) ==");
+    println!(
+        "== Ablation: static vs dynamic fragment scheduling, 32 processes, 3 slow nodes (4x) =="
+    );
     println!(
         "{:<22} {:>16} {:>16} {:>9}",
         "fragments/worker", "static total(s)", "dynamic total(s)", "speedup"
@@ -52,6 +54,7 @@ fn main() {
                 collective_input: false,
                 schedule,
                 fault: Default::default(),
+                checkpoint: false,
                 rank_compute: Some(scales.clone()),
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -59,7 +62,10 @@ fn main() {
         }
         println!(
             "{:<22} {:>16.3} {:>16.3} {:>8.2}x",
-            per_worker, totals[0], totals[1], totals[0] / totals[1]
+            per_worker,
+            totals[0],
+            totals[1],
+            totals[0] / totals[1]
         );
         if per_worker >= 4 {
             assert!(
@@ -68,5 +74,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper §5: run-time file ranges are 'ideal for heterogeneous nodes or skewed search'");
+    println!(
+        "\npaper §5: run-time file ranges are 'ideal for heterogeneous nodes or skewed search'"
+    );
 }

@@ -1,86 +1,183 @@
-//! Ablation: what does fault recovery cost?
+//! Ablation: what does fault recovery cost, and what does fragment
+//! checkpointing save?
 //!
 //! The recovery protocol (dynamic schedule + `FaultMode::Recover`) must
 //! keep output byte-identical while reassigning a dead worker's
 //! fragments to the survivors. This harness injects 0–3 worker failures
-//! at staggered points in the run, on both file-system profiles, and
-//! reports the recovery overhead relative to the fault-free run. The
-//! overhead comes from two sources: re-searching the victim's fragments
-//! on surviving workers, and the liveness-sweep epoch restart.
+//! at staggered points in the run, on both file-system profiles, with
+//! checkpointing off (requeue everything the victim held) and on (adopt
+//! the victim's checkpointed fragments, requeue only the unfinished
+//! ones), and reports the recovery overhead relative to the same mode's
+//! fault-free run. Overhead comes from re-searching requeued fragments
+//! on surviving workers plus the liveness-sweep epoch restart;
+//! checkpointing attacks the first, dominant term.
+//!
+//! Results land in `BENCH_faults.json` at the workspace root so the
+//! perf trajectory is tracked across PRs. The harness asserts the
+//! headline claim: at 16 processes, checkpointing cuts the per-epoch
+//! recovery overhead by at least 2x.
 
-use blast_core::search::SearchParams;
+use std::fmt::Write as _;
+
 use blast_bench::workload::{default_db_residues, default_query_bytes, nr_like};
+use blast_core::search::SearchParams;
 use mpiblast::setup::{stage_queries, stage_shared_db};
 use mpiblast::{ClusterEnv, Platform};
 use pioblast::{FaultMode, FragmentSchedule, PioBlastConfig};
 use simcluster::{FaultPlan, Sim};
 
-fn main() {
+const NPROCS: usize = 16;
+
+/// Victims staggered across the distribution phase: each dies after a
+/// different number of protocol sends (past some grant acks, so each
+/// has searched — and, when enabled, checkpointed — work that recovery
+/// must account for), and recovery epochs cascade.
+const VICTIMS: [(usize, u64); 3] = [(5, 3), (9, 4), (13, 4)];
+
+struct Run {
+    failures: usize,
+    elapsed_s: f64,
+    overhead_s: f64,
+}
+
+fn run_mode(platform: &Platform, checkpoint: bool) -> Vec<Run> {
     let workload = nr_like(default_db_residues(), default_query_bytes(), 2005);
-    let nprocs = 16usize;
-    let nfrags = (nprocs - 1) * 2;
-    // Victims staggered across the distribution phase: each dies after a
-    // different number of protocol sends, so recovery epochs cascade.
-    let victims = [(5usize, 2u64), (9, 3), (13, 4)];
-    println!("== Ablation: recovery overhead vs injected worker failures, {nprocs} processes ==");
-    println!(
-        "{:<35} {:>9} {:>12} {:>10} {:>10}",
-        "platform", "failures", "total(s)", "overhead", "identical"
-    );
-    for platform in [Platform::altix(), Platform::blade_cluster()] {
-        let mut baseline_elapsed = 0.0f64;
-        let mut baseline_bytes: Vec<u8> = Vec::new();
-        for failures in 0usize..=3 {
-            let mut plan = FaultPlan::none();
-            for &(rank, sends) in &victims[..failures] {
-                plan = plan.kill_after_sends(rank, sends);
-            }
-            let sim = Sim::new(nprocs);
-            let env = ClusterEnv::new(&sim, &platform);
-            let db_alias = stage_shared_db(&env.shared, &workload.db);
-            let query_path = stage_queries(&env.shared, &workload.queries);
-            let cfg = PioBlastConfig {
-                platform: platform.clone(),
-                env: env.clone(),
-                compute: workload.compute,
-                params: SearchParams::blastp(),
-                report: workload.report,
-                db_alias,
-                query_path,
-                output_path: "out.txt".into(),
-                num_fragments: Some(nfrags),
-                collective_output: false,
-                local_prune: false,
-                query_batch: None,
-                collective_input: false,
-                schedule: FragmentSchedule::Dynamic,
-                fault: FaultMode::Recover,
-                rank_compute: None,
-            };
-            let outcome = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
-            assert_eq!(outcome.killed.len(), failures, "every planned kill fires");
-            assert!(
-                matches!(outcome.outputs[0], Some(Ok(_))),
-                "master completes despite {failures} failures"
-            );
-            let bytes = env.shared.peek("out.txt").expect("output written");
-            let elapsed = outcome.elapsed.as_secs_f64();
-            if failures == 0 {
-                baseline_elapsed = elapsed;
-                baseline_bytes = bytes.clone();
-            }
-            let identical = bytes == baseline_bytes;
-            assert!(identical, "recovery must preserve output bytes");
-            println!(
-                "{:<35} {:>9} {:>12.3} {:>9.2}% {:>10}",
-                platform.name,
-                failures,
-                elapsed,
-                100.0 * (elapsed - baseline_elapsed) / baseline_elapsed,
-                identical
-            );
+    let nfrags = (NPROCS - 1) * 2;
+    let mut runs = Vec::new();
+    let mut baseline_elapsed = 0.0f64;
+    let mut baseline_bytes: Vec<u8> = Vec::new();
+    for failures in 0usize..=3 {
+        let mut plan = FaultPlan::none();
+        for &(rank, sends) in &VICTIMS[..failures] {
+            plan = plan.kill_after_sends(rank, sends);
         }
-        println!();
+        let sim = Sim::new(NPROCS);
+        let env = ClusterEnv::new(&sim, platform);
+        let db_alias = stage_shared_db(&env.shared, &workload.db);
+        let query_path = stage_queries(&env.shared, &workload.queries);
+        let cfg = PioBlastConfig {
+            platform: platform.clone(),
+            env: env.clone(),
+            compute: workload.compute,
+            params: SearchParams::blastp(),
+            report: workload.report,
+            db_alias,
+            query_path,
+            output_path: "out.txt".into(),
+            num_fragments: Some(nfrags),
+            collective_output: false,
+            local_prune: false,
+            query_batch: None,
+            collective_input: false,
+            schedule: FragmentSchedule::Dynamic,
+            fault: FaultMode::Recover,
+            checkpoint,
+            rank_compute: None,
+        };
+        let outcome = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
+        assert_eq!(outcome.killed.len(), failures, "every planned kill fires");
+        assert!(
+            matches!(outcome.outputs[0], Some(Ok(_))),
+            "master completes despite {failures} failures"
+        );
+        let bytes = env.shared.peek("out.txt").expect("output written");
+        let elapsed = outcome.elapsed.as_secs_f64();
+        if failures == 0 {
+            baseline_elapsed = elapsed;
+            baseline_bytes = bytes.clone();
+        }
+        assert_eq!(bytes, baseline_bytes, "recovery must preserve output bytes");
+        runs.push(Run {
+            failures,
+            elapsed_s: elapsed,
+            overhead_s: elapsed - baseline_elapsed,
+        });
     }
+    runs
+}
+
+/// Mean overhead per recovery epoch across the faulty runs.
+fn per_epoch(runs: &[Run]) -> f64 {
+    let faulty: Vec<&Run> = runs.iter().filter(|r| r.failures > 0).collect();
+    faulty
+        .iter()
+        .map(|r| r.overhead_s / r.failures as f64)
+        .sum::<f64>()
+        / faulty.len() as f64
+}
+
+fn main() {
+    println!(
+        "== Ablation: recovery overhead vs injected worker failures, {NPROCS} processes, \
+         checkpointing off/on =="
+    );
+    println!(
+        "{:<35} {:>5} {:>9} {:>12} {:>12} {:>12}",
+        "platform", "ckpt", "failures", "total(s)", "overhead(s)", "per-epoch(s)"
+    );
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"ablate_faults\",\n  \"nprocs\": {NPROCS},\n  \"victims\": {},\n  \"modes\": [\n",
+        VICTIMS.len()
+    );
+    let mut first = true;
+    for platform in [Platform::altix(), Platform::blade_cluster()] {
+        let mut epoch_cost = [0.0f64; 2];
+        for (i, checkpoint) in [false, true].into_iter().enumerate() {
+            let runs = run_mode(&platform, checkpoint);
+            let per = per_epoch(&runs);
+            epoch_cost[i] = per;
+            for r in &runs {
+                println!(
+                    "{:<35} {:>5} {:>9} {:>12.3} {:>12.3} {:>12.3}",
+                    platform.name,
+                    checkpoint,
+                    r.failures,
+                    r.elapsed_s,
+                    r.overhead_s,
+                    if r.failures > 0 {
+                        r.overhead_s / r.failures as f64
+                    } else {
+                        0.0
+                    }
+                );
+            }
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{\"platform\": \"{}\", \"checkpoint\": {}, \"per_epoch_overhead_s\": {:.6}, \"runs\": [",
+                platform.name, checkpoint, per
+            );
+            for (j, r) in runs.iter().enumerate() {
+                if j > 0 {
+                    json.push_str(", ");
+                }
+                let _ = write!(
+                    json,
+                    "{{\"failures\": {}, \"elapsed_s\": {:.6}, \"overhead_s\": {:.6}}}",
+                    r.failures, r.elapsed_s, r.overhead_s
+                );
+            }
+            json.push_str("]}");
+        }
+        let reduction = epoch_cost[0] / epoch_cost[1];
+        println!(
+            "{:<35} checkpointing cuts per-epoch overhead {:.2}x ({:.3}s -> {:.3}s)\n",
+            platform.name, reduction, epoch_cost[0], epoch_cost[1]
+        );
+        assert!(
+            reduction >= 2.0,
+            "{}: checkpointing must cut per-epoch recovery overhead >= 2x, got {reduction:.2}x",
+            platform.name
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("wrote {path}");
     println!("recovery trades wall time for completion: failures never change the report bytes");
 }

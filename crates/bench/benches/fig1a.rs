@@ -17,7 +17,13 @@ fn main() {
     let platform = Platform::altix();
     let mut rows = Vec::new();
     for nprocs in [16usize, 32, 64] {
-        rows.push(run_once(Program::MpiBlast, nprocs, None, &platform, &workload));
+        rows.push(run_once(
+            Program::MpiBlast,
+            nprocs,
+            None,
+            &platform,
+            &workload,
+        ));
     }
     println!(
         "{}",

@@ -29,8 +29,14 @@ fn main() {
             &rows
         )
     );
-    let pio: Vec<_> = rows.iter().filter(|r| r.program == Program::PioBlast).collect();
-    let mpi: Vec<_> = rows.iter().filter(|r| r.program == Program::MpiBlast).collect();
+    let pio: Vec<_> = rows
+        .iter()
+        .filter(|r| r.program == Program::PioBlast)
+        .collect();
+    let mpi: Vec<_> = rows
+        .iter()
+        .filter(|r| r.program == Program::MpiBlast)
+        .collect();
     let pio32 = pio.iter().find(|r| r.nprocs == 32).unwrap();
     let pio62 = pio.iter().find(|r| r.nprocs == 62).unwrap();
     let mpi32 = mpi.iter().find(|r| r.nprocs == 32).unwrap();

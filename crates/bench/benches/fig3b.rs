@@ -48,8 +48,14 @@ fn main() {
     );
     // Shape: pioBLAST's non-search time grows far more slowly with output
     // size than mpiBLAST's.
-    let mpi: Vec<_> = rows.iter().filter(|r| r.program == Program::MpiBlast).collect();
-    let pio: Vec<_> = rows.iter().filter(|r| r.program == Program::PioBlast).collect();
+    let mpi: Vec<_> = rows
+        .iter()
+        .filter(|r| r.program == Program::MpiBlast)
+        .collect();
+    let pio: Vec<_> = rows
+        .iter()
+        .filter(|r| r.program == Program::PioBlast)
+        .collect();
     let mpi_growth = mpi.last().unwrap().non_search() / mpi[0].non_search().max(1e-9);
     let pio_growth = pio.last().unwrap().non_search() / pio[0].non_search().max(1e-9);
     println!(

@@ -211,8 +211,7 @@ fn bench_collective_io(c: &mut Criterion) {
                 let file = MpiFile::open(&comm, &fs2, "out")
                     .with_hints(CollectiveHints { aggregators: 4 });
                 let me = ctx.rank() as u64;
-                let regions: Vec<(u64, u64)> =
-                    (0..64).map(|i| ((i * 8 + me) * 128, 128)).collect();
+                let regions: Vec<(u64, u64)> = (0..64).map(|i| ((i * 8 + me) * 128, 128)).collect();
                 let view = FileView::new(0, regions).unwrap();
                 let data = vec![me as u8; view.total_bytes() as usize];
                 file.write_at_all(&view, &data);

@@ -60,8 +60,8 @@ fn main() {
         let target = ((paper_bytes as f64 * scale) as u64).max(512);
         let queries = sample_queries(&all_records, target, 42);
         let query_bytes: u64 = queries.iter().map(seqfmt::sampler::fasta_size).sum();
-        let report = serial_report(&base.params, queries, &base.db, base.report)
-            .expect("serial oracle");
+        let report =
+            serial_report(&base.params, queries, &base.db, base.report).expect("serial oracle");
         println!(
             "{:<12} {:>12} {:>14} {:>13.0}x",
             name,

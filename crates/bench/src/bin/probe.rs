@@ -2,15 +2,20 @@
 //! compact output — handy when tuning model coefficients or platform
 //! profiles without running the full bench suite.
 
-use blast_bench::{run_once, Program};
 use blast_bench::workload::nr_like;
+use blast_bench::{run_once, Program};
 use mpiblast::Platform;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let w = nr_like(12_000_000, 4*1024, 11);
-    println!("workload build: {:?}, db={} residues, {} seqs, {} queries",
-        t0.elapsed(), w.db.stats().total_residues, w.db.stats().num_sequences, w.queries.len());
+    let w = nr_like(12_000_000, 4 * 1024, 11);
+    println!(
+        "workload build: {:?}, db={} residues, {} seqs, {} queries",
+        t0.elapsed(),
+        w.db.stats().total_residues,
+        w.db.stats().num_sequences,
+        w.queries.len()
+    );
     for n in [8usize, 16, 32, 62] {
         for prog in [Program::MpiBlast, Program::PioBlast] {
             let t = std::time::Instant::now();
@@ -23,8 +28,16 @@ fn main() {
     for f in [31usize, 61, 96, 167] {
         let t = std::time::Instant::now();
         let s = run_once(Program::MpiBlast, 32, Some(f), &Platform::altix(), &w);
-        println!("frags={} host={:.1?} | copy/in={:.2} search={:.2} out={:.2} other={:.2} total={:.2}",
-            f, t.elapsed(), s.copy_input, s.search, s.output, s.other, s.total);
+        println!(
+            "frags={} host={:.1?} | copy/in={:.2} search={:.2} out={:.2} other={:.2} total={:.2}",
+            f,
+            t.elapsed(),
+            s.copy_input,
+            s.search,
+            s.output,
+            s.other,
+            s.total
+        );
     }
     println!("--- blade/NFS (4..32 procs) ---");
     for n in [4usize, 8, 16, 32] {

@@ -136,7 +136,14 @@ pub fn run_once(
     platform: &Platform,
     workload: &Workload,
 ) -> RunSummary {
-    run_with_options(program, nprocs, nfrags, platform, workload, PioOptions::default())
+    run_with_options(
+        program,
+        nprocs,
+        nfrags,
+        platform,
+        workload,
+        PioOptions::default(),
+    )
 }
 
 /// [`run_once`] with explicit pioBLAST ablation options.
@@ -196,6 +203,7 @@ pub fn run_with_options(
                 collective_input: false,
                 schedule: Default::default(),
                 fault: Default::default(),
+                checkpoint: false,
                 rank_compute: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

@@ -11,7 +11,16 @@ pub fn breakdown_table(title: &str, rows: &[RunSummary]) -> String {
     let _ = writeln!(
         out,
         "{:<10} {:>6} {:>7} {:>12} {:>10} {:>10} {:>8} {:>10} {:>9} {:>11}",
-        "program", "procs", "frags", "copy/input", "search", "output", "other", "total", "search%", "out bytes"
+        "program",
+        "procs",
+        "frags",
+        "copy/input",
+        "search",
+        "output",
+        "other",
+        "total",
+        "search%",
+        "out bytes"
     );
     for r in rows {
         let _ = writeln!(

@@ -532,8 +532,8 @@ mod tests {
         s_vec.drain(20..22);
         let s = s_vec;
         let hit = gapped_xdrop(&m, gaps, &q, &s, 5, 5, 40);
-        let expected = self_score(&m, &q) - m.score(q[20], q[20]) - m.score(q[21], q[21])
-            - gaps.cost(2);
+        let expected =
+            self_score(&m, &q) - m.score(q[20], q[20]) - m.score(q[21], q[21]) - gaps.cost(2);
         assert_eq!(hit.score, expected);
         assert_eq!(hit.q_end, q.len() as u32);
         assert_eq!(hit.s_end, s.len() as u32);

@@ -104,10 +104,12 @@ impl<R: BufRead> FastaReader<R> {
                 let Some(_) = defline else {
                     return Err(FastaError::DataBeforeDefline { line: self.line });
                 };
-                let encoded = crate::alphabet::encode(self.molecule, line.as_bytes())
-                    .map_err(|source| FastaError::BadResidue {
-                        line: self.line,
-                        source,
+                let encoded =
+                    crate::alphabet::encode(self.molecule, line.as_bytes()).map_err(|source| {
+                        FastaError::BadResidue {
+                            line: self.line,
+                            source,
+                        }
                     })?;
                 residues.extend_from_slice(&encoded);
             }

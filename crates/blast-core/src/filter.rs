@@ -173,9 +173,8 @@ mod tests {
 
     #[test]
     fn two_separated_regions_report_separately() {
-        let mut seq = enc(
-            b"AAAAAAAAAAAAAAAAMKVDERWGHILNPQSTACFYWMKVDERWGHILNPQSTACFYWSSSSSSSSSSSSSSSS",
-        );
+        let mut seq =
+            enc(b"AAAAAAAAAAAAAAAAMKVDERWGHILNPQSTACFYWMKVDERWGHILNPQSTACFYWSSSSSSSSSSSSSSSS");
         let ranges = mask_in_place(&mut seq, Molecule::Protein, FilterParams::SEG);
         assert_eq!(ranges.len(), 2);
         assert!(ranges[0].end <= ranges[1].start);
@@ -195,8 +194,11 @@ mod tests {
         for i in 0..80 {
             seq.push(if i % 2 == 0 { 0u8 } else { 3u8 });
         }
-        let tail = encode(Molecule::Dna, b"ACGTAGCTTGCAACGTAGGCTATCGGATCACGTAGCTTGCAACGTAGGCTATCGGATCAACGTAGCTTGCA")
-            .unwrap();
+        let tail = encode(
+            Molecule::Dna,
+            b"ACGTAGCTTGCAACGTAGGCTATCGGATCACGTAGCTTGCAACGTAGGCTATCGGATCAACGTAGCTTGCA",
+        )
+        .unwrap();
         seq.extend_from_slice(&tail);
         let ranges = mask_in_place(&mut seq, Molecule::Dna, FilterParams::DUST);
         assert_eq!(ranges.len(), 1);

@@ -487,11 +487,7 @@ mod tests {
         let params = SearchParams::blastp();
         let q = crate::alphabet::encode(Molecule::Protein, b"MKVLAAGHWRTEYFNDCQWH").unwrap();
         let s = q.clone();
-        let space = SearchSpace::new(
-            params.gapped,
-            q.len() as u64,
-            cfg().db_stats,
-        );
+        let space = SearchSpace::new(params.gapped, q.len() as u64, cfg().db_stats);
         let h = Hsp {
             query_idx: 0,
             oid: 3,

@@ -433,11 +433,7 @@ mod tests {
     fn blosum62_lambda_matches_published_value() {
         // NCBI reports ungapped BLOSUM62 lambda = 0.3176.
         let p = blosum62_params();
-        assert!(
-            (p.lambda - 0.3176).abs() < 0.002,
-            "lambda = {}",
-            p.lambda
-        );
+        assert!((p.lambda - 0.3176).abs() < 0.002, "lambda = {}", p.lambda);
     }
 
     #[test]
@@ -501,8 +497,7 @@ mod tests {
 
     #[test]
     fn score_distribution_sums_to_one() {
-        let dist =
-            ScoreDistribution::from_matrix(&ScoreMatrix::blosum62(), &Background::protein());
+        let dist = ScoreDistribution::from_matrix(&ScoreMatrix::blosum62(), &Background::protein());
         let total: f64 = dist.prob.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(dist.mean() < 0.0);
@@ -510,8 +505,7 @@ mod tests {
 
     #[test]
     fn gcd_of_blosum62_scores_is_one() {
-        let dist =
-            ScoreDistribution::from_matrix(&ScoreMatrix::blosum62(), &Background::protein());
+        let dist = ScoreDistribution::from_matrix(&ScoreMatrix::blosum62(), &Background::protein());
         assert_eq!(dist.score_gcd(), 1);
     }
 

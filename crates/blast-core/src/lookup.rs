@@ -77,9 +77,7 @@ impl QuerySet {
     ///
     /// Returns `None` for sentinel positions.
     pub fn locate(&self, concat_pos: u32) -> Option<(usize, u32)> {
-        let idx = self
-            .ranges
-            .partition_point(|&(_, end)| end <= concat_pos);
+        let idx = self.ranges.partition_point(|&(_, end)| end <= concat_pos);
         let &(start, end) = self.ranges.get(idx)?;
         (concat_pos >= start && concat_pos < end).then(|| (idx, concat_pos - start))
     }
@@ -238,7 +236,15 @@ fn enumerate_neighbors(
     }
     scratch.clear();
     recurse(
-        matrix, word, alphabet, threshold, &suffix_max, 0, 0, 0, emit,
+        matrix,
+        word,
+        alphabet,
+        threshold,
+        &suffix_max,
+        0,
+        0,
+        0,
+        emit,
     );
 
     #[allow(clippy::too_many_arguments)]

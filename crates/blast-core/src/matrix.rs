@@ -359,8 +359,8 @@ mod tests {
 
     #[test]
     fn parse_partial_matrix_defaults_elsewhere() {
-        let m = ScoreMatrix::parse_ncbi("tiny", Molecule::Protein, "  A R\nA 4 -1\nR -1 5\n")
-            .unwrap();
+        let m =
+            ScoreMatrix::parse_ncbi("tiny", Molecule::Protein, "  A R\nA 4 -1\nR -1 5\n").unwrap();
         assert_eq!(score_of(&m, b'A', b'A'), 4);
         assert_eq!(score_of(&m, b'A', b'N'), UNDEFINED_SCORE);
     }

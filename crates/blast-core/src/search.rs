@@ -99,8 +99,7 @@ impl SearchParams {
     /// blastn-like defaults: +1/−3, word 11 exact, single-hit seeding.
     pub fn blastn() -> SearchParams {
         let matrix = ScoreMatrix::dna(1, -3);
-        let ungapped =
-            solve_ungapped(&matrix, &Background::dna()).expect("DNA matrix statistics");
+        let ungapped = solve_ungapped(&matrix, &Background::dna()).expect("DNA matrix statistics");
         // blastn gapped statistics are well approximated by ungapped ones
         // for these small penalties (documented NCBI practice).
         let gapped = ungapped;

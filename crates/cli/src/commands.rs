@@ -53,7 +53,7 @@ USAGE:
   pioblast-sim run      --program pio|mpi --procs N --db-dir DIR --queries q.fa
                         --out report.txt [--platform altix|blade] [--frags N]
                         [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
-                        [--fault-detect] [--recover]
+                        [--fault-detect] [--recover] [--checkpoint]
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
 ";
@@ -66,9 +66,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "sample" => cmd_sample(args),
         "run" => cmd_run(args),
         "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(CliError(format!(
-            "unknown subcommand {other:?}\n\n{USAGE}"
-        ))),
+        other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
 
@@ -220,8 +218,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let output_path = "report.txt".to_string();
     let (elapsed, stats) = match program.as_str() {
         "mpi" => {
-            let fragment_names =
-                stage_fragments(&env.shared, &db, nfrags.unwrap_or(nprocs - 1));
+            let fragment_names = stage_fragments(&env.shared, &db, nfrags.unwrap_or(nprocs - 1));
             let cfg = MpiBlastConfig {
                 platform,
                 env: env.clone(),
@@ -269,6 +266,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 } else {
                     pioblast::FaultMode::Off
                 },
+                checkpoint: args.flag("checkpoint"),
                 rank_compute: None,
             };
             let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -309,7 +307,8 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("pioblast-cli-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("pioblast-cli-test-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -324,20 +323,36 @@ mod tests {
         let report = dir.join("report.txt");
 
         let msg = dispatch(&args(&[
-            "gen", "--residues", "30k", "--seed", "5", "--out", fa.to_str().unwrap(),
+            "gen",
+            "--residues",
+            "30k",
+            "--seed",
+            "5",
+            "--out",
+            fa.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(msg.contains("wrote"));
 
         let msg = dispatch(&args(&[
-            "formatdb", "--in", fa.to_str().unwrap(), "--title", "clidb", "--out-dir",
+            "formatdb",
+            "--in",
+            fa.to_str().unwrap(),
+            "--title",
+            "clidb",
+            "--out-dir",
             dbdir.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(msg.contains("1 volume(s)"), "{msg}");
 
         let msg = dispatch(&args(&[
-            "sample", "--in", fa.to_str().unwrap(), "--bytes", "1k", "--out",
+            "sample",
+            "--in",
+            fa.to_str().unwrap(),
+            "--bytes",
+            "1k",
+            "--out",
             qfa.to_str().unwrap(),
         ]))
         .unwrap();
@@ -348,8 +363,16 @@ mod tests {
         for program in ["pio", "mpi"] {
             let out = dir.join(format!("{program}.txt"));
             let msg = dispatch(&args(&[
-                "run", "--program", program, "--procs", "4", "--db-dir",
-                dbdir.to_str().unwrap(), "--queries", qfa.to_str().unwrap(), "--out",
+                "run",
+                "--program",
+                program,
+                "--procs",
+                "4",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--queries",
+                qfa.to_str().unwrap(),
+                "--out",
                 out.to_str().unwrap(),
             ]))
             .unwrap();
@@ -368,12 +391,23 @@ mod tests {
         let fa = dir.join("db.fa");
         let dbdir = dir.join("db");
         dispatch(&args(&[
-            "gen", "--residues", "30k", "--out", fa.to_str().unwrap(),
+            "gen",
+            "--residues",
+            "30k",
+            "--out",
+            fa.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = dispatch(&args(&[
-            "formatdb", "--in", fa.to_str().unwrap(), "--title", "mv", "--out-dir",
-            dbdir.to_str().unwrap(), "--volume-cap", "10k",
+            "formatdb",
+            "--in",
+            fa.to_str().unwrap(),
+            "--title",
+            "mv",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--volume-cap",
+            "10k",
         ]))
         .unwrap();
         assert!(msg.contains("volume(s)"));
@@ -387,8 +421,17 @@ mod tests {
         assert!(dispatch(&args(&["run", "--program", "pio"])).is_err());
         assert!(dispatch(&args(&["nope"])).is_err());
         assert!(dispatch(&args(&[
-            "run", "--program", "xyz", "--procs", "4", "--db-dir", "/nonexistent",
-            "--queries", "x", "--out", "y",
+            "run",
+            "--program",
+            "xyz",
+            "--procs",
+            "4",
+            "--db-dir",
+            "/nonexistent",
+            "--queries",
+            "x",
+            "--out",
+            "y",
         ]))
         .is_err());
         let help = dispatch(&args(&["help"])).unwrap();

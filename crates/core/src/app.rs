@@ -20,29 +20,20 @@
 //! caches and formatted buffers are bounded by the batch size. Output is
 //! byte-identical to an unbatched run; the cost is one search pass over
 //! the in-memory fragments per batch.
+//!
+//! The protocol itself — who grants fragments, when submissions are
+//! collected, how deaths are handled — lives in [`crate::runtime`] as one
+//! event-driven state-machine pair shared by every mode; this module only
+//! validates the configuration and dispatches ranks into it.
 
-use blast_core::fasta;
-use blast_core::format::ReportConfig;
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats};
 use blast_core::seq::SeqRecord;
-use bytes::Bytes;
-use mpiblast::phases;
 use mpiblast::platform::{ClusterEnv, Platform};
 use mpiblast::report::ReportOptions;
-use mpiblast::wire::{MetaSubmission, OffsetAssignment, QueryBundle};
 use mpiblast::{ComputeModel, RankReport, MASTER};
-use mpiio::{CollectiveHints, FileView, MpiFile};
-use mpisim::{Collectives, Comm};
-use seqfmt::{AliasFile, FragmentData, VolumeIndex};
-use simcluster::{PhaseTimes, RankCtx};
+use mpisim::Comm;
+use simcluster::RankCtx;
 
-use crate::cache::ResultCache;
 use crate::fault::{FaultMode, PioError};
-use crate::merge::merge_and_layout;
-use crate::proto::{chunk_evenly, FragmentAssignment, PartitionMessage};
-
-pub(crate) const TAG_FRAG_REQ: u64 = 1;
-const TAG_FRAG_ASSIGN: u64 = 2;
 
 /// How virtual fragments are handed to workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,22 +80,28 @@ pub struct PioBlastConfig {
     /// global top-N's size, so output bytes are unchanged).
     pub local_prune: bool,
     /// Process queries in batches of this many (paper §5 query batching;
-    /// `None` = one pass over the whole query set).
+    /// `None` = one pass over the whole query set). Supported in every
+    /// fault mode.
     pub query_batch: Option<usize>,
     /// Read the shared database files with two-phase collective reads
     /// instead of independent ranged reads (the paper's §4 alternative of
     /// "reading multiple global files simultaneously"). Requires the
-    /// static schedule.
+    /// static schedule and [`FaultMode::Off`].
     pub collective_input: bool,
     /// Fragment scheduling policy.
     pub schedule: FragmentSchedule,
-    /// Fault-tolerance mode (see [`crate::fault`]). `Off` runs the plain
-    /// collective protocol; `Detect` and `Recover` switch to a
+    /// Fault-tolerance mode (see [`crate::fault`]). `Off` lowers the
+    /// runtime onto collectives; `Detect` and `Recover` lower it onto a
     /// point-to-point master-driven protocol that notices rank death.
     /// Fault modes always write the report independently
-    /// (`collective_output` is ignored) and do not support query batching
-    /// or collective input.
+    /// (`collective_output` is ignored) and do not support collective
+    /// input.
     pub fault: FaultMode,
+    /// Persist each completed `(batch, fragment)` search result to the
+    /// shared file system so a recovery epoch re-queues only the victim's
+    /// *unfinished* fragments (see [`crate::runtime`]). Requires
+    /// [`FaultMode::Recover`].
+    pub checkpoint: bool,
     /// Per-rank compute-speed multipliers (> 1 = slower node), to model
     /// heterogeneous clusters; `None` = homogeneous.
     pub rank_compute: Option<Vec<f64>>,
@@ -114,15 +111,36 @@ impl PioBlastConfig {
     /// The compute model for one rank, with any heterogeneity applied.
     pub(crate) fn compute_for(&self, rank: usize) -> ComputeModel {
         match &self.rank_compute {
-            Some(scales) => self.compute.scaled(scales.get(rank).copied().unwrap_or(1.0)),
+            Some(scales) => self
+                .compute
+                .scaled(scales.get(rank).copied().unwrap_or(1.0)),
             None => self.compute,
         }
+    }
+
+    /// Reject configuration combinations the runtime does not support,
+    /// with a typed [`PioError::UnsupportedConfig`] naming the conflict.
+    pub fn validate(&self) -> Result<(), PioError> {
+        let unsupported = |what: &str| Err(PioError::UnsupportedConfig(what.to_string()));
+        if self.collective_input && self.schedule == FragmentSchedule::Dynamic {
+            return unsupported("collective input requires the static schedule");
+        }
+        if self.collective_input && self.fault != FaultMode::Off {
+            return unsupported("fault tolerance requires independent input reads");
+        }
+        if self.fault == FaultMode::Recover && self.schedule == FragmentSchedule::Static {
+            return unsupported("fault recovery requires the dynamic schedule");
+        }
+        if self.checkpoint && self.fault != FaultMode::Recover {
+            return unsupported("fragment checkpointing requires FaultMode::Recover");
+        }
+        Ok(())
     }
 }
 
 /// Split the query set into processing batches. An empty query set still
 /// yields one (empty) round so the collectives stay matched.
-fn query_batches(queries: &[SeqRecord], batch: Option<usize>) -> Vec<Vec<SeqRecord>> {
+pub(crate) fn query_batches(queries: &[SeqRecord], batch: Option<usize>) -> Vec<Vec<SeqRecord>> {
     let size = batch.unwrap_or(usize::MAX).max(1);
     if queries.is_empty() {
         return vec![Vec::new()];
@@ -132,450 +150,22 @@ fn query_batches(queries: &[SeqRecord], batch: Option<usize>) -> Vec<Vec<SeqReco
 
 /// The per-rank body of a pioBLAST run.
 ///
-/// With [`PioBlastConfig::fault`] at its default (`Off`) this cannot fail
-/// in a fault-free simulation; in `Detect`/`Recover` mode it returns a
-/// typed [`PioError`] when the run cannot complete (master death, all
-/// workers dead, detected death in `Detect` mode).
+/// Every mode runs the same [`crate::runtime`] state machines; the
+/// configuration only changes how their actions are lowered. With
+/// [`PioBlastConfig::fault`] at its default (`Off`) this cannot fail in a
+/// fault-free simulation; in `Detect`/`Recover` mode it returns a typed
+/// [`PioError`] when the run cannot complete (master death, all workers
+/// dead, detected death in `Detect` mode). Unsupported configuration
+/// combinations fail on every rank with
+/// [`PioError::UnsupportedConfig`].
 pub fn run_rank(ctx: &RankCtx, cfg: &PioBlastConfig) -> Result<RankReport, PioError> {
     assert!(ctx.nranks() >= 2, "pioBLAST needs a master and a worker");
-    assert!(
-        !(cfg.collective_input && cfg.schedule == FragmentSchedule::Dynamic),
-        "collective input requires the static schedule"
-    );
+    cfg.validate()?;
     let comm = Comm::new(ctx, cfg.platform.net);
-    if cfg.fault != FaultMode::Off {
-        assert!(
-            cfg.query_batch.is_none(),
-            "fault tolerance does not support query batching"
-        );
-        assert!(
-            !cfg.collective_input,
-            "fault tolerance requires independent input reads"
-        );
-        assert!(
-            !(cfg.fault == FaultMode::Recover && cfg.schedule == FragmentSchedule::Static),
-            "fault recovery requires the dynamic schedule"
-        );
-        return if ctx.rank() == MASTER {
-            crate::fault::run_master_fault(ctx, &comm, cfg)
-        } else {
-            crate::fault::run_worker_fault(ctx, &comm, cfg)
-        };
-    }
-    Ok(if ctx.rank() == MASTER {
-        run_master(ctx, &comm, cfg)
+    if ctx.rank() == MASTER {
+        crate::runtime::run_master(ctx, &comm, cfg)
     } else {
-        run_worker(ctx, &comm, cfg)
-    })
-}
-
-fn run_master(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
-    let shared = &cfg.env.shared;
-    let mut phase_times = PhaseTimes::new();
-    let now = || ctx.now();
-    let nworkers = ctx.nranks() - 1;
-
-    // ---- startup: alias + queries + broadcast ----
-    let start = now();
-    let alias_bytes = shared.read_all(ctx, &cfg.db_alias).expect("alias present");
-    let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
-    let query_text = shared
-        .read_all(ctx, &cfg.query_path)
-        .expect("query file present");
-    let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
-    let bundle = QueryBundle {
-        db_title: alias.title.clone(),
-        db_stats: alias.global_stats,
-        molecule: alias.molecule,
-        queries,
-    };
-    comm.bcast(MASTER, Bytes::from(bundle.encode()));
-    let report_cfg =
-        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
-    phase_times.add(phases::OTHER, now() - start);
-
-    // ---- dynamic partitioning: read indexes, compute ranges, scatter ----
-    let input_start = now();
-    let mut indexes: Vec<VolumeIndex> = Vec::new();
-    for vol in &alias.volumes {
-        let idx_bytes = shared
-            .read_all(ctx, &format!("db/{vol}.idx"))
-            .expect("volume index present");
-        indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
-    }
-    let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
-    let nfrags = cfg.num_fragments.unwrap_or(nworkers);
-    let specs = seqfmt::virtual_fragments(&index_refs, nfrags);
-    let assignments: Vec<FragmentAssignment> = specs
-        .into_iter()
-        .map(|spec| FragmentAssignment {
-            volume_name: alias.volumes[spec.volume].clone(),
-            spec,
-        })
-        .collect();
-    match cfg.schedule {
-        FragmentSchedule::Static => {
-            let mut pieces: Vec<Bytes> =
-                vec![Bytes::from(PartitionMessage::default().encode())];
-            for chunk in chunk_evenly(assignments, nworkers) {
-                pieces.push(Bytes::from(
-                    PartitionMessage {
-                        fragments: chunk,
-                        volumes: alias.volumes.clone(),
-                    }
-                    .encode(),
-                ));
-            }
-            comm.scatterv(MASTER, Some(pieces));
-            if cfg.collective_input {
-                // Collective reads involve every rank; the master joins
-                // each with an empty view.
-                crate::input::read_fragments_collective(
-                    comm,
-                    shared,
-                    &alias.volumes,
-                    &[],
-                    bundle.molecule,
-                    cfg.platform.aggregators,
-                );
-            }
-        }
-        FragmentSchedule::Dynamic => {
-            // Serve fragments first-come-first-served until every worker
-            // has drained the queue.
-            let mut next = 0usize;
-            let mut drained = 0usize;
-            while drained < nworkers {
-                let m = comm.recv(None, Some(TAG_FRAG_REQ));
-                let msg = if next < assignments.len() {
-                    let one = PartitionMessage {
-                        fragments: vec![assignments[next].clone()],
-                        volumes: alias.volumes.clone(),
-                    };
-                    next += 1;
-                    one
-                } else {
-                    drained += 1;
-                    PartitionMessage::default()
-                };
-                comm.send(m.src, TAG_FRAG_ASSIGN, Bytes::from(msg.encode()));
-            }
-        }
-    }
-    phase_times.add(phases::INPUT, now() - input_start);
-
-    // ---- per batch: merge metadata + collective output ----
-    let mut file_offset = 0u64;
-    for batch in query_batches(&bundle.queries, cfg.query_batch) {
-        // Prepare this batch (headers/footers need spaces and records).
-        let t = now();
-        let batch_residues: u64 = batch.iter().map(|q| q.len() as u64).sum();
-        let prepared = cfg.compute.run_prepare(ctx, batch_residues, || {
-            PreparedQueries::prepare(&cfg.params, batch, bundle.db_stats)
-        });
-        phase_times.add(phases::OTHER, now() - t);
-
-        // The gather blocks until every worker finished searching the
-        // batch; the wait is the workers' input+search epochs, not master
-        // output time.
-        let subs_bytes = comm
-            .gather(MASTER, Bytes::from(MetaSubmission::default().encode()))
-            .expect("master gathers");
-        let out_start = now();
-        let subs: Vec<MetaSubmission> = subs_bytes
-            .iter()
-            .map(|b| MetaSubmission::decode(b).expect("valid metadata"))
-            .collect();
-        let outcome = cfg.compute.run_format(
-            ctx,
-            || {
-                merge_and_layout(
-                    &report_cfg,
-                    &cfg.params,
-                    &prepared,
-                    &subs,
-                    cfg.report,
-                    file_offset,
-                )
-            },
-            |o| o.master_sections.iter().map(|(_, s)| s.len() as u64).sum(),
-        );
-        cfg.compute.run_merge(ctx, outcome.merged_items, || ());
-        file_offset += outcome.total_bytes;
-
-        // Tell each worker where its selected records go.
-        let mut pieces: Vec<Bytes> = Vec::with_capacity(ctx.nranks());
-        for a in &outcome.per_rank {
-            pieces.push(Bytes::from(a.encode()));
-        }
-        comm.scatterv(MASTER, Some(pieces));
-
-        // Master writes headers/summaries/footers as its share of the
-        // collective write (or independently in the ablation mode).
-        if cfg.collective_output {
-            let mut regions = Vec::with_capacity(outcome.master_sections.len());
-            let mut data = Vec::new();
-            for (off, text) in &outcome.master_sections {
-                regions.push((*off, text.len() as u64));
-                data.extend_from_slice(text.as_bytes());
-            }
-            let view = FileView::new(0, regions).expect("master regions are ordered");
-            let file =
-                MpiFile::open(comm, shared, &cfg.output_path).with_hints(CollectiveHints {
-                    aggregators: cfg.platform.aggregators,
-                });
-            file.write_at_all(&view, &data);
-        } else {
-            for (off, text) in &outcome.master_sections {
-                shared.write_at(ctx, &cfg.output_path, *off, text.as_bytes());
-            }
-            comm.barrier();
-        }
-        phase_times.add(phases::OUTPUT, now() - out_start);
-    }
-
-    RankReport {
-        phases: phase_times,
-        search_stats: SearchStats::default(),
-    }
-}
-
-/// One fragment's four ranged reads (the parallel input unit). Shared by
-/// the normal worker and the fault-tolerant worker.
-pub(crate) fn input_fragment(
-    ctx: &RankCtx,
-    cfg: &PioBlastConfig,
-    molecule: blast_core::Molecule,
-    assignment: &FragmentAssignment,
-) -> FragmentData {
-    let shared = &cfg.env.shared;
-    let spec = &assignment.spec;
-    let vol = &assignment.volume_name;
-    let idx_path = format!("db/{vol}.idx");
-    let idx_seq = shared
-        .read_at(
-            ctx,
-            &idx_path,
-            spec.idx_seq_range.0,
-            spec.idx_seq_range.1 - spec.idx_seq_range.0,
-        )
-        .expect("index range");
-    let idx_hdr = shared
-        .read_at(
-            ctx,
-            &idx_path,
-            spec.idx_hdr_range.0,
-            spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
-        )
-        .expect("index range");
-    let seq = shared
-        .read_at(
-            ctx,
-            &format!("db/{vol}.seq"),
-            spec.seq_range.0,
-            spec.seq_range.1 - spec.seq_range.0,
-        )
-        .expect("sequence range");
-    let hdr = shared
-        .read_at(
-            ctx,
-            &format!("db/{vol}.hdr"),
-            spec.hdr_range.0,
-            spec.hdr_range.1 - spec.hdr_range.0,
-        )
-        .expect("header range");
-    FragmentData::from_ranges(molecule, spec.base_oid, &idx_seq, &idx_hdr, seq, hdr)
-        .expect("consistent fragment ranges")
-}
-
-/// Search one fragment against a prepared batch and cache the formatted
-/// records (the search + result-caching stages). Shared by the normal
-/// worker and the fault-tolerant worker.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn search_fragment_into(
-    ctx: &RankCtx,
-    cfg: &PioBlastConfig,
-    compute: ComputeModel,
-    report_cfg: &ReportConfig,
-    prepared: &PreparedQueries,
-    frag: &FragmentData,
-    cache: &mut ResultCache,
-    stats_total: &mut SearchStats,
-    phase_times: &mut PhaseTimes,
-) {
-    let searcher = BlastSearcher::new(&cfg.params, prepared);
-    let search_start = ctx.now();
-    let (per_query, stats) = compute.run_search(ctx, || {
-        let r = searcher.search(frag);
-        (r.per_query, r.stats)
-    });
-    stats_total.merge(&stats);
-    phase_times.add(phases::SEARCH, ctx.now() - search_start);
-
-    let cache_start = ctx.now();
-    let per_query = if cfg.local_prune {
-        // Paper §5: a worker's hits beyond the global report limit can
-        // never appear in the output; prune before formatting.
-        let keep = cfg.report.num_descriptions.max(cfg.report.num_alignments);
-        per_query
-            .into_iter()
-            .map(|mut hits| {
-                hits.truncate(keep);
-                hits
-            })
-            .collect()
-    } else {
-        per_query
-    };
-    compute.run_format(
-        ctx,
-        || cache.add_fragment(&cfg.params, report_cfg, prepared, frag, per_query),
-        |bytes| *bytes,
-    );
-    phase_times.add(phases::OUTPUT, ctx.now() - cache_start);
-}
-
-fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
-    let shared = &cfg.env.shared;
-    let compute = cfg.compute_for(ctx.rank());
-    let mut phase_times = PhaseTimes::new();
-    let now = || ctx.now();
-
-    // ---- startup ----
-    let bundle_bytes = comm.bcast(MASTER, Bytes::new());
-    let bundle = QueryBundle::decode(&bundle_bytes).expect("valid query bundle");
-    let report_cfg =
-        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
-    let mut stats_total = SearchStats::default();
-    let batches = query_batches(&bundle.queries, cfg.query_batch);
-
-    // Prepare one query batch (masking, lookup, search spaces), charged.
-    let prepare_batch = |batch: Vec<SeqRecord>, phase_times: &mut PhaseTimes| {
-        let t = now();
-        let residues: u64 = batch.iter().map(|q| q.len() as u64).sum();
-        let prepared = compute.run_prepare(ctx, residues, || {
-            PreparedQueries::prepare(&cfg.params, batch, bundle.db_stats)
-        });
-        phase_times.add(phases::OTHER, now() - t);
-        prepared
-    };
-
-    // ---- acquire fragments ----
-    // Static: one scatter, then input everything. Dynamic: request loop —
-    // each granted fragment is input *and searched against the first
-    // batch* before the next request, so grants follow this worker's real
-    // pace (paper §5 dynamic load balancing).
-    let mut fragments: Vec<FragmentData> = Vec::new();
-    let mut batch0_done: Option<(PreparedQueries, ResultCache)> = None;
-    match cfg.schedule {
-        FragmentSchedule::Static => {
-            let part_bytes = comm.scatterv(MASTER, None);
-            let part = PartitionMessage::decode(&part_bytes).expect("valid partition");
-            let input_start = now();
-            if cfg.collective_input {
-                fragments = crate::input::read_fragments_collective(
-                    comm,
-                    shared,
-                    &part.volumes,
-                    &part.fragments,
-                    bundle.molecule,
-                    cfg.platform.aggregators,
-                );
-            } else {
-                for assignment in &part.fragments {
-                    fragments.push(input_fragment(ctx, cfg, bundle.molecule, assignment));
-                }
-            }
-            phase_times.add(phases::INPUT, now() - input_start);
-        }
-        FragmentSchedule::Dynamic => {
-            let prepared0 = prepare_batch(batches[0].clone(), &mut phase_times);
-            let mut cache0 = ResultCache::default();
-            loop {
-                comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
-                let m = comm.recv(Some(MASTER), Some(TAG_FRAG_ASSIGN));
-                let part = PartitionMessage::decode(&m.payload).expect("valid grant");
-                let Some(assignment) = part.fragments.first() else {
-                    break;
-                };
-                let input_start = now();
-                let frag = input_fragment(ctx, cfg, bundle.molecule, assignment);
-                phase_times.add(phases::INPUT, now() - input_start);
-                search_fragment_into(
-                    ctx,
-                    cfg,
-                    compute,
-                    &report_cfg,
-                    &prepared0,
-                    &frag,
-                    &mut cache0,
-                    &mut stats_total,
-                    &mut phase_times,
-                );
-                fragments.push(frag);
-            }
-            batch0_done = Some((prepared0, cache0));
-        }
-    }
-
-    // ---- per batch: search, cache, merge, write ----
-    for (bi, batch) in batches.iter().enumerate() {
-        let (prepared, cache) = match (bi, batch0_done.take()) {
-            (0, Some(done)) => done,
-            (_, stash) => {
-                debug_assert!(stash.is_none());
-                let prepared = prepare_batch(batch.clone(), &mut phase_times);
-                let mut cache = ResultCache::default();
-                for frag in &fragments {
-                    search_fragment_into(
-                        ctx,
-                        cfg,
-                        compute,
-                        &report_cfg,
-                        &prepared,
-                        frag,
-                        &mut cache,
-                        &mut stats_total,
-                        &mut phase_times,
-                    );
-                }
-                (prepared, cache)
-            }
-        };
-        let _ = prepared;
-
-        // ---- metadata-only merge + collective write ----
-        let out_start = now();
-        comm.gather(MASTER, Bytes::from(cache.metadata().encode()));
-        let assign_bytes = comm.scatterv(MASTER, None);
-        let assignment = OffsetAssignment::decode(&assign_bytes).expect("valid assignment");
-        if cfg.collective_output {
-            let mut regions = Vec::with_capacity(assignment.records.len());
-            let mut data = Vec::new();
-            for &(q, oid, off) in &assignment.records {
-                let record = cache.record(q, oid).expect("assigned record is cached");
-                regions.push((off, record.len() as u64));
-                data.extend_from_slice(record.as_bytes());
-            }
-            let view = FileView::new(0, regions).expect("assignments are ordered");
-            let file =
-                MpiFile::open(comm, shared, &cfg.output_path).with_hints(CollectiveHints {
-                    aggregators: cfg.platform.aggregators,
-                });
-            file.write_at_all(&view, &data);
-        } else {
-            for &(q, oid, off) in &assignment.records {
-                let record = cache.record(q, oid).expect("assigned record is cached");
-                shared.write_at(ctx, &cfg.output_path, off, record.as_bytes());
-            }
-            comm.barrier();
-        }
-        phase_times.add(phases::OUTPUT, now() - out_start);
-    }
-
-    RankReport {
-        phases: phase_times,
-        search_stats: stats_total,
+        crate::runtime::run_worker(ctx, &comm, cfg)
     }
 }
 
@@ -583,10 +173,12 @@ fn run_worker(ctx: &RankCtx, comm: &Comm, cfg: &PioBlastConfig) -> RankReport {
 mod tests {
     use super::*;
     use blast_core::search::SearchParams;
+    use mpiblast::phases;
     use mpiblast::report::serial_report;
     use mpiblast::setup::{stage_queries, stage_shared_db};
     use seqfmt::formatdb::{format_records, FormatDbConfig};
     use seqfmt::synth::{generate, SynthConfig};
+    use seqfmt::FragmentData;
     use simcluster::Sim;
 
     fn small_db(cap: Option<u64>) -> seqfmt::FormattedDb {
@@ -671,6 +263,7 @@ mod tests {
             collective_input: opts.collective_input,
             schedule: opts.schedule,
             fault: opts.fault,
+            checkpoint: false,
             rank_compute: opts.rank_compute.clone(),
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
@@ -813,9 +406,8 @@ mod tests {
             ..Opts::default()
         });
         // Four batches -> four search passes per fragment.
-        let subjects = |rs: &[RankReport]| -> u64 {
-            rs.iter().map(|r| r.search_stats.subjects).sum()
-        };
+        let subjects =
+            |rs: &[RankReport]| -> u64 { rs.iter().map(|r| r.search_stats.subjects).sum() };
         assert_eq!(subjects(&batched), 4 * subjects(&unbatched));
     }
 
@@ -886,6 +478,7 @@ mod tests {
                 collective_input: false,
                 schedule,
                 fault: FaultMode::Off,
+                checkpoint: false,
                 rank_compute: hetero.clone(),
             };
             sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0
@@ -915,5 +508,101 @@ mod tests {
         for (x, y) in ra.iter().zip(&rb) {
             assert_eq!(x.phases, y.phases);
         }
+    }
+
+    #[test]
+    fn unsupported_configs_fail_with_a_typed_error() {
+        // Satellite: conflicting knob combinations must surface as
+        // `PioError::UnsupportedConfig` on every rank, not as a panic or
+        // a hang. Pin the exact conflicts the runtime rejects.
+        let cases: &[(Opts, &str)] = &[
+            (
+                Opts {
+                    collective_input: true,
+                    schedule: FragmentSchedule::Dynamic,
+                    ..Opts::default()
+                },
+                "collective input requires the static schedule",
+            ),
+            (
+                Opts {
+                    collective_input: true,
+                    schedule: FragmentSchedule::Static,
+                    fault: FaultMode::Detect,
+                    ..Opts::default()
+                },
+                "fault tolerance requires independent input reads",
+            ),
+            (
+                Opts {
+                    schedule: FragmentSchedule::Static,
+                    fault: FaultMode::Recover,
+                    ..Opts::default()
+                },
+                "fault recovery requires the dynamic schedule",
+            ),
+        ];
+        for (opts, want) in cases {
+            let db = small_db(opts.cap);
+            let queries = sample_queries(&db, opts.n_queries);
+            let sim = Sim::new(opts.nranks);
+            let env = ClusterEnv::new(&sim, &opts.platform);
+            let db_alias = stage_shared_db(&env.shared, &db);
+            let query_path = stage_queries(&env.shared, &queries);
+            let cfg = PioBlastConfig {
+                platform: opts.platform.clone(),
+                env: env.clone(),
+                compute: ComputeModel::modeled(),
+                params: SearchParams::blastp(),
+                report: ReportOptions::default(),
+                db_alias,
+                query_path,
+                output_path: "results.txt".to_string(),
+                num_fragments: opts.nfrags,
+                collective_output: opts.collective_output,
+                local_prune: opts.local_prune,
+                query_batch: opts.query_batch,
+                collective_input: opts.collective_input,
+                schedule: opts.schedule,
+                fault: opts.fault,
+                checkpoint: false,
+                rank_compute: opts.rank_compute.clone(),
+            };
+            let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
+            for r in outcome.outputs {
+                assert_eq!(
+                    r.expect_err("conflicting config must fail"),
+                    PioError::UnsupportedConfig(want.to_string())
+                );
+            }
+        }
+        // Checkpointing without recovery is rejected by validate() alone.
+        let sim = Sim::new(2);
+        let env = ClusterEnv::new(&sim, &Platform::altix());
+        let cfg = PioBlastConfig {
+            platform: Platform::altix(),
+            env,
+            compute: ComputeModel::modeled(),
+            params: SearchParams::blastp(),
+            report: ReportOptions::default(),
+            db_alias: "db.pal".into(),
+            query_path: "queries.fa".into(),
+            output_path: "results.txt".into(),
+            num_fragments: None,
+            collective_output: true,
+            local_prune: false,
+            query_batch: None,
+            collective_input: false,
+            schedule: FragmentSchedule::Dynamic,
+            fault: FaultMode::Detect,
+            checkpoint: true,
+            rank_compute: None,
+        };
+        assert_eq!(
+            cfg.validate().expect_err("checkpoint needs Recover"),
+            PioError::UnsupportedConfig(
+                "fragment checkpointing requires FaultMode::Recover".to_string()
+            )
+        );
     }
 }

@@ -35,7 +35,27 @@ impl ResultCache {
         fragment: &FragmentData,
         per_query: Vec<Vec<SubjectHit>>,
     ) -> u64 {
+        self.add_fragment_traced(params, report_cfg, prepared, fragment, per_query)
+            .0
+    }
+
+    /// [`ResultCache::add_fragment`], also returning this fragment's own
+    /// metadata and `(query, oid, record)` bytes — the content of a
+    /// fragment checkpoint blob. Both are deterministic in the fragment
+    /// and batch alone, which is what makes checkpoint rewrites during
+    /// retried recovery epochs idempotent.
+    #[allow(clippy::type_complexity)]
+    pub fn add_fragment_traced(
+        &mut self,
+        params: &SearchParams,
+        report_cfg: &ReportConfig,
+        prepared: &PreparedQueries,
+        fragment: &FragmentData,
+        per_query: Vec<Vec<SubjectHit>>,
+    ) -> (u64, MetaSubmission, Vec<(u32, u32, String)>) {
         let mut bytes = 0u64;
+        let mut frag_meta = Vec::new();
+        let mut frag_records = Vec::new();
         for (q, hits) in per_query.into_iter().enumerate() {
             if hits.is_empty() {
                 continue;
@@ -66,8 +86,10 @@ impl ResultCache {
                     defline,
                     best: hit.hsps[0],
                 });
+                frag_records.push((q as u32, hit.oid, record.clone()));
                 self.records.insert((q as u32, hit.oid), record);
             }
+            frag_meta.push((q as u32, metas.clone()));
             // Merge into any existing list for this query (multiple
             // fragments per worker).
             match self.per_query.iter_mut().find(|(qi, _)| *qi == q as u32) {
@@ -75,7 +97,13 @@ impl ResultCache {
                 None => self.per_query.push((q as u32, metas)),
             }
         }
-        bytes
+        (
+            bytes,
+            MetaSubmission {
+                per_query: frag_meta,
+            },
+            frag_records,
+        )
     }
 
     /// The metadata submission for the master (sorted by query index).
@@ -138,8 +166,7 @@ mod tests {
         let searcher = BlastSearcher::new(&params, &prepared);
         let result = searcher.search(&frag);
         let mut cache = ResultCache::default();
-        let bytes =
-            cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone());
+        let bytes = cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone());
         assert!(!cache.is_empty());
         assert_eq!(bytes, cache.total_bytes());
         let meta = cache.metadata();

@@ -1,21 +1,19 @@
-//! Fault detection and recovery for the pioBLAST run.
+//! Fault-tolerance policy and error types for the pioBLAST run.
 //!
-//! The normal protocol ([`crate::app`]) leans on collectives (broadcast,
-//! gather, scatter) whose binomial trees deadlock the moment a rank dies.
-//! When [`PioBlastConfig::fault`] is `Detect` or `Recover`, the run
-//! switches to the point-to-point, master-driven protocol in this module:
+//! The protocol that *implements* these policies lives in
+//! [`crate::runtime`]: one event-driven master/worker state-machine pair
+//! shared by every mode. [`FaultMode`] only selects how the runtime's
+//! actions are lowered —
 //!
-//! * the master sends the query bundle to each worker individually and
-//!   drives everything with commands; workers only ever wait on the
-//!   master (with a bounded-timeout patience loop, so a master death is
-//!   noticed promptly while a merely busy master costs nothing);
-//! * the master polls with [`mpisim::Comm::recv_timeout`] and sweeps the
-//!   live set on every wakeup, so a worker death is noticed within one
-//!   sweep interval;
-//! * in `Detect` mode any death aborts the run with a typed
-//!   [`PioError`] — no hang, no panic;
-//! * in `Recover` mode (dynamic schedule only) the master re-queues every
-//!   fragment the dead worker ever owned and restarts the output epoch.
+//! * `Off` uses collectives (broadcast, gather, scatter), whose binomial
+//!   trees deadlock the moment a rank dies (like real MPI without fault
+//!   tolerance);
+//! * `Detect` switches to point-to-point commands with liveness sweeps
+//!   and fails fast with a typed [`PioError`] on any death;
+//! * `Recover` (dynamic schedule only) re-queues a dead worker's
+//!   fragments to survivors and restarts the collection epoch, producing
+//!   byte-identical output. With [`checkpointing`](crate::runtime)
+//!   enabled, only the victim's *unfinished* fragments are re-queued.
 //!
 //! **Why recovery is byte-identical.** Each epoch first completes
 //! distribution, so the collected submissions always cover the full
@@ -30,27 +28,7 @@
 //! prefix on `SUBMIT_REQ`/`SUBMIT`/`ASSIGN`/`DONE` payloads; mismatching
 //! epochs are discarded.
 
-use std::collections::VecDeque;
 use std::fmt;
-
-use blast_core::fasta;
-use blast_core::format::ReportConfig;
-use blast_core::search::{PreparedQueries, SearchStats};
-use bytes::Bytes;
-use mpiblast::phases;
-use mpiblast::wire::{MetaSubmission, OffsetAssignment, QueryBundle};
-use mpiblast::{RankReport, MASTER};
-use mpisim::{Comm, RecvError};
-use seqfmt::codec::CodecError;
-use seqfmt::{AliasFile, VolumeIndex};
-use simcluster::{PhaseTimes, RankCtx, SimDuration};
-
-use crate::app::{
-    input_fragment, search_fragment_into, FragmentSchedule, PioBlastConfig, TAG_FRAG_REQ,
-};
-use crate::cache::ResultCache;
-use crate::merge::merge_and_layout;
-use crate::proto::{chunk_evenly, FragmentAssignment, PartitionMessage};
 
 /// Fault-tolerance mode of a pioBLAST run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,7 +45,7 @@ pub enum FaultMode {
     Recover,
 }
 
-/// Why a fault-mode pioBLAST run could not complete.
+/// Why a pioBLAST run could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PioError {
     /// A worker died (reported by the master in `Detect` mode).
@@ -83,6 +61,9 @@ pub enum PioError {
     Aborted,
     /// A malformed or out-of-place message.
     Protocol(String),
+    /// The configuration combines knobs the runtime does not support
+    /// (rejected up front by `PioBlastConfig::validate`, on every rank).
+    UnsupportedConfig(String),
 }
 
 impl fmt::Display for PioError {
@@ -93,456 +74,24 @@ impl fmt::Display for PioError {
             PioError::MasterDied => write!(f, "master died"),
             PioError::Aborted => write!(f, "run aborted by the master"),
             PioError::Protocol(what) => write!(f, "protocol error: {what}"),
+            PioError::UnsupportedConfig(what) => {
+                write!(f, "unsupported configuration: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for PioError {}
 
-// Command tags (master -> worker unless noted). Workers answer grants
-// with the ordinary `TAG_FRAG_REQ`, which doubles as the ack in the
-// static schedule.
-const TAG_FT_BUNDLE: u64 = 10;
-const TAG_FT_GRANT: u64 = 11;
-const TAG_FT_SUBMIT_REQ: u64 = 12;
-/// Worker -> master: epoch-tagged [`MetaSubmission`].
-const TAG_FT_SUBMIT: u64 = 13;
-const TAG_FT_ASSIGN: u64 = 14;
-/// Worker -> master: epoch-tagged write acknowledgement.
-const TAG_FT_DONE: u64 = 15;
-const TAG_FT_FINISH: u64 = 16;
-const TAG_FT_ABORT: u64 = 17;
-
-/// How long the master (and waiting workers) sleep between liveness
-/// sweeps. Virtual time; bounds detection latency, not throughput.
-fn sweep_interval() -> SimDuration {
-    SimDuration::from_millis(25)
-}
-
-fn decode_err(e: CodecError) -> PioError {
-    PioError::Protocol(e.to_string())
-}
-
-/// Prefix `body` with an 8-byte little-endian epoch.
-fn with_epoch(epoch: u64, body: &[u8]) -> Bytes {
-    let mut buf = Vec::with_capacity(8 + body.len());
-    buf.extend_from_slice(&epoch.to_le_bytes());
-    buf.extend_from_slice(body);
-    Bytes::from(buf)
-}
-
-/// Split an epoch-prefixed payload.
-fn split_epoch(payload: &[u8]) -> Result<(u64, &[u8]), PioError> {
-    if payload.len() < 8 {
-        return Err(PioError::Protocol("epoch frame too short".into()));
-    }
-    let mut e = [0u8; 8];
-    e.copy_from_slice(&payload[..8]);
-    Ok((u64::from_le_bytes(e), &payload[8..]))
-}
-
-/// Tell every still-live worker to abandon the run.
-fn abort_live(comm: &Comm, live: &[bool]) {
-    for (w, &alive) in live.iter().enumerate().skip(1) {
-        if alive {
-            let _ = comm.send_checked(w, TAG_FT_ABORT, Bytes::new());
-        }
-    }
-}
-
-/// Mark freshly dead workers in `live` and return them.
-fn newly_dead(ctx: &RankCtx, live: &mut [bool]) -> Vec<usize> {
-    let mut dead = Vec::new();
-    for (w, alive) in live.iter_mut().enumerate().skip(1) {
-        if *alive && ctx.is_dead(w) {
-            *alive = false;
-            dead.push(w);
-        }
-    }
-    dead
-}
-
-/// The master's reaction to a sweep's deaths: abort in `Detect` mode,
-/// re-queue everything the dead workers owned in `Recover` mode. Returns
-/// `Ok(true)` when fragments were re-queued (the epoch must restart).
-#[allow(clippy::too_many_arguments)]
-fn absorb_deaths(
-    cfg: &PioBlastConfig,
-    comm: &Comm,
-    live: &[bool],
-    idle: &mut [bool],
-    owned: &mut [Vec<usize>],
-    queue: &mut VecDeque<usize>,
-    dead: &[usize],
-) -> Result<bool, PioError> {
-    if dead.is_empty() {
-        return Ok(false);
-    }
-    for &w in dead {
-        idle[w] = false;
-    }
-    if cfg.fault == FaultMode::Detect {
-        abort_live(comm, live);
-        return Err(PioError::WorkerDied { rank: dead[0] });
-    }
-    for &w in dead {
-        queue.extend(owned[w].drain(..));
-    }
-    if !live.iter().skip(1).any(|&a| a) {
-        return Err(PioError::AllWorkersDied);
-    }
-    Ok(true)
-}
-
-/// The first live, idle worker.
-fn idle_worker(live: &[bool], idle: &[bool]) -> Option<usize> {
-    (1..live.len()).find(|&w| live[w] && idle[w])
-}
-
-/// The master's side of the fault-tolerant protocol.
-pub(crate) fn run_master_fault(
-    ctx: &RankCtx,
-    comm: &Comm,
-    cfg: &PioBlastConfig,
-) -> Result<RankReport, PioError> {
-    let shared = &cfg.env.shared;
-    let mut phase_times = PhaseTimes::new();
-    let now = || ctx.now();
-    let nranks = ctx.nranks();
-
-    // On a malformed message, tell survivors to stop before bailing so
-    // nobody is left waiting on a master that returned.
-    macro_rules! try_abort {
-        ($live:expr, $e:expr) => {
-            match $e {
-                Ok(v) => v,
-                Err(err) => {
-                    abort_live(comm, &$live);
-                    return Err(err);
-                }
-            }
-        };
-    }
-
-    // ---- startup: alias + queries, bundle sent point-to-point ----
-    let start = now();
-    let alias_bytes = shared.read_all(ctx, &cfg.db_alias).expect("alias present");
-    let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
-    let query_text = shared
-        .read_all(ctx, &cfg.query_path)
-        .expect("query file present");
-    let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
-    let bundle = QueryBundle {
-        db_title: alias.title.clone(),
-        db_stats: alias.global_stats,
-        molecule: alias.molecule,
-        queries,
-    };
-    let report_cfg =
-        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
-    let bundle_bytes = Bytes::from(bundle.encode());
-    let mut live = vec![false; nranks];
-    for (w, alive) in live.iter_mut().enumerate().skip(1) {
-        *alive = comm
-            .send_checked(w, TAG_FT_BUNDLE, bundle_bytes.clone())
-            .is_ok();
-    }
-    // The merge needs the prepared query set (records and search spaces).
-    let residues: u64 = bundle.queries.iter().map(|q| q.len() as u64).sum();
-    let prepared = cfg.compute.run_prepare(ctx, residues, || {
-        PreparedQueries::prepare(&cfg.params, bundle.queries.clone(), bundle.db_stats)
-    });
-    phase_times.add(phases::OTHER, now() - start);
-
-    // ---- virtual fragments ----
-    let dist_start = now();
-    let mut indexes: Vec<VolumeIndex> = Vec::new();
-    for vol in &alias.volumes {
-        let idx_bytes = shared
-            .read_all(ctx, &format!("db/{vol}.idx"))
-            .expect("volume index present");
-        indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
-    }
-    let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
-    let nfrags = cfg.num_fragments.unwrap_or(nranks - 1);
-    let specs = seqfmt::virtual_fragments(&index_refs, nfrags);
-    let assignments: Vec<FragmentAssignment> = specs
-        .into_iter()
-        .map(|spec| FragmentAssignment {
-            volume_name: alias.volumes[spec.volume].clone(),
-            spec,
-        })
-        .collect();
-
-    // Scheduling state. `owned[w]` is every fragment rank `w` was ever
-    // granted — exactly what must be re-searched if `w` dies.
-    let mut queue: VecDeque<usize> = (0..assignments.len()).collect();
-    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); nranks];
-    let mut idle = vec![false; nranks];
-
-    if cfg.schedule == FragmentSchedule::Static {
-        // Everything is granted up front; the per-worker REQ acks then
-        // mark the workers idle. (Static implies `Detect`: a death has
-        // no re-queue path, so it aborts.)
-        let workers: Vec<usize> = (1..nranks).filter(|&w| live[w]).collect();
-        if workers.is_empty() {
-            return Err(PioError::AllWorkersDied);
-        }
-        let chunks = chunk_evenly((0..assignments.len()).collect::<Vec<_>>(), workers.len());
-        for (&w, chunk) in workers.iter().zip(chunks) {
-            let msg = PartitionMessage {
-                fragments: chunk.iter().map(|&f| assignments[f].clone()).collect(),
-                volumes: alias.volumes.clone(),
-            };
-            if comm
-                .send_checked(w, TAG_FT_GRANT, Bytes::from(msg.encode()))
-                .is_err()
-            {
-                live[w] = false;
-                abort_live(comm, &live);
-                return Err(PioError::WorkerDied { rank: w });
-            }
-            owned[w].extend(chunk);
-        }
-        queue.clear();
-    }
-    phase_times.add(phases::INPUT, now() - dist_start);
-
-    let mut epoch: u64 = 0;
-    'epoch: loop {
-        epoch += 1;
-
-        // ---- distribution: grant until the queue drains and every live
-        // worker has acked its last grant ----
-        let dist_start = now();
-        loop {
-            let dead = newly_dead(ctx, &mut live);
-            absorb_deaths(cfg, comm, &live, &mut idle, &mut owned, &mut queue, &dead)?;
-            while let (Some(&f), Some(w)) = (queue.front(), idle_worker(&live, &idle)) {
-                let msg = PartitionMessage {
-                    fragments: vec![assignments[f].clone()],
-                    volumes: alias.volumes.clone(),
-                };
-                if comm
-                    .send_checked(w, TAG_FT_GRANT, Bytes::from(msg.encode()))
-                    .is_err()
-                {
-                    // Death at send time; the next sweep absorbs it.
-                    break;
-                }
-                queue.pop_front();
-                owned[w].push(f);
-                idle[w] = false;
-            }
-            if queue.is_empty() && (1..nranks).all(|w| !live[w] || idle[w]) {
-                break;
-            }
-            if let Ok(m) = comm.recv_timeout(None, Some(TAG_FRAG_REQ), sweep_interval()) {
-                if live[m.src] {
-                    idle[m.src] = true;
-                }
-            }
-        }
-        phase_times.add(phases::INPUT, now() - dist_start);
-
-        // ---- collect submissions (they now cover every fragment) ----
-        let out_start = now();
-        for (w, &alive) in live.iter().enumerate().skip(1) {
-            if alive {
-                let _ = comm.send_checked(w, TAG_FT_SUBMIT_REQ, with_epoch(epoch, &[]));
-            }
-        }
-        let mut subs: Vec<Option<MetaSubmission>> = vec![None; nranks];
-        loop {
-            let dead = newly_dead(ctx, &mut live);
-            if absorb_deaths(cfg, comm, &live, &mut idle, &mut owned, &mut queue, &dead)? {
-                phase_times.add(phases::OUTPUT, now() - out_start);
-                continue 'epoch;
-            }
-            if (1..nranks).all(|w| !live[w] || subs[w].is_some()) {
-                break;
-            }
-            if let Ok(m) = comm.recv_timeout(None, Some(TAG_FT_SUBMIT), sweep_interval()) {
-                let (e, body) = try_abort!(live, split_epoch(&m.payload));
-                if e == epoch && live[m.src] {
-                    subs[m.src] =
-                        Some(try_abort!(live, MetaSubmission::decode(body).map_err(decode_err)));
-                }
-            }
-        }
-
-        // ---- merge + layout (deterministic: identical in every epoch,
-        // and identical to a failure-free run) ----
-        let subs: Vec<MetaSubmission> = subs.into_iter().map(Option::unwrap_or_default).collect();
-        let outcome = cfg.compute.run_format(
-            ctx,
-            || merge_and_layout(&report_cfg, &cfg.params, &prepared, &subs, cfg.report, 0),
-            |o| o.master_sections.iter().map(|(_, s)| s.len() as u64).sum(),
-        );
-        cfg.compute.run_merge(ctx, outcome.merged_items, || ());
-
-        // ---- offset assignments + independent worker writes ----
-        for (w, &alive) in live.iter().enumerate().skip(1) {
-            if alive {
-                let _ = comm.send_checked(
-                    w,
-                    TAG_FT_ASSIGN,
-                    with_epoch(epoch, &outcome.per_rank[w].encode()),
-                );
-            }
-        }
-        let mut done = vec![false; nranks];
-        loop {
-            let dead = newly_dead(ctx, &mut live);
-            if absorb_deaths(cfg, comm, &live, &mut idle, &mut owned, &mut queue, &dead)? {
-                phase_times.add(phases::OUTPUT, now() - out_start);
-                continue 'epoch;
-            }
-            if (1..nranks).all(|w| !live[w] || done[w]) {
-                break;
-            }
-            if let Ok(m) = comm.recv_timeout(None, Some(TAG_FT_DONE), sweep_interval()) {
-                let (e, _) = try_abort!(live, split_epoch(&m.payload));
-                if e == epoch && live[m.src] {
-                    done[m.src] = true;
-                }
-            }
-        }
-
-        // ---- master sections, then release the workers ----
-        for (off, text) in &outcome.master_sections {
-            shared.write_at(ctx, &cfg.output_path, *off, text.as_bytes());
-        }
-        for (w, &alive) in live.iter().enumerate().skip(1) {
-            if alive {
-                let _ = comm.send_checked(w, TAG_FT_FINISH, Bytes::new());
-            }
-        }
-        phase_times.add(phases::OUTPUT, now() - out_start);
-        return Ok(RankReport {
-            phases: phase_times,
-            search_stats: SearchStats::default(),
-        });
-    }
-}
-
-/// Wait for the next master command with bounded patience: a busy master
-/// costs re-armed timeouts (no virtual-time drift for the run), a dead
-/// master surfaces as [`PioError::MasterDied`], and an abort command is
-/// folded into the error path here.
-fn recv_command(comm: &Comm) -> Result<simcluster::Message, PioError> {
-    loop {
-        match comm.recv_timeout(Some(MASTER), None, sweep_interval()) {
-            Ok(m) if m.tag == TAG_FT_ABORT => return Err(PioError::Aborted),
-            Ok(m) => return Ok(m),
-            Err(RecvError::DeadPeer { .. }) => return Err(PioError::MasterDied),
-            Err(RecvError::Timeout { .. }) => {}
-        }
-    }
-}
-
-/// The worker's side of the fault-tolerant protocol: a command loop
-/// driven entirely by the master.
-pub(crate) fn run_worker_fault(
-    ctx: &RankCtx,
-    comm: &Comm,
-    cfg: &PioBlastConfig,
-) -> Result<RankReport, PioError> {
-    let shared = &cfg.env.shared;
-    let compute = cfg.compute_for(ctx.rank());
-    let mut phase_times = PhaseTimes::new();
-    let now = || ctx.now();
-
-    // ---- startup: the query bundle arrives point-to-point ----
-    let start = now();
-    let m = recv_command(comm)?;
-    if m.tag != TAG_FT_BUNDLE {
-        return Err(PioError::Protocol(format!(
-            "worker expected the query bundle, got tag {}",
-            m.tag
-        )));
-    }
-    let bundle = QueryBundle::decode(&m.payload).map_err(decode_err)?;
-    let report_cfg =
-        ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
-    let residues: u64 = bundle.queries.iter().map(|q| q.len() as u64).sum();
-    let prepared = compute.run_prepare(ctx, residues, || {
-        PreparedQueries::prepare(&cfg.params, bundle.queries.clone(), bundle.db_stats)
-    });
-    phase_times.add(phases::OTHER, now() - start);
-
-    let mut cache = ResultCache::default();
-    let mut stats_total = SearchStats::default();
-    if cfg.schedule == FragmentSchedule::Dynamic {
-        comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
-    }
-
-    // ---- command loop ----
-    loop {
-        let m = recv_command(comm)?;
-        match m.tag {
-            TAG_FT_GRANT => {
-                let part = PartitionMessage::decode(&m.payload).map_err(decode_err)?;
-                for assignment in &part.fragments {
-                    let input_start = now();
-                    let frag = input_fragment(ctx, cfg, bundle.molecule, assignment);
-                    phase_times.add(phases::INPUT, now() - input_start);
-                    search_fragment_into(
-                        ctx,
-                        cfg,
-                        compute,
-                        &report_cfg,
-                        &prepared,
-                        &frag,
-                        &mut cache,
-                        &mut stats_total,
-                        &mut phase_times,
-                    );
-                }
-                // Ack / request more (in the static schedule the master
-                // only uses this as the ack).
-                comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
-            }
-            TAG_FT_SUBMIT_REQ => {
-                let (e, _) = split_epoch(&m.payload)?;
-                comm.send(MASTER, TAG_FT_SUBMIT, with_epoch(e, &cache.metadata().encode()));
-            }
-            TAG_FT_ASSIGN => {
-                let (e, body) = split_epoch(&m.payload)?;
-                let assignment = OffsetAssignment::decode(body).map_err(decode_err)?;
-                let t = now();
-                for &(q, oid, off) in &assignment.records {
-                    let record = cache.record(q, oid).ok_or_else(|| {
-                        PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
-                    })?;
-                    shared.write_at(ctx, &cfg.output_path, off, record.as_bytes());
-                }
-                phase_times.add(phases::OUTPUT, now() - t);
-                comm.send(MASTER, TAG_FT_DONE, with_epoch(e, &[]));
-            }
-            TAG_FT_FINISH => break,
-            other => {
-                return Err(PioError::Protocol(format!(
-                    "worker got unexpected tag {other}"
-                )));
-            }
-        }
-    }
-    Ok(RankReport {
-        phases: phase_times,
-        search_stats: stats_total,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::run_rank;
+    use crate::app::{run_rank, FragmentSchedule, PioBlastConfig};
     use blast_core::search::SearchParams;
     use blast_core::seq::SeqRecord;
     use mpiblast::platform::{ClusterEnv, Platform};
     use mpiblast::setup::{stage_queries, stage_shared_db};
-    use mpiblast::{ComputeModel, ReportOptions};
+    use mpiblast::{ComputeModel, RankReport, ReportOptions};
     use seqfmt::formatdb::{format_records, FormatDbConfig};
     use seqfmt::synth::{generate, SynthConfig};
     use simcluster::{FaultPlan, Sim};
@@ -576,6 +125,17 @@ mod tests {
         fault: FaultMode,
         plan: FaultPlan,
     ) -> (Vec<u8>, FaultyOutputs, Vec<usize>) {
+        run_with_plan_ckpt(nranks, nfrags, schedule, fault, false, plan)
+    }
+
+    fn run_with_plan_ckpt(
+        nranks: usize,
+        nfrags: usize,
+        schedule: FragmentSchedule,
+        fault: FaultMode,
+        checkpoint: bool,
+        plan: FaultPlan,
+    ) -> (Vec<u8>, FaultyOutputs, Vec<usize>) {
         let db = small_db();
         let queries = sample_queries(&db, 3);
         let sim = Sim::new(nranks);
@@ -598,6 +158,7 @@ mod tests {
             collective_input: false,
             schedule,
             fault,
+            checkpoint,
             rank_compute: None,
         };
         let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
@@ -621,16 +182,17 @@ mod tests {
     #[test]
     fn fault_free_fault_modes_are_byte_identical() {
         let reference = reference_bytes();
-        for (schedule, fault) in [
-            (FragmentSchedule::Dynamic, FaultMode::Recover),
-            (FragmentSchedule::Dynamic, FaultMode::Detect),
-            (FragmentSchedule::Static, FaultMode::Detect),
+        for (schedule, fault, checkpoint) in [
+            (FragmentSchedule::Dynamic, FaultMode::Recover, false),
+            (FragmentSchedule::Dynamic, FaultMode::Recover, true),
+            (FragmentSchedule::Dynamic, FaultMode::Detect, false),
+            (FragmentSchedule::Static, FaultMode::Detect, false),
         ] {
             let (bytes, outputs, killed) =
-                run_with_plan(4, 9, schedule, fault, FaultPlan::none());
+                run_with_plan_ckpt(4, 9, schedule, fault, checkpoint, FaultPlan::none());
             assert!(killed.is_empty());
             assert!(outputs.iter().all(|o| matches!(o, Some(Ok(_)))));
-            assert_eq!(bytes, reference, "{schedule:?}/{fault:?}");
+            assert_eq!(bytes, reference, "{schedule:?}/{fault:?}/ckpt={checkpoint}");
         }
     }
 
@@ -639,35 +201,49 @@ mod tests {
         let reference = reference_bytes();
         // Kill at different protocol points: mid-distribution (after the
         // initial request + one grant ack), late distribution, and right
-        // after posting the submission.
-        for sends in [2u64, 4, 5] {
-            let (bytes, outputs, killed) = run_with_plan(
-                4,
-                9,
-                FragmentSchedule::Dynamic,
-                FaultMode::Recover,
-                FaultPlan::none().kill_after_sends(2, sends),
-            );
-            assert_eq!(killed, vec![2], "kill after {sends} sends");
-            assert_eq!(bytes, reference, "kill after {sends} sends");
-            assert!(matches!(outputs[0], Some(Ok(_))), "master survives");
-            assert!(outputs[2].is_none(), "killed rank has no output");
+        // after posting the submission — with and without checkpointing.
+        for checkpoint in [false, true] {
+            for sends in [2u64, 4, 5] {
+                let (bytes, outputs, killed) = run_with_plan_ckpt(
+                    4,
+                    9,
+                    FragmentSchedule::Dynamic,
+                    FaultMode::Recover,
+                    checkpoint,
+                    FaultPlan::none().kill_after_sends(2, sends),
+                );
+                assert_eq!(killed, vec![2], "kill after {sends} sends");
+                assert_eq!(
+                    bytes, reference,
+                    "kill after {sends} sends, ckpt={checkpoint}"
+                );
+                assert!(matches!(outputs[0], Some(Ok(_))), "master survives");
+                assert!(outputs[2].is_none(), "killed rank has no output");
+            }
         }
     }
 
     #[test]
     fn three_worker_deaths_recover_byte_identically() {
         let reference = reference_bytes();
-        let plan = FaultPlan::none()
-            .kill_after_sends(1, 2)
-            .kill_after_sends(2, 4)
-            .kill_after_sends(3, 6);
-        let (bytes, outputs, killed) =
-            run_with_plan(5, 12, FragmentSchedule::Dynamic, FaultMode::Recover, plan);
-        assert_eq!(killed, vec![1, 2, 3]);
-        assert_eq!(bytes, reference);
-        assert!(matches!(outputs[0], Some(Ok(_))), "master survives");
-        assert!(matches!(outputs[4], Some(Ok(_))), "last worker survives");
+        for checkpoint in [false, true] {
+            let plan = FaultPlan::none()
+                .kill_after_sends(1, 2)
+                .kill_after_sends(2, 4)
+                .kill_after_sends(3, 6);
+            let (bytes, outputs, killed) = run_with_plan_ckpt(
+                5,
+                12,
+                FragmentSchedule::Dynamic,
+                FaultMode::Recover,
+                checkpoint,
+                plan,
+            );
+            assert_eq!(killed, vec![1, 2, 3]);
+            assert_eq!(bytes, reference, "ckpt={checkpoint}");
+            assert!(matches!(outputs[0], Some(Ok(_))), "master survives");
+            assert!(matches!(outputs[4], Some(Ok(_))), "last worker survives");
+        }
     }
 
     #[test]
@@ -732,11 +308,48 @@ mod tests {
     }
 
     #[test]
-    fn epoch_framing_round_trips() {
-        let framed = with_epoch(7, b"payload");
-        let (e, body) = split_epoch(&framed).unwrap();
-        assert_eq!(e, 7);
-        assert_eq!(body, b"payload");
-        assert!(split_epoch(b"short").is_err());
+    fn checkpoint_blobs_are_cleaned_up_after_a_run() {
+        let (_, outputs, _) = run_with_plan_ckpt(
+            4,
+            6,
+            FragmentSchedule::Dynamic,
+            FaultMode::Recover,
+            true,
+            FaultPlan::none(),
+        );
+        assert!(outputs.iter().all(|o| matches!(o, Some(Ok(_)))));
+        // run_with_plan_ckpt peeks the shared store after the run; make
+        // our own run here to inspect the blob paths directly.
+        let db = small_db();
+        let queries = sample_queries(&db, 3);
+        let sim = Sim::new(4);
+        let env = ClusterEnv::new(&sim, &Platform::altix());
+        let db_alias = stage_shared_db(&env.shared, &db);
+        let query_path = stage_queries(&env.shared, &queries);
+        let cfg = PioBlastConfig {
+            platform: Platform::altix(),
+            env: env.clone(),
+            compute: ComputeModel::modeled(),
+            params: SearchParams::blastp(),
+            report: ReportOptions::default(),
+            db_alias,
+            query_path,
+            output_path: "results.txt".into(),
+            num_fragments: Some(6),
+            collective_output: false,
+            local_prune: false,
+            query_batch: None,
+            collective_input: false,
+            schedule: FragmentSchedule::Dynamic,
+            fault: FaultMode::Recover,
+            checkpoint: true,
+            rank_compute: None,
+        };
+        sim.run(|ctx| run_rank(&ctx, &cfg));
+        let leftovers: Vec<String> = env.shared.peek_list("results.txt.ckpt.");
+        assert!(
+            leftovers.is_empty(),
+            "stale checkpoint blobs: {leftovers:?}"
+        );
     }
 }

@@ -36,7 +36,10 @@ impl fmt::Display for InputError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InputError::Uncovered { offset, len } => {
-                write!(f, "range [{offset}, {offset}+{len}) not covered by read spans")
+                write!(
+                    f,
+                    "range [{offset}, {offset}+{len}) not covered by read spans"
+                )
             }
         }
     }
@@ -281,6 +284,10 @@ mod tests {
             rb.slice(10, 1),
             Err(InputError::Uncovered { offset: 10, len: 1 })
         );
-        assert!(rb.slice(u64::MAX, 2).unwrap_err().to_string().contains("not covered"));
+        assert!(rb
+            .slice(u64::MAX, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("not covered"));
     }
 }

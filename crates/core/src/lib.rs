@@ -38,6 +38,7 @@ pub mod fault;
 pub mod input;
 pub mod merge;
 pub mod proto;
+pub mod runtime;
 
 pub use app::{run_rank, FragmentSchedule, PioBlastConfig};
 pub use cache::ResultCache;

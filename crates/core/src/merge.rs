@@ -81,7 +81,10 @@ pub fn merge_and_layout(
             &prepared.records[q],
             &prepared.spaces[q],
             &summaries,
-            hits.iter().take(n_rec).map(|(h, _)| h.record_size).collect(),
+            hits.iter()
+                .take(n_rec)
+                .map(|(h, _)| h.record_size)
+                .collect(),
         );
         for (i, (h, owner)) in hits.iter().take(n_rec).enumerate() {
             out.per_rank[*owner].records.push((
@@ -94,7 +97,8 @@ pub fn merge_and_layout(
         head.push_str(&layout.summary);
         out.master_sections.push((section_start, head));
         let footer_off = section_start + layout.total() - layout.footer.len() as u64;
-        out.master_sections.push((footer_off, layout.footer.clone()));
+        out.master_sections
+            .push((footer_off, layout.footer.clone()));
         section_start += layout.total();
     }
     out.total_bytes = section_start - start_offset;
@@ -188,10 +192,7 @@ mod tests {
         let subs = vec![
             MetaSubmission::default(),
             MetaSubmission {
-                per_query: vec![(
-                    0,
-                    vec![meta(1, 90, 10), meta(2, 80, 10), meta(3, 70, 10)],
-                )],
+                per_query: vec![(0, vec![meta(1, 90, 10), meta(2, 80, 10), meta(3, 70, 10)])],
             },
         ];
         let opts = ReportOptions {

@@ -66,22 +66,10 @@ impl PartitionMessage {
     }
 }
 
-/// Deal `items` out to `workers` bins, contiguously and as evenly as
-/// possible (worker `w` gets `items[start_w..end_w]`).
-pub fn chunk_evenly<T>(mut items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
-    assert!(workers > 0);
-    let total = items.len();
-    let mut out = Vec::with_capacity(workers);
-    let mut taken = 0usize;
-    let mut rest = items.drain(..);
-    for w in 0..workers {
-        let end = total * (w + 1) / workers;
-        let count = end - taken;
-        taken = end;
-        out.push(rest.by_ref().take(count).collect());
-    }
-    out
-}
+// The even contiguous split now lives with the scheduler primitives in
+// `mpisim::sched` (the runtime and the mpiBLAST baseline both use it);
+// re-exported here for compatibility.
+pub use mpisim::sched::chunk_evenly;
 
 #[cfg(test)]
 mod tests {

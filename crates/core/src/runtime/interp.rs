@@ -1,0 +1,991 @@
+//! The interpreter: the only place where runtime actions touch the
+//! wire and the file system.
+//!
+//! [`run_master`]/[`run_worker`] drive the pure state machines for every
+//! mode. Actions are lowered by policy: the collective policy (`Off`)
+//! maps them onto broadcast/scatter/gather and collective or independent
+//! writes; the point-to-point policies (`Detect`/`Recover`) map them
+//! onto epoch-framed commands with liveness sweeps, exactly as the old
+//! standalone recovery protocol did. Messages (and detected deaths) are
+//! translated back into events and fed to the machines.
+
+use std::collections::{HashMap, VecDeque};
+
+use blast_core::fasta;
+use blast_core::format::ReportConfig;
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats};
+use blast_core::seq::SeqRecord;
+use bytes::Bytes;
+use mpiblast::phases;
+use mpiblast::wire::{FragmentCheckpoint, MetaHit, MetaSubmission, OffsetAssignment, QueryBundle};
+use mpiblast::{ComputeModel, RankReport, MASTER};
+use mpiio::{CollectiveHints, FileView, MpiFile};
+use mpisim::sched::{default_sweep, Liveness, Polled, Pump};
+use mpisim::{Collectives, Comm};
+use seqfmt::{AliasFile, FragmentData, VolumeIndex};
+use simcluster::{Message, PhaseTimes, RankCtx, SimTime};
+
+use super::master::{MasterAction, MasterEvent, MasterPhase, MasterSm};
+use super::worker::{WorkerAction, WorkerEvent, WorkerSm};
+use super::{
+    ckpt_path, decode_grant, encode_grant, split_epoch, with_epoch, RunPolicy, TAG_ABORT,
+    TAG_ASSIGN, TAG_BUNDLE, TAG_DONE, TAG_FINISH, TAG_GRANT, TAG_READY, TAG_SUBMIT, TAG_SUBMIT_REQ,
+};
+use crate::app::{query_batches, FragmentSchedule, PioBlastConfig};
+use crate::cache::ResultCache;
+use crate::fault::{FaultMode, PioError};
+use crate::merge::{merge_and_layout, MergeOutcome};
+use crate::proto::{FragmentAssignment, PartitionMessage};
+
+fn decode_err(e: seqfmt::codec::CodecError) -> PioError {
+    PioError::Protocol(e.to_string())
+}
+
+/// Derive the runtime policy from a validated configuration.
+fn policy_of(ctx: &RankCtx, cfg: &PioBlastConfig, nbatches: usize) -> RunPolicy {
+    RunPolicy {
+        schedule: cfg.schedule,
+        fault: cfg.fault,
+        checkpoint: cfg.checkpoint,
+        nranks: ctx.nranks(),
+        nfrags: cfg.num_fragments.unwrap_or(ctx.nranks() - 1),
+        nbatches,
+    }
+}
+
+/// One fragment's four ranged reads (the parallel input unit).
+fn input_fragment(
+    ctx: &RankCtx,
+    cfg: &PioBlastConfig,
+    molecule: blast_core::Molecule,
+    assignment: &FragmentAssignment,
+) -> FragmentData {
+    let shared = &cfg.env.shared;
+    let spec = &assignment.spec;
+    let vol = &assignment.volume_name;
+    let idx_path = format!("db/{vol}.idx");
+    let idx_seq = shared
+        .read_at(
+            ctx,
+            &idx_path,
+            spec.idx_seq_range.0,
+            spec.idx_seq_range.1 - spec.idx_seq_range.0,
+        )
+        .expect("index range");
+    let idx_hdr = shared
+        .read_at(
+            ctx,
+            &idx_path,
+            spec.idx_hdr_range.0,
+            spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
+        )
+        .expect("index range");
+    let seq = shared
+        .read_at(
+            ctx,
+            &format!("db/{vol}.seq"),
+            spec.seq_range.0,
+            spec.seq_range.1 - spec.seq_range.0,
+        )
+        .expect("sequence range");
+    let hdr = shared
+        .read_at(
+            ctx,
+            &format!("db/{vol}.hdr"),
+            spec.hdr_range.0,
+            spec.hdr_range.1 - spec.hdr_range.0,
+        )
+        .expect("header range");
+    FragmentData::from_ranges(molecule, spec.base_oid, &idx_seq, &idx_hdr, seq, hdr)
+        .expect("consistent fragment ranges")
+}
+
+// ---------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------
+
+/// The master's side of the run (every mode).
+pub(crate) fn run_master(
+    ctx: &RankCtx,
+    comm: &Comm<'_>,
+    cfg: &PioBlastConfig,
+) -> Result<RankReport, PioError> {
+    MasterIo::new(ctx, comm, cfg).run()
+}
+
+struct MasterIo<'a, 'b> {
+    ctx: &'a RankCtx,
+    comm: &'a Comm<'b>,
+    cfg: &'a PioBlastConfig,
+    policy: RunPolicy,
+    report_cfg: ReportConfig,
+    molecule: blast_core::Molecule,
+    batches: Vec<Vec<SeqRecord>>,
+    volumes: Vec<String>,
+    assignments: Vec<FragmentAssignment>,
+    live0: Vec<bool>,
+    liveness: Liveness,
+    phase_times: PhaseTimes,
+    prepared_cache: Vec<Option<PreparedQueries>>,
+    batch_offsets: Vec<u64>,
+    ckpts: HashMap<(usize, usize), FragmentCheckpoint>,
+    orphan_records: HashMap<(u32, u32), String>,
+    outcome: Option<MergeOutcome>,
+    input_mark: Option<SimTime>,
+    out_mark: Option<SimTime>,
+}
+
+impl<'a, 'b> MasterIo<'a, 'b> {
+    fn new(ctx: &'a RankCtx, comm: &'a Comm<'b>, cfg: &'a PioBlastConfig) -> MasterIo<'a, 'b> {
+        let shared = &cfg.env.shared;
+        let mut phase_times = PhaseTimes::new();
+
+        // ---- startup: alias + queries, bundle distributed ----
+        let start = ctx.now();
+        let alias_bytes = shared.read_all(ctx, &cfg.db_alias).expect("alias present");
+        let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
+        let query_text = shared
+            .read_all(ctx, &cfg.query_path)
+            .expect("query file present");
+        let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
+        let bundle = QueryBundle {
+            db_title: alias.title.clone(),
+            db_stats: alias.global_stats,
+            molecule: alias.molecule,
+            queries,
+        };
+        let report_cfg =
+            ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
+        let bundle_bytes = Bytes::from(bundle.encode());
+        let mut live0 = vec![true; ctx.nranks()];
+        if cfg.fault == FaultMode::Off {
+            comm.bcast(MASTER, bundle_bytes);
+        } else {
+            for (w, alive) in live0.iter_mut().enumerate().skip(1) {
+                *alive = comm
+                    .send_checked(w, TAG_BUNDLE, bundle_bytes.clone())
+                    .is_ok();
+            }
+        }
+        phase_times.add(phases::OTHER, ctx.now() - start);
+
+        // ---- virtual fragments ----
+        let input_mark = ctx.now();
+        let mut indexes: Vec<VolumeIndex> = Vec::new();
+        for vol in &alias.volumes {
+            let idx_bytes = shared
+                .read_all(ctx, &format!("db/{vol}.idx"))
+                .expect("volume index present");
+            indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
+        }
+        let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
+        let batches = query_batches(&bundle.queries, cfg.query_batch);
+        let policy = policy_of(ctx, cfg, batches.len());
+        let specs = seqfmt::virtual_fragments(&index_refs, policy.nfrags);
+        let assignments: Vec<FragmentAssignment> = specs
+            .into_iter()
+            .map(|spec| FragmentAssignment {
+                volume_name: alias.volumes[spec.volume].clone(),
+                spec,
+            })
+            .collect();
+
+        let nbatches = batches.len();
+        MasterIo {
+            ctx,
+            comm,
+            cfg,
+            policy,
+            report_cfg,
+            molecule: bundle.molecule,
+            batches,
+            volumes: alias.volumes,
+            assignments,
+            liveness: Liveness::from_flags(live0.clone()),
+            live0,
+            phase_times,
+            prepared_cache: (0..nbatches).map(|_| None).collect(),
+            batch_offsets: vec![0; nbatches + 1],
+            ckpts: HashMap::new(),
+            orphan_records: HashMap::new(),
+            outcome: None,
+            input_mark: Some(input_mark),
+            out_mark: None,
+        }
+    }
+
+    fn run(mut self) -> Result<RankReport, PioError> {
+        let (mut sm, init) = MasterSm::new(self.policy, self.live0.clone());
+        let mut actions: VecDeque<MasterAction> = init.into();
+        loop {
+            while let Some(act) = actions.pop_front() {
+                match act {
+                    MasterAction::Finish => {
+                        self.finish(&sm);
+                        return Ok(RankReport {
+                            phases: self.phase_times,
+                            search_stats: SearchStats::default(),
+                        });
+                    }
+                    MasterAction::Fail {
+                        error,
+                        abort_workers,
+                    } => {
+                        if abort_workers {
+                            self.abort_live();
+                        }
+                        return Err(error);
+                    }
+                    act => {
+                        let events = match self.exec(&sm, act) {
+                            Ok(evs) => evs,
+                            Err(e) => {
+                                // Tell survivors to stop before bailing so
+                                // nobody waits on a master that returned.
+                                self.abort_live();
+                                return Err(e);
+                            }
+                        };
+                        for ev in events {
+                            actions.extend(sm.handle(ev));
+                        }
+                    }
+                }
+            }
+            // Quiescent: wait for the next message for this phase (the
+            // pump folds death detection into the wait).
+            let tag = match sm.phase() {
+                MasterPhase::Distribute => TAG_READY,
+                MasterPhase::Collect => TAG_SUBMIT,
+                MasterPhase::WaitWrites => TAG_DONE,
+                MasterPhase::Finished | MasterPhase::Failed => {
+                    unreachable!("terminal phases return from the action loop")
+                }
+            };
+            let pump = Pump::new(self.comm, self.policy.p2p(), default_sweep());
+            let event = match pump.poll(&mut self.liveness, None, Some(tag)) {
+                Polled::Msg(m) => match self.translate(m) {
+                    Ok(ev) => ev,
+                    Err(e) => {
+                        self.abort_live();
+                        return Err(e);
+                    }
+                },
+                Polled::Dead(ranks) => self.dead_event(&sm, ranks),
+            };
+            actions.extend(sm.handle(event));
+        }
+    }
+
+    /// Message -> event.
+    fn translate(&self, m: Message) -> Result<MasterEvent, PioError> {
+        match m.tag {
+            TAG_READY => Ok(MasterEvent::Ready { from: m.src }),
+            TAG_SUBMIT => {
+                let (epoch, body) = split_epoch(&m.payload)?;
+                let sub = MetaSubmission::decode(body).map_err(decode_err)?;
+                Ok(MasterEvent::Submission {
+                    from: m.src,
+                    epoch,
+                    sub,
+                })
+            }
+            TAG_DONE => {
+                let (epoch, _) = split_epoch(&m.payload)?;
+                Ok(MasterEvent::WriteDone { from: m.src, epoch })
+            }
+            other => Err(PioError::Protocol(format!(
+                "master got unexpected tag {other}"
+            ))),
+        }
+    }
+
+    /// Deaths -> event, classifying each owned fragment of each victim
+    /// as checkpointed (a valid blob exists for the current batch) or
+    /// not. Valid blobs are cached for the upcoming merge.
+    fn dead_event(&mut self, sm: &MasterSm, ranks: Vec<usize>) -> MasterEvent {
+        let mut checkpointed = Vec::new();
+        if self.policy.checkpoint {
+            let batch = sm.batch();
+            let shared = &self.cfg.env.shared;
+            for &w in &ranks {
+                for &f in sm.owned(w) {
+                    let Ok(blob) = shared.read_all(self.ctx, &ckpt_path(self.cfg, batch, f)) else {
+                        continue;
+                    };
+                    // A partial write (the victim died mid-checkpoint)
+                    // decodes as garbage and counts as absent.
+                    let Ok(ck) = FragmentCheckpoint::decode(&blob) else {
+                        continue;
+                    };
+                    if ck.batch as usize == batch && ck.fragment as usize == f {
+                        self.ckpts.insert((batch, f), ck);
+                        checkpointed.push(f);
+                    }
+                }
+            }
+        }
+        MasterEvent::Dead {
+            ranks,
+            checkpointed,
+        }
+    }
+
+    fn abort_live(&self) {
+        for w in self.liveness.live_workers() {
+            let _ = self.comm.send_checked(w, TAG_ABORT, Bytes::new());
+        }
+    }
+
+    fn ensure_prepared(&mut self, batch: usize) {
+        if self.prepared_cache[batch].is_some() {
+            return;
+        }
+        let t = self.ctx.now();
+        let records = self.batches[batch].clone();
+        let residues: u64 = records.iter().map(|q| q.len() as u64).sum();
+        let stats = self.report_cfg.db_stats;
+        let prepared = self.cfg.compute.run_prepare(self.ctx, residues, || {
+            PreparedQueries::prepare(&self.cfg.params, records, stats)
+        });
+        self.prepared_cache[batch] = Some(prepared);
+        self.phase_times.add(phases::OTHER, self.ctx.now() - t);
+    }
+
+    fn grant_payload(&self, batch: usize, frags: &[usize]) -> Bytes {
+        let part = PartitionMessage {
+            fragments: frags.iter().map(|&f| self.assignments[f].clone()).collect(),
+            volumes: self.volumes.clone(),
+        };
+        Bytes::from(encode_grant(batch as u32, frags, &part))
+    }
+
+    /// Action -> side effects (+ any synchronous follow-up events).
+    fn exec(&mut self, sm: &MasterSm, act: MasterAction) -> Result<Vec<MasterEvent>, PioError> {
+        let shared = &self.cfg.env.shared;
+        match act {
+            MasterAction::Grant { to, frags, batch } => {
+                let payload = self.grant_payload(batch, &frags);
+                if self.policy.p2p() {
+                    // A failed send means the worker just died; the next
+                    // sweep reports it.
+                    let _ = self.comm.send_checked(to, TAG_GRANT, payload);
+                } else {
+                    self.comm.send(to, TAG_GRANT, payload);
+                }
+                Ok(Vec::new())
+            }
+            MasterAction::Drain { to } => {
+                let payload = self.grant_payload(0, &[]);
+                self.comm.send(to, TAG_GRANT, payload);
+                Ok(Vec::new())
+            }
+            MasterAction::Scatter { chunks } => {
+                let pieces: Vec<Bytes> = chunks.iter().map(|c| self.grant_payload(0, c)).collect();
+                self.comm.scatterv(MASTER, Some(pieces));
+                if self.cfg.collective_input {
+                    // Collective reads involve every rank; the master
+                    // joins each with an empty view.
+                    crate::input::read_fragments_collective(
+                        self.comm,
+                        shared,
+                        &self.volumes,
+                        &[],
+                        self.molecule,
+                        self.cfg.platform.aggregators,
+                    );
+                }
+                Ok(vec![MasterEvent::ScatterDone])
+            }
+            MasterAction::Collect { batch, epoch } => {
+                if let Some(mark) = self.input_mark.take() {
+                    self.phase_times.add(phases::INPUT, self.ctx.now() - mark);
+                }
+                self.ensure_prepared(batch);
+                if self.policy.p2p() {
+                    let body = (batch as u32).to_le_bytes();
+                    for w in sm.live_workers() {
+                        let _ = self
+                            .comm
+                            .send_checked(w, TAG_SUBMIT_REQ, with_epoch(epoch, &body));
+                    }
+                    Ok(Vec::new())
+                } else {
+                    // The gather blocks until every worker finished
+                    // searching the batch; the wait is the workers'
+                    // input+search epochs, not master output time.
+                    let subs_bytes = self
+                        .comm
+                        .gather(MASTER, Bytes::from(MetaSubmission::default().encode()))
+                        .expect("master gathers");
+                    self.out_mark.get_or_insert(self.ctx.now());
+                    let mut subs = Vec::with_capacity(subs_bytes.len());
+                    for b in &subs_bytes {
+                        subs.push(MetaSubmission::decode(b).map_err(decode_err)?);
+                    }
+                    Ok(vec![MasterEvent::GatherDone { subs }])
+                }
+            }
+            MasterAction::Merge {
+                batch,
+                epoch,
+                mut subs,
+                orphans,
+            } => {
+                self.out_mark.get_or_insert(self.ctx.now());
+                if !orphans.is_empty() {
+                    subs[MASTER] = self.adopt_orphans(batch, &orphans)?;
+                }
+                self.ensure_prepared(batch);
+                let prepared = self.prepared_cache[batch].as_ref().expect("just prepared");
+                let start_offset = self.batch_offsets[batch];
+                let outcome = self.cfg.compute.run_format(
+                    self.ctx,
+                    || {
+                        merge_and_layout(
+                            &self.report_cfg,
+                            &self.cfg.params,
+                            prepared,
+                            &subs,
+                            self.cfg.report,
+                            start_offset,
+                        )
+                    },
+                    |o| o.master_sections.iter().map(|(_, s)| s.len() as u64).sum(),
+                );
+                self.cfg
+                    .compute
+                    .run_merge(self.ctx, outcome.merged_items, || ());
+                self.batch_offsets[batch + 1] = start_offset + outcome.total_bytes;
+                if self.policy.p2p() {
+                    for w in sm.live_workers() {
+                        let _ = self.comm.send_checked(
+                            w,
+                            TAG_ASSIGN,
+                            with_epoch(epoch, &outcome.per_rank[w].encode()),
+                        );
+                    }
+                    self.outcome = Some(outcome);
+                    Ok(Vec::new())
+                } else {
+                    let pieces: Vec<Bytes> = outcome
+                        .per_rank
+                        .iter()
+                        .map(|a| Bytes::from(a.encode()))
+                        .collect();
+                    self.comm.scatterv(MASTER, Some(pieces));
+                    self.write_master_sections(&outcome);
+                    if let Some(mark) = self.out_mark.take() {
+                        self.phase_times.add(phases::OUTPUT, self.ctx.now() - mark);
+                    }
+                    Ok(vec![MasterEvent::WriteAllDone])
+                }
+            }
+            MasterAction::FinishBatch { batch: _ } => {
+                // Point-to-point only: all live workers wrote. Orphan
+                // records (dead owners' checkpointed fragments) land in
+                // the master's own assignment slot.
+                let outcome = self.outcome.take().expect("merge precedes batch finish");
+                for &(q, oid, off) in &outcome.per_rank[MASTER].records {
+                    let rec = self
+                        .orphan_records
+                        .get(&(q, oid))
+                        .expect("orphan record was checkpointed");
+                    shared.write_at(self.ctx, &self.cfg.output_path, off, rec.as_bytes());
+                }
+                for (off, text) in &outcome.master_sections {
+                    shared.write_at(self.ctx, &self.cfg.output_path, *off, text.as_bytes());
+                }
+                if let Some(mark) = self.out_mark.take() {
+                    self.phase_times.add(phases::OUTPUT, self.ctx.now() - mark);
+                }
+                Ok(Vec::new())
+            }
+            MasterAction::Finish | MasterAction::Fail { .. } => {
+                unreachable!("handled in the run loop")
+            }
+        }
+    }
+
+    /// Build the orphan pseudo-submission from cached checkpoint blobs
+    /// (ascending fragment order) and stage their record bytes.
+    fn adopt_orphans(
+        &mut self,
+        batch: usize,
+        orphans: &[usize],
+    ) -> Result<MetaSubmission, PioError> {
+        self.orphan_records.clear();
+        let mut per_query: Vec<(u32, Vec<MetaHit>)> = Vec::new();
+        for &f in orphans {
+            let ck = self.ckpts.get(&(batch, f)).ok_or_else(|| {
+                PioError::Protocol(format!("fragment {f} orphaned without a checkpoint"))
+            })?;
+            for (q, hits) in &ck.meta.per_query {
+                match per_query.iter_mut().find(|(qi, _)| qi == q) {
+                    Some((_, list)) => list.extend(hits.iter().cloned()),
+                    None => per_query.push((*q, hits.clone())),
+                }
+            }
+            for (q, oid, rec) in &ck.records {
+                self.orphan_records.insert((*q, *oid), rec.clone());
+            }
+        }
+        per_query.sort_by_key(|(q, _)| *q);
+        Ok(MetaSubmission { per_query })
+    }
+
+    fn write_master_sections(&self, outcome: &MergeOutcome) {
+        let shared = &self.cfg.env.shared;
+        if self.cfg.collective_output {
+            let mut regions = Vec::with_capacity(outcome.master_sections.len());
+            let mut data = Vec::new();
+            for (off, text) in &outcome.master_sections {
+                regions.push((*off, text.len() as u64));
+                data.extend_from_slice(text.as_bytes());
+            }
+            let view = FileView::new(0, regions).expect("master regions are ordered");
+            let file = MpiFile::open(self.comm, shared, &self.cfg.output_path).with_hints(
+                CollectiveHints {
+                    aggregators: self.cfg.platform.aggregators,
+                },
+            );
+            file.write_at_all(&view, &data);
+        } else {
+            for (off, text) in &outcome.master_sections {
+                shared.write_at(self.ctx, &self.cfg.output_path, *off, text.as_bytes());
+            }
+            self.comm.barrier();
+        }
+    }
+
+    /// Seal the run: release the workers, drop any checkpoint blobs.
+    fn finish(&mut self, sm: &MasterSm) {
+        if self.policy.p2p() {
+            for w in sm.live_workers() {
+                let _ = self.comm.send_checked(w, TAG_FINISH, Bytes::new());
+            }
+        }
+        if self.policy.checkpoint {
+            let shared = &self.cfg.env.shared;
+            for b in 0..self.policy.nbatches {
+                for f in 0..self.policy.nfrags {
+                    let _ = shared.delete(self.ctx, &ckpt_path(self.cfg, b, f));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+/// A worker's side of the run (every mode).
+pub(crate) fn run_worker(
+    ctx: &RankCtx,
+    comm: &Comm<'_>,
+    cfg: &PioBlastConfig,
+) -> Result<RankReport, PioError> {
+    WorkerIo::new(ctx, comm, cfg)?.run()
+}
+
+struct WorkerIo<'a, 'b> {
+    ctx: &'a RankCtx,
+    comm: &'a Comm<'b>,
+    cfg: &'a PioBlastConfig,
+    policy: RunPolicy,
+    compute: ComputeModel,
+    report_cfg: ReportConfig,
+    molecule: blast_core::Molecule,
+    batches: Vec<Vec<SeqRecord>>,
+    prepared: Option<PreparedQueries>,
+    cache: ResultCache,
+    frags: Vec<(u32, FragmentData)>,
+    pending: VecDeque<(u32, FragmentAssignment)>,
+    grant_volumes: Vec<String>,
+    assign: Option<OffsetAssignment>,
+    stats_total: SearchStats,
+    phase_times: PhaseTimes,
+    out_mark: Option<SimTime>,
+}
+
+impl<'a, 'b> WorkerIo<'a, 'b> {
+    fn new(
+        ctx: &'a RankCtx,
+        comm: &'a Comm<'b>,
+        cfg: &'a PioBlastConfig,
+    ) -> Result<WorkerIo<'a, 'b>, PioError> {
+        let mut phase_times = PhaseTimes::new();
+        let start = ctx.now();
+        let bundle = if cfg.fault == FaultMode::Off {
+            let bytes = comm.bcast(MASTER, Bytes::new());
+            QueryBundle::decode(&bytes).map_err(decode_err)?
+        } else {
+            let pump = Pump::new(comm, true, default_sweep());
+            let m = pump
+                .recv_from(MASTER, None)
+                .map_err(|_| PioError::MasterDied)?;
+            match m.tag {
+                TAG_ABORT => return Err(PioError::Aborted),
+                TAG_BUNDLE => QueryBundle::decode(&m.payload).map_err(decode_err)?,
+                other => {
+                    return Err(PioError::Protocol(format!(
+                        "worker expected the query bundle, got tag {other}"
+                    )))
+                }
+            }
+        };
+        let report_cfg =
+            ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
+        let batches = query_batches(&bundle.queries, cfg.query_batch);
+        let policy = policy_of(ctx, cfg, batches.len());
+        phase_times.add(phases::OTHER, ctx.now() - start);
+        Ok(WorkerIo {
+            ctx,
+            comm,
+            cfg,
+            policy,
+            compute: cfg.compute_for(ctx.rank()),
+            report_cfg,
+            molecule: bundle.molecule,
+            batches,
+            prepared: None,
+            cache: ResultCache::default(),
+            frags: Vec::new(),
+            pending: VecDeque::new(),
+            grant_volumes: Vec::new(),
+            assign: None,
+            stats_total: SearchStats::default(),
+            phase_times,
+            out_mark: None,
+        })
+    }
+
+    fn run(mut self) -> Result<RankReport, PioError> {
+        let (mut sm, init) = WorkerSm::new(self.policy);
+        for act in init {
+            self.exec(act)?;
+        }
+        if self.policy.p2p() {
+            self.run_p2p(&mut sm)?;
+        } else {
+            self.run_collective(&mut sm)?;
+        }
+        Ok(RankReport {
+            phases: self.phase_times,
+            search_stats: self.stats_total,
+        })
+    }
+
+    /// The point-to-point command loop (fault modes): everything is
+    /// driven by the master; a dead master surfaces as a typed error.
+    fn run_p2p(&mut self, sm: &mut WorkerSm) -> Result<(), PioError> {
+        if self.policy.schedule == FragmentSchedule::Dynamic {
+            self.comm.send(MASTER, TAG_READY, Bytes::new());
+        }
+        loop {
+            let m = self.recv_master()?;
+            let event = match m.tag {
+                TAG_GRANT => self.stash_grant(&m.payload)?,
+                TAG_SUBMIT_REQ => {
+                    let (epoch, body) = split_epoch(&m.payload)?;
+                    if body.len() < 4 {
+                        return Err(PioError::Protocol("submit request lacks a batch".into()));
+                    }
+                    let batch = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+                    WorkerEvent::SubmitReq { batch, epoch }
+                }
+                TAG_ASSIGN => {
+                    let (epoch, body) = split_epoch(&m.payload)?;
+                    self.assign = Some(OffsetAssignment::decode(body).map_err(decode_err)?);
+                    WorkerEvent::Assign { epoch }
+                }
+                TAG_FINISH => WorkerEvent::Finish,
+                other => {
+                    return Err(PioError::Protocol(format!(
+                        "worker got unexpected tag {other}"
+                    )))
+                }
+            };
+            for act in sm.handle(event) {
+                if act == WorkerAction::Stop {
+                    return Ok(());
+                }
+                self.exec(act)?;
+            }
+        }
+    }
+
+    /// The collective choreography (fault mode `Off`): acquire fragments
+    /// (scatter or request loop), then one gather/scatter/write round
+    /// per query batch. Same machine, synchronous lowering.
+    fn run_collective(&mut self, sm: &mut WorkerSm) -> Result<(), PioError> {
+        match self.policy.schedule {
+            FragmentSchedule::Static => {
+                let part_bytes = self.comm.scatterv(MASTER, None);
+                let event = self.stash_grant(&part_bytes)?;
+                for act in sm.handle(event) {
+                    self.exec(act)?;
+                }
+            }
+            FragmentSchedule::Dynamic => {
+                // The initial request; each grant's ack doubles as the
+                // next request until the master drains us.
+                self.comm.send(MASTER, TAG_READY, Bytes::new());
+                loop {
+                    let m = self.comm.recv(Some(MASTER), Some(TAG_GRANT));
+                    let event = self.stash_grant(&m.payload)?;
+                    if matches!(event, WorkerEvent::Drained) {
+                        break;
+                    }
+                    for act in sm.handle(event) {
+                        self.exec(act)?;
+                    }
+                }
+            }
+        }
+        for batch in 0..self.policy.nbatches {
+            let epoch = batch as u64 + 1; // cosmetic: collectives self-fence
+            for act in sm.handle(WorkerEvent::SubmitReq { batch, epoch }) {
+                self.exec(act)?;
+            }
+            for act in sm.handle(WorkerEvent::Assign { epoch }) {
+                self.exec(act)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_master(&self) -> Result<Message, PioError> {
+        let pump = Pump::new(self.comm, true, default_sweep());
+        let m = pump
+            .recv_from(MASTER, None)
+            .map_err(|_| PioError::MasterDied)?;
+        if m.tag == TAG_ABORT {
+            return Err(PioError::Aborted);
+        }
+        Ok(m)
+    }
+
+    /// Queue a grant's assignments and produce the matching event.
+    fn stash_grant(&mut self, payload: &[u8]) -> Result<WorkerEvent, PioError> {
+        let (batch, ids, part) = decode_grant(payload)?;
+        if ids.len() != part.fragments.len() {
+            return Err(PioError::Protocol(
+                "grant ids do not match fragments".into(),
+            ));
+        }
+        if part.fragments.is_empty() {
+            return Ok(WorkerEvent::Drained);
+        }
+        let nfrags = part.fragments.len();
+        self.grant_volumes = part.volumes;
+        self.pending.extend(ids.into_iter().zip(part.fragments));
+        Ok(WorkerEvent::Grant {
+            batch: batch as usize,
+            nfrags,
+        })
+    }
+
+    fn exec(&mut self, act: WorkerAction) -> Result<(), PioError> {
+        match act {
+            WorkerAction::Prepare { batch } => {
+                let t = self.ctx.now();
+                let records = self.batches[batch].clone();
+                let residues: u64 = records.iter().map(|q| q.len() as u64).sum();
+                let stats = self.report_cfg.db_stats;
+                let prepared = self.compute.run_prepare(self.ctx, residues, || {
+                    PreparedQueries::prepare(&self.cfg.params, records, stats)
+                });
+                self.prepared = Some(prepared);
+                self.cache = ResultCache::default();
+                self.phase_times.add(phases::OTHER, self.ctx.now() - t);
+                Ok(())
+            }
+            WorkerAction::SearchHeld { batch } => {
+                let frags = std::mem::take(&mut self.frags);
+                for (id, frag) in &frags {
+                    self.search_one(batch, *id, frag);
+                }
+                self.frags = frags;
+                Ok(())
+            }
+            WorkerAction::Ingest {
+                batch,
+                count,
+                search,
+            } => self.ingest(batch, count, search),
+            WorkerAction::AckGrant => {
+                self.comm.send(MASTER, TAG_READY, Bytes::new());
+                Ok(())
+            }
+            WorkerAction::Submit { batch: _, epoch } => {
+                let meta = self.cache.metadata().encode();
+                if self.policy.p2p() {
+                    self.comm.send(MASTER, TAG_SUBMIT, with_epoch(epoch, &meta));
+                } else {
+                    self.out_mark = Some(self.ctx.now());
+                    self.comm.gather(MASTER, Bytes::from(meta));
+                }
+                Ok(())
+            }
+            WorkerAction::WriteAssigned { epoch } => self.write_assigned(epoch),
+            WorkerAction::Stop => Ok(()),
+        }
+    }
+
+    fn ingest(&mut self, batch: usize, count: usize, search: bool) -> Result<(), PioError> {
+        if self.cfg.collective_input {
+            // Fault-free static schedule only: one collective read pass
+            // over the whole chunk.
+            let pend: Vec<(u32, FragmentAssignment)> = self.pending.drain(..).collect();
+            let specs: Vec<FragmentAssignment> = pend.iter().map(|(_, a)| a.clone()).collect();
+            let input_start = self.ctx.now();
+            let datas = crate::input::read_fragments_collective(
+                self.comm,
+                &self.cfg.env.shared,
+                &self.grant_volumes,
+                &specs,
+                self.molecule,
+                self.cfg.platform.aggregators,
+            );
+            self.phase_times
+                .add(phases::INPUT, self.ctx.now() - input_start);
+            for ((id, _), frag) in pend.into_iter().zip(datas) {
+                self.frags.push((id, frag));
+            }
+            return Ok(());
+        }
+        for _ in 0..count {
+            let (id, assignment) = self
+                .pending
+                .pop_front()
+                .ok_or_else(|| PioError::Protocol("grant count exceeds stash".into()))?;
+            let input_start = self.ctx.now();
+            let frag = input_fragment(self.ctx, self.cfg, self.molecule, &assignment);
+            self.phase_times
+                .add(phases::INPUT, self.ctx.now() - input_start);
+            if search {
+                self.search_one(batch, id, &frag);
+            }
+            self.frags.push((id, frag));
+        }
+        Ok(())
+    }
+
+    /// Search one fragment against the prepared batch, cache the
+    /// formatted records, and (under the checkpoint policy) persist the
+    /// fragment's results before anything is acknowledged.
+    fn search_one(&mut self, batch: usize, id: u32, frag: &FragmentData) {
+        let prepared = self
+            .prepared
+            .as_ref()
+            .expect("batch prepared before search");
+        let searcher = BlastSearcher::new(&self.cfg.params, prepared);
+        let search_start = self.ctx.now();
+        let (per_query, stats) = self.compute.run_search(self.ctx, || {
+            let r = searcher.search(frag);
+            (r.per_query, r.stats)
+        });
+        self.stats_total.merge(&stats);
+        self.phase_times
+            .add(phases::SEARCH, self.ctx.now() - search_start);
+
+        let cache_start = self.ctx.now();
+        let per_query = if self.cfg.local_prune {
+            // Paper §5: a worker's hits beyond the global report limit
+            // can never appear in the output; prune before formatting.
+            let keep = self
+                .cfg
+                .report
+                .num_descriptions
+                .max(self.cfg.report.num_alignments);
+            per_query
+                .into_iter()
+                .map(|mut hits| {
+                    hits.truncate(keep);
+                    hits
+                })
+                .collect()
+        } else {
+            per_query
+        };
+        let cache = &mut self.cache;
+        let (_, meta, records) = self.compute.run_format(
+            self.ctx,
+            || {
+                cache.add_fragment_traced(
+                    &self.cfg.params,
+                    &self.report_cfg,
+                    prepared,
+                    frag,
+                    per_query,
+                )
+            },
+            |(bytes, _, _)| *bytes,
+        );
+        if self.cfg.checkpoint {
+            let blob = FragmentCheckpoint {
+                batch: batch as u32,
+                fragment: id,
+                meta,
+                records,
+            }
+            .encode();
+            self.cfg.env.shared.write_all(
+                self.ctx,
+                &ckpt_path(self.cfg, batch, id as usize),
+                &blob,
+            );
+        }
+        self.phase_times
+            .add(phases::OUTPUT, self.ctx.now() - cache_start);
+    }
+
+    fn write_assigned(&mut self, epoch: u64) -> Result<(), PioError> {
+        let t = self.ctx.now();
+        let assignment = if self.policy.p2p() {
+            self.assign
+                .take()
+                .expect("assignment stashed with the event")
+        } else {
+            let bytes = self.comm.scatterv(MASTER, None);
+            OffsetAssignment::decode(&bytes).map_err(decode_err)?
+        };
+        let shared = &self.cfg.env.shared;
+        if !self.policy.p2p() && self.cfg.collective_output {
+            let mut regions = Vec::with_capacity(assignment.records.len());
+            let mut data = Vec::new();
+            for &(q, oid, off) in &assignment.records {
+                let record = self.cache.record(q, oid).ok_or_else(|| {
+                    PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
+                })?;
+                regions.push((off, record.len() as u64));
+                data.extend_from_slice(record.as_bytes());
+            }
+            let view = FileView::new(0, regions).expect("assignments are ordered");
+            let file = MpiFile::open(self.comm, shared, &self.cfg.output_path).with_hints(
+                CollectiveHints {
+                    aggregators: self.cfg.platform.aggregators,
+                },
+            );
+            file.write_at_all(&view, &data);
+        } else {
+            for &(q, oid, off) in &assignment.records {
+                let record = self.cache.record(q, oid).ok_or_else(|| {
+                    PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
+                })?;
+                shared.write_at(self.ctx, &self.cfg.output_path, off, record.as_bytes());
+            }
+            if !self.policy.p2p() {
+                self.comm.barrier();
+            }
+        }
+        let start = self.out_mark.take().unwrap_or(t);
+        self.phase_times.add(phases::OUTPUT, self.ctx.now() - start);
+        if self.policy.p2p() {
+            self.comm.send(MASTER, TAG_DONE, with_epoch(epoch, &[]));
+        }
+        Ok(())
+    }
+}

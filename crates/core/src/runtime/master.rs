@@ -1,0 +1,690 @@
+//! The master's protocol state machine — pure transitions, no I/O.
+//!
+//! One machine drives every mode. The cycle per query batch is
+//! `Distribute -> Collect -> WaitWrites`, then either the next batch or
+//! `Finished`:
+//!
+//! * **Distribute** — fragments flow from the grant queue to idle live
+//!   workers (all up front for the static schedule, one per request for
+//!   the dynamic one). Completion means the queue is drained and every
+//!   live worker has acknowledged its last grant.
+//! * **Collect** — a new epoch is fenced and every live worker is asked
+//!   for its metadata submission. Stale-epoch submissions are discarded.
+//! * **WaitWrites** — offsets were assigned; the master waits for every
+//!   live worker's write acknowledgement before sealing the batch.
+//!
+//! A worker death is one event: in `Detect` policy it fails the run; in
+//! `Recover` policy the victim's unfinished fragments re-enter the queue
+//! (rewinding the phase to `Distribute`) while its checkpointed ones are
+//! adopted as orphans — if nothing needs re-searching, the machine only
+//! rewinds to `Collect` and re-merges with the orphans spliced in.
+
+use mpiblast::wire::MetaSubmission;
+use mpisim::sched::{chunk_evenly, GrantQueue};
+
+use super::ledger::SubmissionLedger;
+use super::RunPolicy;
+use crate::app::FragmentSchedule;
+use crate::fault::{FaultMode, PioError};
+
+/// What the interpreter reports to the master machine.
+#[derive(Debug, Clone)]
+pub enum MasterEvent {
+    /// A worker requested a fragment / acknowledged its last grant.
+    Ready {
+        /// Sender.
+        from: usize,
+    },
+    /// A worker's epoch-fenced metadata submission.
+    Submission {
+        /// Sender.
+        from: usize,
+        /// Epoch the submission answers.
+        epoch: u64,
+        /// The metadata.
+        sub: MetaSubmission,
+    },
+    /// A worker finished writing its assigned records.
+    WriteDone {
+        /// Sender.
+        from: usize,
+        /// Epoch the acknowledgement answers.
+        epoch: u64,
+    },
+    /// Workers were found dead. `checkpointed` is the subset of their
+    /// owned fragments with a valid checkpoint blob on the shared FS.
+    Dead {
+        /// The newly dead ranks.
+        ranks: Vec<usize>,
+        /// Their checkpoint-covered fragments.
+        checkpointed: Vec<usize>,
+    },
+    /// The static scatter completed (collective mode).
+    ScatterDone,
+    /// The per-batch metadata gather completed (collective mode).
+    GatherDone {
+        /// Rank-indexed submissions.
+        subs: Vec<MetaSubmission>,
+    },
+    /// The batch's assignment scatter + writes completed (collective
+    /// mode, where output is a synchronous collective).
+    WriteAllDone,
+}
+
+/// What the interpreter must do next.
+#[derive(Debug, Clone)]
+pub enum MasterAction {
+    /// Send these fragments to a worker (point-to-point modes and the
+    /// fault-free dynamic schedule).
+    Grant {
+        /// Destination worker.
+        to: usize,
+        /// Global fragment ids.
+        frags: Vec<usize>,
+        /// Batch the grant belongs to.
+        batch: usize,
+    },
+    /// Tell a worker the queue is empty (fault-free dynamic schedule).
+    Drain {
+        /// Destination worker.
+        to: usize,
+    },
+    /// Scatter the rank-indexed fragment chunks (collective mode).
+    Scatter {
+        /// `chunks[rank]`; `chunks[0]` is empty (the master).
+        chunks: Vec<Vec<usize>>,
+    },
+    /// Ask every live worker for its batch submission under this epoch.
+    Collect {
+        /// Batch to collect.
+        batch: usize,
+        /// Fencing epoch.
+        epoch: u64,
+    },
+    /// Merge the submissions, assign offsets, start the writes.
+    Merge {
+        /// Batch being merged.
+        batch: usize,
+        /// Fencing epoch.
+        epoch: u64,
+        /// Rank-indexed submissions (dead ranks empty).
+        subs: Vec<MetaSubmission>,
+        /// Checkpoint-adopted fragments to splice into the merge.
+        orphans: Vec<usize>,
+    },
+    /// All live workers wrote: write the master's own sections (and any
+    /// orphan records) for this batch.
+    FinishBatch {
+        /// The sealed batch.
+        batch: usize,
+    },
+    /// The run is complete: release the workers, clean up.
+    Finish,
+    /// The run cannot complete.
+    Fail {
+        /// Why.
+        error: PioError,
+        /// Whether surviving workers must be told to abort.
+        abort_workers: bool,
+    },
+}
+
+/// The master's protocol phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterPhase {
+    /// Granting fragments.
+    Distribute,
+    /// Collecting epoch-fenced submissions.
+    Collect,
+    /// Waiting for write acknowledgements.
+    WaitWrites,
+    /// Finished successfully.
+    Finished,
+    /// Failed with a reported error.
+    Failed,
+}
+
+/// The master state machine. Feed it events via [`MasterSm::handle`];
+/// perform the returned actions in order.
+#[derive(Debug)]
+pub struct MasterSm {
+    policy: RunPolicy,
+    phase: MasterPhase,
+    live: Vec<bool>,
+    idle: Vec<bool>,
+    drained: Vec<bool>,
+    scatter_done: bool,
+    queue: GrantQueue,
+    ledger: SubmissionLedger,
+    epoch: u64,
+    batch: usize,
+    subs: Vec<Option<MetaSubmission>>,
+    done: Vec<bool>,
+}
+
+impl MasterSm {
+    /// Build the machine and the initial actions (static grants or the
+    /// scatter; nothing for dynamic schedules, which are request-driven).
+    /// `live[w]` marks the workers that accepted the query bundle.
+    pub fn new(policy: RunPolicy, live: Vec<bool>) -> (MasterSm, Vec<MasterAction>) {
+        let nranks = policy.nranks;
+        assert_eq!(live.len(), nranks);
+        let mut sm = MasterSm {
+            policy,
+            phase: MasterPhase::Distribute,
+            live,
+            idle: vec![false; nranks],
+            drained: vec![false; nranks],
+            scatter_done: false,
+            queue: GrantQueue::new(policy.nfrags, nranks),
+            ledger: SubmissionLedger::new(policy.nfrags),
+            epoch: 0,
+            batch: 0,
+            subs: vec![None; nranks],
+            done: vec![false; nranks],
+        };
+        if sm.policy.p2p() && !sm.any_worker_live() {
+            sm.phase = MasterPhase::Failed;
+            let fail = MasterAction::Fail {
+                error: PioError::AllWorkersDied,
+                abort_workers: false,
+            };
+            return (sm, vec![fail]);
+        }
+        let mut acts = Vec::new();
+        if sm.policy.schedule == FragmentSchedule::Static {
+            let workers: Vec<usize> = if sm.policy.p2p() {
+                sm.live_workers().collect()
+            } else {
+                (1..nranks).collect()
+            };
+            let sizes: Vec<usize> =
+                chunk_evenly((0..sm.policy.nfrags).collect::<Vec<_>>(), workers.len())
+                    .into_iter()
+                    .map(|c| c.len())
+                    .collect();
+            let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+            for (&w, n) in workers.iter().zip(sizes) {
+                let frags = sm.queue.grant_chunk(w, n);
+                for &f in &frags {
+                    sm.ledger.granted(f, w);
+                }
+                chunks[w] = frags;
+            }
+            if sm.policy.p2p() {
+                for &w in &workers {
+                    acts.push(MasterAction::Grant {
+                        to: w,
+                        frags: std::mem::take(&mut chunks[w]),
+                        batch: 0,
+                    });
+                }
+            } else {
+                acts.push(MasterAction::Scatter { chunks });
+            }
+        }
+        (sm, acts)
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MasterPhase {
+        self.phase
+    }
+
+    /// Current query batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fragments currently owned by `rank`.
+    pub fn owned(&self, rank: usize) -> &[usize] {
+        self.queue.owned(rank)
+    }
+
+    /// The per-fragment ledger.
+    pub fn ledger(&self) -> &SubmissionLedger {
+        &self.ledger
+    }
+
+    /// Still-live worker ranks, ascending.
+    pub fn live_workers(&self) -> impl Iterator<Item = usize> + '_ {
+        (1..self.policy.nranks).filter(|&w| self.live[w])
+    }
+
+    fn any_worker_live(&self) -> bool {
+        self.live_workers().next().is_some()
+    }
+
+    /// Apply one event; returns the actions to perform, in order.
+    pub fn handle(&mut self, event: MasterEvent) -> Vec<MasterAction> {
+        match event {
+            MasterEvent::Ready { from } => self.on_ready(from),
+            MasterEvent::Submission { from, epoch, sub } => self.on_submission(from, epoch, sub),
+            MasterEvent::WriteDone { from, epoch } => self.on_write_done(from, epoch),
+            MasterEvent::Dead {
+                ranks,
+                checkpointed,
+            } => self.on_dead(&ranks, &checkpointed),
+            MasterEvent::ScatterDone => self.on_scatter_done(),
+            MasterEvent::GatherDone { subs } => self.on_gather_done(subs),
+            MasterEvent::WriteAllDone => self.advance_batch(),
+        }
+    }
+
+    /// Grant queued fragments to idle live workers (point-to-point
+    /// modes; the fault-free dynamic schedule grants per-request in
+    /// [`Self::on_ready`] instead, preserving arrival order).
+    fn pump_grants(&mut self) -> Vec<MasterAction> {
+        let mut acts = Vec::new();
+        if !self.policy.p2p() {
+            return acts;
+        }
+        while !self.queue.is_drained() {
+            let Some(w) = (1..self.policy.nranks).find(|&w| self.live[w] && self.idle[w]) else {
+                break;
+            };
+            let f = self.queue.grant_to(w).expect("queue not drained");
+            self.ledger.granted(f, w);
+            self.idle[w] = false;
+            acts.push(MasterAction::Grant {
+                to: w,
+                frags: vec![f],
+                batch: self.batch,
+            });
+        }
+        acts
+    }
+
+    fn distribution_complete(&self) -> bool {
+        if !self.queue.is_drained() {
+            return false;
+        }
+        if self.policy.p2p() {
+            self.live_workers().all(|w| self.idle[w])
+        } else {
+            match self.policy.schedule {
+                FragmentSchedule::Dynamic => (1..self.policy.nranks).all(|w| self.drained[w]),
+                FragmentSchedule::Static => self.scatter_done,
+            }
+        }
+    }
+
+    /// Open a new fenced epoch and ask for submissions.
+    fn start_collect(&mut self) -> Vec<MasterAction> {
+        self.epoch += 1;
+        self.subs = vec![None; self.policy.nranks];
+        self.done = vec![false; self.policy.nranks];
+        self.phase = MasterPhase::Collect;
+        vec![MasterAction::Collect {
+            batch: self.batch,
+            epoch: self.epoch,
+        }]
+    }
+
+    fn collection_complete(&self) -> bool {
+        self.live_workers().all(|w| self.subs[w].is_some())
+    }
+
+    fn merge_actions(&mut self) -> Vec<MasterAction> {
+        self.phase = MasterPhase::WaitWrites;
+        let subs = self
+            .subs
+            .iter_mut()
+            .map(|s| s.take().unwrap_or_default())
+            .collect();
+        vec![MasterAction::Merge {
+            batch: self.batch,
+            epoch: self.epoch,
+            subs,
+            orphans: self.ledger.orphans(),
+        }]
+    }
+
+    /// Resume distribution (after a requeue or at a batch boundary) and
+    /// fall through to collection if there is nothing left to grant.
+    fn redistribute(&mut self) -> Vec<MasterAction> {
+        self.phase = MasterPhase::Distribute;
+        let mut acts = self.pump_grants();
+        if self.distribution_complete() {
+            acts.extend(self.start_collect());
+        }
+        acts
+    }
+
+    /// Seal the batch: either the run is over, or orphans re-enter the
+    /// queue and the next batch's cycle starts.
+    fn advance_batch(&mut self) -> Vec<MasterAction> {
+        if self.batch + 1 == self.policy.nbatches {
+            self.phase = MasterPhase::Finished;
+            return vec![MasterAction::Finish];
+        }
+        self.batch += 1;
+        for f in self.ledger.advance_batch() {
+            self.queue.push(f);
+        }
+        self.redistribute()
+    }
+
+    fn on_ready(&mut self, from: usize) -> Vec<MasterAction> {
+        if self.policy.p2p() {
+            if !self.live[from] {
+                return Vec::new();
+            }
+            self.idle[from] = true;
+            self.ledger.acked(from);
+            if self.phase != MasterPhase::Distribute {
+                return Vec::new();
+            }
+            let mut acts = self.pump_grants();
+            if self.distribution_complete() {
+                acts.extend(self.start_collect());
+            }
+            acts
+        } else {
+            // Fault-free dynamic schedule: serve requests in arrival
+            // order, one fragment each; an empty queue drains the
+            // requester.
+            debug_assert_eq!(self.phase, MasterPhase::Distribute);
+            match self.queue.grant_to(from) {
+                Some(f) => {
+                    self.ledger.granted(f, from);
+                    vec![MasterAction::Grant {
+                        to: from,
+                        frags: vec![f],
+                        batch: self.batch,
+                    }]
+                }
+                None => {
+                    self.drained[from] = true;
+                    let mut acts = vec![MasterAction::Drain { to: from }];
+                    if self.distribution_complete() {
+                        acts.extend(self.start_collect());
+                    }
+                    acts
+                }
+            }
+        }
+    }
+
+    fn on_submission(&mut self, from: usize, epoch: u64, sub: MetaSubmission) -> Vec<MasterAction> {
+        if self.phase != MasterPhase::Collect || epoch != self.epoch || !self.live[from] {
+            return Vec::new(); // stale epoch or stale sender: discard
+        }
+        self.subs[from] = Some(sub);
+        self.ledger.acked(from);
+        if self.collection_complete() {
+            self.merge_actions()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_write_done(&mut self, from: usize, epoch: u64) -> Vec<MasterAction> {
+        if self.phase != MasterPhase::WaitWrites || epoch != self.epoch || !self.live[from] {
+            return Vec::new();
+        }
+        self.done[from] = true;
+        if self.live_workers().all(|w| self.done[w]) {
+            let mut acts = vec![MasterAction::FinishBatch { batch: self.batch }];
+            acts.extend(self.advance_batch());
+            acts
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_dead(&mut self, ranks: &[usize], checkpointed: &[usize]) -> Vec<MasterAction> {
+        if matches!(self.phase, MasterPhase::Finished | MasterPhase::Failed) {
+            return Vec::new();
+        }
+        for &w in ranks {
+            self.live[w] = false;
+            self.idle[w] = false;
+            self.subs[w] = None;
+            self.done[w] = false;
+        }
+        if self.policy.fault == FaultMode::Detect {
+            self.phase = MasterPhase::Failed;
+            return vec![MasterAction::Fail {
+                error: PioError::WorkerDied { rank: ranks[0] },
+                abort_workers: true,
+            }];
+        }
+        // Recover: requeue the victims' unfinished fragments; adopt the
+        // checkpointed ones as orphans.
+        let ck: std::collections::BTreeSet<usize> = checkpointed.iter().copied().collect();
+        let mut requeued_any = false;
+        for &w in ranks {
+            let (requeued, orphaned) = self.queue.release(w, |f| !ck.contains(&f));
+            for &f in &requeued {
+                self.ledger.requeued(f);
+            }
+            for &f in &orphaned {
+                self.ledger.orphaned(f);
+            }
+            requeued_any |= !requeued.is_empty();
+        }
+        if !self.any_worker_live() {
+            self.phase = MasterPhase::Failed;
+            return vec![MasterAction::Fail {
+                error: PioError::AllWorkersDied,
+                abort_workers: false,
+            }];
+        }
+        match self.phase {
+            MasterPhase::Distribute => {
+                let mut acts = self.pump_grants();
+                if self.distribution_complete() {
+                    acts.extend(self.start_collect());
+                }
+                acts
+            }
+            MasterPhase::Collect => {
+                if requeued_any {
+                    self.redistribute()
+                } else if self.collection_complete() {
+                    // The victim's fragments are all orphaned; the
+                    // survivors' submissions plus the orphan blobs still
+                    // cover every fragment.
+                    self.merge_actions()
+                } else {
+                    Vec::new()
+                }
+            }
+            MasterPhase::WaitWrites => {
+                if requeued_any {
+                    self.redistribute()
+                } else {
+                    // Nothing to re-search: rewind only to collection so
+                    // the merge re-runs with the orphans spliced in.
+                    self.start_collect()
+                }
+            }
+            MasterPhase::Finished | MasterPhase::Failed => unreachable!(),
+        }
+    }
+
+    fn on_scatter_done(&mut self) -> Vec<MasterAction> {
+        self.scatter_done = true;
+        if self.distribution_complete() {
+            self.start_collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_gather_done(&mut self, subs: Vec<MetaSubmission>) -> Vec<MasterAction> {
+        debug_assert_eq!(self.phase, MasterPhase::Collect);
+        self.phase = MasterPhase::WaitWrites;
+        vec![MasterAction::Merge {
+            batch: self.batch,
+            epoch: self.epoch,
+            subs,
+            orphans: Vec::new(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(
+        schedule: FragmentSchedule,
+        fault: FaultMode,
+        checkpoint: bool,
+        nfrags: usize,
+        nbatches: usize,
+    ) -> RunPolicy {
+        RunPolicy {
+            schedule,
+            fault,
+            checkpoint,
+            nranks: 3,
+            nfrags,
+            nbatches,
+        }
+    }
+
+    fn sub() -> MetaSubmission {
+        MetaSubmission::default()
+    }
+
+    #[test]
+    fn collective_static_walks_the_batch_cycle() {
+        let p = policy(FragmentSchedule::Static, FaultMode::Off, false, 4, 2);
+        let (mut sm, acts) = MasterSm::new(p, vec![true; 3]);
+        let [MasterAction::Scatter { chunks }] = &acts[..] else {
+            panic!("expected a scatter, got {acts:?}");
+        };
+        assert_eq!(chunks[0], Vec::<usize>::new());
+        assert_eq!(chunks.iter().flatten().count(), 4);
+        let acts = sm.handle(MasterEvent::ScatterDone);
+        assert!(matches!(
+            &acts[..],
+            [MasterAction::Collect { batch: 0, .. }]
+        ));
+        let acts = sm.handle(MasterEvent::GatherDone {
+            subs: vec![sub(); 3],
+        });
+        assert!(matches!(&acts[..], [MasterAction::Merge { batch: 0, .. }]));
+        let acts = sm.handle(MasterEvent::WriteAllDone);
+        assert!(matches!(
+            &acts[..],
+            [MasterAction::Collect { batch: 1, .. }]
+        ));
+        let _ = sm.handle(MasterEvent::GatherDone {
+            subs: vec![sub(); 3],
+        });
+        let acts = sm.handle(MasterEvent::WriteAllDone);
+        assert!(matches!(&acts[..], [MasterAction::Finish]));
+        assert_eq!(sm.phase(), MasterPhase::Finished);
+    }
+
+    #[test]
+    fn dynamic_requests_are_served_in_arrival_order() {
+        let p = policy(FragmentSchedule::Dynamic, FaultMode::Off, false, 3, 1);
+        let (mut sm, acts) = MasterSm::new(p, vec![true; 3]);
+        assert!(acts.is_empty(), "dynamic schedules are request-driven");
+        for (req, frag) in [(2usize, 0usize), (1, 1), (2, 2)] {
+            let acts = sm.handle(MasterEvent::Ready { from: req });
+            let [MasterAction::Grant { to, frags, .. }] = &acts[..] else {
+                panic!("expected a grant");
+            };
+            assert_eq!((*to, frags.as_slice()), (req, &[frag][..]));
+        }
+        let acts = sm.handle(MasterEvent::Ready { from: 1 });
+        assert!(matches!(&acts[..], [MasterAction::Drain { to: 1 }]));
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        assert!(matches!(
+            &acts[..],
+            [MasterAction::Drain { to: 2 }, MasterAction::Collect { .. }]
+        ));
+    }
+
+    #[test]
+    fn recover_requeues_unfinished_and_adopts_checkpointed() {
+        let p = policy(FragmentSchedule::Dynamic, FaultMode::Recover, true, 3, 1);
+        let (mut sm, _) = MasterSm::new(p, vec![true; 3]);
+        // Worker 1 takes two fragments (acking the first), worker 2 one.
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        let _ = sm.handle(MasterEvent::Ready { from: 2 });
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        assert_eq!(sm.owned(1), &[0, 2]);
+        // Worker 1 dies; fragment 0 is checkpointed, fragment 2 is not.
+        let acts = sm.handle(MasterEvent::Dead {
+            ranks: vec![1],
+            checkpointed: vec![0],
+        });
+        assert_eq!(sm.ledger().orphans(), vec![0]);
+        // Fragment 2 must be re-granted — worker 2 is busy, so no grant
+        // yet; its ack pulls the requeued fragment.
+        assert!(acts.is_empty());
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        let [MasterAction::Grant { to: 2, frags, .. }] = &acts[..] else {
+            panic!("expected the requeued grant, got {acts:?}");
+        };
+        assert_eq!(frags, &[2]);
+        // Final ack completes distribution; the merge sees the orphan.
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        let [MasterAction::Collect { epoch, .. }] = &acts[..] else {
+            panic!("expected collection, got {acts:?}");
+        };
+        let acts = sm.handle(MasterEvent::Submission {
+            from: 2,
+            epoch: *epoch,
+            sub: sub(),
+        });
+        let [MasterAction::Merge { orphans, .. }] = &acts[..] else {
+            panic!("expected the merge, got {acts:?}");
+        };
+        assert_eq!(orphans, &[0]);
+    }
+
+    #[test]
+    fn detect_fails_fast_and_stale_epochs_are_discarded() {
+        let p = policy(FragmentSchedule::Dynamic, FaultMode::Detect, false, 2, 1);
+        let (mut sm, _) = MasterSm::new(p, vec![true; 3]);
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        let stale = sm.handle(MasterEvent::Submission {
+            from: 1,
+            epoch: 99,
+            sub: sub(),
+        });
+        assert!(stale.is_empty(), "wrong phase/epoch must be discarded");
+        let acts = sm.handle(MasterEvent::Dead {
+            ranks: vec![1],
+            checkpointed: vec![],
+        });
+        let [MasterAction::Fail {
+            error: PioError::WorkerDied { rank: 1 },
+            abort_workers: true,
+        }] = &acts[..]
+        else {
+            panic!("expected a fail action, got {acts:?}");
+        };
+        assert_eq!(sm.phase(), MasterPhase::Failed);
+    }
+
+    #[test]
+    fn losing_every_worker_fails_without_aborts() {
+        let p = policy(FragmentSchedule::Dynamic, FaultMode::Recover, false, 2, 1);
+        let (mut sm, _) = MasterSm::new(p, vec![true, true, false]);
+        let acts = sm.handle(MasterEvent::Dead {
+            ranks: vec![1],
+            checkpointed: vec![],
+        });
+        assert!(matches!(
+            &acts[..],
+            [MasterAction::Fail {
+                error: PioError::AllWorkersDied,
+                abort_workers: false,
+            }]
+        ));
+    }
+}

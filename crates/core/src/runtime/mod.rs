@@ -1,0 +1,192 @@
+//! The event-driven protocol runtime.
+//!
+//! pioBLAST's master/worker choreography used to exist three times —
+//! the fault-free collective path, the epoch-fenced point-to-point
+//! recovery path, and pieces of the mpiBLAST baseline. This module
+//! replaces the first two with **one** protocol, expressed as pure state
+//! machines:
+//!
+//! * [`MasterSm`] — fragment queue, assignment policy, per-worker
+//!   liveness, epoch fencing and a per-fragment submission ledger, as a
+//!   pure `event -> (state', actions)` transition function;
+//! * [`WorkerSm`] — the worker's batch/search lifecycle, equally pure;
+//! * [`interp`] — the thin interpreter that turns actions into
+//!   `mpisim::Comm` traffic and file-system I/O, and messages back into
+//!   events. All communication and I/O side effects live here.
+//!
+//! [`FaultMode`](crate::FaultMode) is a *policy* on this one machine,
+//! not a separate protocol: `Off` lowers the same actions onto
+//! collectives (broadcast/scatter/gather/collective writes), while
+//! `Detect`/`Recover` lower them onto point-to-point commands with
+//! liveness sweeps and epoch fencing. Query batching runs through the
+//! same distribute → collect → write cycle in every mode.
+//!
+//! **Fragment checkpointing** (`Recover` + [`RunPolicy::checkpoint`]):
+//! workers persist each completed `(batch, fragment)` search — submission
+//! metadata plus the formatted record bytes — to the shared file system
+//! before acknowledging the grant. When a worker dies, the master
+//! re-queues only its *unfinished* fragments; the finished ones are
+//! adopted as "orphans" whose metadata is spliced into the merge and
+//! whose records the master itself writes. The checkpoint blob for a
+//! given `(batch, fragment)` is deterministic in its key, so rewrites
+//! during retried epochs are idempotent and byte-identity is preserved.
+
+mod interp;
+mod ledger;
+mod master;
+mod worker;
+
+pub use ledger::{FragmentState, SubmissionLedger};
+pub use master::{MasterAction, MasterEvent, MasterPhase, MasterSm};
+pub use worker::{WorkerAction, WorkerEvent, WorkerSm};
+
+pub(crate) use interp::{run_master, run_worker};
+
+use bytes::Bytes;
+
+use crate::app::{FragmentSchedule, PioBlastConfig};
+use crate::fault::{FaultMode, PioError};
+use crate::proto::PartitionMessage;
+
+// Unified protocol tags. `READY`/`GRANT` keep the fault-free dynamic
+// scheduler's historical values; the rest keep the recovery protocol's.
+/// Worker -> master: fragment request, doubling as the grant ack.
+pub(crate) const TAG_READY: u64 = 1;
+/// Master -> worker: `[batch u32][ids][PartitionMessage]` grant.
+pub(crate) const TAG_GRANT: u64 = 2;
+/// Master -> worker: the query bundle (point-to-point modes).
+pub(crate) const TAG_BUNDLE: u64 = 10;
+/// Master -> worker: epoch-framed `[batch u32]` submission request.
+pub(crate) const TAG_SUBMIT_REQ: u64 = 12;
+/// Worker -> master: epoch-framed [`MetaSubmission`] bytes.
+pub(crate) const TAG_SUBMIT: u64 = 13;
+/// Master -> worker: epoch-framed [`OffsetAssignment`] bytes.
+pub(crate) const TAG_ASSIGN: u64 = 14;
+/// Worker -> master: epoch-framed write acknowledgement.
+pub(crate) const TAG_DONE: u64 = 15;
+/// Master -> worker: the run is complete.
+pub(crate) const TAG_FINISH: u64 = 16;
+/// Master -> worker: abandon the run.
+pub(crate) const TAG_ABORT: u64 = 17;
+
+/// How the runtime behaves, derived once from the run configuration.
+/// This is the knob set that turns the one state machine into the
+/// fault-free collective protocol, the fail-fast detector, or the
+/// recovering (optionally checkpointing) scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Static pre-assignment or dynamic self-scheduling.
+    pub schedule: FragmentSchedule,
+    /// Fault-tolerance mode.
+    pub fault: FaultMode,
+    /// Persist per-fragment search results for cheap recovery epochs.
+    pub checkpoint: bool,
+    /// Communicator size.
+    pub nranks: usize,
+    /// Virtual fragment count.
+    pub nfrags: usize,
+    /// Query-batch count (>= 1; an empty query set is one empty batch).
+    pub nbatches: usize,
+}
+
+impl RunPolicy {
+    /// Point-to-point command protocol (any fault mode) vs collectives.
+    pub fn p2p(&self) -> bool {
+        self.fault != FaultMode::Off
+    }
+
+    /// Do workers acknowledge grants with a `READY` message?
+    pub fn acks_grants(&self) -> bool {
+        self.p2p() || self.schedule == FragmentSchedule::Dynamic
+    }
+
+    /// Is a granted fragment searched immediately (pipelined with the
+    /// next grant), rather than deferred to the batch loop?
+    pub fn search_on_grant(&self) -> bool {
+        self.p2p() || self.schedule == FragmentSchedule::Dynamic
+    }
+
+    /// Does a worker death re-queue its fragments instead of aborting?
+    pub fn recovers(&self) -> bool {
+        self.fault == FaultMode::Recover
+    }
+}
+
+/// Prefix `body` with an 8-byte little-endian epoch.
+pub(crate) fn with_epoch(epoch: u64, body: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(8 + body.len());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(body);
+    Bytes::from(buf)
+}
+
+/// Split an epoch-prefixed payload.
+pub(crate) fn split_epoch(payload: &[u8]) -> Result<(u64, &[u8]), PioError> {
+    if payload.len() < 8 {
+        return Err(PioError::Protocol("epoch frame too short".into()));
+    }
+    let mut e = [0u8; 8];
+    e.copy_from_slice(&payload[..8]);
+    Ok((u64::from_le_bytes(e), &payload[8..]))
+}
+
+/// A grant payload: the batch it belongs to, the global fragment ids
+/// (checkpoint keys), and the byte-range assignments themselves.
+pub(crate) fn encode_grant(batch: u32, ids: &[usize], part: &PartitionMessage) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&batch.to_le_bytes());
+    buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for &f in ids {
+        buf.extend_from_slice(&(f as u32).to_le_bytes());
+    }
+    buf.extend_from_slice(&part.encode());
+    buf
+}
+
+/// Inverse of [`encode_grant`].
+pub(crate) fn decode_grant(buf: &[u8]) -> Result<(u32, Vec<u32>, PartitionMessage), PioError> {
+    if buf.len() < 8 {
+        return Err(PioError::Protocol("grant frame too short".into()));
+    }
+    let batch = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    let n = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    if buf.len() < 8 + 4 * n {
+        return Err(PioError::Protocol("grant id list truncated".into()));
+    }
+    let ids = (0..n)
+        .map(|i| u32::from_le_bytes(buf[8 + 4 * i..12 + 4 * i].try_into().unwrap()))
+        .collect();
+    let part = PartitionMessage::decode(&buf[8 + 4 * n..])
+        .map_err(|e| PioError::Protocol(e.to_string()))?;
+    Ok((batch, ids, part))
+}
+
+/// Shared-file-system path of one `(batch, fragment)` checkpoint blob.
+pub(crate) fn ckpt_path(cfg: &PioBlastConfig, batch: usize, fragment: usize) -> String {
+    format!("{}.ckpt.b{batch}.f{fragment}", cfg.output_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_framing_round_trips() {
+        let framed = with_epoch(7, b"payload");
+        let (e, body) = split_epoch(&framed).unwrap();
+        assert_eq!(e, 7);
+        assert_eq!(body, b"payload");
+        assert!(split_epoch(b"short").is_err());
+    }
+
+    #[test]
+    fn grant_framing_round_trips() {
+        let part = PartitionMessage::default();
+        let buf = encode_grant(3, &[5, 9], &part);
+        let (batch, ids, got) = decode_grant(&buf).unwrap();
+        assert_eq!(batch, 3);
+        assert_eq!(ids, vec![5, 9]);
+        assert_eq!(got, part);
+        assert!(decode_grant(&buf[..6]).is_err());
+    }
+}

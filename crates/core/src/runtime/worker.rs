@@ -1,0 +1,275 @@
+//! The worker's protocol state machine — pure transitions, no I/O.
+//!
+//! The worker is driven entirely by the master. Its only real state is
+//! which query batch it has prepared and whether its held fragments have
+//! been searched against it. The policy decides *when* searching
+//! happens: search-on-grant modes (dynamic schedules and all fault
+//! modes) pipeline each granted fragment's input + search before the
+//! acknowledgement; the fault-free static schedule defers searching to
+//! the submission request, batch by batch.
+
+use super::RunPolicy;
+
+/// What the interpreter reports to the worker machine.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkerEvent {
+    /// Fragments arrived (a grant or the static scatter chunk).
+    Grant {
+        /// Batch the grant belongs to.
+        batch: usize,
+        /// How many fragments arrived.
+        nfrags: usize,
+    },
+    /// The master's queue is empty (fault-free dynamic schedule).
+    Drained,
+    /// The master asked for this batch's submission under this epoch.
+    SubmitReq {
+        /// Batch to submit.
+        batch: usize,
+        /// Fencing epoch to echo.
+        epoch: u64,
+    },
+    /// Offset assignments arrived for the current submission.
+    Assign {
+        /// Fencing epoch to echo.
+        epoch: u64,
+    },
+    /// The master sealed the run.
+    Finish,
+}
+
+/// What the interpreter must do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerAction {
+    /// Prepare this query batch (masking, lookup tables, search spaces)
+    /// and reset the result cache.
+    Prepare {
+        /// Batch to prepare.
+        batch: usize,
+    },
+    /// Search every already-held fragment against the prepared batch
+    /// (and checkpoint each, when the policy says so).
+    SearchHeld {
+        /// Batch being searched.
+        batch: usize,
+    },
+    /// Read the newly granted fragments; search each on arrival when
+    /// `search` is set.
+    Ingest {
+        /// Batch the fragments belong to.
+        batch: usize,
+        /// How many pending assignments to ingest.
+        count: usize,
+        /// Pipeline the per-fragment search (and checkpoint).
+        search: bool,
+    },
+    /// Acknowledge the grant / request more work.
+    AckGrant,
+    /// Submit the batch's metadata under this epoch.
+    Submit {
+        /// Batch to submit.
+        batch: usize,
+        /// Fencing epoch to echo.
+        epoch: u64,
+    },
+    /// Write the assigned records and acknowledge under this epoch.
+    WriteAssigned {
+        /// Fencing epoch to echo.
+        epoch: u64,
+    },
+    /// The run is over.
+    Stop,
+}
+
+/// The worker state machine. Feed it events via [`WorkerSm::handle`];
+/// perform the returned actions in order.
+#[derive(Debug)]
+pub struct WorkerSm {
+    policy: RunPolicy,
+    batch: Option<usize>,
+    searched: bool,
+}
+
+impl WorkerSm {
+    /// Build the machine and the initial actions. Search-on-grant modes
+    /// prepare batch 0 up front (grants are searched as they arrive);
+    /// the fault-free static schedule prepares lazily on its first
+    /// grant.
+    pub fn new(policy: RunPolicy) -> (WorkerSm, Vec<WorkerAction>) {
+        if policy.search_on_grant() {
+            let sm = WorkerSm {
+                policy,
+                batch: Some(0),
+                searched: true, // nothing held yet
+            };
+            (sm, vec![WorkerAction::Prepare { batch: 0 }])
+        } else {
+            let sm = WorkerSm {
+                policy,
+                batch: None,
+                searched: false,
+            };
+            (sm, Vec::new())
+        }
+    }
+
+    /// Move to `batch` if it is new; preparing invalidates the searched
+    /// flag so held fragments are re-searched against the new batch.
+    fn advance(&mut self, batch: usize) -> Vec<WorkerAction> {
+        if self.batch.is_some_and(|b| b >= batch) {
+            return Vec::new();
+        }
+        self.batch = Some(batch);
+        self.searched = false;
+        vec![WorkerAction::Prepare { batch }]
+    }
+
+    /// Apply one event; returns the actions to perform, in order.
+    pub fn handle(&mut self, event: WorkerEvent) -> Vec<WorkerAction> {
+        match event {
+            WorkerEvent::Grant { batch, nfrags } => {
+                let mut acts = self.advance(batch);
+                if self.policy.search_on_grant() && !self.searched {
+                    // New batch with fragments already in hand: bring
+                    // them up to date before ingesting the new grant.
+                    acts.push(WorkerAction::SearchHeld { batch });
+                    self.searched = true;
+                }
+                acts.push(WorkerAction::Ingest {
+                    batch,
+                    count: nfrags,
+                    search: self.policy.search_on_grant(),
+                });
+                if self.policy.acks_grants() {
+                    acts.push(WorkerAction::AckGrant);
+                }
+                acts
+            }
+            WorkerEvent::Drained => Vec::new(),
+            WorkerEvent::SubmitReq { batch, epoch } => {
+                let mut acts = self.advance(batch);
+                if !self.searched {
+                    acts.push(WorkerAction::SearchHeld {
+                        batch: self.batch.expect("advance set the batch"),
+                    });
+                    self.searched = true;
+                }
+                acts.push(WorkerAction::Submit {
+                    batch: self.batch.expect("advance set the batch"),
+                    epoch,
+                });
+                acts
+            }
+            WorkerEvent::Assign { epoch } => vec![WorkerAction::WriteAssigned { epoch }],
+            WorkerEvent::Finish => vec![WorkerAction::Stop],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::FragmentSchedule;
+    use crate::fault::FaultMode;
+
+    fn policy(schedule: FragmentSchedule, fault: FaultMode) -> RunPolicy {
+        RunPolicy {
+            schedule,
+            fault,
+            checkpoint: false,
+            nranks: 3,
+            nfrags: 4,
+            nbatches: 2,
+        }
+    }
+
+    #[test]
+    fn static_collective_defers_search_to_submission() {
+        let p = policy(FragmentSchedule::Static, FaultMode::Off);
+        let (mut sm, init) = WorkerSm::new(p);
+        assert!(init.is_empty());
+        let acts = sm.handle(WorkerEvent::Grant {
+            batch: 0,
+            nfrags: 2,
+        });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Prepare { batch: 0 },
+                WorkerAction::Ingest {
+                    batch: 0,
+                    count: 2,
+                    search: false
+                },
+            ]
+        );
+        let acts = sm.handle(WorkerEvent::SubmitReq { batch: 0, epoch: 1 });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::SearchHeld { batch: 0 },
+                WorkerAction::Submit { batch: 0, epoch: 1 },
+            ]
+        );
+        // The next batch re-prepares and re-searches the held fragments.
+        let acts = sm.handle(WorkerEvent::SubmitReq { batch: 1, epoch: 2 });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Prepare { batch: 1 },
+                WorkerAction::SearchHeld { batch: 1 },
+                WorkerAction::Submit { batch: 1, epoch: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn search_on_grant_pipelines_and_acks() {
+        let p = policy(FragmentSchedule::Dynamic, FaultMode::Recover);
+        let (mut sm, init) = WorkerSm::new(p);
+        assert_eq!(init, vec![WorkerAction::Prepare { batch: 0 }]);
+        let acts = sm.handle(WorkerEvent::Grant {
+            batch: 0,
+            nfrags: 1,
+        });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Ingest {
+                    batch: 0,
+                    count: 1,
+                    search: true
+                },
+                WorkerAction::AckGrant,
+            ]
+        );
+        // A submission request for the same batch does not re-search.
+        let acts = sm.handle(WorkerEvent::SubmitReq { batch: 0, epoch: 3 });
+        assert_eq!(acts, vec![WorkerAction::Submit { batch: 0, epoch: 3 }]);
+        // A stale-epoch retry resubmits without extra work.
+        let acts = sm.handle(WorkerEvent::SubmitReq { batch: 0, epoch: 4 });
+        assert_eq!(acts, vec![WorkerAction::Submit { batch: 0, epoch: 4 }]);
+        // A grant for the next batch re-prepares, re-searches the held
+        // fragments, then ingests.
+        let acts = sm.handle(WorkerEvent::Grant {
+            batch: 1,
+            nfrags: 1,
+        });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Prepare { batch: 1 },
+                WorkerAction::SearchHeld { batch: 1 },
+                WorkerAction::Ingest {
+                    batch: 1,
+                    count: 1,
+                    search: true
+                },
+                WorkerAction::AckGrant,
+            ]
+        );
+        let acts = sm.handle(WorkerEvent::Assign { epoch: 5 });
+        assert_eq!(acts, vec![WorkerAction::WriteAssigned { epoch: 5 }]);
+        assert_eq!(sm.handle(WorkerEvent::Finish), vec![WorkerAction::Stop]);
+    }
+}

@@ -23,9 +23,10 @@ use blast_core::fasta;
 use blast_core::format::{self, ReportConfig};
 use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats, SubjectHit};
 use bytes::Bytes;
-use mpisim::{Collectives, Comm, RecvError};
+use mpisim::sched::{default_sweep, GrantQueue, Liveness, Polled, Pump};
+use mpisim::{Collectives, Comm};
 use seqfmt::{FragmentData, VolumeIndex};
-use simcluster::{Message, PhaseTimes, RankCtx, SimDuration};
+use simcluster::{PhaseTimes, RankCtx};
 
 use crate::model::ComputeModel;
 use crate::phases;
@@ -47,12 +48,6 @@ const TAG_ABORT: u64 = 8;
 
 /// No-more-fragments sentinel.
 const FRAG_NONE: u32 = u32::MAX;
-
-/// How often a detecting rank wakes from a blocking receive to sweep for
-/// dead peers.
-fn sweep_interval() -> SimDuration {
-    SimDuration::from_millis(25)
-}
 
 /// Why an mpiBLAST run failed instead of completing.
 ///
@@ -143,38 +138,9 @@ pub fn run_rank(ctx: &RankCtx, cfg: &MpiBlastConfig) -> Result<RankReport, Proto
 
 /// Tell every still-live worker to abort (best effort; sends to dead
 /// ranks are dropped).
-fn abort_workers(comm: &Comm, live: &[bool]) {
-    for (w, &alive) in live.iter().enumerate().skip(1) {
-        if alive {
-            let _ = comm.send_checked(w, TAG_ABORT, Bytes::new());
-        }
-    }
-}
-
-/// Mark newly dead workers in `live`; returns the first one found.
-fn sweep_dead(ctx: &RankCtx, live: &mut [bool]) -> Option<usize> {
-    let mut found = None;
-    for (w, alive) in live.iter_mut().enumerate().skip(1) {
-        if *alive && ctx.is_dead(w) {
-            *alive = false;
-            found.get_or_insert(w);
-        }
-    }
-    found
-}
-
-/// A worker's receive from the master: blocking in stock mode, a
-/// patience loop with fast master-death detection in detecting mode.
-fn recv_from_master(comm: &Comm, detect: bool) -> Result<Message, ProtocolError> {
-    if !detect {
-        return Ok(comm.recv(Some(MASTER), None));
-    }
-    loop {
-        match comm.recv_timeout(Some(MASTER), None, sweep_interval()) {
-            Ok(m) => return Ok(m),
-            Err(RecvError::DeadPeer { .. }) => return Err(ProtocolError::MasterDied),
-            Err(RecvError::Timeout { .. }) => {}
-        }
+fn abort_workers(comm: &Comm, live: &Liveness) {
+    for w in live.live_workers() {
+        let _ = comm.send_checked(w, TAG_ABORT, Bytes::new());
     }
 }
 
@@ -188,7 +154,8 @@ fn run_master(
     let now = || ctx.now();
     let nworkers = ctx.nranks() - 1;
     let nfrag = cfg.fragment_names.len();
-    let mut live = vec![true; ctx.nranks()];
+    let mut live = Liveness::all(ctx.nranks());
+    let pump = Pump::new(comm, cfg.fault_detection, default_sweep());
 
     // ---- startup: read the index and queries, broadcast the bundle ----
     let start = now();
@@ -221,37 +188,30 @@ fn run_master(
     // front half of mpiBLAST's result-merging pipeline (the paper's
     // "Output" column), even though it overlaps the search epoch.
     let mut merged: Vec<Vec<(SubjectHit, usize)>> = vec![Vec::new(); prepared.len()];
-    let mut next_frag = 0usize;
+    let mut grants = GrantQueue::new(nfrag, ctx.nranks());
     let mut fragments_done = 0usize;
     let mut drained_workers = 0usize;
     while fragments_done < nfrag || drained_workers < nworkers {
-        let m = if cfg.fault_detection {
-            match comm.recv_timeout(None, None, sweep_interval()) {
-                Ok(m) => m,
-                Err(_) => {
-                    // Nothing arrived within the sweep interval; check for
-                    // dead workers before blocking again. Without this a
-                    // lost worker's unfinished fragment hangs the job.
-                    if let Some(w) = sweep_dead(ctx, &mut live) {
-                        abort_workers(comm, &live);
-                        return Err(ProtocolError::WorkerDied { rank: w });
-                    }
-                    continue;
-                }
+        // Without detection the pump degenerates to a blocking receive;
+        // with it, a lost worker's unfinished fragment surfaces as a
+        // death instead of hanging the job.
+        let m = match pump.poll(&mut live, None, None) {
+            Polled::Msg(m) => m,
+            Polled::Dead(dead) => {
+                abort_workers(comm, &live);
+                return Err(ProtocolError::WorkerDied { rank: dead[0] });
             }
-        } else {
-            comm.recv(None, None)
         };
         match m.tag {
-            TAG_FRAG_REQ => {
-                if next_frag < nfrag {
+            TAG_FRAG_REQ => match grants.grant_to(m.src) {
+                Some(f) => {
                     comm.send(
                         m.src,
                         TAG_FRAG_ASSIGN,
-                        Bytes::from((next_frag as u32).to_le_bytes().to_vec()),
+                        Bytes::from((f as u32).to_le_bytes().to_vec()),
                     );
-                    next_frag += 1;
-                } else {
+                }
+                None => {
                     comm.send(
                         m.src,
                         TAG_FRAG_ASSIGN,
@@ -259,7 +219,7 @@ fn run_master(
                     );
                     drained_workers += 1;
                 }
-            }
+            },
             TAG_SUBMIT => {
                 let before = now();
                 let sub = ResultSubmission::decode(&m.payload).expect("valid submission");
@@ -308,21 +268,12 @@ fn run_master(
                 oid: hit.oid,
             };
             comm.send(*owner, TAG_FETCH_REQ, Bytes::from(req.encode()));
-            let resp = if cfg.fault_detection {
-                loop {
-                    match comm.recv_timeout(Some(*owner), Some(TAG_FETCH_RESP), sweep_interval())
-                    {
-                        Ok(m) => break m,
-                        Err(RecvError::DeadPeer { rank }) => {
-                            live[rank] = false;
-                            abort_workers(comm, &live);
-                            return Err(ProtocolError::WorkerDied { rank });
-                        }
-                        Err(RecvError::Timeout { .. }) => {}
-                    }
+            let resp = match pump.poll(&mut live, Some(*owner), Some(TAG_FETCH_RESP)) {
+                Polled::Msg(m) => m,
+                Polled::Dead(dead) => {
+                    abort_workers(comm, &live);
+                    return Err(ProtocolError::WorkerDied { rank: dead[0] });
                 }
-            } else {
-                comm.recv(Some(*owner), Some(TAG_FETCH_RESP))
             };
             let decoded = cfg.compute.run_fetch_handling(ctx, || {
                 FetchResponse::decode(&resp.payload).expect("valid fetch response")
@@ -374,8 +325,7 @@ fn run_master(
         // The master assembles the query's whole section in its output
         // buffer and writes it with one serial call (NCBI's formatter is
         // stream-buffered).
-        let mut section =
-            Vec::with_capacity((layout.header.len() + layout.summary.len()) * 2);
+        let mut section = Vec::with_capacity((layout.header.len() + layout.summary.len()) * 2);
         section.extend_from_slice(layout.header.as_bytes());
         section.extend_from_slice(layout.summary.as_bytes());
         for r in &records {
@@ -385,10 +335,8 @@ fn run_master(
         shared.write_at(ctx, &cfg.output_path, file_off, &section);
         file_off += section.len() as u64;
     }
-    for (w, &alive) in live.iter().enumerate().skip(1) {
-        if alive {
-            comm.send(w, TAG_DONE, Bytes::new());
-        }
+    for w in live.live_workers() {
+        comm.send(w, TAG_DONE, Bytes::new());
     }
     phases.add(phases::OUTPUT, now() - out_start);
 
@@ -407,6 +355,7 @@ fn run_worker(
     let (private, prefix) = cfg.env.private_store(ctx.rank());
     let mut phases = PhaseTimes::new();
     let now = || ctx.now();
+    let pump = Pump::new(comm, cfg.fault_detection, default_sweep());
 
     // ---- startup ----
     let bundle_bytes = comm.bcast(MASTER, Bytes::new());
@@ -420,7 +369,9 @@ fn run_worker(
     // ---- fragment loop ----
     loop {
         comm.send(MASTER, TAG_FRAG_REQ, Bytes::new());
-        let m = recv_from_master(comm, cfg.fault_detection)?;
+        let m = pump
+            .recv_from(MASTER, None)
+            .map_err(|_| ProtocolError::MasterDied)?;
         let fid = match m.tag {
             TAG_FRAG_ASSIGN => {
                 u32::from_le_bytes(m.payload[..4].try_into().expect("assign payload"))
@@ -464,12 +415,10 @@ fn run_worker(
             PreparedQueries::prepare(&cfg.params, bundle.queries.clone(), bundle.db_stats)
         });
         let searcher = BlastSearcher::new(&cfg.params, &prepared);
-        let (per_query, stats) = cfg
-            .compute
-            .run_search(ctx, || {
-                let r = searcher.search(&frag);
-                (r.per_query, r.stats)
-            });
+        let (per_query, stats) = cfg.compute.run_search(ctx, || {
+            let r = searcher.search(&frag);
+            (r.per_query, r.stats)
+        });
         stats_total.merge(&stats);
         phases.add(phases::SEARCH, now() - search_start);
 
@@ -496,7 +445,9 @@ fn run_worker(
 
     // ---- serve the master's serialized fetch requests ----
     loop {
-        let m = recv_from_master(comm, cfg.fault_detection)?;
+        let m = pump
+            .recv_from(MASTER, None)
+            .map_err(|_| ProtocolError::MasterDied)?;
         match m.tag {
             TAG_DONE => break,
             TAG_ABORT => return Err(ProtocolError::Aborted),

@@ -125,7 +125,12 @@ impl ComputeModel {
     }
 
     /// Run output formatting that produces `bytes` of text.
-    pub fn run_format<T>(&self, ctx: &RankCtx, f: impl FnOnce() -> T, bytes: impl Fn(&T) -> u64) -> T {
+    pub fn run_format<T>(
+        &self,
+        ctx: &RankCtx,
+        f: impl FnOnce() -> T,
+        bytes: impl Fn(&T) -> u64,
+    ) -> T {
         match *self {
             ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
             ComputeModel::Modeled(p) => {
@@ -153,7 +158,12 @@ impl ComputeModel {
     }
 
     /// Run the master-side handling of one received result message.
-    pub fn run_submission_handling<T>(&self, ctx: &RankCtx, items: u64, f: impl FnOnce() -> T) -> T {
+    pub fn run_submission_handling<T>(
+        &self,
+        ctx: &RankCtx,
+        items: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
         match *self {
             ComputeModel::Measured { scale } => ctx.run_measured(scale, f),
             ComputeModel::Modeled(p) => {

@@ -8,9 +8,7 @@
 //! oracle in tests.
 
 use blast_core::format::{self, ReportConfig};
-use blast_core::search::{
-    BlastSearcher, PreparedQueries, SearchParams, SubjectHit, SubjectSource,
-};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SubjectHit, SubjectSource};
 use blast_core::seq::SeqRecord;
 use seqfmt::FormattedDb;
 
@@ -57,11 +55,7 @@ impl Default for ReportOptions {
 /// Sort subject hits into canonical reporting order (best first; total
 /// and deterministic).
 pub fn order_hits(hits: &mut [SubjectHit]) {
-    hits.sort_by(|a, b| {
-        a.hsps[0]
-            .rank_key()
-            .cmp(&b.hsps[0].rank_key())
-    });
+    hits.sort_by(|a, b| a.hsps[0].rank_key().cmp(&b.hsps[0].rank_key()));
 }
 
 /// The same ordering over metadata-only hits.
@@ -263,7 +257,11 @@ mod tests {
         let report = serial_report(&params, queries, &db, ReportOptions::default()).unwrap();
         let text = String::from_utf8_lossy(&report);
         assert_eq!(text.matches("Query= query_").count(), 3);
-        assert_eq!(text.matches("Sequences producing significant alignments").count(), 3);
+        assert_eq!(
+            text.matches("Sequences producing significant alignments")
+                .count(),
+            3
+        );
         assert!(text.contains("Score = "));
         assert!(text.contains("Lambda     K      H"));
     }
@@ -272,8 +270,20 @@ mod tests {
     fn serial_report_is_deterministic() {
         let db = tiny_db();
         let params = SearchParams::blastp();
-        let a = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default()).unwrap();
-        let b = serial_report(&params, sample_queries(&db, 2), &db, ReportOptions::default()).unwrap();
+        let a = serial_report(
+            &params,
+            sample_queries(&db, 2),
+            &db,
+            ReportOptions::default(),
+        )
+        .unwrap();
+        let b = serial_report(
+            &params,
+            sample_queries(&db, 2),
+            &db,
+            ReportOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 

@@ -325,6 +325,79 @@ impl OffsetAssignment {
     }
 }
 
+/// Magic + version header guarding [`FragmentCheckpoint`] blobs: a blob
+/// whose header does not match (e.g. a partial write cut off by the
+/// writer's death) is treated as absent, never as corrupt data.
+const CHECKPOINT_MAGIC: u32 = 0x70_63_6b_31; // "pck1"
+
+/// A durable record of one completed `(query batch, fragment)` search:
+/// the metadata the worker would submit plus the formatted record bytes,
+/// persisted to the shared file system so a recovery epoch can adopt the
+/// victim's finished work instead of re-searching it.
+///
+/// Content is deterministic in `(batch, fragment)` — any worker searching
+/// the same fragment against the same batch produces the same blob — so
+/// re-writes during retried epochs are idempotent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FragmentCheckpoint {
+    /// Query-batch index this search covered.
+    pub batch: u32,
+    /// Global fragment id.
+    pub fragment: u32,
+    /// The fragment's metadata contribution, shaped like a submission.
+    pub meta: MetaSubmission,
+    /// `(query_idx, oid, formatted record)` for every metadata entry.
+    pub records: Vec<(u32, u32, String)>,
+}
+
+impl FragmentCheckpoint {
+    /// Serialize (with the guard header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(CHECKPOINT_MAGIC);
+        w.u32(self.batch);
+        w.u32(self.fragment);
+        let meta = self.meta.encode();
+        w.u32(meta.len() as u32);
+        w.bytes(&meta);
+        w.u32(self.records.len() as u32);
+        for (q, oid, rec) in &self.records {
+            w.u32(*q);
+            w.u32(*oid);
+            w.string(rec);
+        }
+        w.finish()
+    }
+
+    /// Deserialize. Any mismatch — bad magic, truncation, trailing
+    /// garbage — is an error; callers treat that as "not checkpointed".
+    pub fn decode(buf: &[u8]) -> Result<FragmentCheckpoint, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.u32("ckpt magic")? != CHECKPOINT_MAGIC {
+            return Err(CodecError::BadValue { what: "ckpt magic" });
+        }
+        let batch = r.u32("ckpt batch")?;
+        let fragment = r.u32("ckpt fragment")?;
+        let mlen = r.u32("ckpt meta len")? as usize;
+        let meta = MetaSubmission::decode(r.bytes(mlen, "ckpt meta")?)?;
+        let n = r.u32("ckpt record count")? as usize;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push((
+                r.u32("ckpt q")?,
+                r.u32("ckpt oid")?,
+                r.string("ckpt record")?,
+            ));
+        }
+        Ok(FragmentCheckpoint {
+            batch,
+            fragment,
+            meta,
+            records,
+        })
+    }
+}
+
 /// Serialize a fragment spec for the master's partition scatter.
 pub fn encode_fragment_spec(s: &FragmentSpec) -> Vec<u8> {
     let mut w = Writer::new();
@@ -461,6 +534,33 @@ mod tests {
             residues: 1000,
         };
         assert_eq!(decode_fragment_spec(&encode_fragment_spec(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn fragment_checkpoint_round_trips_and_rejects_partial_writes() {
+        let c = FragmentCheckpoint {
+            batch: 1,
+            fragment: 7,
+            meta: MetaSubmission {
+                per_query: vec![(
+                    0,
+                    vec![MetaHit {
+                        oid: 4,
+                        subject_len: 100,
+                        record_size: 13,
+                        defline: "gi|4| protein".into(),
+                        best: hsp(),
+                    }],
+                )],
+            },
+            records: vec![(0, 4, ">record text\n".into())],
+        };
+        let buf = c.encode();
+        assert_eq!(FragmentCheckpoint::decode(&buf).unwrap(), c);
+        // A write cut off mid-blob must read as "absent", not panic.
+        assert!(FragmentCheckpoint::decode(&buf[..buf.len() / 2]).is_err());
+        assert!(FragmentCheckpoint::decode(b"").is_err());
+        assert!(FragmentCheckpoint::decode(&[0u8; 16]).is_err());
     }
 
     #[test]

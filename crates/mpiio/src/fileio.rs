@@ -388,7 +388,10 @@ mod tests {
     fn coalesce_merges_adjacent() {
         let runs = coalesce(vec![(10, vec![3, 4]), (0, vec![1, 2]), (2, vec![9])]);
         assert_eq!(runs, vec![(0, vec![1, 2, 9]), (10, vec![3, 4])]);
-        assert_eq!(coalesce_ranges(vec![(5, 5), (0, 5), (12, 1)]), vec![(0, 10), (12, 1)]);
+        assert_eq!(
+            coalesce_ranges(vec![(5, 5), (0, 5), (12, 1)]),
+            vec![(0, 10), (12, 1)]
+        );
     }
 
     #[test]
@@ -399,14 +402,12 @@ mod tests {
         let fs2 = fs.clone();
         sim.run(move |ctx| {
             let comm = Comm::new(&ctx, net());
-            let file = MpiFile::open(&comm, &fs2, "out")
-                .with_hints(CollectiveHints { aggregators: 3 });
+            let file =
+                MpiFile::open(&comm, &fs2, "out").with_hints(CollectiveHints { aggregators: 3 });
             let me = ctx.rank() as u64;
             let regions: Vec<(u64, u64)> = (0..5).map(|i| ((i * 6 + me) * 10, 10)).collect();
             let view = FileView::new(0, regions).unwrap();
-            let data: Vec<u8> = (0..5)
-                .flat_map(|i| vec![(i * 6 + me) as u8; 10])
-                .collect();
+            let data: Vec<u8> = (0..5).flat_map(|i| vec![(i * 6 + me) as u8; 10]).collect();
             file.write_at_all(&view, &data);
         });
         let written = fs.peek("out").unwrap();
@@ -429,9 +430,8 @@ mod tests {
         // the last written byte (rank 4's last region).
         let file_len = (4 * 200 + 3 * 50 + 20) as usize;
         let mut reference = vec![0u8; file_len];
-        let regions_of = |r: u64| -> Vec<(u64, u64)> {
-            (0..4u64).map(|k| (r * 200 + k * 50, 20)).collect()
-        };
+        let regions_of =
+            |r: u64| -> Vec<(u64, u64)> { (0..4u64).map(|k| (r * 200 + k * 50, 20)).collect() };
         for r in 0..5u64 {
             for (off, len) in regions_of(r) {
                 for i in 0..len {
@@ -460,12 +460,11 @@ mod tests {
         let fs2 = fs.clone();
         let out = sim.run(move |ctx| {
             let comm = Comm::new(&ctx, net());
-            let file = MpiFile::open(&comm, &fs2, "db")
-                .with_hints(CollectiveHints { aggregators: 2 });
+            let file =
+                MpiFile::open(&comm, &fs2, "db").with_hints(CollectiveHints { aggregators: 2 });
             let me = ctx.rank() as u64;
             // Rank r reads bytes [60r, 60r+60) as three scattered pieces.
-            let view =
-                FileView::new(60 * me, vec![(0, 20), (20, 10), (30, 30)]).unwrap();
+            let view = FileView::new(60 * me, vec![(0, 20), (20, 10), (30, 30)]).unwrap();
             file.read_at_all(&view).unwrap()
         });
         for (r, got) in out.outputs.iter().enumerate() {
@@ -516,8 +515,8 @@ mod tests {
         let fs2 = fs.clone();
         sim.run(move |ctx| {
             let comm = Comm::new(&ctx, net());
-            let file = MpiFile::open(&comm, &fs2, "agg")
-                .with_hints(CollectiveHints { aggregators: 2 });
+            let file =
+                MpiFile::open(&comm, &fs2, "agg").with_hints(CollectiveHints { aggregators: 2 });
             let me = ctx.rank() as u64;
             let regions: Vec<(u64, u64)> = (0..16).map(|i| ((i * 8 + me) * 50, 50)).collect();
             let view = FileView::new(0, regions).unwrap();

@@ -41,7 +41,11 @@ impl FileView {
     pub fn contiguous(offset: u64, len: u64) -> FileView {
         FileView {
             displacement: 0,
-            regions: if len == 0 { Vec::new() } else { vec![(offset, len)] },
+            regions: if len == 0 {
+                Vec::new()
+            } else {
+                vec![(offset, len)]
+            },
         }
     }
 

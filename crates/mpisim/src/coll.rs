@@ -120,7 +120,11 @@ impl Collectives for Comm<'_> {
                 let m = self.recv(None, Some(tag));
                 out[m.src] = Some(m.payload);
             }
-            Some(out.into_iter().map(|o| o.expect("all ranks sent")).collect())
+            Some(
+                out.into_iter()
+                    .map(|o| o.expect("all ranks sent"))
+                    .collect(),
+            )
         } else {
             self.send_internal(root, tag, data);
             None
@@ -163,10 +167,7 @@ mod tests {
         }
     }
 
-    fn with_ranks<R: Send + 'static>(
-        n: usize,
-        f: impl Fn(&Comm) -> R + Sync,
-    ) -> Vec<R> {
+    fn with_ranks<R: Send + 'static>(n: usize, f: impl Fn(&Comm) -> R + Sync) -> Vec<R> {
         let sim = Sim::new(n);
         sim.run(|ctx| {
             let comm = Comm::new(&ctx, net());
@@ -210,7 +211,11 @@ mod tests {
                     String::from_utf8_lossy(&out).into_owned()
                 });
                 for (r, s) in got.iter().enumerate() {
-                    assert_eq!(s, &format!("payload-from-{root}"), "n={n} root={root} rank={r}");
+                    assert_eq!(
+                        s,
+                        &format!("payload-from-{root}"),
+                        "n={n} root={root} rank={r}"
+                    );
                 }
             }
         }
@@ -220,9 +225,8 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let got = with_ranks(6, |comm| {
             let data = Bytes::from(vec![comm.rank() as u8 * 3]);
-            comm.gather(2, data).map(|v| {
-                v.into_iter().map(|b| b[0]).collect::<Vec<u8>>()
-            })
+            comm.gather(2, data)
+                .map(|v| v.into_iter().map(|b| b[0]).collect::<Vec<u8>>())
         });
         for (r, o) in got.iter().enumerate() {
             if r == 2 {
@@ -237,7 +241,9 @@ mod tests {
     fn scatterv_distributes_pieces() {
         let got = with_ranks(5, |comm| {
             let pieces = (comm.rank() == 1).then(|| {
-                (0..5u8).map(|i| Bytes::from(vec![i, i + 10])).collect::<Vec<_>>()
+                (0..5u8)
+                    .map(|i| Bytes::from(vec![i, i + 10]))
+                    .collect::<Vec<_>>()
             });
             let mine = comm.scatterv(1, pieces);
             (mine[0], mine[1])
@@ -251,9 +257,23 @@ mod tests {
     #[test]
     fn consecutive_collectives_do_not_cross_talk() {
         let got = with_ranks(4, |comm| {
-            let a = comm.bcast(0, if comm.rank() == 0 { Bytes::from_static(b"first") } else { Bytes::new() });
+            let a = comm.bcast(
+                0,
+                if comm.rank() == 0 {
+                    Bytes::from_static(b"first")
+                } else {
+                    Bytes::new()
+                },
+            );
             comm.barrier();
-            let b = comm.bcast(0, if comm.rank() == 0 { Bytes::from_static(b"second") } else { Bytes::new() });
+            let b = comm.bcast(
+                0,
+                if comm.rank() == 0 {
+                    Bytes::from_static(b"second")
+                } else {
+                    Bytes::new()
+                },
+            );
             (a.to_vec(), b.to_vec())
         });
         for (a, b) in got {

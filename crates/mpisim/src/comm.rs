@@ -128,7 +128,9 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..5).map(|_| comm.recv(Some(0), Some(9)).payload[0]).collect()
+                (0..5)
+                    .map(|_| comm.recv(Some(0), Some(9)).payload[0])
+                    .collect()
             }
         });
         assert_eq!(out.outputs[1], vec![0, 1, 2, 3, 4]);

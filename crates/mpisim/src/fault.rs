@@ -183,7 +183,9 @@ mod tests {
             let comm = Comm::new(&ctx, net());
             if ctx.rank() == 0 {
                 ctx.charge(SimDuration::from_micros(10));
-                let err = comm.send_checked(1, 2, Bytes::from_static(b"x")).unwrap_err();
+                let err = comm
+                    .send_checked(1, 2, Bytes::from_static(b"x"))
+                    .unwrap_err();
                 assert_eq!(err, SendError::DeadPeer { rank: 1 });
                 true
             } else {

@@ -16,8 +16,10 @@ pub mod coll;
 pub mod comm;
 pub mod fault;
 pub mod net;
+pub mod sched;
 
 pub use coll::Collectives;
 pub use comm::Comm;
 pub use fault::{RecvError, SendError};
 pub use net::NetProfile;
+pub use sched::{GrantQueue, Liveness, Polled, Pump};

@@ -1,0 +1,311 @@
+//! Shared scheduling substrate for master/worker protocols.
+//!
+//! Both the pioBLAST runtime (`crates/core/src/runtime/`) and the
+//! mpiBLAST baseline master loop are event pumps over the same three
+//! primitives: a liveness table swept against the simulator's ground
+//! truth, a fragment grant queue with per-worker ownership, and a
+//! message pump that folds failure detection into receive. Keeping them
+//! here means fault detection behaves identically — same sweep cadence,
+//! same death-reporting order — in every protocol built on top.
+
+use simcluster::{Message, RankCtx, SimDuration};
+
+use crate::comm::Comm;
+use crate::fault::RecvError;
+
+/// The sweep cadence every detector in the suite uses: how long a
+/// blocking receive waits before re-checking peers for silent death.
+pub fn default_sweep() -> SimDuration {
+    SimDuration::from_millis(25)
+}
+
+/// Deal `items` out to `workers` bins, contiguously and as evenly as
+/// possible (worker `w` gets `items[start_w..end_w]`).
+pub fn chunk_evenly<T>(mut items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    assert!(workers > 0, "need at least one worker");
+    let total = items.len();
+    let mut out = Vec::with_capacity(workers);
+    let mut taken = 0usize;
+    let mut rest = items.drain(..);
+    for w in 0..workers {
+        let end = total * (w + 1) / workers;
+        let count = end - taken;
+        taken = end;
+        out.push(rest.by_ref().take(count).collect());
+    }
+    out
+}
+
+/// Per-rank liveness, maintained by sweeping the simulator's crash-stop
+/// ground truth. Rank 0 (the master) is tracked but never swept — master
+/// death is surfaced to workers through receive errors instead.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live: Vec<bool>,
+}
+
+impl Liveness {
+    /// All `nranks` ranks presumed live.
+    pub fn all(nranks: usize) -> Liveness {
+        Liveness {
+            live: vec![true; nranks],
+        }
+    }
+
+    /// Start from an explicit per-rank table (e.g. built from the
+    /// bundle-distribution round, where dead workers already failed).
+    pub fn from_flags(live: Vec<bool>) -> Liveness {
+        Liveness { live }
+    }
+
+    /// Is `rank` still presumed live?
+    pub fn is_live(&self, rank: usize) -> bool {
+        self.live[rank]
+    }
+
+    /// Mark `rank` dead (e.g. after a failed checked send).
+    pub fn mark_dead(&mut self, rank: usize) {
+        self.live[rank] = false;
+    }
+
+    /// The raw per-rank table.
+    pub fn flags(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Worker ranks (1..) still presumed live, ascending.
+    pub fn live_workers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| r)
+    }
+
+    /// Does any worker rank survive?
+    pub fn any_worker_live(&self) -> bool {
+        self.live_workers().next().is_some()
+    }
+
+    /// Compare the table against the simulator's ground truth and return
+    /// the worker ranks that died since the last sweep (now marked dead),
+    /// ascending. Costs no virtual time.
+    pub fn sweep(&mut self, ctx: &RankCtx) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for r in 1..self.live.len() {
+            if self.live[r] && ctx.is_dead(r) {
+                self.live[r] = false;
+                newly.push(r);
+            }
+        }
+        newly
+    }
+}
+
+/// What a [`Pump::poll`] produced: a message, or the deaths that were
+/// detected while waiting for one.
+#[derive(Debug)]
+pub enum Polled {
+    /// A matching message arrived.
+    Msg(Message),
+    /// These worker ranks were found dead (already marked in the
+    /// [`Liveness`] table). Only produced with detection enabled.
+    Dead(Vec<usize>),
+}
+
+/// A receive loop that folds failure detection into message arrival.
+///
+/// With detection off it degenerates to stock blocking MPI receives —
+/// a dead peer hangs the job, exactly like the real library. With
+/// detection on, every wait is chopped into sweep intervals and peer
+/// death surfaces as [`Polled::Dead`] instead of a hang.
+pub struct Pump<'a, 'b> {
+    comm: &'a Comm<'b>,
+    detect: bool,
+    sweep: SimDuration,
+}
+
+impl<'a, 'b> Pump<'a, 'b> {
+    /// Build a pump; `detect` enables sweeping at `sweep` cadence.
+    pub fn new(comm: &'a Comm<'b>, detect: bool, sweep: SimDuration) -> Pump<'a, 'b> {
+        Pump {
+            comm,
+            detect,
+            sweep,
+        }
+    }
+
+    /// Master-side poll: wait for a matching message, reporting any
+    /// worker deaths found first. Without detection, blocks forever.
+    pub fn poll(&self, live: &mut Liveness, src: Option<usize>, tag: Option<u64>) -> Polled {
+        if !self.detect {
+            return Polled::Msg(self.comm.recv(src, tag));
+        }
+        loop {
+            let dead = live.sweep(self.comm.ctx());
+            if !dead.is_empty() {
+                return Polled::Dead(dead);
+            }
+            match self.comm.recv_timeout(src, tag, self.sweep) {
+                Ok(m) => return Polled::Msg(m),
+                // Timeout: sweep again. DeadPeer (specific-source waits):
+                // the next sweep reports the death.
+                Err(RecvError::Timeout { .. }) | Err(RecvError::DeadPeer { .. }) => {}
+            }
+        }
+    }
+
+    /// Worker-side receive from a single peer (the master). Without
+    /// detection this is a stock blocking receive; with detection the
+    /// peer's death surfaces as [`RecvError::DeadPeer`].
+    pub fn recv_from(&self, src: usize, tag: Option<u64>) -> Result<Message, RecvError> {
+        if !self.detect {
+            return Ok(self.comm.recv(Some(src), tag));
+        }
+        loop {
+            match self.comm.recv_timeout(Some(src), tag, self.sweep) {
+                Ok(m) => return Ok(m),
+                Err(e @ RecvError::DeadPeer { .. }) => return Err(e),
+                Err(RecvError::Timeout { .. }) => {}
+            }
+        }
+    }
+}
+
+/// A fragment grant queue with per-worker ownership tracking.
+///
+/// Fragments are identified by index. Grants record ownership so a
+/// worker's death can requeue (or orphan) exactly what it held.
+#[derive(Debug, Clone)]
+pub struct GrantQueue {
+    pending: std::collections::VecDeque<usize>,
+    owned: Vec<Vec<usize>>,
+}
+
+impl GrantQueue {
+    /// Queue fragments `0..nfrags` for granting among `nranks` ranks.
+    pub fn new(nfrags: usize, nranks: usize) -> GrantQueue {
+        GrantQueue {
+            pending: (0..nfrags).collect(),
+            owned: vec![Vec::new(); nranks],
+        }
+    }
+
+    /// Is the pending queue empty?
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Fragments still pending, in grant order.
+    pub fn pending(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Grant the front fragment to `rank`, recording ownership.
+    pub fn grant_to(&mut self, rank: usize) -> Option<usize> {
+        let f = self.pending.pop_front()?;
+        self.owned[rank].push(f);
+        Some(f)
+    }
+
+    /// Grant the front `n` fragments to `rank` as one chunk.
+    pub fn grant_chunk(&mut self, rank: usize, n: usize) -> Vec<usize> {
+        let mut chunk = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.grant_to(rank) {
+                Some(f) => chunk.push(f),
+                None => break,
+            }
+        }
+        chunk
+    }
+
+    /// Fragments currently owned by `rank`, in grant order.
+    pub fn owned(&self, rank: usize) -> &[usize] {
+        &self.owned[rank]
+    }
+
+    /// Strip `rank` of its fragments, pushing those matching `requeue`
+    /// back onto the queue (in grant order) and dropping the rest.
+    /// Returns `(requeued, dropped)` fragment lists.
+    pub fn release(
+        &mut self,
+        rank: usize,
+        mut requeue: impl FnMut(usize) -> bool,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let held = std::mem::take(&mut self.owned[rank]);
+        let mut requeued = Vec::new();
+        let mut dropped = Vec::new();
+        for f in held {
+            if requeue(f) {
+                self.pending.push_back(f);
+                requeued.push(f);
+            } else {
+                dropped.push(f);
+            }
+        }
+        (requeued, dropped)
+    }
+
+    /// Push a fragment back onto the queue tail (e.g. a previously
+    /// orphaned fragment re-entering circulation at a batch boundary).
+    pub fn push(&mut self, frag: usize) {
+        self.pending.push_back(frag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_are_contiguous_and_even() {
+        let chunks = chunk_evenly((0..10).collect(), 3);
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8, 9]]);
+        let sparse = chunk_evenly(vec![9], 3);
+        assert_eq!(sparse.iter().flatten().count(), 1);
+        assert_eq!(chunk_evenly(Vec::<u8>::new(), 2), vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn grants_track_ownership_and_release_requeues() {
+        let mut q = GrantQueue::new(4, 3);
+        assert_eq!(q.grant_to(1), Some(0));
+        assert_eq!(q.grant_chunk(2, 2), vec![1, 2]);
+        assert_eq!(q.owned(2), &[1, 2]);
+        let (requeued, dropped) = q.release(2, |f| f != 1);
+        assert_eq!(requeued, vec![2]);
+        assert_eq!(dropped, vec![1]);
+        assert_eq!(q.owned(2), &[] as &[usize]);
+        // Pending order: untouched tail first, then the requeue.
+        assert_eq!(q.pending().collect::<Vec<_>>(), vec![3, 2]);
+    }
+
+    #[test]
+    fn liveness_sweep_reports_each_death_once() {
+        use simcluster::{FaultPlan, Sim, SimTime};
+        let sim = Sim::new(3);
+        let plan = FaultPlan::none().kill_at(2, SimTime(1_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            if ctx.rank() == 0 {
+                let mut live = Liveness::all(3);
+                ctx.charge(SimDuration::from_micros(10));
+                let first = live.sweep(&ctx);
+                let second = live.sweep(&ctx);
+                assert!(live.is_live(1));
+                assert!(!live.is_live(2));
+                (first, second)
+            } else {
+                // Rank 2 blocks forever and is killed; rank 1 idles.
+                if ctx.rank() == 2 {
+                    let _ = ctx.recv(Some(0), None);
+                }
+                (Vec::new(), Vec::new())
+            }
+        });
+        let (first, second) = out.outputs[0].clone().unwrap();
+        assert_eq!(first, vec![2]);
+        assert_eq!(second, Vec::<usize>::new());
+    }
+}

@@ -356,12 +356,18 @@ mod tests {
         });
         // Rank 0: 50 MB alone at 100 MB/s (0.5 s), then shares 120 MB/s
         // (60 each) for its remaining 50 MB -> 0.5 + 50/60 = 1.3333 s.
-        assert!((out.outputs[0] - (0.5 + 50.0 / 60.0)).abs() < 1e-4, "{out:?}");
+        assert!(
+            (out.outputs[0] - (0.5 + 50.0 / 60.0)).abs() < 1e-4,
+            "{out:?}"
+        );
         // Rank 1: starts at 0.5 with 100 MB. Shares 60 MB/s until rank 0
         // finishes at 1.3333 (having moved 50 MB), then 66.67 MB/s... but
         // per-client capped at 100: remaining 50 MB at 100 MB/s? No: alone
         // it gets min(100, 120) = 100. 0.5 + 0.8333 + 50/100 = 1.8333 s.
-        assert!((out.outputs[1] - (0.5 + 50.0 / 60.0 + 0.5)).abs() < 1e-4, "{out:?}");
+        assert!(
+            (out.outputs[1] - (0.5 + 50.0 / 60.0 + 0.5)).abs() < 1e-4,
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -421,8 +427,13 @@ mod tests {
         fs.preload("f", vec![0u8; 8_000_000]);
         sim.run(|ctx| {
             for chunk in 0..4 {
-                fs.read_at(&ctx, "f", (ctx.rank() * 4 + chunk) as u64 * 250_000, 250_000)
-                    .unwrap();
+                fs.read_at(
+                    &ctx,
+                    "f",
+                    (ctx.rank() * 4 + chunk) as u64 * 250_000,
+                    250_000,
+                )
+                .unwrap();
             }
         });
         assert_eq!(fs.counters().bytes_read, 8_000_000);

@@ -83,8 +83,7 @@ pub fn virtual_fragments(indexes: &[&VolumeIndex], n: usize) -> Vec<FragmentSpec
         let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(indexes.len());
         let mut used = 0usize;
         for (vi, idx) in indexes.iter().enumerate() {
-            let share =
-                n as f64 * idx.volume_stats.total_residues as f64 / total_residues as f64;
+            let share = n as f64 * idx.volume_stats.total_residues as f64 / total_residues as f64;
             let base = share.floor() as usize;
             let at_least = usize::from(idx.num_seqs() > 0);
             assigned[vi] = base.max(at_least);
@@ -349,10 +348,7 @@ mod tests {
             assert_eq!(back, f.index);
             // Offsets are rebased to the fragment file.
             assert_eq!(back.seq_offsets[0], 0);
-            assert_eq!(
-                *back.seq_offsets.last().unwrap() as usize,
-                f.seq.len()
-            );
+            assert_eq!(*back.seq_offsets.last().unwrap() as usize, f.seq.len());
         }
         assert_eq!(seqs, 5);
     }

@@ -192,10 +192,8 @@ impl SubjectSource for FragmentData {
     fn subject(&self, i: usize) -> SubjectView<'_> {
         SubjectView {
             oid: (self.base_oid + i as u64) as u32,
-            residues: &self.seq
-                [self.seq_offsets[i] as usize..self.seq_offsets[i + 1] as usize],
-            defline: &self.hdr
-                [self.hdr_offsets[i] as usize..self.hdr_offsets[i + 1] as usize],
+            residues: &self.seq[self.seq_offsets[i] as usize..self.seq_offsets[i + 1] as usize],
+            defline: &self.hdr[self.hdr_offsets[i] as usize..self.hdr_offsets[i + 1] as usize],
         }
     }
 }
@@ -248,10 +246,8 @@ mod tests {
                     &vol.idx[spec.idx_seq_range.0 as usize..spec.idx_seq_range.1 as usize];
                 let idx_hdr =
                     &vol.idx[spec.idx_hdr_range.0 as usize..spec.idx_hdr_range.1 as usize];
-                let seq =
-                    vol.seq[spec.seq_range.0 as usize..spec.seq_range.1 as usize].to_vec();
-                let hdr =
-                    vol.hdr[spec.hdr_range.0 as usize..spec.hdr_range.1 as usize].to_vec();
+                let seq = vol.seq[spec.seq_range.0 as usize..spec.seq_range.1 as usize].to_vec();
+                let hdr = vol.hdr[spec.hdr_range.0 as usize..spec.hdr_range.1 as usize].to_vec();
                 let from_ranges = FragmentData::from_ranges(
                     Molecule::Protein,
                     spec.base_oid,
@@ -276,10 +272,7 @@ mod tests {
         let first_oid = specs[1].base_oid as u32;
         assert!(frag.residues_of(first_oid).is_some());
         assert!(frag.residues_of(first_oid.wrapping_sub(1)).is_none());
-        assert!(frag
-            .defline_of(first_oid)
-            .unwrap()
-            .starts_with(b"gi|"));
+        assert!(frag.defline_of(first_oid).unwrap().starts_with(b"gi|"));
         let past = (specs[1].base_oid + specs[1].num_seqs()) as u32;
         assert!(frag.residues_of(past).is_none());
     }

@@ -82,8 +82,14 @@ mod tests {
     #[test]
     fn sampling_is_deterministic() {
         let recs = records();
-        assert_eq!(sample_queries(&recs, 2048, 7), sample_queries(&recs, 2048, 7));
-        assert_ne!(sample_queries(&recs, 2048, 7), sample_queries(&recs, 2048, 8));
+        assert_eq!(
+            sample_queries(&recs, 2048, 7),
+            sample_queries(&recs, 2048, 7)
+        );
+        assert_ne!(
+            sample_queries(&recs, 2048, 7),
+            sample_queries(&recs, 2048, 8)
+        );
     }
 
     #[test]

@@ -97,8 +97,9 @@ impl VolumeIndex {
             return Err(CodecError::BadValue { what: "idx magic" });
         }
         let tag = r.u8("molecule tag")?;
-        let molecule =
-            Molecule::from_tag(tag).ok_or(CodecError::BadValue { what: "molecule tag" })?;
+        let molecule = Molecule::from_tag(tag).ok_or(CodecError::BadValue {
+            what: "molecule tag",
+        })?;
         r.bytes(3, "pad")?;
         let title = r.string("title")?;
         let base_oid = r.u64("base oid")?;
@@ -221,9 +222,11 @@ impl AliasFile {
                     molecule = Molecule::from_tag(value.as_bytes().first().copied().unwrap_or(0))
                 }
                 "NSEQ" => {
-                    nseq = Some(value.parse::<u64>().map_err(|_| CodecError::BadValue {
-                        what: "alias NSEQ",
-                    })?)
+                    nseq = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| CodecError::BadValue { what: "alias NSEQ" })?,
+                    )
                 }
                 "LENGTH" => {
                     length = Some(value.parse::<u64>().map_err(|_| CodecError::BadValue {
@@ -235,7 +238,9 @@ impl AliasFile {
             }
         }
         Ok(AliasFile {
-            title: title.ok_or(CodecError::BadValue { what: "alias TITLE" })?,
+            title: title.ok_or(CodecError::BadValue {
+                what: "alias TITLE",
+            })?,
             molecule: molecule.ok_or(CodecError::BadValue {
                 what: "alias MOLECULE",
             })?,

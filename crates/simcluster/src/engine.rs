@@ -507,7 +507,11 @@ impl Sim {
                     Next::Deadlock(msg) => abort(msg),
                 };
                 inner.gates[rank].resume();
-                match inner.yield_rx.recv().expect("rank threads outlive scheduler") {
+                match inner
+                    .yield_rx
+                    .recv()
+                    .expect("rank threads outlive scheduler")
+                {
                     YieldMsg::Blocked(r) => {
                         let mut st = inner.state.lock();
                         st.status[r] = Status::Blocked;
@@ -646,10 +650,7 @@ impl RankCtx {
     /// rank. The caller must have arranged a wake (or be a service's
     /// registered waiter), or the run will deadlock-panic.
     pub fn wait_woken(&self) {
-        let _ = self
-            .inner
-            .yield_tx
-            .send(YieldMsg::Blocked(self.rank));
+        let _ = self.inner.yield_tx.send(YieldMsg::Blocked(self.rank));
         self.inner.gates[self.rank].wait();
     }
 
@@ -795,8 +796,7 @@ impl RankCtx {
                         let src_dead = src.is_some_and(|s| st.dead[s]);
                         if st.clock >= deadline.0 || src_dead {
                             st.recv_filter[self.rank] = None;
-                            let stale: Vec<u64> =
-                                st.recv_wakes[self.rank].drain(..).collect();
+                            let stale: Vec<u64> = st.recv_wakes[self.rank].drain(..).collect();
                             for gen in stale {
                                 st.cancel(WakeId(gen));
                             }
@@ -891,11 +891,21 @@ mod tests {
                     vec![(a.src, a.arrival), (b.src, b.arrival)]
                 }
                 1 => {
-                    ctx.post(0, 9, Bytes::from_static(b"slow"), SimDuration::from_millis(10));
+                    ctx.post(
+                        0,
+                        9,
+                        Bytes::from_static(b"slow"),
+                        SimDuration::from_millis(10),
+                    );
                     Vec::new()
                 }
                 2 => {
-                    ctx.post(0, 9, Bytes::from_static(b"fast"), SimDuration::from_millis(2));
+                    ctx.post(
+                        0,
+                        9,
+                        Bytes::from_static(b"fast"),
+                        SimDuration::from_millis(2),
+                    );
                     Vec::new()
                 }
                 _ => unreachable!(),
@@ -1030,7 +1040,12 @@ mod tests {
             let me = ctx.rank();
             for dst in 0..ctx.nranks() {
                 if dst != me {
-                    ctx.post(dst, 1, Bytes::from(vec![me as u8]), SimDuration::from_micros(5));
+                    ctx.post(
+                        dst,
+                        1,
+                        Bytes::from(vec![me as u8]),
+                        SimDuration::from_micros(5),
+                    );
                 }
             }
             let mut sum = 0u64;

@@ -60,12 +60,7 @@ impl PhaseTimes {
 
     /// Time a closure with a virtual clock sampled before and after, and
     /// record it under `phase`. `now` supplies the current virtual time.
-    pub fn timed<T>(
-        &mut self,
-        phase: &str,
-        now: impl Fn() -> SimTime,
-        f: impl FnOnce() -> T,
-    ) -> T {
+    pub fn timed<T>(&mut self, phase: &str, now: impl Fn() -> SimTime, f: impl FnOnce() -> T) -> T {
         let start = now();
         let out = f();
         self.add(phase, now() - start);

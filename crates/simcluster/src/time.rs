@@ -47,7 +47,10 @@ impl SimDuration {
 
     /// From fractional seconds, rounding up so nonzero spans never vanish.
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).ceil() as u64)
     }
 

@@ -86,6 +86,7 @@ fn main() {
             collective_input: false,
             schedule: spec.schedule,
             fault: Default::default(),
+            checkpoint: false,
             rank_compute: Some(scales.clone()),
         };
         let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -100,5 +101,8 @@ fn main() {
             outcome.elapsed.as_secs_f64()
         );
     }
-    println!("\nall four reports are byte-identical ({} bytes)", reference.unwrap().len());
+    println!(
+        "\nall four reports are byte-identical ({} bytes)",
+        reference.unwrap().len()
+    );
 }

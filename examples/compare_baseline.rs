@@ -66,13 +66,17 @@ fn main() {
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     let pio = sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
     let pio_out = env.shared.peek("pio.txt").unwrap();
     let pio_time = pio.elapsed.as_secs_f64();
 
-    println!("mpiBLAST total: {mpi_time:.3}s   pioBLAST total: {pio_time:.3}s   speedup: {:.2}x", mpi_time / pio_time);
+    println!(
+        "mpiBLAST total: {mpi_time:.3}s   pioBLAST total: {pio_time:.3}s   speedup: {:.2}x",
+        mpi_time / pio_time
+    );
     assert_eq!(
         mpi_out, pio_out,
         "the two programs must produce byte-identical reports"

@@ -96,6 +96,7 @@ fn main() {
                     collective_input: false,
                     schedule: Default::default(),
                     fault: Default::default(),
+                    checkpoint: false,
                     rank_compute: None,
                 };
                 sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed

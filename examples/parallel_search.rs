@@ -47,6 +47,7 @@ fn main() {
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

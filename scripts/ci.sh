@@ -3,6 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+# The fault-recovery proptests run under the vendored proptest's
+# deterministic per-test RNG (TestRng::from_name), so this is a fixed
+# seed: failures reproduce exactly, in CI and locally.
+cargo test --release -q --test fault_recovery
 cargo clippy -- -D warnings

@@ -31,7 +31,10 @@ fn blastn_all_three_implementations_agree() {
         .expect("serial oracle");
     let text = String::from_utf8_lossy(&oracle);
     assert!(text.contains("BLASTN 2.2.10-sim"), "blastn banner expected");
-    assert!(text.contains("Score = "), "queries sampled from nt must hit");
+    assert!(
+        text.contains("Score = "),
+        "queries sampled from nt must hit"
+    );
 
     // pioBLAST.
     let sim = Sim::new(4);
@@ -54,6 +57,7 @@ fn blastn_all_three_implementations_agree() {
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));

@@ -67,6 +67,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -109,6 +110,7 @@ fn phase_totals_cover_the_run() {
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -153,6 +155,7 @@ fn virtual_time_is_host_independent() {
                 collective_input: false,
                 schedule: Default::default(),
                 fault: Default::default(),
+                checkpoint: false,
                 rank_compute: None,
             };
             let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -189,6 +192,7 @@ fn measured_and_modeled_modes_agree_on_results() {
             collective_input: false,
             schedule: Default::default(),
             fault: Default::default(),
+            checkpoint: false,
             rank_compute: None,
         };
         sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -222,6 +226,7 @@ fn nfs_slows_everything_down() {
             collective_input: false,
             schedule: Default::default(),
             fault: Default::default(),
+            checkpoint: false,
             rank_compute: None,
         };
         totals.push(sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed);

@@ -43,7 +43,13 @@ fn sample_queries(db: &FormattedDb, n: usize) -> Vec<SeqRecord> {
         .collect()
 }
 
-fn run_recover(nranks: usize, nfrags: usize, plan: FaultPlan) -> (Vec<u8>, Vec<usize>) {
+fn run_recover_opts(
+    nranks: usize,
+    nfrags: usize,
+    query_batch: Option<usize>,
+    checkpoint: bool,
+    plan: FaultPlan,
+) -> (Vec<u8>, Vec<usize>) {
     let db = small_db();
     let queries = sample_queries(&db, 3);
     let sim = Sim::new(nranks);
@@ -62,15 +68,20 @@ fn run_recover(nranks: usize, nfrags: usize, plan: FaultPlan) -> (Vec<u8>, Vec<u
         num_fragments: Some(nfrags),
         collective_output: false,
         local_prune: false,
-        query_batch: None,
+        query_batch,
         collective_input: false,
         schedule: FragmentSchedule::Dynamic,
         fault: FaultMode::Recover,
+        checkpoint,
         rank_compute: None,
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
     let bytes = env.shared.peek("results.txt").unwrap_or_default();
     (bytes, out.killed)
+}
+
+fn run_recover(nranks: usize, nfrags: usize, plan: FaultPlan) -> (Vec<u8>, Vec<usize>) {
+    run_recover_opts(nranks, nfrags, None, false, plan)
 }
 
 fn reference_bytes() -> &'static [u8] {
@@ -104,6 +115,33 @@ proptest! {
             reference_bytes(),
             "nranks={} nfrags={} victim={} kill_after={} killed={:?}",
             nranks, nfrags, victim, kill_after, killed
+        );
+    }
+
+    /// Query batching multiplies the protocol cycle: every batch replays
+    /// the distribute/collect/write exchange, so a kill can land in any
+    /// batch — including at a batch boundary, where the victim holds
+    /// nothing. With or without fragment checkpointing, the recovered
+    /// output must stay byte-identical to the fault-free reference.
+    #[test]
+    fn kill_during_any_batch_of_a_batched_run_recovers_byte_identically(
+        nranks in 3usize..=4,
+        nfrags in 4usize..=8,
+        query_batch in 1usize..=2,
+        victim_seed in 0usize..64,
+        kill_after in 1u64..=14,
+        checkpoint in any::<bool>(),
+    ) {
+        let victim = 1 + victim_seed % (nranks - 1);
+        let plan = FaultPlan::none().kill_after_sends(victim, kill_after);
+        let (bytes, killed) =
+            run_recover_opts(nranks, nfrags, Some(query_batch), checkpoint, plan);
+        prop_assert!(killed.is_empty() || killed == vec![victim]);
+        prop_assert_eq!(
+            &bytes[..],
+            reference_bytes(),
+            "nranks={} nfrags={} batch={} victim={} kill_after={} ckpt={} killed={:?}",
+            nranks, nfrags, query_batch, victim, kill_after, checkpoint, killed
         );
     }
 }

@@ -80,6 +80,7 @@ fn run_pio(
         collective_input: false,
         schedule: Default::default(),
         fault: Default::default(),
+        checkpoint: false,
         rank_compute: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

@@ -175,7 +175,11 @@ impl BenchmarkGroup<'_> {
             elapsed: 0.0,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, name), b.elapsed, self.throughput);
+        report(
+            &format!("{}/{}", self.name, name),
+            b.elapsed,
+            self.throughput,
+        );
         self
     }
 

@@ -49,7 +49,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Send a value; fails only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
