@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use blast_core::alphabet::Molecule;
-use blast_core::extend::{banded_global, gapped_xdrop, ungapped_xdrop};
+use blast_core::extend::{banded_global, gapped_xdrop, ungapped_xdrop, ExtendScratch};
 use blast_core::karlin::{solve_ungapped, Background, GapPenalties};
 use blast_core::lookup::{LookupTable, QuerySet};
 use blast_core::matrix::ScoreMatrix;
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch};
 use blast_core::seq::SeqRecord;
 use blast_core::stats::DbStats;
 use seqfmt::formatdb::{format_records, FormatDbConfig};
@@ -58,11 +58,12 @@ fn bench_search(c: &mut Criterion) {
     let queries: Vec<SeqRecord> = (0..8).map(|i| sample_query(&records, i * 5)).collect();
     let prepared = PreparedQueries::prepare(&params, queries, stats);
     let searcher = BlastSearcher::new(&params, &prepared);
+    let mut scratch = SearchScratch::new();
     let mut g = c.benchmark_group("search");
     g.sample_size(20);
     g.throughput(Throughput::Bytes(db.stats().total_residues));
     g.bench_function("fragment_scan_200k_residues_8q", |b| {
-        b.iter(|| searcher.search(&frag))
+        b.iter(|| searcher.search(&frag, &mut scratch))
     });
     g.finish();
 }
@@ -86,7 +87,8 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| ungapped_xdrop(&matrix, q, &s, mid, mid, 3, 16))
     });
     g.bench_function("gapped_xdrop", |b| {
-        b.iter(|| gapped_xdrop(&matrix, gaps, q, &s, mid, mid, 38))
+        let mut ext = ExtendScratch::new();
+        b.iter(|| gapped_xdrop(&matrix, gaps, q, &s, mid, mid, 38, &mut ext))
     });
     let n = q.len().min(s.len()).min(300);
     g.bench_function("banded_traceback_300", |b| {
@@ -123,7 +125,8 @@ fn bench_seeding_modes(c: &mut Criterion) {
         let prepared = PreparedQueries::prepare(&params, queries.clone(), stats);
         g.bench_function(label, |b| {
             let searcher = BlastSearcher::new(&params, &prepared);
-            b.iter(|| searcher.search(&frag))
+            let mut scratch = SearchScratch::new();
+            b.iter(|| searcher.search(&frag, &mut scratch))
         });
     }
     g.finish();

@@ -52,25 +52,36 @@ pub fn ungapped_xdrop(
         score += matrix.score(query[q_pos as usize + k], subject[s_pos as usize + k]);
     }
 
-    // Extend right of the word.
+    // Extend right of the word. This loop and its mirror below are the
+    // kernel's hottest residue-level path, so they are shaped for the
+    // hardware: the zipped iteration compiles without per-step bounds
+    // checks, and the best-so-far update is a pair of selects (the
+    // data-dependent `running > best` comparison mispredicts badly as a
+    // branch). The only branch left is the X-drop exit, taken once per
+    // extension. Equivalence with the classic branchy form: after an
+    // improving step `best == running`, so `best - running > x_drop`
+    // cannot fire on that step (`x_drop >= 0`).
     let mut best = score;
     let mut running = score;
     let mut q_end = q_pos + word_len;
     let mut s_end = s_pos + word_len;
     {
-        let (mut qi, mut si) = (q_end as usize, s_end as usize);
-        while qi < query.len() && si < subject.len() {
-            running += matrix.score(query[qi], subject[si]);
-            qi += 1;
-            si += 1;
-            if running > best {
-                best = running;
-                q_end = qi as u32;
-                s_end = si as u32;
-            } else if best - running > x_drop {
+        let mut best_ahead = 0u32;
+        for (i, (&qc, &sc)) in query[q_end as usize..]
+            .iter()
+            .zip(subject[s_end as usize..].iter())
+            .enumerate()
+        {
+            running += matrix.score(qc, sc);
+            let better = running > best;
+            best_ahead = if better { i as u32 + 1 } else { best_ahead };
+            best = if better { running } else { best };
+            if best - running > x_drop {
                 break;
             }
         }
+        q_end += best_ahead;
+        s_end += best_ahead;
     }
 
     // Extend left of the word.
@@ -78,19 +89,23 @@ pub fn ungapped_xdrop(
     let mut s_start = s_pos;
     running = best;
     {
-        let (mut qi, mut si) = (q_pos as usize, s_pos as usize);
-        while qi > 0 && si > 0 {
-            qi -= 1;
-            si -= 1;
-            running += matrix.score(query[qi], subject[si]);
-            if running > best {
-                best = running;
-                q_start = qi as u32;
-                s_start = si as u32;
-            } else if best - running > x_drop {
+        let mut best_behind = 0u32;
+        for (i, (&qc, &sc)) in query[..q_pos as usize]
+            .iter()
+            .rev()
+            .zip(subject[..s_pos as usize].iter().rev())
+            .enumerate()
+        {
+            running += matrix.score(qc, sc);
+            let better = running > best;
+            best_behind = if better { i as u32 + 1 } else { best_behind };
+            best = if better { running } else { best };
+            if best - running > x_drop {
                 break;
             }
         }
+        q_start -= best_behind;
+        s_start -= best_behind;
     }
 
     UngappedHit {
@@ -100,6 +115,46 @@ pub fn ungapped_xdrop(
         s_end,
         score: best,
     }
+}
+
+/// Reusable DP and traceback buffers for the extension routines.
+///
+/// Gapped X-drop extension and banded traceback both run affine-gap DPs
+/// whose rows the seed kernel used to allocate afresh on every call. One
+/// `ExtendScratch`, owned by the caller (a worker keeps it inside its
+/// [`crate::search::SearchScratch`] for the whole run), removes every
+/// heap allocation from those paths: buffers grow to the high-water mark
+/// and are re-initialised, never re-allocated. Reuse is invisible in the
+/// results — each routine fully re-initialises the region it reads.
+#[derive(Debug, Default)]
+pub struct ExtendScratch {
+    // Gapped X-drop half-extension rows. Each cell interleaves the
+    // match/mismatch and gap-in-subject states as `[m, f]` so the DP
+    // inner loop streams one array per row instead of two.
+    prev: Vec<[i32; 2]>,
+    cur: Vec<[i32; 2]>,
+    // Reversed prefixes for the leftward half-extension.
+    q_rev: Vec<u8>,
+    s_rev: Vec<u8>,
+    // Banded-Gotoh DP matrices (traceback path).
+    dp_m: Vec<i32>,
+    dp_e: Vec<i32>,
+    dp_f: Vec<i32>,
+}
+
+impl ExtendScratch {
+    /// Fresh, empty scratch. Buffers grow on first use.
+    pub fn new() -> ExtendScratch {
+        ExtendScratch::default()
+    }
+}
+
+/// Clear and re-initialise a reused DP row to `val` at length `len`
+/// (exactly the state a fresh `vec![val; len]` would have).
+#[inline]
+fn reset_row<T: Copy>(row: &mut Vec<T>, len: usize, val: T) {
+    row.clear();
+    row.resize(len, val);
 }
 
 /// Result of a one-directional gapped X-drop extension.
@@ -132,6 +187,7 @@ pub struct GappedHit {
 /// `s_BlastGappedExtension`): extend left and right from a seed pair
 /// `(q_seed, s_seed)`, each half an adaptive-band affine-gap DP that prunes
 /// cells more than `x_drop` below the best score seen so far.
+#[allow(clippy::too_many_arguments)]
 pub fn gapped_xdrop(
     matrix: &ScoreMatrix,
     gaps: GapPenalties,
@@ -140,19 +196,30 @@ pub fn gapped_xdrop(
     q_seed: u32,
     s_seed: u32,
     x_drop: i32,
+    scratch: &mut ExtendScratch,
 ) -> GappedHit {
     let seed_score = matrix.score(query[q_seed as usize], subject[s_seed as usize]);
+    let ExtendScratch {
+        prev,
+        cur,
+        q_rev,
+        s_rev,
+        ..
+    } = scratch;
     let right = half_extension(
         matrix,
         gaps,
         &query[q_seed as usize + 1..],
         &subject[s_seed as usize + 1..],
         x_drop,
+        (prev, cur),
     );
     let left = {
-        let q_rev: Vec<u8> = query[..q_seed as usize].iter().rev().copied().collect();
-        let s_rev: Vec<u8> = subject[..s_seed as usize].iter().rev().copied().collect();
-        half_extension(matrix, gaps, &q_rev, &s_rev, x_drop)
+        q_rev.clear();
+        q_rev.extend(query[..q_seed as usize].iter().rev().copied());
+        s_rev.clear();
+        s_rev.extend(subject[..s_seed as usize].iter().rev().copied());
+        half_extension(matrix, gaps, q_rev, s_rev, x_drop, (prev, cur))
     };
     GappedHit {
         q_start: q_seed - left.q_ext,
@@ -175,6 +242,7 @@ fn half_extension(
     q: &[u8],
     s: &[u8],
     x_drop: i32,
+    rows: (&mut Vec<[i32; 2]>, &mut Vec<[i32; 2]>),
 ) -> GappedHalf {
     const NEG: i32 = i32::MIN / 4;
     if q.is_empty() || s.is_empty() {
@@ -188,81 +256,127 @@ fn half_extension(
     let open_ext = gaps.open + gaps.extend;
 
     let width = s.len() + 1;
-    // m[j]: best score ending at (i, j) in any state; e[j]: best ending in a
-    // gap-in-query state (horizontal); f[j]: gap-in-subject (vertical).
-    let mut m_prev = vec![NEG; width];
-    let mut f_prev = vec![NEG; width];
-    let mut m_cur = vec![NEG; width];
-    let mut f_cur = vec![NEG; width];
+    // Each cell holds `[m, f]`: m = best score ending at (i, j) in any
+    // state; f = best ending in a gap-in-subject (vertical) state. The
+    // horizontal gap state e is carried along the row in a register. The
+    // rows are caller-owned scratch, re-initialised to exactly the state
+    // a fresh allocation would have.
+    let (prev, cur) = rows;
+    reset_row(prev, width, [NEG, NEG]);
+    reset_row(cur, width, [NEG, NEG]);
 
     let mut best = 0i32;
     let mut best_q = 0u32;
     let mut best_s = 0u32;
 
     // Row 0: leading gaps in the subject direction.
-    m_prev[0] = 0;
+    prev[0] = [0, NEG];
     let mut lo = 0usize;
     let mut hi = 1usize; // exclusive upper bound of alive columns in row 0
-    for (j, slot) in m_prev.iter_mut().enumerate().take(width).skip(1) {
+    for (j, slot) in prev.iter_mut().enumerate().take(width).skip(1) {
         let sc = -gaps.cost(j as i32);
         if best - sc > x_drop {
             break;
         }
-        *slot = sc;
+        slot[0] = sc;
         hi = j + 1;
     }
 
+    // The inner loop below is the kernel's single hottest piece of code on
+    // redundant (nr-style) databases: each gapped extension sweeps tens of
+    // thousands of band cells. It is written branch-free — every per-cell
+    // decision is a `max`/select that compiles to cmov — because the alive
+    // /dead and best-update outcomes flip unpredictably at band edges and
+    // mispredictions dominate a branchy formulation.
+    //
+    // Two formulation changes keep it select-only without changing any
+    // result. First, `f`, `diag`, and `e` are computed unconditionally
+    // from the stored rows rather than guarded by `== NEG` tests: a value
+    // derived from a dead (`NEG`) cell stays within a few tens of
+    // thousands of `NEG` (gap costs and matrix scores are tiny against
+    // `i32::MIN / 4`), so it loses every `max` against an alive path and
+    // fails `best - m <= x_drop` for any reachable `best`. Second, the
+    // dead-cell *stores* still write the exact `NEG` sentinel via a
+    // select, because the band prune is sticky — a barely-dead score (as
+    // opposed to a hugely negative one) written back would revive pruned
+    // paths through the next row's diagonal. The row-carried horizontal
+    // state `e` may exceed its branchy counterpart after a dead cell
+    // (`m - open_ext` with `m` just below the threshold), but such a
+    // value is itself below `best - x_drop` and decays monotonically, so
+    // it can never decide an alive cell's value either.
+    let gext = gaps.extend;
     for i in 1..=q.len() {
         let qc = q[i - 1];
-        let row = matrix.row(qc);
+        let row_entry_best = best;
         let mut e = NEG; // horizontal gap state within this row
         let mut new_lo = usize::MAX;
         let mut new_hi = lo;
-        m_cur[lo..hi.min(width - 1) + 1].fill(NEG);
-        f_cur[lo..hi.min(width - 1) + 1].fill(NEG);
         // Column range: can extend one beyond the previous row's band.
         let col_end = (hi + 1).min(width);
-        for j in lo..col_end {
-            // Vertical: gap in subject (consume query residue).
-            let f = if m_prev[j] == NEG && f_prev[j] == NEG {
-                NEG
-            } else {
-                (m_prev[j] - open_ext).max(f_prev[j] - gaps.extend)
-            };
-            // Diagonal: match/mismatch.
-            let diag = if j >= 1 && m_prev[j - 1] > NEG {
-                m_prev[j - 1] + row[s[j - 1] as usize]
-            } else {
-                NEG
-            };
-            let m = diag.max(e).max(f);
-            if m > NEG && best - m <= x_drop {
-                m_cur[j] = m;
-                f_cur[j] = f;
-                if new_lo == usize::MAX {
-                    new_lo = j;
-                }
-                new_hi = j + 1;
-                if m > best {
-                    best = m;
-                    best_q = i as u32;
-                    best_s = j as u32;
-                }
+
+        // Column 0 has no diagonal predecessor and consumes no subject
+        // residue; peel it so the main loop can index `s[j - 1]` safely.
+        let mut start = lo;
+        let mut prev_m; // carries prev[j - 1]'s m across iterations
+        if lo == 0 {
+            let [mp, fp] = prev[0];
+            let f = (mp - open_ext).max(fp - gext);
+            let m = e.max(f);
+            let alive = best - m <= x_drop;
+            // Dead cells must store the exact `NEG` sentinel: the band
+            // prune is sticky, and a barely-dead score leaking into the
+            // next row's diagonal would revive pruned paths.
+            cur[0] = if alive { [m, f] } else { [NEG, NEG] };
+            new_lo = if alive { 0 } else { new_lo };
+            new_hi = if alive { 1 } else { new_hi };
+            e = (m - open_ext).max(e - gext);
+            prev_m = mp;
+            start = 1;
+        } else {
+            prev_m = prev[lo - 1][0];
+        }
+
+        if start < col_end {
+            let prev_row = &prev[start..col_end];
+            let cur_row = &mut cur[start..col_end];
+            let s_row = &s[start - 1..col_end - 1];
+            for (idx, (c, (&[mp, fp], &sc))) in cur_row
+                .iter_mut()
+                .zip(prev_row.iter().zip(s_row.iter()))
+                .enumerate()
+            {
+                let j = start + idx;
+                // Vertical: gap in subject (consume query residue).
+                let f = (mp - open_ext).max(fp - gext);
+                // Diagonal: match/mismatch.
+                let diag = prev_m + matrix.score(qc, sc);
+                prev_m = mp;
+                let m = diag.max(e).max(f);
+                let alive = best - m <= x_drop;
+                // Sticky prune: dead cells store the exact `NEG` sentinel
+                // (see the column-0 peel above).
+                *c = if alive { [m, f] } else { [NEG, NEG] };
+                new_lo = if alive { new_lo.min(j) } else { new_lo };
+                new_hi = if alive { j + 1 } else { new_hi };
+                let better = m > best;
+                best = if better { m } else { best };
+                best_s = if better { j as u32 } else { best_s };
                 // Horizontal gap for the next column.
-                e = (m - open_ext).max(e - gaps.extend);
-            } else {
-                m_cur[j] = NEG;
-                f_cur[j] = NEG;
-                e = (e - gaps.extend).max(NEG);
+                e = (m - open_ext).max(e - gext);
             }
+        }
+        // `best_q` moves only when this row improved the best score; one
+        // per-row check keeps a register (and a select) out of the cell
+        // loop above.
+        if best > row_entry_best {
+            best_q = i as u32;
         }
         if new_lo == usize::MAX {
             break; // entire row pruned: extension is finished
         }
         lo = new_lo;
         hi = new_hi;
-        std::mem::swap(&mut m_prev, &mut m_cur);
-        std::mem::swap(&mut f_prev, &mut f_cur);
+        std::mem::swap(prev, cur);
     }
 
     GappedHalf {
@@ -336,6 +450,26 @@ pub fn banded_global(
     subject: &[u8],
     band_pad: usize,
 ) -> Alignment {
+    banded_global_into(
+        matrix,
+        gaps,
+        query,
+        subject,
+        band_pad,
+        &mut ExtendScratch::new(),
+    )
+}
+
+/// [`banded_global`] with caller-owned DP buffers: formatting loops call
+/// this once per HSP and reuse one [`ExtendScratch`] across the batch.
+pub fn banded_global_into(
+    matrix: &ScoreMatrix,
+    gaps: GapPenalties,
+    query: &[u8],
+    subject: &[u8],
+    band_pad: usize,
+    scratch: &mut ExtendScratch,
+) -> Alignment {
     const NEG: i32 = i32::MIN / 4;
     let n = query.len();
     let m = subject.len();
@@ -354,9 +488,12 @@ pub fn banded_global(
 
     let width = m + 1;
     let cells = (n + 1) * width;
-    let mut dp_m = vec![NEG; cells];
-    let mut dp_e = vec![NEG; cells]; // gap in query (horizontal)
-    let mut dp_f = vec![NEG; cells]; // gap in subject (vertical)
+    let dp_m = &mut scratch.dp_m;
+    let dp_e = &mut scratch.dp_e; // gap in query (horizontal)
+    let dp_f = &mut scratch.dp_f; // gap in subject (vertical)
+    reset_row(dp_m, cells, NEG);
+    reset_row(dp_e, cells, NEG);
+    reset_row(dp_f, cells, NEG);
     let at = |i: usize, j: usize| i * width + j;
 
     dp_m[at(0, 0)] = 0;
@@ -515,7 +652,16 @@ mod tests {
     fn gapped_identical_equals_self_score() {
         let m = m62();
         let q = enc(b"MKVLAAGHWRTEYFNDCQ");
-        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 9, 9, 38);
+        let hit = gapped_xdrop(
+            &m,
+            GapPenalties::BLOSUM62_DEFAULT,
+            &q,
+            &q,
+            9,
+            9,
+            38,
+            &mut ExtendScratch::new(),
+        );
         assert_eq!(hit.q_start, 0);
         assert_eq!(hit.q_end, q.len() as u32);
         assert_eq!(hit.score, self_score(&m, &q));
@@ -531,7 +677,7 @@ mod tests {
         let mut s_vec = q.clone();
         s_vec.drain(20..22);
         let s = s_vec;
-        let hit = gapped_xdrop(&m, gaps, &q, &s, 5, 5, 40);
+        let hit = gapped_xdrop(&m, gaps, &q, &s, 5, 5, 40, &mut ExtendScratch::new());
         let expected =
             self_score(&m, &q) - m.score(q[20], q[20]) - m.score(q[21], q[21]) - gaps.cost(2);
         assert_eq!(hit.score, expected);
@@ -543,10 +689,28 @@ mod tests {
     fn gapped_seed_at_sequence_edges() {
         let m = m62();
         let q = enc(b"MKVL");
-        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 0, 0, 20);
+        let hit = gapped_xdrop(
+            &m,
+            GapPenalties::BLOSUM62_DEFAULT,
+            &q,
+            &q,
+            0,
+            0,
+            20,
+            &mut ExtendScratch::new(),
+        );
         assert_eq!(hit.q_start, 0);
         assert_eq!(hit.score, self_score(&m, &q));
-        let hit = gapped_xdrop(&m, GapPenalties::BLOSUM62_DEFAULT, &q, &q, 3, 3, 20);
+        let hit = gapped_xdrop(
+            &m,
+            GapPenalties::BLOSUM62_DEFAULT,
+            &q,
+            &q,
+            3,
+            3,
+            20,
+            &mut ExtendScratch::new(),
+        );
         assert_eq!(hit.q_end, 4);
         assert_eq!(hit.score, self_score(&m, &q));
     }
@@ -589,7 +753,7 @@ mod tests {
         let mut s = q.clone();
         s[12] = 0; // one substitution
         s.remove(30); // one deletion
-        let hit = gapped_xdrop(&m, gaps, &q, &s, 3, 3, 40);
+        let hit = gapped_xdrop(&m, gaps, &q, &s, 3, 3, 40, &mut ExtendScratch::new());
         let aln = banded_global(
             &m,
             gaps,

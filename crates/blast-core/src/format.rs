@@ -14,7 +14,7 @@
 //! identically everywhere.
 
 use crate::alphabet::{decode_letter, Molecule};
-use crate::extend::{banded_global, Alignment, EditOp};
+use crate::extend::{banded_global_into, Alignment, EditOp, ExtendScratch};
 use crate::hsp::Hsp;
 use crate::search::SearchParams;
 use crate::seq::SeqRecord;
@@ -231,10 +231,19 @@ pub fn alignment_record(
         subject_defline,
         subject.len()
     ));
+    // One set of DP buffers serves every HSP's traceback.
+    let mut scratch = ExtendScratch::new();
     for h in hsps {
         let q_range = &query[h.q_start as usize..h.q_end as usize];
         let s_range = &subject[h.s_start as usize..h.s_end as usize];
-        let aln = banded_global(&params.matrix, params.gaps, q_range, s_range, 16);
+        let aln = banded_global_into(
+            &params.matrix,
+            params.gaps,
+            q_range,
+            s_range,
+            16,
+            &mut scratch,
+        );
         let counts = count_alignment(params, q_range, s_range, &aln);
         out.push_str(&format!(
             " Score = {:.1} bits ({}), Expect = {}\n",
@@ -398,7 +407,14 @@ pub fn tabular_line(
 ) -> String {
     let q_range = &query[h.q_start as usize..h.q_end as usize];
     let s_range = &subject[h.s_start as usize..h.s_end as usize];
-    let aln = banded_global(&params.matrix, params.gaps, q_range, s_range, 16);
+    let aln = banded_global_into(
+        &params.matrix,
+        params.gaps,
+        q_range,
+        s_range,
+        16,
+        &mut ExtendScratch::new(),
+    );
     let counts = count_alignment(params, q_range, s_range, &aln);
     let mismatches = counts.length - counts.identities - counts.gaps;
     let gap_opens = aln

@@ -40,7 +40,11 @@ impl Hsp {
 
     /// Deterministic ranking key: higher score first, then lower E-value,
     /// then subject/coordinate order as an arbitrary but total tiebreak.
-    pub fn rank_key(&self) -> impl Ord {
+    ///
+    /// The key is a plain `Copy` tuple so callers can compute it once per
+    /// HSP and sort on the cached value instead of re-deriving it in every
+    /// comparison (the kernel's ranking sorts do exactly that).
+    pub fn rank_key(&self) -> RankKey {
         (
             std::cmp::Reverse(self.score),
             self.oid,
@@ -51,6 +55,10 @@ impl Hsp {
         )
     }
 }
+
+/// The concrete type of [`Hsp::rank_key`]: totally ordered, `Copy`, and
+/// cacheable alongside the HSP it ranks.
+pub type RankKey = (std::cmp::Reverse<i32>, u32, u32, u32, u32, u32);
 
 /// Sort HSPs into canonical reporting order (best first, deterministic).
 pub fn sort_canonical(hsps: &mut [Hsp]) {
@@ -63,19 +71,30 @@ pub fn sort_canonical(hsps: &mut [Hsp]) {
 /// Input order is not preserved; the result is in canonical order.
 pub fn cull_contained(hsps: &mut Vec<Hsp>) {
     sort_canonical(hsps);
-    let mut kept: Vec<Hsp> = Vec::with_capacity(hsps.len());
-    'outer: for h in hsps.iter() {
-        for k in kept
+    let kept = cull_contained_sorted(hsps);
+    hsps.truncate(kept);
+}
+
+/// Allocation-free containment cull over a canonically-sorted slice:
+/// compacts surviving HSPs to the front and returns how many survived.
+///
+/// The caller must have sorted `hsps` with [`sort_canonical`] ordering
+/// (the kernel's flat per-subject accumulator sorts one (query, subject)
+/// run at a time and culls each run in place).
+pub fn cull_contained_sorted(hsps: &mut [Hsp]) -> usize {
+    let mut kept = 0usize;
+    for i in 0..hsps.len() {
+        let h = hsps[i];
+        let contained = hsps[..kept]
             .iter()
             .filter(|k| k.oid == h.oid && k.query_idx == h.query_idx)
-        {
-            if h.contained_in(k) {
-                continue 'outer;
-            }
+            .any(|k| h.contained_in(k));
+        if !contained {
+            hsps[kept] = h;
+            kept += 1;
         }
-        kept.push(*h);
     }
-    *hsps = kept;
+    kept
 }
 
 /// Merge per-diagonal duplicates: two HSPs with identical coordinates.

@@ -26,7 +26,9 @@
 //! ```
 //! use blast_core::alphabet::Molecule;
 //! use blast_core::fasta;
-//! use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, VecSource};
+//! use blast_core::search::{
+//!     BlastSearcher, PreparedQueries, SearchParams, SearchScratch, VecSource,
+//! };
 //! use blast_core::stats::DbStats;
 //!
 //! let db = fasta::parse(Molecule::Protein,
@@ -38,7 +40,9 @@
 //! let params = SearchParams::blastp();
 //! let prepared = PreparedQueries::prepare(&params, queries, stats);
 //! let searcher = BlastSearcher::new(&params, &prepared);
-//! let result = searcher.search(&VecSource::from_records(&db));
+//! // One scratch per worker: reused across every partition it searches.
+//! let mut scratch = SearchScratch::new();
+//! let result = searcher.search(&VecSource::from_records(&db), &mut scratch);
 //! assert_eq!(result.per_query[0][0].oid, 0);
 //! ```
 
@@ -60,6 +64,6 @@ pub mod stats;
 pub use alphabet::Molecule;
 pub use hsp::Hsp;
 pub use matrix::ScoreMatrix;
-pub use search::{BlastSearcher, PreparedQueries, SearchParams};
+pub use search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch};
 pub use seq::{SeqRecord, SubjectView};
 pub use stats::DbStats;

@@ -83,15 +83,47 @@ impl QuerySet {
     }
 }
 
-/// A compressed-sparse-row lookup table: word index -> positions in the
+/// Query positions stored inline in a backbone cell before spilling to
+/// the overflow array (NCBI's thin-backbone layout uses the same 3).
+pub const INLINE_HITS: usize = 3;
+
+/// One dense backbone cell: a 16-byte record giving the common seed-scan
+/// case — a word with at most [`INLINE_HITS`] query positions — a single
+/// cache-line lookup with no second indirection.
+#[derive(Debug, Clone, Copy)]
+struct BackboneCell {
+    /// Number of query positions registered under this word.
+    len: u32,
+    /// The positions themselves when `len <= INLINE_HITS`; otherwise
+    /// `data[0]` is the bucket's start offset in the overflow array.
+    data: [u32; INLINE_HITS],
+}
+
+impl BackboneCell {
+    const EMPTY: BackboneCell = BackboneCell {
+        len: 0,
+        data: [0; INLINE_HITS],
+    };
+}
+
+/// A thin-backbone lookup table: word index -> positions in the
 /// concatenated query set where a neighborhood word begins.
+///
+/// Layout follows NCBI's `BlastAaLookupTable`: a dense array of
+/// [`BackboneCell`]s stores up to [`INLINE_HITS`] positions inline; larger
+/// buckets spill to a shared overflow array. The seed scan's hot
+/// `hits(word)` therefore touches one cache line for the overwhelmingly
+/// common small bucket, instead of an offsets pair plus a positions
+/// range. Construction still runs as a CSR counting sort (see
+/// [`LookupTable::build`]) before the backbone is laid down.
 #[derive(Debug, Clone)]
 pub struct LookupTable {
     word_len: usize,
     alphabet: usize,
-    /// CSR offsets: bucket `w` holds `positions[offsets[w]..offsets[w+1]]`.
-    offsets: Vec<u32>,
-    positions: Vec<u32>,
+    backbone: Vec<BackboneCell>,
+    /// Spilled buckets, each a contiguous run referenced by its cell.
+    overflow: Vec<u32>,
+    num_entries: usize,
 }
 
 impl LookupTable {
@@ -127,8 +159,7 @@ impl LookupTable {
                 .unwrap_or(i32::MIN);
         }
 
-        // Pass 1: count per-bucket entries; pass 2: fill.
-        let mut counts = vec![0u32; n_words];
+        // Pass 1: collect (word, position) entries.
         let mut entries: Vec<(u32, u32)> = Vec::new(); // (word, concat_pos)
         let mut scratch = Vec::with_capacity(word_len);
         for qi in 0..queries.len() {
@@ -150,28 +181,57 @@ impl LookupTable {
                     word_alphabet,
                     threshold,
                     &mut scratch,
-                    &mut |w| {
-                        counts[w as usize] += 1;
-                        entries.push((w, pos as u32));
-                    },
+                    &mut |w| entries.push((w, pos as u32)),
                 );
             }
         }
-        let mut offsets = vec![0u32; n_words + 1];
-        for w in 0..n_words {
-            offsets[w + 1] = offsets[w] + counts[w];
+
+        // Pass 2: counting sort in place. One `offsets` array serves as
+        // histogram, scatter cursor, and (implicit) CSR bounds: after the
+        // scatter, `offsets[w]` is the *end* of bucket `w`, so bucket `w`
+        // spans `offsets[w-1]..offsets[w]` — no separate counts array and
+        // no cloned cursor, halving the peak build memory beyond entries.
+        let mut offsets = vec![0u32; n_words];
+        for &(w, _) in &entries {
+            offsets[w as usize] += 1;
         }
-        let mut cursor = offsets.clone();
+        let mut running = 0u32;
+        for slot in offsets.iter_mut() {
+            let count = *slot;
+            *slot = running; // start of this bucket
+            running += count;
+        }
         let mut positions = vec![0u32; entries.len()];
-        for (w, pos) in entries {
-            positions[cursor[w as usize] as usize] = pos;
-            cursor[w as usize] += 1;
+        for &(w, pos) in &entries {
+            let cursor = &mut offsets[w as usize];
+            positions[*cursor as usize] = pos;
+            *cursor += 1; // becomes the bucket's end bound
+        }
+        drop(entries);
+
+        // Pass 3: lay down the thin backbone. Small buckets inline their
+        // positions; large ones spill to the compacted overflow array.
+        let mut backbone = vec![BackboneCell::EMPTY; n_words];
+        let mut overflow = Vec::new();
+        let mut start = 0u32;
+        for (w, cell) in backbone.iter_mut().enumerate() {
+            let end = offsets[w];
+            let bucket = &positions[start as usize..end as usize];
+            cell.len = bucket.len() as u32;
+            if bucket.len() <= INLINE_HITS {
+                cell.data[..bucket.len()].copy_from_slice(bucket);
+            } else {
+                cell.data[0] = overflow.len() as u32;
+                overflow.extend_from_slice(bucket);
+            }
+            start = end;
         }
         LookupTable {
             word_len,
             alphabet: word_alphabet,
-            offsets,
-            positions,
+            backbone,
+            overflow,
+            num_entries: positions.len(),
         }
     }
 
@@ -190,7 +250,13 @@ impl LookupTable {
     /// Total registered (word, position) pairs.
     #[inline]
     pub fn num_entries(&self) -> usize {
-        self.positions.len()
+        self.num_entries
+    }
+
+    /// Number of words (buckets) in the dense backbone.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.backbone.len()
     }
 
     /// Compute the bucket index of a window of residues, or `None` if any
@@ -209,11 +275,19 @@ impl LookupTable {
     }
 
     /// Query positions registered under bucket `word`.
+    ///
+    /// The common case (a bucket of at most [`INLINE_HITS`] positions)
+    /// reads only the 16-byte backbone cell — one cache line.
     #[inline]
     pub fn hits(&self, word: u32) -> &[u32] {
-        let lo = self.offsets[word as usize] as usize;
-        let hi = self.offsets[word as usize + 1] as usize;
-        &self.positions[lo..hi]
+        let cell = &self.backbone[word as usize];
+        let len = cell.len as usize;
+        if len <= INLINE_HITS {
+            &cell.data[..len]
+        } else {
+            let start = cell.data[0] as usize;
+            &self.overflow[start..start + len]
+        }
     }
 }
 
@@ -383,11 +457,24 @@ mod tests {
         let m = ScoreMatrix::blosum62();
         let table = LookupTable::build(&set, &m, 3, 20, 11);
         // Positions 0 and 1 contain X (code 22 >= 20); only VLK at 2 counts.
-        for w in 0..table.offsets.len() - 1 {
+        for w in 0..table.num_words() {
             for &p in table.hits(w as u32) {
                 assert_eq!(p, 2);
             }
         }
+    }
+
+    #[test]
+    fn large_buckets_spill_to_overflow_in_order() {
+        // Four copies of the same word register four positions under it:
+        // past INLINE_HITS, the bucket spills but keeps query-scan order.
+        let set = qs(&[b"WWWWWWWWWWWW"]);
+        let table = LookupTable::build(&set, &ScoreMatrix::blosum62(), 3, 20, 11);
+        let www = table.word_index(&set.concat()[0..3]).unwrap();
+        let hits = table.hits(www);
+        assert!(hits.len() > INLINE_HITS, "self-hits of W^12: {hits:?}");
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "ascending: {hits:?}");
+        assert_eq!(hits, (0..10).collect::<Vec<u32>>());
     }
 
     #[test]

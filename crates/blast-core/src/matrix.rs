@@ -12,6 +12,13 @@ use crate::alphabet::{encode_letter, Molecule, DNA_ALPHABET_SIZE, PROTEIN_ALPHAB
 /// does not cover (gap placeholder pairings, etc.).
 pub const UNDEFINED_SCORE: i32 = -4;
 
+/// Row stride of the padded score table. A power of two, strictly larger
+/// than every alphabet, so [`ScoreMatrix::score`] can index with masked
+/// coordinates — the compiler proves the index in bounds and the lookup
+/// compiles to a single unchecked load. The extension DP inner loops call
+/// `score` once per cell, so this is the kernel's hottest load.
+const STRIDE: usize = 32;
+
 /// A dense residue-pair scoring matrix over one molecule's full alphabet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScoreMatrix {
@@ -20,7 +27,13 @@ pub struct ScoreMatrix {
     /// Molecule the matrix scores.
     pub molecule: Molecule,
     size: usize,
-    scores: Vec<i32>,
+    /// `STRIDE`-strided table; cells outside the `size × size` valid
+    /// region hold [`UNDEFINED_SCORE`] and are never read via `score`.
+    scores: Box<[i32; STRIDE * STRIDE]>,
+}
+
+fn empty_table() -> Box<[i32; STRIDE * STRIDE]> {
+    Box::new([UNDEFINED_SCORE; STRIDE * STRIDE])
 }
 
 impl ScoreMatrix {
@@ -40,11 +53,15 @@ impl ScoreMatrix {
             size * size,
             "score table must cover the full alphabet"
         );
+        let mut table = empty_table();
+        for a in 0..size {
+            table[a * STRIDE..a * STRIDE + size].copy_from_slice(&scores[a * size..(a + 1) * size]);
+        }
         ScoreMatrix {
             name: name.into(),
             molecule,
             size,
-            scores,
+            scores: table,
         }
     }
 
@@ -52,14 +69,15 @@ impl ScoreMatrix {
     #[inline(always)]
     pub fn score(&self, a: u8, b: u8) -> i32 {
         debug_assert!((a as usize) < self.size && (b as usize) < self.size);
-        // SAFETY-free: plain indexing; the debug_assert documents the bound.
-        self.scores[a as usize * self.size + b as usize]
+        // The masks are no-ops for valid codes (every alphabet fits in
+        // STRIDE) and let the compiler elide the bounds check entirely.
+        self.scores[(a as usize & (STRIDE - 1)) * STRIDE + (b as usize & (STRIDE - 1))]
     }
 
     /// Row of scores for residue `a` against every residue.
     #[inline]
     pub fn row(&self, a: u8) -> &[i32] {
-        let start = a as usize * self.size;
+        let start = a as usize * STRIDE;
         &self.scores[start..start + self.size]
     }
 
@@ -71,12 +89,20 @@ impl ScoreMatrix {
 
     /// Highest score anywhere in the matrix.
     pub fn max_score(&self) -> i32 {
-        self.scores.iter().copied().max().unwrap_or(0)
+        (0..self.size as u8)
+            .flat_map(|a| self.row(a))
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Lowest score anywhere in the matrix.
     pub fn min_score(&self) -> i32 {
-        self.scores.iter().copied().min().unwrap_or(0)
+        (0..self.size as u8)
+            .flat_map(|a| self.row(a))
+            .copied()
+            .min()
+            .unwrap_or(0)
     }
 
     /// Whether `score(a, b) == score(b, a)` for all pairs.
@@ -95,7 +121,7 @@ impl ScoreMatrix {
         text: &str,
     ) -> Result<ScoreMatrix, MatrixParseError> {
         let size = molecule.alphabet_size();
-        let mut scores = vec![UNDEFINED_SCORE; size * size];
+        let mut scores = empty_table();
         let mut columns: Option<Vec<u8>> = None;
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -134,7 +160,7 @@ impl ScoreMatrix {
                     line: lineno + 1,
                     reason: format!("bad score token {tok:?}"),
                 })?;
-                scores[row_code as usize * size + col_code as usize] = value;
+                scores[row_code as usize * STRIDE + col_code as usize] = value;
             }
         }
         if columns.is_none() {
@@ -165,14 +191,19 @@ impl ScoreMatrix {
         assert!(reward > 0, "match reward must be positive");
         assert!(penalty < 0, "mismatch penalty must be negative");
         let size = DNA_ALPHABET_SIZE;
-        let mut scores = vec![penalty; size * size];
+        let mut scores = empty_table();
+        for a in 0..size {
+            for b in 0..size {
+                scores[a * STRIDE + b] = penalty;
+            }
+        }
         for base in 0..4usize {
-            scores[base * size + base] = reward;
+            scores[base * STRIDE + base] = reward;
         }
         let n = crate::alphabet::DNA_N as usize;
         for other in 0..size {
-            scores[n * size + other] = penalty;
-            scores[other * size + n] = penalty;
+            scores[n * STRIDE + other] = penalty;
+            scores[other * STRIDE + n] = penalty;
         }
         ScoreMatrix {
             name: format!("DNA(+{reward}/{penalty})"),
@@ -190,16 +221,16 @@ impl ScoreMatrix {
         let x = crate::alphabet::PROTEIN_X as usize;
         for extra in 24..PROTEIN_ALPHABET_SIZE {
             for other in 0..size {
-                self.scores[extra * size + other] = self.scores[x * size + other];
-                self.scores[other * size + extra] = self.scores[other * size + x];
+                self.scores[extra * STRIDE + other] = self.scores[x * STRIDE + other];
+                self.scores[other * STRIDE + extra] = self.scores[other * STRIDE + x];
             }
-            self.scores[extra * size + extra] = self.scores[x * size + x];
+            self.scores[extra * STRIDE + extra] = self.scores[x * STRIDE + x];
         }
         // Gap placeholder pairs stay strongly negative.
         let gap = size - 1;
         for other in 0..size {
-            self.scores[gap * size + other] = UNDEFINED_SCORE;
-            self.scores[other * size + gap] = UNDEFINED_SCORE;
+            self.scores[gap * STRIDE + other] = UNDEFINED_SCORE;
+            self.scores[other * STRIDE + gap] = UNDEFINED_SCORE;
         }
     }
 }

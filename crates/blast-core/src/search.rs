@@ -13,9 +13,9 @@
 //! always derived from whole-database statistics.
 
 use crate::alphabet::Molecule;
-use crate::extend::{gapped_xdrop, ungapped_xdrop, GappedHit};
+use crate::extend::{gapped_xdrop, ungapped_xdrop, ExtendScratch, GappedHit, UngappedHit};
 use crate::filter::{mask_in_place, FilterParams};
-use crate::hsp::{cull_contained, Hsp};
+use crate::hsp::{cull_contained_sorted, Hsp, RankKey};
 use crate::karlin::{gapped_params, solve_ungapped, Background, GapPenalties, KarlinParams};
 use crate::lookup::{LookupTable, QuerySet};
 use crate::matrix::ScoreMatrix;
@@ -212,6 +212,21 @@ impl PreparedQueries {
             .map(|r| (r.len() + r.defline.len() + 16) as u64)
             .sum()
     }
+
+    /// The concatenated, masked query set.
+    pub fn set(&self) -> &QuerySet {
+        &self.set
+    }
+
+    /// The neighborhood-word lookup table over the query set.
+    pub fn lookup(&self) -> &LookupTable {
+        &self.lookup
+    }
+
+    /// Raw-score reporting cutoff of query `idx`.
+    pub fn cutoff(&self, idx: usize) -> i32 {
+        self.cutoffs[idx]
+    }
 }
 
 /// All hits of one query against one subject.
@@ -276,7 +291,8 @@ impl SearchStats {
 }
 
 /// The search kernel. Create once per (params, queries) pair; call
-/// [`BlastSearcher::search`] once per partition.
+/// [`BlastSearcher::search`] once per partition, threading one
+/// [`SearchScratch`] through every call.
 pub struct BlastSearcher<'a> {
     params: &'a SearchParams,
     queries: &'a PreparedQueries,
@@ -285,87 +301,128 @@ pub struct BlastSearcher<'a> {
     gap_trigger: i32,
 }
 
+/// Reusable working memory for the search kernel's per-subject path.
+///
+/// The kernel's steady state — scan a subject, extend its seeds, collect
+/// its HSPs — performs **zero heap allocations** when driven through one
+/// `SearchScratch`: diagonal state is stamped rather than cleared,
+/// candidate and HSP vectors are recycled at their high-water marks, and
+/// the gapped-extension DP rows live in the embedded
+/// [`ExtendScratch`]. A worker owns exactly one scratch and reuses it
+/// across all subjects of all fragments of a run; reuse never changes
+/// results (see the `scratch_reuse_is_invisible` property test).
+#[derive(Default)]
+pub struct SearchScratch {
+    diag: DiagState,
+    /// Gapped alignment envelopes found on the current subject.
+    gapped_hits: Vec<(u32, GappedHit)>,
+    /// Ungapped-only HSP candidates on the current subject.
+    ungapped_keep: Vec<(u32, UngappedHit)>,
+    /// Flat per-subject HSP accumulator, decorated with the (query,
+    /// ranking) sort key so the sort never recomputes keys.
+    keyed: Vec<((u32, RankKey), Hsp)>,
+    /// One query's culled HSP run, reused across queries and subjects.
+    run: Vec<Hsp>,
+    /// Final ranking decoration: (best-HSP key, subject hit).
+    ranked: Vec<(RankKey, SubjectHit)>,
+    /// DP buffers for gapped X-drop extension.
+    ext: ExtendScratch,
+}
+
+impl SearchScratch {
+    /// Fresh scratch; buffers grow to their high-water marks on use.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+}
+
+/// One diagonal's scan state. Kept as a single 16-byte cell so each seed
+/// hit touches one cache line; the seed kernel's four parallel arrays
+/// cost up to four lines per hit, and the seed-hit loop is the kernel's
+/// hottest path.
+#[derive(Clone, Copy, Default)]
+struct DiagCell {
+    stamp: u32,
+    last_hit: u32,
+    ext_stamp: u32,
+    last_ext_end: u32,
+}
+
 /// Per-diagonal scan state, stamped to avoid clearing between subjects.
+#[derive(Default)]
 struct DiagState {
-    stamp: Vec<u32>,
-    last_hit: Vec<u32>,
-    ext_stamp: Vec<u32>,
-    last_ext_end: Vec<u32>,
+    cells: Vec<DiagCell>,
     current: u32,
 }
 
 impl DiagState {
-    fn new() -> DiagState {
-        DiagState {
-            stamp: Vec::new(),
-            last_hit: Vec::new(),
-            ext_stamp: Vec::new(),
-            last_ext_end: Vec::new(),
-            current: 0,
-        }
-    }
-
     fn begin_subject(&mut self, diagonals: usize) {
-        if self.stamp.len() < diagonals {
-            self.stamp.resize(diagonals, 0);
-            self.last_hit.resize(diagonals, 0);
-            self.ext_stamp.resize(diagonals, 0);
-            self.last_ext_end.resize(diagonals, 0);
+        if self.cells.len() < diagonals {
+            self.cells.resize(diagonals, DiagCell::default());
         }
         self.current = self.current.wrapping_add(1);
         if self.current == 0 {
             // Stamp wrapped: hard reset.
-            self.stamp.fill(0);
-            self.ext_stamp.fill(0);
+            for cell in &mut self.cells {
+                cell.stamp = 0;
+                cell.ext_stamp = 0;
+            }
             self.current = 1;
         }
     }
 
-    /// Record a word hit at subject position `new_pos` on diagonal `d` and
-    /// decide whether it completes a two-hit pair.
+    /// Combined per-seed-hit update: a single cell load decides whether the
+    /// hit is masked by an earlier ungapped extension on this diagonal,
+    /// completes a two-hit pair (return `true` = extend), or merely arms
+    /// the diagonal. Folding the extension-mask check and the two-hit
+    /// bookkeeping into one call costs one bounds check and one cell load
+    /// per seed hit instead of two, and seed hits outnumber every other
+    /// kernel event by two orders of magnitude.
     ///
-    /// NCBI's rule: a new hit pairs with the stored one when they do not
-    /// overlap (`dist >= word_len`) and fall within the window `A`
+    /// NCBI's two-hit rule: a new hit pairs with the stored one when they
+    /// do not overlap (`dist >= word_len`) and fall within the window `A`
     /// (`dist <= window`). An overlapping hit *keeps* the stored position
     /// (so a later hit can still pair with the original); a hit beyond the
-    /// window replaces it.
+    /// window replaces it. A hit masked by a previous extension leaves the
+    /// stored pair state untouched.
+    /// The body is written branch-free (selects over the loaded cell):
+    /// the masked/fresh/overlap outcomes depend on just-loaded data and
+    /// mispredict heavily in a branchy formulation, serialising the scan
+    /// on the cell load latency. Only the loop-invariant `window == 0`
+    /// test remains a branch. Stale cells (stamp from an older subject)
+    /// make `dist` garbage, so it uses wrapping arithmetic; `fresh` then
+    /// forces the update and vetoes the pair, exactly as the stamped
+    /// branchy logic did.
     #[inline]
-    fn observe_hit(&mut self, d: usize, new_pos: u32, word_len: u32, window: u32) -> bool {
+    fn admit_hit(&mut self, d: usize, new_pos: u32, word_len: u32, window: u32) -> bool {
+        let current = self.current;
+        let cell = &mut self.cells[d];
+        let masked = cell.ext_stamp == current && new_pos + word_len <= cell.last_ext_end;
         if window == 0 {
-            // Single-hit seeding.
-            self.stamp[d] = self.current;
-            self.last_hit[d] = new_pos;
-            return true;
+            // Single-hit seeding: every unmasked hit extends.
+            cell.stamp = if masked { cell.stamp } else { current };
+            cell.last_hit = if masked { cell.last_hit } else { new_pos };
+            return !masked;
         }
-        if self.stamp[d] != self.current {
-            self.stamp[d] = self.current;
-            self.last_hit[d] = new_pos;
-            return false;
-        }
-        let dist = new_pos - self.last_hit[d];
-        if dist < word_len {
-            // Overlapping: keep the earlier hit.
-            false
-        } else if dist <= window {
-            // Two-hit pair completed; reset so the next seed needs a fresh pair.
-            self.last_hit[d] = new_pos;
-            true
-        } else {
-            // Too far: restart the pair from the new hit.
-            self.last_hit[d] = new_pos;
-            false
-        }
-    }
-
-    #[inline]
-    fn extension_end(&self, d: usize) -> Option<u32> {
-        (self.ext_stamp[d] == self.current).then(|| self.last_ext_end[d])
+        let fresh = cell.stamp != current;
+        let dist = new_pos.wrapping_sub(cell.last_hit);
+        let overlap = dist < word_len;
+        // Two-hit pair: stored hit present, non-overlapping, within the
+        // window. Overlapping hits keep the stored position (so a later
+        // hit can still pair with the original); beyond-window hits
+        // restart the pair, completed pairs reset it.
+        let pair = !fresh & !overlap & (dist <= window);
+        let update = !masked & (fresh | !overlap);
+        cell.stamp = if masked { cell.stamp } else { current };
+        cell.last_hit = if update { new_pos } else { cell.last_hit };
+        !masked & pair
     }
 
     #[inline]
     fn set_extension_end(&mut self, d: usize, end: u32) {
-        self.ext_stamp[d] = self.current;
-        self.last_ext_end[d] = end;
+        let cell = &mut self.cells[d];
+        cell.ext_stamp = self.current;
+        cell.last_ext_end = end;
     }
 }
 
@@ -382,25 +439,36 @@ impl<'a> BlastSearcher<'a> {
     }
 
     /// Search one partition, returning per-query subject hits.
-    pub fn search<S: SubjectSource + ?Sized>(&self, source: &S) -> FragmentResult {
+    ///
+    /// `scratch` is caller-owned working memory: pass the same scratch to
+    /// every call (across subjects, fragments, and runs) and the
+    /// per-subject path stays allocation-free. Results are identical for
+    /// a fresh and a reused scratch.
+    pub fn search<S: SubjectSource + ?Sized>(
+        &self,
+        source: &S,
+        scratch: &mut SearchScratch,
+    ) -> FragmentResult {
         let mut result = FragmentResult {
             per_query: vec![Vec::new(); self.queries.len()],
             stats: SearchStats::default(),
         };
-        let mut diag = DiagState::new();
         let concat_len = self.queries.set.concat().len();
         for si in 0..source.num_subjects() {
             let subject = source.subject(si);
-            self.search_subject(&subject, concat_len, &mut diag, &mut result);
+            self.search_subject(&subject, concat_len, scratch, &mut result);
         }
-        // Keep only the best `hitlist_size` subjects per query.
+        // Keep only the best `hitlist_size` subjects per query, sorting on
+        // ranking keys computed once per subject instead of twice per
+        // comparison. Keys are distinct (each subject appears once per
+        // partition), so the unstable sort is deterministic.
+        let ranked = &mut scratch.ranked;
         for hits in &mut result.per_query {
-            hits.sort_by(|a, b| {
-                let ka = a.hsps[0].rank_key();
-                let kb = b.hsps[0].rank_key();
-                ka.cmp(&kb)
-            });
-            hits.truncate(self.params.hitlist_size);
+            ranked.clear();
+            ranked.extend(hits.drain(..).map(|h| (h.hsps[0].rank_key(), h)));
+            ranked.sort_unstable_by_key(|a| a.0);
+            ranked.truncate(self.params.hitlist_size);
+            hits.extend(ranked.drain(..).map(|(_, h)| h));
         }
         result
     }
@@ -409,7 +477,7 @@ impl<'a> BlastSearcher<'a> {
         &self,
         subject: &SubjectView<'_>,
         concat_len: usize,
-        diag: &mut DiagState,
+        scratch: &mut SearchScratch,
         result: &mut FragmentResult,
     ) {
         let params = self.params;
@@ -419,19 +487,17 @@ impl<'a> BlastSearcher<'a> {
         if subject.residues.len() < w {
             return;
         }
-        diag.begin_subject(concat_len + subject.residues.len() + 1);
+        scratch
+            .diag
+            .begin_subject(concat_len + subject.residues.len() + 1);
+        scratch.gapped_hits.clear();
+        scratch.ungapped_keep.clear();
 
         let concat = self.queries.set.concat();
         let s = subject.residues;
         let s_len = s.len();
         let alpha = params.word_alphabet as u32;
         let word_span = alpha.pow(w as u32 - 1);
-
-        // (query_idx, gapped hit) envelopes found on this subject, used to
-        // suppress re-extension of seeds inside an existing alignment.
-        let mut gapped_hits: Vec<(u32, GappedHit)> = Vec::new();
-        // Ungapped-only HSP candidates (query_idx, hit).
-        let mut ungapped_keep: Vec<(u32, crate::extend::UngappedHit)> = Vec::new();
 
         // Rolling word index over the subject.
         let mut idx = 0u32;
@@ -455,30 +521,17 @@ impl<'a> BlastSearcher<'a> {
             result.stats.seed_hits += bucket.len() as u64;
             for &qp in bucket {
                 let d = (qp as usize + s_len) - sp as usize;
-                // Skip seeds inside an already-extended region.
-                if let Some(end) = diag.extension_end(d) {
-                    if sp + (w as u32) <= end {
-                        continue;
-                    }
-                }
-                if !diag.observe_hit(d, sp, w as u32, params.two_hit_window) {
+                if !scratch
+                    .diag
+                    .admit_hit(d, sp, w as u32, params.two_hit_window)
+                {
                     continue;
                 }
-                self.extend_seed(
-                    subject,
-                    concat,
-                    qp,
-                    sp,
-                    d,
-                    diag,
-                    &mut gapped_hits,
-                    &mut ungapped_keep,
-                    result,
-                );
+                self.extend_seed(subject, concat, qp, sp, d, scratch, result);
             }
         }
 
-        self.collect_subject_hits(subject, gapped_hits, ungapped_keep, result);
+        self.collect_subject_hits(subject, scratch, result);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -489,9 +542,7 @@ impl<'a> BlastSearcher<'a> {
         qp: u32,
         sp: u32,
         d: usize,
-        diag: &mut DiagState,
-        gapped_hits: &mut Vec<(u32, GappedHit)>,
-        ungapped_keep: &mut Vec<(u32, crate::extend::UngappedHit)>,
+        scratch: &mut SearchScratch,
         result: &mut FragmentResult,
     ) {
         let params = self.params;
@@ -505,7 +556,7 @@ impl<'a> BlastSearcher<'a> {
             params.word_len as u32,
             self.x_ungapped,
         );
-        diag.set_extension_end(d, hit.s_end);
+        scratch.diag.set_extension_end(d, hit.s_end);
 
         // Identify which query this extension belongs to. Extensions cannot
         // cross sentinels (they score UNDEFINED against everything), but be
@@ -523,7 +574,7 @@ impl<'a> BlastSearcher<'a> {
             // Gapped extension from the ungapped segment's midpoint, unless
             // that seed already lies inside a gapped hit for this query.
             let (seed_q, seed_s) = hit.seed_point();
-            let covered = gapped_hits.iter().any(|(qi, g)| {
+            let covered = scratch.gapped_hits.iter().any(|(qi, g)| {
                 *qi == query_idx as u32
                     && seed_q >= g.q_start + q_lo
                     && seed_q < g.q_end + q_lo
@@ -543,36 +594,47 @@ impl<'a> BlastSearcher<'a> {
                 seed_q - q_lo,
                 seed_s,
                 self.x_gapped,
+                &mut scratch.ext,
             );
             if g.score >= cutoff {
-                gapped_hits.push((query_idx as u32, g));
+                scratch.gapped_hits.push((query_idx as u32, g));
             }
         } else if hit.score >= cutoff {
             // Strong enough ungapped-only HSP (rare with gapped cutoffs).
             let mut h = hit;
             h.q_start -= q_lo;
             h.q_end -= q_lo;
-            ungapped_keep.push((query_idx as u32, h));
+            scratch.ungapped_keep.push((query_idx as u32, h));
         }
     }
 
+    /// Collect the subject's surviving HSPs into per-query subject hits.
+    ///
+    /// A flat sort-by-(query, rank) pass over the reused accumulator
+    /// replaces the seed kernel's per-subject `BTreeMap<u32, Vec<Hsp>>`:
+    /// one cache-friendly sort, then a walk over query runs, with the
+    /// only allocation being each *retained* hit's output vector.
     fn collect_subject_hits(
         &self,
         subject: &SubjectView<'_>,
-        gapped_hits: Vec<(u32, GappedHit)>,
-        ungapped_keep: Vec<(u32, crate::extend::UngappedHit)>,
+        scratch: &mut SearchScratch,
         result: &mut FragmentResult,
     ) {
-        if gapped_hits.is_empty() && ungapped_keep.is_empty() {
+        if scratch.gapped_hits.is_empty() && scratch.ungapped_keep.is_empty() {
             return;
         }
         let params = self.params;
-        // Group HSPs per query.
-        let mut per_query: std::collections::BTreeMap<u32, Vec<Hsp>> =
-            std::collections::BTreeMap::new();
-        for (qi, g) in gapped_hits {
+        let SearchScratch {
+            gapped_hits,
+            ungapped_keep,
+            keyed,
+            run,
+            ..
+        } = scratch;
+        keyed.clear();
+        for &(qi, g) in gapped_hits.iter() {
             let sp = &self.queries.spaces[qi as usize];
-            per_query.entry(qi).or_default().push(Hsp {
+            let h = Hsp {
                 query_idx: qi,
                 oid: subject.oid,
                 q_start: g.q_start,
@@ -582,11 +644,12 @@ impl<'a> BlastSearcher<'a> {
                 score: g.score,
                 bit_score: sp.bit_score(g.score),
                 evalue: sp.evalue(g.score),
-            });
+            };
+            keyed.push(((qi, h.rank_key()), h));
         }
-        for (qi, u) in ungapped_keep {
+        for &(qi, u) in ungapped_keep.iter() {
             let sp = &self.queries.spaces[qi as usize];
-            per_query.entry(qi).or_default().push(Hsp {
+            let h = Hsp {
                 query_idx: qi,
                 oid: subject.oid,
                 q_start: u.q_start,
@@ -596,20 +659,33 @@ impl<'a> BlastSearcher<'a> {
                 score: u.score,
                 bit_score: sp.bit_score(u.score),
                 evalue: sp.evalue(u.score),
-            });
+            };
+            keyed.push(((qi, h.rank_key()), h));
         }
-        for (qi, mut hsps) in per_query {
-            cull_contained(&mut hsps);
-            hsps.retain(|h| h.evalue <= params.expect);
-            hsps.truncate(params.max_hsps_per_subject);
-            if hsps.is_empty() {
+        // Queries ascending, canonical HSP order within each query. Equal
+        // keys imply identical HSPs, so the unstable sort is deterministic.
+        keyed.sort_unstable_by_key(|a| a.0);
+
+        let mut i = 0;
+        while i < keyed.len() {
+            let qi = keyed[i].0 .0;
+            run.clear();
+            while i < keyed.len() && keyed[i].0 .0 == qi {
+                run.push(keyed[i].1);
+                i += 1;
+            }
+            let kept = cull_contained_sorted(run);
+            run.truncate(kept);
+            run.retain(|h| h.evalue <= params.expect);
+            run.truncate(params.max_hsps_per_subject);
+            if run.is_empty() {
                 continue;
             }
-            result.stats.hsps_kept += hsps.len() as u64;
+            result.stats.hsps_kept += run.len() as u64;
             result.per_query[qi as usize].push(SubjectHit {
                 oid: subject.oid,
                 subject_len: subject.residues.len() as u32,
-                hsps,
+                hsps: run.clone(),
             });
         }
     }
@@ -687,7 +763,10 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
         let queries = vec![SeqRecord::from_ascii(Molecule::Protein, "q1", query).unwrap()];
         let prepared = PreparedQueries::prepare(&params, queries, db);
         let searcher = BlastSearcher::new(&params, &prepared);
-        searcher.search(&VecSource::from_records(&records))
+        searcher.search(
+            &VecSource::from_records(&records),
+            &mut SearchScratch::new(),
+        )
     }
 
     #[test]
@@ -755,7 +834,10 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
         let prepared = PreparedQueries::prepare(&params, queries, db);
         let searcher = BlastSearcher::new(&params, &prepared);
 
-        let whole = searcher.search(&VecSource::from_records(&records));
+        let whole = searcher.search(
+            &VecSource::from_records(&records),
+            &mut SearchScratch::new(),
+        );
 
         let all: Vec<(u32, Vec<u8>, Vec<u8>)> = records
             .iter()
@@ -764,8 +846,8 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
             .collect();
         let part_a = VecSource::with_oids(all[..2].to_vec());
         let part_b = VecSource::with_oids(all[2..].to_vec());
-        let ra = searcher.search(&part_a);
-        let rb = searcher.search(&part_b);
+        let ra = searcher.search(&part_a, &mut SearchScratch::new());
+        let rb = searcher.search(&part_b, &mut SearchScratch::new());
 
         let mut merged: Vec<SubjectHit> = ra.per_query[0]
             .iter()
@@ -793,7 +875,10 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
         let db = stats_for(&records);
         let prepared = PreparedQueries::prepare(&params, Vec::new(), db);
         let searcher = BlastSearcher::new(&params, &prepared);
-        let result = searcher.search(&VecSource::from_records(&records));
+        let result = searcher.search(
+            &VecSource::from_records(&records),
+            &mut SearchScratch::new(),
+        );
         assert!(result.per_query.is_empty());
     }
 
@@ -806,7 +891,10 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
             vec![SeqRecord::from_ascii(Molecule::Protein, "q", b"MKVLAAGHWRTEYFND").unwrap()];
         let prepared = PreparedQueries::prepare(&params, queries, db);
         let searcher = BlastSearcher::new(&params, &prepared);
-        let result = searcher.search(&VecSource::from_records(&records));
+        let result = searcher.search(
+            &VecSource::from_records(&records),
+            &mut SearchScratch::new(),
+        );
         assert!(result.per_query[0].is_empty());
         assert_eq!(result.stats.subjects, 1);
     }
@@ -825,7 +913,10 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
         .unwrap()];
         let prepared = PreparedQueries::prepare(&params, queries, db);
         let searcher = BlastSearcher::new(&params, &prepared);
-        let result = searcher.search(&VecSource::from_records(&records));
+        let result = searcher.search(
+            &VecSource::from_records(&records),
+            &mut SearchScratch::new(),
+        );
         assert_eq!(result.per_query[0].len(), 1);
     }
 }

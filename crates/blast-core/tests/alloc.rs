@@ -1,0 +1,183 @@
+//! Proof that the kernel's steady-state per-subject path is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warmup pass grows every scratch buffer to its high-water mark, scanning
+//! more subjects through the same [`SearchScratch`] must not allocate at
+//! all — the per-call cost is one constant allocation (the per-query
+//! result vector), independent of how many subjects are scanned.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use blast_core::alphabet::Molecule;
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch, VecSource};
+use blast_core::seq::SeqRecord;
+use blast_core::stats::DbStats;
+
+/// Counts alloc/realloc calls on the current thread. The counter is a
+/// const-initialized thread-local so reading it never allocates or takes
+/// a lock; other harness threads don't perturb the measurement.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Deterministic pseudo-random protein residues: enough neighborhood-word
+/// seed hits to drive ungapped (and occasional gapped) extensions, but no
+/// alignment strong enough to pass a stringent E-value cutoff.
+fn noise(seed: usize, len: usize) -> Vec<u8> {
+    let mut state = (seed as u64) * 2 + 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 20) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_subject_scan_is_allocation_free() {
+    // Stringent cutoff: seeds fire and extensions run, but nothing is
+    // retained, so the only allocation a search call may make is the
+    // per-query output vector itself.
+    let mut params = SearchParams::blastp();
+    params.expect = 1e-6;
+
+    let subjects: Vec<SeqRecord> = (0..16)
+        .map(|i| SeqRecord {
+            defline: format!("s{i}"),
+            residues: noise(i, 60 + (i % 7) * 11),
+            molecule: Molecule::Protein,
+        })
+        .collect();
+    let db = DbStats {
+        num_sequences: subjects.len() as u64,
+        total_residues: subjects.iter().map(|r| r.len() as u64).sum(),
+    };
+    let queries = vec![SeqRecord {
+        defline: "q".into(),
+        residues: noise(97, 80),
+        molecule: Molecule::Protein,
+    }];
+    let prepared = PreparedQueries::prepare(&params, queries, db);
+    let searcher = BlastSearcher::new(&params, &prepared);
+
+    let small = VecSource::from_records(&subjects);
+    let tripled: Vec<SeqRecord> = (0..3).flat_map(|_| subjects.iter().cloned()).collect();
+    let large = VecSource::from_records(&tripled);
+
+    let mut scratch = SearchScratch::new();
+
+    // Warmup: grow every buffer to its high-water mark.
+    let warm = searcher.search(&large, &mut scratch);
+    assert!(warm.stats.seed_hits > 0, "workload must exercise seeding");
+    assert!(
+        warm.stats.ungapped_extensions > 0,
+        "workload must exercise extension"
+    );
+    assert_eq!(warm.per_query[0].len(), 0, "cutoff must reject everything");
+
+    let before_small = allocs();
+    let r_small = searcher.search(&small, &mut scratch);
+    let cost_small = allocs() - before_small;
+
+    let before_large = allocs();
+    let r_large = searcher.search(&large, &mut scratch);
+    let cost_large = allocs() - before_large;
+
+    // Keep results alive across the measurement so their drops (frees,
+    // not allocations) cannot be reordered into the window.
+    assert_eq!(r_small.stats.subjects, 16);
+    assert_eq!(r_large.stats.subjects, 48);
+
+    // Per-subject path: zero allocations. Tripling the subjects scanned
+    // must not change the per-call cost at all.
+    assert_eq!(
+        cost_small, cost_large,
+        "allocation count must be independent of subjects scanned"
+    );
+    // Per-call constant: just the per-query output vector.
+    assert!(
+        cost_small <= 1,
+        "expected at most the per-query result vector, got {cost_small} allocations"
+    );
+}
+
+#[test]
+fn retained_hits_allocate_only_per_hit_output() {
+    // With hits retained, the steady state allocates only the output the
+    // caller keeps: repeating the identical search through a warmed
+    // scratch costs the identical number of allocations every time.
+    let params = SearchParams::blastp();
+    let family: Vec<u8> = noise(5, 70);
+    let subjects: Vec<SeqRecord> = (0..8)
+        .map(|i| {
+            let residues = if i % 2 == 0 {
+                family.iter().map(|&c| (c + (i as u8 % 3)) % 20).collect()
+            } else {
+                noise(i + 40, 66)
+            };
+            SeqRecord {
+                defline: format!("s{i}"),
+                residues,
+                molecule: Molecule::Protein,
+            }
+        })
+        .collect();
+    let db = DbStats {
+        num_sequences: subjects.len() as u64,
+        total_residues: subjects.iter().map(|r| r.len() as u64).sum(),
+    };
+    let queries = vec![SeqRecord {
+        defline: "q".into(),
+        residues: family,
+        molecule: Molecule::Protein,
+    }];
+    let prepared = PreparedQueries::prepare(&params, queries, db);
+    let searcher = BlastSearcher::new(&params, &prepared);
+    let source = VecSource::from_records(&subjects);
+
+    let mut scratch = SearchScratch::new();
+    let warm = searcher.search(&source, &mut scratch);
+    assert!(!warm.per_query[0].is_empty(), "workload must retain hits");
+
+    let before_a = allocs();
+    let ra = searcher.search(&source, &mut scratch);
+    let cost_a = allocs() - before_a;
+
+    let before_b = allocs();
+    let rb = searcher.search(&source, &mut scratch);
+    let cost_b = allocs() - before_b;
+
+    assert_eq!(ra.per_query, rb.per_query);
+    assert_eq!(
+        cost_a, cost_b,
+        "steady-state allocation cost must be exactly reproducible"
+    );
+}

@@ -4,7 +4,7 @@
 
 use blast_core::alphabet::Molecule;
 use blast_core::fasta;
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, VecSource};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch, VecSource};
 use blast_core::seq::SeqRecord;
 use blast_core::stats::DbStats;
 
@@ -18,7 +18,8 @@ fn stats_for(records: &[SeqRecord]) -> DbStats {
 fn run(queries: Vec<SeqRecord>, db: &[SeqRecord]) -> blast_core::search::FragmentResult {
     let params = SearchParams::blastp();
     let prepared = PreparedQueries::prepare(&params, queries, stats_for(db));
-    BlastSearcher::new(&params, &prepared).search(&VecSource::from_records(db))
+    BlastSearcher::new(&params, &prepared)
+        .search(&VecSource::from_records(db), &mut SearchScratch::new())
 }
 
 fn rec(defline: &str, seq: &[u8]) -> SeqRecord {

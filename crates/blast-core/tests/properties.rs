@@ -6,7 +6,7 @@ use blast_core::hsp::{cull_contained, sort_canonical, Hsp};
 use blast_core::karlin::{solve_from_distribution, ScoreDistribution};
 use blast_core::lookup::{LookupTable, QuerySet};
 use blast_core::matrix::ScoreMatrix;
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, VecSource};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch, VecSource};
 use blast_core::seq::SeqRecord;
 use blast_core::stats::{DbStats, SearchSpace};
 use proptest::prelude::*;
@@ -111,7 +111,7 @@ proptest! {
         }
         prop_assert_eq!(rescored, hit.score);
 
-        let g = gapped_xdrop(&matrix, gaps, &q, &s, pos, pos, 40);
+        let g = gapped_xdrop(&matrix, gaps, &q, &s, pos, pos, 40, &mut Default::default());
         prop_assert!(g.score >= matrix.score(q[pos as usize], s[pos as usize]));
         prop_assert!(g.q_start <= pos && g.q_end > pos);
     }
@@ -282,7 +282,7 @@ proptest! {
         let prepared = PreparedQueries::prepare(&params, queries, db);
         let searcher = BlastSearcher::new(&params, &prepared);
 
-        let whole = searcher.search(&VecSource::from_records(&records));
+        let whole = searcher.search(&VecSource::from_records(&records), &mut SearchScratch::new());
 
         let cut = split.min(records.len() - 1);
         let all: Vec<(u32, Vec<u8>, Vec<u8>)> = records
@@ -290,8 +290,8 @@ proptest! {
             .enumerate()
             .map(|(i, r)| (i as u32, r.residues.clone(), r.defline.clone().into_bytes()))
             .collect();
-        let ra = searcher.search(&VecSource::with_oids(all[..cut].to_vec()));
-        let rb = searcher.search(&VecSource::with_oids(all[cut..].to_vec()));
+        let ra = searcher.search(&VecSource::with_oids(all[..cut].to_vec()), &mut SearchScratch::new());
+        let rb = searcher.search(&VecSource::with_oids(all[cut..].to_vec()), &mut SearchScratch::new());
         let mut merged: Vec<_> = ra.per_query[0]
             .iter()
             .chain(rb.per_query[0].iter())
@@ -299,5 +299,69 @@ proptest! {
             .collect();
         merged.sort_by(|a, b| a.hsps[0].rank_key().cmp(&b.hsps[0].rank_key()));
         prop_assert_eq!(merged, whole.per_query[0].clone());
+    }
+
+    /// One `SearchScratch` reused across many searches — different queries,
+    /// different subjects, arbitrarily dirty state from the previous call —
+    /// yields results identical to a fresh scratch per call. This is the
+    /// contract that lets a worker own a single scratch for its lifetime.
+    #[test]
+    fn scratch_reuse_is_invisible(
+        workloads in prop::collection::vec(
+            (
+                prop::collection::vec(20usize..70, 1..3), // query lengths
+                prop::collection::vec(25usize..90, 1..6), // subject lengths
+                0usize..5,                                // mutation phase
+            ),
+            2..5,
+        ),
+    ) {
+        let params = SearchParams::blastp();
+        let mut reused = SearchScratch::new();
+        let base: Vec<u8> = (0..70).map(|i| ((i * 7 + 3) % 20) as u8).collect();
+
+        for (qlens, slens, phase) in workloads {
+            let queries: Vec<SeqRecord> = qlens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| SeqRecord {
+                    defline: format!("q{i}"),
+                    residues: base
+                        .iter()
+                        .take(len)
+                        .map(|&c| (c + (i + phase) as u8) % 20)
+                        .collect(),
+                    molecule: Molecule::Protein,
+                })
+                .collect();
+            let records: Vec<SeqRecord> = slens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let residues: Vec<u8> = if i % 2 == 0 {
+                        base.iter().take(len).map(|&c| (c + (i as u8 % 3)) % 20).collect()
+                    } else {
+                        (0..len).map(|j| ((i * 13 + j * 5 + phase) % 20) as u8).collect()
+                    };
+                    SeqRecord {
+                        defline: format!("s{i}"),
+                        residues,
+                        molecule: Molecule::Protein,
+                    }
+                })
+                .collect();
+            let db = DbStats {
+                num_sequences: records.len() as u64,
+                total_residues: records.iter().map(|r| r.len() as u64).sum(),
+            };
+            let prepared = PreparedQueries::prepare(&params, queries, db);
+            let searcher = BlastSearcher::new(&params, &prepared);
+            let source = VecSource::from_records(&records);
+
+            let with_reused = searcher.search(&source, &mut reused);
+            let with_fresh = searcher.search(&source, &mut SearchScratch::new());
+            prop_assert_eq!(with_reused.per_query, with_fresh.per_query);
+            prop_assert_eq!(with_reused.stats, with_fresh.stats);
+        }
     }
 }

@@ -137,7 +137,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blast_core::search::BlastSearcher;
+    use blast_core::search::{BlastSearcher, SearchScratch};
     use blast_core::seq::SeqRecord;
     use blast_core::Molecule;
     use seqfmt::formatdb::{format_records, FormatDbConfig};
@@ -164,7 +164,7 @@ mod tests {
     fn cache_holds_formatted_records_with_exact_sizes() {
         let (params, cfg, prepared, frag) = setup();
         let searcher = BlastSearcher::new(&params, &prepared);
-        let result = searcher.search(&frag);
+        let result = searcher.search(&frag, &mut SearchScratch::new());
         let mut cache = ResultCache::default();
         let bytes = cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone());
         assert!(!cache.is_empty());
@@ -185,7 +185,7 @@ mod tests {
     fn metadata_best_hsp_matches_search_order() {
         let (params, cfg, prepared, frag) = setup();
         let searcher = BlastSearcher::new(&params, &prepared);
-        let result = searcher.search(&frag);
+        let result = searcher.search(&frag, &mut SearchScratch::new());
         let best_score = result.per_query[0][0].hsps[0].score;
         let mut cache = ResultCache::default();
         cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query);

@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 
 use blast_core::fasta;
 use blast_core::format::ReportConfig;
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchScratch, SearchStats};
 use blast_core::seq::SeqRecord;
 use bytes::Bytes;
 use mpiblast::phases;
@@ -605,6 +605,9 @@ struct WorkerIo<'a, 'b> {
     grant_volumes: Vec<String>,
     assign: Option<OffsetAssignment>,
     stats_total: SearchStats,
+    /// Kernel working memory, reused across all fragments of the run so
+    /// the per-subject search path never allocates.
+    scratch: SearchScratch,
     phase_times: PhaseTimes,
     out_mark: Option<SimTime>,
 }
@@ -656,6 +659,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             grant_volumes: Vec::new(),
             assign: None,
             stats_total: SearchStats::default(),
+            scratch: SearchScratch::new(),
             phase_times,
             out_mark: None,
         })
@@ -882,9 +886,10 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             .as_ref()
             .expect("batch prepared before search");
         let searcher = BlastSearcher::new(&self.cfg.params, prepared);
+        let scratch = &mut self.scratch;
         let search_start = self.ctx.now();
         let (per_query, stats) = self.compute.run_search(self.ctx, || {
-            let r = searcher.search(frag);
+            let r = searcher.search(frag, scratch);
             (r.per_query, r.stats)
         });
         self.stats_total.merge(&stats);

@@ -21,7 +21,7 @@ use std::fmt;
 
 use blast_core::fasta;
 use blast_core::format::{self, ReportConfig};
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchStats, SubjectHit};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchScratch, SearchStats, SubjectHit};
 use bytes::Bytes;
 use mpisim::sched::{default_sweep, GrantQueue, Liveness, Polled, Pump};
 use mpisim::{Collectives, Comm};
@@ -365,6 +365,10 @@ fn run_worker(
 
     // Fragments this worker searched, kept in memory to serve fetches.
     let mut kept: Vec<FragmentData> = Vec::new();
+    // Kernel working memory, reused across every fragment this worker
+    // searches (the query set is re-prepared per fragment, mpiBLAST's
+    // blastall-per-fragment behaviour; the scratch is query-agnostic).
+    let mut scratch = SearchScratch::new();
 
     // ---- fragment loop ----
     loop {
@@ -416,7 +420,7 @@ fn run_worker(
         });
         let searcher = BlastSearcher::new(&cfg.params, &prepared);
         let (per_query, stats) = cfg.compute.run_search(ctx, || {
-            let r = searcher.search(&frag);
+            let r = searcher.search(&frag, &mut scratch);
             (r.per_query, r.stats)
         });
         stats_total.merge(&stats);

@@ -8,7 +8,9 @@
 //! oracle in tests.
 
 use blast_core::format::{self, ReportConfig};
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SubjectHit, SubjectSource};
+use blast_core::search::{
+    BlastSearcher, PreparedQueries, SearchParams, SearchScratch, SubjectHit, SubjectSource,
+};
 use blast_core::seq::SeqRecord;
 use seqfmt::FormattedDb;
 
@@ -140,12 +142,14 @@ pub fn serial_report(
     let prepared = PreparedQueries::prepare(params, queries, db.stats());
     let searcher = BlastSearcher::new(params, &prepared);
 
-    // Search all volumes, merging per-query hit lists.
+    // Search all volumes, merging per-query hit lists. One scratch
+    // serves every volume, exactly as a worker reuses one per run.
+    let mut scratch = SearchScratch::new();
     let mut per_query: Vec<Vec<SubjectHit>> = vec![Vec::new(); prepared.len()];
     let mut fragments: Vec<seqfmt::FragmentData> = Vec::new();
     for vol in &db.volumes {
         let frag = seqfmt::FragmentData::from_volume(vol);
-        let result = searcher.search(&frag);
+        let result = searcher.search(&frag, &mut scratch);
         for (q, hits) in result.per_query.into_iter().enumerate() {
             per_query[q].extend(hits);
         }
@@ -215,8 +219,9 @@ pub fn serial_report(
 pub fn search_source<S: SubjectSource + ?Sized>(
     searcher: &BlastSearcher<'_>,
     source: &S,
+    scratch: &mut SearchScratch,
 ) -> (Vec<Vec<SubjectHit>>, blast_core::search::SearchStats) {
-    let result = searcher.search(source);
+    let result = searcher.search(source, scratch);
     (result.per_query, result.stats)
 }
 

@@ -8,7 +8,7 @@
 use blast_core::alphabet::Molecule;
 use blast_core::fasta;
 use blast_core::format::{self, ReportConfig};
-use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, VecSource};
+use blast_core::search::{BlastSearcher, PreparedQueries, SearchParams, SearchScratch, VecSource};
 use blast_core::stats::DbStats;
 
 const DB_FASTA: &[u8] = b">sp|P001| kinase-like protein [Synthetica]
@@ -40,7 +40,10 @@ fn main() {
 
     // 3. Search.
     let searcher = BlastSearcher::new(&params, &prepared);
-    let result = searcher.search(&VecSource::from_records(&db_records));
+    let result = searcher.search(
+        &VecSource::from_records(&db_records),
+        &mut SearchScratch::new(),
+    );
     println!(
         "searched {} subjects, {} residues: {} seed hits, {} gapped extensions\n",
         result.stats.subjects,

@@ -10,4 +10,6 @@ cargo test -q
 # deterministic per-test RNG (TestRng::from_name), so this is a fixed
 # seed: failures reproduce exactly, in CI and locally.
 cargo test --release -q --test fault_recovery
+# Bench targets (paper exhibits + kernel perf gate) must at least compile.
+cargo bench --workspace --no-run
 cargo clippy -- -D warnings
