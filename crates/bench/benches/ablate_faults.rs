@@ -73,6 +73,7 @@ fn run_mode(platform: &Platform, checkpoint: bool) -> Vec<Run> {
             fault: FaultMode::Recover,
             checkpoint,
             rank_compute: None,
+            io: Default::default(),
         };
         let outcome = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
         assert_eq!(outcome.killed.len(), failures, "every planned kill fires");

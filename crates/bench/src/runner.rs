@@ -205,6 +205,7 @@ pub fn run_with_options(
                 fault: Default::default(),
                 checkpoint: false,
                 rank_compute: None,
+                io: Default::default(),
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             let reports: Vec<RankReport> = outcome

@@ -110,7 +110,7 @@ impl BackboneCell {
 /// concatenated query set where a neighborhood word begins.
 ///
 /// Layout follows NCBI's `BlastAaLookupTable`: a dense array of
-/// [`BackboneCell`]s stores up to [`INLINE_HITS`] positions inline; larger
+/// backbone cells stores up to [`INLINE_HITS`] positions inline; larger
 /// buckets spill to a shared overflow array. The seed scan's hot
 /// `hits(word)` therefore touches one cache line for the overwhelmingly
 /// common small bucket, instead of an offsets pair plus a positions

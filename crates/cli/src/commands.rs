@@ -54,6 +54,7 @@ USAGE:
                         --out report.txt [--platform altix|blade] [--frags N]
                         [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
                         [--fault-detect] [--recover] [--checkpoint]
+                        [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
 ";
@@ -182,6 +183,21 @@ pub fn load_db(db_dir: &str) -> Result<FormattedDb, CliError> {
     Ok(FormattedDb { alias, volumes })
 }
 
+/// Parse `--io-strategy` / `--sieve-threshold` into plane options.
+fn io_options(args: &ParsedArgs) -> Result<pioblast::IoOptions, CliError> {
+    let defaults = pioblast::IoOptions::default();
+    let strategy = match args.get("io-strategy") {
+        None => defaults.strategy,
+        Some(text) => text
+            .parse::<pioblast::IoStrategy>()
+            .map_err(|e| CliError(e.to_string()))?,
+    };
+    Ok(pioblast::IoOptions {
+        strategy,
+        sieve_threshold: args.u64_or("sieve-threshold", defaults.sieve_threshold)?,
+    })
+}
+
 fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let program = args.require("program")?.to_string();
     let nprocs = args.require_u64("procs")? as usize;
@@ -268,6 +284,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 },
                 checkpoint: args.flag("checkpoint"),
                 rank_compute: None,
+                io: io_options(args)?,
             };
             let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             for r in &o.outputs {
@@ -414,6 +431,19 @@ mod tests {
         let db = load_db(dbdir.to_str().unwrap()).unwrap();
         assert!(db.volumes.len() >= 3, "{msg}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_strategy_flags_parse() {
+        let a = args(&["run", "--io-strategy", "sieve", "--sieve-threshold", "128k"]);
+        let io = io_options(&a).unwrap();
+        assert_eq!(io.strategy, pioblast::IoStrategy::Sieve);
+        assert_eq!(io.sieve_threshold, 128_000);
+
+        let defaults = io_options(&args(&["run"])).unwrap();
+        assert_eq!(defaults, pioblast::IoOptions::default());
+
+        assert!(io_options(&args(&["run", "--io-strategy", "mmap"])).is_err());
     }
 
     #[test]

@@ -83,19 +83,22 @@ pub struct PioBlastConfig {
     /// `None` = one pass over the whole query set). Supported in every
     /// fault mode.
     pub query_batch: Option<usize>,
-    /// Read the shared database files with two-phase collective reads
-    /// instead of independent ranged reads (the paper's §4 alternative of
-    /// "reading multiple global files simultaneously"). Requires the
-    /// static schedule and [`FaultMode::Off`].
+    /// Read the shared database files with aggregated reads instead of
+    /// independent ranged reads (the paper's §4 alternative of "reading
+    /// multiple global files simultaneously"). On the static fault-free
+    /// schedule this is a true two-phase collective read; under the
+    /// dynamic schedule or a fault mode the I/O plane aggregates
+    /// (sieves) each rank's granted views instead — output bytes are
+    /// identical in every combination.
     pub collective_input: bool,
     /// Fragment scheduling policy.
     pub schedule: FragmentSchedule,
     /// Fault-tolerance mode (see [`crate::fault`]). `Off` lowers the
     /// runtime onto collectives; `Detect` and `Recover` lower it onto a
     /// point-to-point master-driven protocol that notices rank death.
-    /// Fault modes always write the report independently
-    /// (`collective_output` is ignored) and do not support collective
-    /// input.
+    /// Fault modes cannot synchronize ranks for two-phase collective
+    /// I/O, so `collective_input`/`collective_output` degrade to
+    /// per-rank sieved access through the I/O plane.
     pub fault: FaultMode,
     /// Persist each completed `(batch, fragment)` search result to the
     /// shared file system so a recovery epoch re-queues only the victim's
@@ -105,6 +108,11 @@ pub struct PioBlastConfig {
     /// Per-rank compute-speed multipliers (> 1 = slower node), to model
     /// heterogeneous clusters; `None` = homogeneous.
     pub rank_compute: Option<Vec<f64>>,
+    /// I/O-plane tuning: the physical access strategy (independent,
+    /// sieve, or the adaptive two-phase default) and the sieve-hole
+    /// threshold. Strategy is a pure performance knob — output bytes
+    /// never depend on it.
+    pub io: mpiio::IoOptions,
 }
 
 impl PioBlastConfig {
@@ -122,12 +130,6 @@ impl PioBlastConfig {
     /// with a typed [`PioError::UnsupportedConfig`] naming the conflict.
     pub fn validate(&self) -> Result<(), PioError> {
         let unsupported = |what: &str| Err(PioError::UnsupportedConfig(what.to_string()));
-        if self.collective_input && self.schedule == FragmentSchedule::Dynamic {
-            return unsupported("collective input requires the static schedule");
-        }
-        if self.collective_input && self.fault != FaultMode::Off {
-            return unsupported("fault tolerance requires independent input reads");
-        }
         if self.fault == FaultMode::Recover && self.schedule == FragmentSchedule::Static {
             return unsupported("fault recovery requires the dynamic schedule");
         }
@@ -219,6 +221,7 @@ mod tests {
         schedule: FragmentSchedule,
         fault: FaultMode,
         rank_compute: Option<Vec<f64>>,
+        io: mpiio::IoOptions,
     }
 
     impl Default for Opts {
@@ -236,6 +239,7 @@ mod tests {
                 schedule: FragmentSchedule::Static,
                 fault: FaultMode::Off,
                 rank_compute: None,
+                io: mpiio::IoOptions::default(),
             }
         }
     }
@@ -265,6 +269,7 @@ mod tests {
             fault: opts.fault,
             checkpoint: false,
             rank_compute: opts.rank_compute.clone(),
+            io: opts.io,
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
         let output = env.shared.peek("results.txt").unwrap_or_default();
@@ -480,6 +485,7 @@ mod tests {
                 fault: FaultMode::Off,
                 checkpoint: false,
                 rank_compute: hetero.clone(),
+                io: Default::default(),
             };
             sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0
         };
@@ -511,37 +517,67 @@ mod tests {
     }
 
     #[test]
+    fn collective_input_composes_with_dynamic_and_fault_modes() {
+        // The I/O-plane refactor lifted the old `UnsupportedConfig`
+        // rejections: collective input now composes with the dynamic
+        // schedule and with both fault modes (the plane sieves the
+        // granted views instead of synchronizing), byte-identically.
+        let (reference, _) = run_opts(Opts::default());
+        let combos = [
+            (FragmentSchedule::Dynamic, FaultMode::Off),
+            (FragmentSchedule::Static, FaultMode::Detect),
+            (FragmentSchedule::Dynamic, FaultMode::Detect),
+            (FragmentSchedule::Dynamic, FaultMode::Recover),
+        ];
+        for (schedule, fault) in combos {
+            let (got, _) = run_opts(Opts {
+                collective_input: true,
+                schedule,
+                fault,
+                ..Opts::default()
+            });
+            assert_eq!(got, reference, "schedule {schedule:?} fault {fault:?}");
+        }
+    }
+
+    #[test]
+    fn io_strategies_are_byte_identical() {
+        // `--io-strategy` is a pure performance knob; pin that every
+        // strategy produces the reference bytes with aggregation
+        // requested on both paths, across two sieve thresholds.
+        let (reference, _) = run_opts(Opts::default());
+        for strategy in [
+            mpiio::IoStrategy::Independent,
+            mpiio::IoStrategy::Sieve,
+            mpiio::IoStrategy::TwoPhase,
+        ] {
+            for sieve_threshold in [0u64, 1 << 20] {
+                let (got, _) = run_opts(Opts {
+                    collective_input: true,
+                    io: mpiio::IoOptions {
+                        strategy,
+                        sieve_threshold,
+                    },
+                    ..Opts::default()
+                });
+                assert_eq!(got, reference, "{strategy} threshold {sieve_threshold}");
+            }
+        }
+    }
+
+    #[test]
     fn unsupported_configs_fail_with_a_typed_error() {
         // Satellite: conflicting knob combinations must surface as
         // `PioError::UnsupportedConfig` on every rank, not as a panic or
         // a hang. Pin the exact conflicts the runtime rejects.
-        let cases: &[(Opts, &str)] = &[
-            (
-                Opts {
-                    collective_input: true,
-                    schedule: FragmentSchedule::Dynamic,
-                    ..Opts::default()
-                },
-                "collective input requires the static schedule",
-            ),
-            (
-                Opts {
-                    collective_input: true,
-                    schedule: FragmentSchedule::Static,
-                    fault: FaultMode::Detect,
-                    ..Opts::default()
-                },
-                "fault tolerance requires independent input reads",
-            ),
-            (
-                Opts {
-                    schedule: FragmentSchedule::Static,
-                    fault: FaultMode::Recover,
-                    ..Opts::default()
-                },
-                "fault recovery requires the dynamic schedule",
-            ),
-        ];
+        let cases: &[(Opts, &str)] = &[(
+            Opts {
+                schedule: FragmentSchedule::Static,
+                fault: FaultMode::Recover,
+                ..Opts::default()
+            },
+            "fault recovery requires the dynamic schedule",
+        )];
         for (opts, want) in cases {
             let db = small_db(opts.cap);
             let queries = sample_queries(&db, opts.n_queries);
@@ -567,6 +603,7 @@ mod tests {
                 fault: opts.fault,
                 checkpoint: false,
                 rank_compute: opts.rank_compute.clone(),
+                io: opts.io,
             };
             let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
             for r in outcome.outputs {
@@ -597,6 +634,7 @@ mod tests {
             fault: FaultMode::Detect,
             checkpoint: true,
             rank_compute: None,
+            io: Default::default(),
         };
         assert_eq!(
             cfg.validate().expect_err("checkpoint needs Recover"),

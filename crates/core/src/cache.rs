@@ -118,6 +118,19 @@ impl ResultCache {
         self.records.get(&(query_idx, oid)).map(|s| s.as_str())
     }
 
+    /// Look up every master-assigned `(query, oid, offset)` record for an
+    /// output flush, or report the first `(query, oid)` that is missing
+    /// from the cache.
+    pub fn assigned_records(
+        &self,
+        assignments: &[(u32, u32, u64)],
+    ) -> Result<Vec<(u64, &str)>, (u32, u32)> {
+        assignments
+            .iter()
+            .map(|&(q, oid, off)| self.record(q, oid).map(|r| (off, r)).ok_or((q, oid)))
+            .collect()
+    }
+
     /// Number of cached records.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -20,9 +20,9 @@
 //! fragment set; `merge_and_layout` is deterministic in the submissions'
 //! *content* (not their placement — the invariance tests in `app` pin
 //! this), so every epoch computes the same offsets and bytes; and output
-//! is written with independent `write_at`s, so records re-written after a
-//! restart are idempotent. The surviving run therefore produces exactly
-//! the failure-free file.
+//! flushes through the I/O plane rewrite records at those fixed offsets,
+//! so records re-written after a restart are idempotent. The surviving
+//! run therefore produces exactly the failure-free file.
 //!
 //! Stale messages from an aborted epoch are fenced with an 8-byte epoch
 //! prefix on `SUBMIT_REQ`/`SUBMIT`/`ASSIGN`/`DONE` payloads; mismatching
@@ -61,9 +61,17 @@ pub enum PioError {
     Aborted,
     /// A malformed or out-of-place message.
     Protocol(String),
+    /// The input stage failed to read or materialize a fragment.
+    Input(crate::input::InputError),
     /// The configuration combines knobs the runtime does not support
     /// (rejected up front by `PioBlastConfig::validate`, on every rank).
     UnsupportedConfig(String),
+}
+
+impl From<crate::input::InputError> for PioError {
+    fn from(e: crate::input::InputError) -> PioError {
+        PioError::Input(e)
+    }
 }
 
 impl fmt::Display for PioError {
@@ -74,6 +82,7 @@ impl fmt::Display for PioError {
             PioError::MasterDied => write!(f, "master died"),
             PioError::Aborted => write!(f, "run aborted by the master"),
             PioError::Protocol(what) => write!(f, "protocol error: {what}"),
+            PioError::Input(e) => write!(f, "input stage failed: {e}"),
             PioError::UnsupportedConfig(what) => {
                 write!(f, "unsupported configuration: {what}")
             }
@@ -160,6 +169,7 @@ mod tests {
             fault,
             checkpoint,
             rank_compute: None,
+            io: Default::default(),
         };
         let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
         let bytes = env.shared.peek("results.txt").unwrap_or_default();
@@ -344,6 +354,7 @@ mod tests {
             fault: FaultMode::Recover,
             checkpoint: true,
             rank_compute: None,
+            io: Default::default(),
         };
         sim.run(|ctx| run_rank(&ctx, &cfg));
         let leftovers: Vec<String> = env.shared.peek_list("results.txt.ckpt.");

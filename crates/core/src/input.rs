@@ -9,19 +9,25 @@
 //! collective read per shared file, which shines when fragments are fine
 //! (many noncontiguous ranges per worker) or the file system punishes
 //! small independent reads.
+//!
+//! Both modes are one function, [`read_fragments`]: the caller hands an
+//! [`IoPlane`] and the plane's strategy decides how the posted views are
+//! serviced. On a collective plane every rank must call this with the
+//! same volume list (the master joins with empty assignments); on a
+//! non-collective plane — dynamic grants, fault epochs — each rank reads
+//! only the volumes it was actually assigned, with no global sync.
 
 use blast_core::alphabet::Molecule;
-use mpiio::{CollectiveHints, FileView, MpiFile};
-use mpisim::Comm;
-use parafs::SimFs;
+use mpiio::{FileView, IoPlane};
+use parafs::StoreError;
 use seqfmt::FragmentData;
 
 use std::fmt;
 
 use crate::proto::FragmentAssignment;
 
-/// Why an input-stage buffer lookup failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why the input stage failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InputError {
     /// The requested file range is not covered by the buffered spans.
     Uncovered {
@@ -30,6 +36,10 @@ pub enum InputError {
         /// Requested length in bytes.
         len: u64,
     },
+    /// A database file could not be read.
+    Store(StoreError),
+    /// The read bytes do not form a consistent fragment.
+    Fragment(String),
 }
 
 impl fmt::Display for InputError {
@@ -41,11 +51,19 @@ impl fmt::Display for InputError {
                     "range [{offset}, {offset}+{len}) not covered by read spans"
                 )
             }
+            InputError::Store(e) => write!(f, "database read failed: {e}"),
+            InputError::Fragment(msg) => write!(f, "inconsistent fragment: {msg}"),
         }
     }
 }
 
 impl std::error::Error for InputError {}
+
+impl From<StoreError> for InputError {
+    fn from(e: StoreError) -> InputError {
+        InputError::Store(e)
+    }
+}
 
 /// The bytes of a set of disjoint file spans, addressable by absolute
 /// file offset.
@@ -58,8 +76,8 @@ pub struct RangeBuffers {
 }
 
 impl RangeBuffers {
-    /// Build from the spans a collective read used and the bytes it
-    /// returned (concatenated in span order).
+    /// Build from the spans a ranged read used and the bytes it returned
+    /// (concatenated in span order).
     pub fn new(spans: Vec<(u64, u64)>, data: Vec<u8>) -> RangeBuffers {
         debug_assert_eq!(
             spans.iter().map(|&(_, l)| l).sum::<u64>(),
@@ -74,8 +92,8 @@ impl RangeBuffers {
     /// contiguous in the file: the bytes of adjacent spans are also
     /// adjacent in the backing buffer, so the view stays a single slice.
     pub fn slice(&self, offset: u64, len: u64) -> Result<&[u8], InputError> {
-        let err = InputError::Uncovered { offset, len };
-        let end = offset.checked_add(len).ok_or(err)?;
+        let err = || InputError::Uncovered { offset, len };
+        let end = offset.checked_add(len).ok_or_else(err)?;
         let mut base = 0u64;
         for (i, &(span_off, span_len)) in self.spans.iter().enumerate() {
             if offset >= span_off && offset < span_off + span_len {
@@ -89,7 +107,7 @@ impl RangeBuffers {
                     covered_to += next_len;
                 }
                 if covered_to < end {
-                    return Err(err);
+                    return Err(err());
                 }
                 let start = (base + offset - span_off) as usize;
                 return Ok(&self.data[start..start + len as usize]);
@@ -99,7 +117,7 @@ impl RangeBuffers {
         if len == 0 {
             return Ok(&[]);
         }
-        Err(err)
+        Err(err())
     }
 }
 
@@ -124,28 +142,34 @@ pub fn coalesce_spans(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     out
 }
 
-/// Collectively read every rank's fragment ranges of the shared database
-/// files and materialize this rank's fragments.
+/// Read this rank's assigned fragment ranges of the shared database files
+/// through the I/O plane and materialize the fragments.
 ///
-/// All ranks (including the master, with an empty `assignments`) must call
-/// this with the same `volume_names`, in the same order — it issues one
-/// collective read per volume file.
-pub fn read_fragments_collective(
-    comm: &Comm,
-    fs: &SimFs,
+/// On a collective plane ([`IoPlane::is_collective`]) every rank must call
+/// this with the same `volume_names`, in the same order — it posts one
+/// collective read per volume file, and ranks with nothing to read (the
+/// master) join with empty views. On a non-collective plane only the
+/// volumes with assignments are touched, so any subset of ranks can call
+/// at any time.
+pub fn read_fragments(
+    plane: &IoPlane,
     volume_names: &[String],
     assignments: &[FragmentAssignment],
     molecule: Molecule,
-    aggregators: usize,
-) -> Vec<FragmentData> {
+) -> Result<Vec<FragmentData>, InputError> {
     // Per (volume index), the buffers of its three files.
     let mut buffers: Vec<[RangeBuffers; 3]> = Vec::with_capacity(volume_names.len());
-    for (vi, vol) in volume_names.iter().enumerate() {
-        let _ = vi;
+    for vol in volume_names {
         let mine: Vec<&FragmentAssignment> = assignments
             .iter()
             .filter(|a| a.volume_name == *vol)
             .collect();
+        if mine.is_empty() && !plane.is_collective() {
+            // Nothing of ours in this volume, and nobody is waiting for
+            // us in a collective — skip the file entirely.
+            buffers.push(Default::default());
+            continue;
+        }
         // Index file: both table slices of every fragment (adjacent
         // fragments share a boundary entry, so spans must be coalesced).
         let idx_spans = coalesce_spans(
@@ -164,17 +188,16 @@ pub fn read_fragments_collective(
                 .map(|a| (a.spec.hdr_range.0, a.spec.hdr_range.1 - a.spec.hdr_range.0))
                 .collect(),
         );
-        let read = |ext: &str, spans: &[(u64, u64)]| -> RangeBuffers {
-            let file = MpiFile::open(comm, fs, &format!("db/{vol}.{ext}"))
-                .with_hints(CollectiveHints { aggregators });
-            let view = FileView::new(0, spans.to_vec()).expect("coalesced spans are disjoint");
-            let data = file.read_at_all(&view).expect("database file readable");
-            RangeBuffers::new(spans.to_vec(), data)
+        let read = |ext: &str, spans: &[(u64, u64)]| -> Result<RangeBuffers, InputError> {
+            let view = FileView::new(0, spans.to_vec())
+                .map_err(|e| InputError::Fragment(format!("bad span set: {e}")))?;
+            let data = plane.db_read(&format!("db/{vol}.{ext}"), &view)?;
+            Ok(RangeBuffers::new(spans.to_vec(), data))
         };
         buffers.push([
-            read("idx", &idx_spans),
-            read("seq", &seq_spans),
-            read("hdr", &hdr_spans),
+            read("idx", &idx_spans)?,
+            read("seq", &seq_spans)?,
+            read("hdr", &hdr_spans)?,
         ]);
     }
 
@@ -185,31 +208,28 @@ pub fn read_fragments_collective(
             let vi = volume_names
                 .iter()
                 .position(|v| *v == a.volume_name)
-                .expect("assignment volume is in the alias");
+                .ok_or_else(|| {
+                    InputError::Fragment(format!("volume {} not in the alias", a.volume_name))
+                })?;
             let [idx, seq, hdr] = &buffers[vi];
             let spec = &a.spec;
-            let covered = "fragment range covered by the collective read";
             FragmentData::from_ranges(
                 molecule,
                 spec.base_oid,
                 idx.slice(
                     spec.idx_seq_range.0,
                     spec.idx_seq_range.1 - spec.idx_seq_range.0,
-                )
-                .expect(covered),
+                )?,
                 idx.slice(
                     spec.idx_hdr_range.0,
                     spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
-                )
-                .expect(covered),
-                seq.slice(spec.seq_range.0, spec.seq_range.1 - spec.seq_range.0)
-                    .expect(covered)
+                )?,
+                seq.slice(spec.seq_range.0, spec.seq_range.1 - spec.seq_range.0)?
                     .to_vec(),
-                hdr.slice(spec.hdr_range.0, spec.hdr_range.1 - spec.hdr_range.0)
-                    .expect(covered)
+                hdr.slice(spec.hdr_range.0, spec.hdr_range.1 - spec.hdr_range.0)?
                     .to_vec(),
             )
-            .expect("consistent fragment ranges")
+            .map_err(|e| InputError::Fragment(e.to_string()))
         })
         .collect()
 }
@@ -289,5 +309,14 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("not covered"));
+    }
+
+    #[test]
+    fn store_errors_convert_into_input_errors() {
+        let e: InputError = StoreError::NotFound {
+            path: "db/x.idx".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("database read failed"));
     }
 }

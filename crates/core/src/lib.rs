@@ -48,3 +48,4 @@ pub use merge::{merge_and_layout, MergeOutcome};
 
 // Re-export the pieces callers need to assemble a run.
 pub use mpiblast::{phases, ClusterEnv, ComputeModel, Platform, RankReport, ReportOptions};
+pub use mpiio::{IoOptions, IoStrategy};

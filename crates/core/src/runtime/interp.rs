@@ -19,7 +19,7 @@ use bytes::Bytes;
 use mpiblast::phases;
 use mpiblast::wire::{FragmentCheckpoint, MetaHit, MetaSubmission, OffsetAssignment, QueryBundle};
 use mpiblast::{ComputeModel, RankReport, MASTER};
-use mpiio::{CollectiveHints, FileView, MpiFile};
+use mpiio::{CollectiveHints, FileView, IoOptions, IoPlane, IoStrategy, PlaneConfig};
 use mpisim::sched::{default_sweep, Liveness, Polled, Pump};
 use mpisim::{Collectives, Comm};
 use seqfmt::{AliasFile, FragmentData, VolumeIndex};
@@ -53,51 +53,98 @@ fn policy_of(ctx: &RankCtx, cfg: &PioBlastConfig, nbatches: usize) -> RunPolicy 
     }
 }
 
-/// One fragment's four ranged reads (the parallel input unit).
-fn input_fragment(
-    ctx: &RankCtx,
-    cfg: &PioBlastConfig,
-    molecule: blast_core::Molecule,
-    assignment: &FragmentAssignment,
-) -> FragmentData {
-    let shared = &cfg.env.shared;
-    let spec = &assignment.spec;
-    let vol = &assignment.volume_name;
-    let idx_path = format!("db/{vol}.idx");
-    let idx_seq = shared
-        .read_at(
-            ctx,
-            &idx_path,
-            spec.idx_seq_range.0,
-            spec.idx_seq_range.1 - spec.idx_seq_range.0,
-        )
-        .expect("index range");
-    let idx_hdr = shared
-        .read_at(
-            ctx,
-            &idx_path,
-            spec.idx_hdr_range.0,
-            spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
-        )
-        .expect("index range");
-    let seq = shared
-        .read_at(
-            ctx,
-            &format!("db/{vol}.seq"),
-            spec.seq_range.0,
-            spec.seq_range.1 - spec.seq_range.0,
-        )
-        .expect("sequence range");
-    let hdr = shared
-        .read_at(
-            ctx,
-            &format!("db/{vol}.hdr"),
-            spec.hdr_range.0,
-            spec.hdr_range.1 - spec.hdr_range.0,
-        )
-        .expect("header range");
-    FragmentData::from_ranges(molecule, spec.base_oid, &idx_seq, &idx_hdr, seq, hdr)
-        .expect("consistent fragment ranges")
+fn io_hints(cfg: &PioBlastConfig) -> CollectiveHints {
+    CollectiveHints {
+        aggregators: cfg.platform.aggregators,
+    }
+}
+
+/// The plane for database-fragment reads. Collective only when every
+/// rank is guaranteed to post the same read sequence synchronously:
+/// collective input requested, collective lowering (`FaultMode::Off`),
+/// static schedule. Under dynamic grants or point-to-point fault modes
+/// the plane still aggregates (sieves) each rank's posted views, with
+/// no global exchange — that is what lets `collective_input` compose
+/// with those modes.
+fn input_plane<'x, 'y>(
+    comm: &'x Comm<'y>,
+    cfg: &'x PioBlastConfig,
+    policy: &RunPolicy,
+) -> IoPlane<'x, 'y> {
+    let sync = !policy.p2p() && policy.schedule == FragmentSchedule::Static;
+    IoPlane::new(
+        comm,
+        &cfg.env.shared,
+        PlaneConfig {
+            options: cfg.io,
+            hints: io_hints(cfg),
+            aggregate: cfg.collective_input,
+            collective: cfg.collective_input && sync,
+        },
+    )
+}
+
+/// The plane for report writes. Collective when collective output is
+/// requested and the run lowers onto collectives; the point-to-point
+/// fault modes cannot synchronize writers, so they aggregate per rank.
+fn output_plane<'x, 'y>(
+    comm: &'x Comm<'y>,
+    cfg: &'x PioBlastConfig,
+    policy: &RunPolicy,
+) -> IoPlane<'x, 'y> {
+    IoPlane::new(
+        comm,
+        &cfg.env.shared,
+        PlaneConfig {
+            options: cfg.io,
+            hints: io_hints(cfg),
+            aggregate: cfg.collective_output,
+            collective: cfg.collective_output && !policy.p2p(),
+        },
+    )
+}
+
+/// The plane for whole-file staging reads and checkpoint blobs: always
+/// independent — this traffic is contiguous per file and never part of
+/// a matched collective.
+fn independent_plane<'x, 'y>(comm: &'x Comm<'y>, cfg: &'x PioBlastConfig) -> IoPlane<'x, 'y> {
+    IoPlane::new(
+        comm,
+        &cfg.env.shared,
+        PlaneConfig {
+            options: IoOptions {
+                strategy: IoStrategy::Independent,
+                ..cfg.io
+            },
+            hints: io_hints(cfg),
+            aggregate: false,
+            collective: false,
+        },
+    )
+}
+
+/// The one output epilogue, shared by the master's section writes, the
+/// orphan rewrites, and every worker's assigned-record writes: build a
+/// file view from the scattered `(offset, text)` records and hand it to
+/// the plane. Always posts, even with nothing to write — on a
+/// collective plane the empty view still participates in the exchange.
+fn flush_output(
+    plane: &IoPlane<'_, '_>,
+    path: &str,
+    mut items: Vec<(u64, &str)>,
+) -> Result<(), PioError> {
+    items.retain(|(_, text)| !text.is_empty());
+    items.sort_unstable_by_key(|&(off, _)| off);
+    let mut regions = Vec::with_capacity(items.len());
+    let mut data = Vec::new();
+    for (off, text) in &items {
+        regions.push((*off, text.len() as u64));
+        data.extend_from_slice(text.as_bytes());
+    }
+    let view = FileView::new(0, regions)
+        .map_err(|e| PioError::Protocol(format!("output layout is not writable: {e}")))?;
+    plane.write_output(path, &view, &data);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -137,15 +184,15 @@ struct MasterIo<'a, 'b> {
 
 impl<'a, 'b> MasterIo<'a, 'b> {
     fn new(ctx: &'a RankCtx, comm: &'a Comm<'b>, cfg: &'a PioBlastConfig) -> MasterIo<'a, 'b> {
-        let shared = &cfg.env.shared;
+        let staging = independent_plane(comm, cfg);
         let mut phase_times = PhaseTimes::new();
 
         // ---- startup: alias + queries, bundle distributed ----
         let start = ctx.now();
-        let alias_bytes = shared.read_all(ctx, &cfg.db_alias).expect("alias present");
+        let alias_bytes = staging.read_whole(&cfg.db_alias).expect("alias present");
         let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
-        let query_text = shared
-            .read_all(ctx, &cfg.query_path)
+        let query_text = staging
+            .read_whole(&cfg.query_path)
             .expect("query file present");
         let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
         let bundle = QueryBundle {
@@ -173,8 +220,8 @@ impl<'a, 'b> MasterIo<'a, 'b> {
         let input_mark = ctx.now();
         let mut indexes: Vec<VolumeIndex> = Vec::new();
         for vol in &alias.volumes {
-            let idx_bytes = shared
-                .read_all(ctx, &format!("db/{vol}.idx"))
+            let idx_bytes = staging
+                .read_whole(&format!("db/{vol}.idx"))
                 .expect("volume index present");
             indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
         }
@@ -307,10 +354,10 @@ impl<'a, 'b> MasterIo<'a, 'b> {
         let mut checkpointed = Vec::new();
         if self.policy.checkpoint {
             let batch = sm.batch();
-            let shared = &self.cfg.env.shared;
+            let plane = independent_plane(self.comm, self.cfg);
             for &w in &ranks {
                 for &f in sm.owned(w) {
-                    let Ok(blob) = shared.read_all(self.ctx, &ckpt_path(self.cfg, batch, f)) else {
+                    let Ok(blob) = plane.checkpoint_get(&ckpt_path(self.cfg, batch, f)) else {
                         continue;
                     };
                     // A partial write (the victim died mid-checkpoint)
@@ -362,7 +409,6 @@ impl<'a, 'b> MasterIo<'a, 'b> {
 
     /// Action -> side effects (+ any synchronous follow-up events).
     fn exec(&mut self, sm: &MasterSm, act: MasterAction) -> Result<Vec<MasterEvent>, PioError> {
-        let shared = &self.cfg.env.shared;
         match act {
             MasterAction::Grant { to, frags, batch } => {
                 let payload = self.grant_payload(batch, &frags);
@@ -383,17 +429,11 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             MasterAction::Scatter { chunks } => {
                 let pieces: Vec<Bytes> = chunks.iter().map(|c| self.grant_payload(0, c)).collect();
                 self.comm.scatterv(MASTER, Some(pieces));
-                if self.cfg.collective_input {
+                let plane = input_plane(self.comm, self.cfg, &self.policy);
+                if plane.is_collective() {
                     // Collective reads involve every rank; the master
                     // joins each with an empty view.
-                    crate::input::read_fragments_collective(
-                        self.comm,
-                        shared,
-                        &self.volumes,
-                        &[],
-                        self.molecule,
-                        self.cfg.platform.aggregators,
-                    );
+                    crate::input::read_fragments(&plane, &self.volumes, &[], self.molecule)?;
                 }
                 Ok(vec![MasterEvent::ScatterDone])
             }
@@ -474,7 +514,7 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                         .map(|a| Bytes::from(a.encode()))
                         .collect();
                     self.comm.scatterv(MASTER, Some(pieces));
-                    self.write_master_sections(&outcome);
+                    self.write_master_sections(&outcome)?;
                     if let Some(mark) = self.out_mark.take() {
                         self.phase_times.add(phases::OUTPUT, self.ctx.now() - mark);
                     }
@@ -486,16 +526,28 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 // records (dead owners' checkpointed fragments) land in
                 // the master's own assignment slot.
                 let outcome = self.outcome.take().expect("merge precedes batch finish");
-                for &(q, oid, off) in &outcome.per_rank[MASTER].records {
-                    let rec = self
-                        .orphan_records
-                        .get(&(q, oid))
-                        .expect("orphan record was checkpointed");
-                    shared.write_at(self.ctx, &self.cfg.output_path, off, rec.as_bytes());
-                }
-                for (off, text) in &outcome.master_sections {
-                    shared.write_at(self.ctx, &self.cfg.output_path, *off, text.as_bytes());
-                }
+                let plane = output_plane(self.comm, self.cfg, &self.policy);
+                let orphans = outcome.per_rank[MASTER]
+                    .records
+                    .iter()
+                    .map(|&(q, oid, off)| {
+                        self.orphan_records
+                            .get(&(q, oid))
+                            .map(|rec| (off, rec.as_str()))
+                            .ok_or_else(|| {
+                                PioError::Protocol(format!(
+                                    "orphan record ({q}, {oid}) has no checkpoint"
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                flush_output(&plane, &self.cfg.output_path, orphans)?;
+                let sections = outcome
+                    .master_sections
+                    .iter()
+                    .map(|(off, text)| (*off, text.as_str()))
+                    .collect();
+                flush_output(&plane, &self.cfg.output_path, sections)?;
                 if let Some(mark) = self.out_mark.take() {
                     self.phase_times.add(phases::OUTPUT, self.ctx.now() - mark);
                 }
@@ -534,28 +586,20 @@ impl<'a, 'b> MasterIo<'a, 'b> {
         Ok(MetaSubmission { per_query })
     }
 
-    fn write_master_sections(&self, outcome: &MergeOutcome) {
-        let shared = &self.cfg.env.shared;
-        if self.cfg.collective_output {
-            let mut regions = Vec::with_capacity(outcome.master_sections.len());
-            let mut data = Vec::new();
-            for (off, text) in &outcome.master_sections {
-                regions.push((*off, text.len() as u64));
-                data.extend_from_slice(text.as_bytes());
-            }
-            let view = FileView::new(0, regions).expect("master regions are ordered");
-            let file = MpiFile::open(self.comm, shared, &self.cfg.output_path).with_hints(
-                CollectiveHints {
-                    aggregators: self.cfg.platform.aggregators,
-                },
-            );
-            file.write_at_all(&view, &data);
-        } else {
-            for (off, text) in &outcome.master_sections {
-                shared.write_at(self.ctx, &self.cfg.output_path, *off, text.as_bytes());
-            }
+    fn write_master_sections(&self, outcome: &MergeOutcome) -> Result<(), PioError> {
+        let plane = output_plane(self.comm, self.cfg, &self.policy);
+        let sections = outcome
+            .master_sections
+            .iter()
+            .map(|(off, text)| (*off, text.as_str()))
+            .collect();
+        flush_output(&plane, &self.cfg.output_path, sections)?;
+        if !plane.is_collective() {
+            // Two-phase ends in its own barrier; every other strategy
+            // needs the explicit fence before the batch is sealed.
             self.comm.barrier();
         }
+        Ok(())
     }
 
     /// Seal the run: release the workers, drop any checkpoint blobs.
@@ -566,10 +610,10 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             }
         }
         if self.policy.checkpoint {
-            let shared = &self.cfg.env.shared;
+            let plane = independent_plane(self.comm, self.cfg);
             for b in 0..self.policy.nbatches {
                 for f in 0..self.policy.nfrags {
-                    let _ = shared.delete(self.ctx, &ckpt_path(self.cfg, b, f));
+                    let _ = plane.checkpoint_drop(&ckpt_path(self.cfg, b, f));
                 }
             }
         }
@@ -838,37 +882,26 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
         }
     }
 
+    /// Read the granted fragments through the input plane (one posted
+    /// view set per file, whatever the strategy makes of it), then
+    /// search them if the schedule wants search-on-grant.
     fn ingest(&mut self, batch: usize, count: usize, search: bool) -> Result<(), PioError> {
-        if self.cfg.collective_input {
-            // Fault-free static schedule only: one collective read pass
-            // over the whole chunk.
-            let pend: Vec<(u32, FragmentAssignment)> = self.pending.drain(..).collect();
-            let specs: Vec<FragmentAssignment> = pend.iter().map(|(_, a)| a.clone()).collect();
-            let input_start = self.ctx.now();
-            let datas = crate::input::read_fragments_collective(
-                self.comm,
-                &self.cfg.env.shared,
-                &self.grant_volumes,
-                &specs,
-                self.molecule,
-                self.cfg.platform.aggregators,
-            );
-            self.phase_times
-                .add(phases::INPUT, self.ctx.now() - input_start);
-            for ((id, _), frag) in pend.into_iter().zip(datas) {
-                self.frags.push((id, frag));
-            }
-            return Ok(());
-        }
+        let mut granted = Vec::with_capacity(count);
         for _ in 0..count {
-            let (id, assignment) = self
-                .pending
-                .pop_front()
-                .ok_or_else(|| PioError::Protocol("grant count exceeds stash".into()))?;
-            let input_start = self.ctx.now();
-            let frag = input_fragment(self.ctx, self.cfg, self.molecule, &assignment);
-            self.phase_times
-                .add(phases::INPUT, self.ctx.now() - input_start);
+            granted.push(
+                self.pending
+                    .pop_front()
+                    .ok_or_else(|| PioError::Protocol("grant count exceeds stash".into()))?,
+            );
+        }
+        let specs: Vec<FragmentAssignment> = granted.iter().map(|(_, a)| a.clone()).collect();
+        let plane = input_plane(self.comm, self.cfg, &self.policy);
+        let input_start = self.ctx.now();
+        let datas =
+            crate::input::read_fragments(&plane, &self.grant_volumes, &specs, self.molecule)?;
+        self.phase_times
+            .add(phases::INPUT, self.ctx.now() - input_start);
+        for ((id, _), frag) in granted.into_iter().zip(datas) {
             if search {
                 self.search_one(batch, id, &frag);
             }
@@ -937,11 +970,8 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 records,
             }
             .encode();
-            self.cfg.env.shared.write_all(
-                self.ctx,
-                &ckpt_path(self.cfg, batch, id as usize),
-                &blob,
-            );
+            independent_plane(self.comm, self.cfg)
+                .checkpoint_put(&ckpt_path(self.cfg, batch, id as usize), &blob);
         }
         self.phase_times
             .add(phases::OUTPUT, self.ctx.now() - cache_start);
@@ -957,34 +987,16 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             let bytes = self.comm.scatterv(MASTER, None);
             OffsetAssignment::decode(&bytes).map_err(decode_err)?
         };
-        let shared = &self.cfg.env.shared;
-        if !self.policy.p2p() && self.cfg.collective_output {
-            let mut regions = Vec::with_capacity(assignment.records.len());
-            let mut data = Vec::new();
-            for &(q, oid, off) in &assignment.records {
-                let record = self.cache.record(q, oid).ok_or_else(|| {
-                    PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
-                })?;
-                regions.push((off, record.len() as u64));
-                data.extend_from_slice(record.as_bytes());
-            }
-            let view = FileView::new(0, regions).expect("assignments are ordered");
-            let file = MpiFile::open(self.comm, shared, &self.cfg.output_path).with_hints(
-                CollectiveHints {
-                    aggregators: self.cfg.platform.aggregators,
-                },
-            );
-            file.write_at_all(&view, &data);
-        } else {
-            for &(q, oid, off) in &assignment.records {
-                let record = self.cache.record(q, oid).ok_or_else(|| {
-                    PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
-                })?;
-                shared.write_at(self.ctx, &self.cfg.output_path, off, record.as_bytes());
-            }
-            if !self.policy.p2p() {
-                self.comm.barrier();
-            }
+        let plane = output_plane(self.comm, self.cfg, &self.policy);
+        let items = self
+            .cache
+            .assigned_records(&assignment.records)
+            .map_err(|(q, oid)| {
+                PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
+            })?;
+        flush_output(&plane, &self.cfg.output_path, items)?;
+        if !self.policy.p2p() && !plane.is_collective() {
+            self.comm.barrier();
         }
         let start = self.out_mark.take().unwrap_or(t);
         self.phase_times.add(phases::OUTPUT, self.ctx.now() - start);

@@ -10,11 +10,11 @@
 //!   liveness, epoch fencing and a per-fragment submission ledger, as a
 //!   pure `event -> (state', actions)` transition function;
 //! * [`WorkerSm`] — the worker's batch/search lifecycle, equally pure;
-//! * [`interp`] — the thin interpreter that turns actions into
+//! * `interp` — the thin interpreter that turns actions into
 //!   `mpisim::Comm` traffic and file-system I/O, and messages back into
 //!   events. All communication and I/O side effects live here.
 //!
-//! [`FaultMode`](crate::FaultMode) is a *policy* on this one machine,
+//! [`FaultMode`] is a *policy* on this one machine,
 //! not a separate protocol: `Off` lowers the same actions onto
 //! collectives (broadcast/scatter/gather/collective writes), while
 //! `Detect`/`Recover` lower them onto point-to-point commands with

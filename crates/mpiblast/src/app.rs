@@ -23,6 +23,7 @@ use blast_core::fasta;
 use blast_core::format::{self, ReportConfig};
 use blast_core::search::{BlastSearcher, PreparedQueries, SearchScratch, SearchStats, SubjectHit};
 use bytes::Bytes;
+use mpiio::{FileView, IoOptions, IoPlane, IoStrategy, PlaneConfig};
 use mpisim::sched::{default_sweep, GrantQueue, Liveness, Polled, Pump};
 use mpisim::{Collectives, Comm};
 use seqfmt::{FragmentData, VolumeIndex};
@@ -249,6 +250,19 @@ fn run_master(
     // ---- output epoch: merge, fetch serially, format, write serially ----
     let out_start = now();
     shared.create(ctx, &cfg.output_path);
+    // The baseline master writes alone: an independent, non-collective
+    // plane reproduces mpiBLAST's serial appends exactly.
+    let out_plane = IoPlane::new(
+        comm,
+        shared,
+        PlaneConfig {
+            options: IoOptions {
+                strategy: IoStrategy::Independent,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     let mut file_off = 0u64;
     for (q, merged_slot) in merged.iter_mut().enumerate() {
         let mut hits = std::mem::take(merged_slot);
@@ -332,7 +346,8 @@ fn run_master(
             section.extend_from_slice(r.as_bytes());
         }
         section.extend_from_slice(layout.footer.as_bytes());
-        shared.write_at(ctx, &cfg.output_path, file_off, &section);
+        let view = FileView::contiguous(file_off, section.len() as u64);
+        out_plane.write_output(&cfg.output_path, &view, &section);
         file_off += section.len() as u64;
     }
     for w in live.live_workers() {

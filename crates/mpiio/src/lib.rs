@@ -11,11 +11,18 @@
 //! This is the substrate behind both of pioBLAST's headline I/O moves:
 //! parallel input of virtual database fragments, and collective output of
 //! scattered result records into one shared report file.
+//!
+//! Consumers do not call `MpiFile` directly: the [`plane::IoPlane`]
+//! fronts it with a typed request interface and owns the choice of
+//! physical access strategy (independent, data-sieved, or two-phase
+//! collective) per request.
 
 #![warn(missing_docs)]
 
 pub mod fileio;
+pub mod plane;
 pub mod view;
 
 pub use fileio::{CollectiveHints, MpiFile};
+pub use plane::{IoOptions, IoPlane, IoRequest, IoResponse, IoStrategy, PlaneConfig};
 pub use view::{FileView, ViewError};

@@ -1,0 +1,623 @@
+//! The I/O plane: one typed access interface over [`MpiFile`], with the
+//! physical access strategy chosen per request.
+//!
+//! Consumers describe *what* they touch — database regions, scattered
+//! output records, checkpoint blobs — as an [`IoRequest`]; the plane
+//! decides *how* the bytes move:
+//!
+//! * [`IoStrategy::Independent`] issues one file-system operation per
+//!   view region (the paper's default input mode).
+//! * [`IoStrategy::Sieve`] applies data sieving (Thakur et al.,
+//!   *Optimizing Noncontiguous Accesses in MPI-IO*): on reads, regions
+//!   whose holes are at most [`IoOptions::sieve_threshold`] bytes are
+//!   serviced by one larger read spanning the holes; on writes, only
+//!   hole-free (strictly adjacent) regions are coalesced — the classic
+//!   read-modify-write across holes is deliberately omitted, because in
+//!   pioBLAST the holes of one rank's output view are exactly the
+//!   records other ranks are writing concurrently.
+//! * [`IoStrategy::TwoPhase`] uses the full two-phase collective path
+//!   ([`MpiFile::write_at_all`]/[`MpiFile::read_at_all`]): view
+//!   exchange, file-domain partitioning across aggregators, and large
+//!   coalesced transfers.
+//!
+//! The default strategy, `TwoPhase`, is *adaptive*: it means "aggregate
+//! as hard as this request's context allows". Two-phase proper requires
+//! every rank of the communicator to post the request synchronously
+//! ([`PlaneConfig::collective`]). When aggregation was asked for
+//! ([`PlaneConfig::aggregate`]) but the context cannot synchronize —
+//! grant-driven dynamic schedules, point-to-point fault modes, recovery
+//! epochs — the plane degrades the request to `Sieve`: it coalesces
+//! whatever views are actually posted, with no global exchange and so
+//! no deadlock. This degradation is what lets `collective_input`
+//! compose with dynamic scheduling and fault recovery. When aggregation
+//! was not requested at all, `TwoPhase` resolves to `Independent` — the
+//! paper's per-range individual I/O. Explicitly selecting `Independent`
+//! or `Sieve` pins the physical access pattern regardless of context
+//! (the `--io-strategy` ablation).
+//!
+//! Every serviced request is attributed to a [`parafs::IoClass`] tally
+//! on the backing file system so benches can break traffic down by
+//! strategy.
+
+use parafs::{IoClass, SimFs, StoreError};
+
+use mpisim::Comm;
+
+use crate::fileio::{CollectiveHints, MpiFile};
+use crate::view::FileView;
+
+/// How a plane services noncontiguous requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoStrategy {
+    /// One file-system operation per view region.
+    Independent,
+    /// Data sieving: coalesce regions across holes up to the sieve
+    /// threshold (reads) or across zero-byte holes (writes).
+    Sieve,
+    /// Two-phase collective I/O where the plane is collective; degrades
+    /// to `Sieve` on an aggregating non-collective plane and to
+    /// `Independent` where no aggregation was requested (see the module
+    /// docs).
+    #[default]
+    TwoPhase,
+}
+
+impl IoStrategy {
+    /// The strategy's traffic-attribution class.
+    pub fn class(self) -> IoClass {
+        match self {
+            IoStrategy::Independent => IoClass::Independent,
+            IoStrategy::Sieve => IoClass::Sieved,
+            IoStrategy::TwoPhase => IoClass::TwoPhase,
+        }
+    }
+
+    /// A stable lowercase label (the inverse of the `FromStr` parse).
+    pub fn label(self) -> &'static str {
+        self.class().label()
+    }
+}
+
+impl std::str::FromStr for IoStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoStrategy, String> {
+        match s {
+            "independent" => Ok(IoStrategy::Independent),
+            "sieve" => Ok(IoStrategy::Sieve),
+            "two-phase" | "twophase" => Ok(IoStrategy::TwoPhase),
+            other => Err(format!(
+                "unknown I/O strategy {other:?} (expected independent, sieve, or two-phase)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// User-facing plane knobs (the `--io-strategy`/`--sieve-threshold`
+/// surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoOptions {
+    /// Preferred access strategy.
+    pub strategy: IoStrategy,
+    /// Largest hole (bytes) the sieve will read through to merge two
+    /// regions into one transfer. The default (64 KiB) sits near the
+    /// latency/bandwidth break-even of both modeled file systems.
+    pub sieve_threshold: u64,
+}
+
+impl Default for IoOptions {
+    fn default() -> IoOptions {
+        IoOptions {
+            strategy: IoStrategy::TwoPhase,
+            sieve_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// Full configuration of one plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlaneConfig {
+    /// Strategy and sieve knobs.
+    pub options: IoOptions,
+    /// Collective-I/O tuning (aggregator count).
+    pub hints: CollectiveHints,
+    /// Whether the run asked for aggregated (collective-style) access on
+    /// this path — the `collective_input`/`collective_output` knobs.
+    /// Governs what the adaptive `TwoPhase` strategy resolves to.
+    pub aggregate: bool,
+    /// Whether every rank of the communicator posts this plane's
+    /// requests synchronously (required for two-phase proper). `false`
+    /// on grant-driven schedules and point-to-point fault modes.
+    /// Implies `aggregate`.
+    pub collective: bool,
+}
+
+/// A typed I/O request against the plane.
+#[derive(Debug)]
+pub enum IoRequest<'r> {
+    /// Read the given regions of a shared database file.
+    DbRead {
+        /// File path on the shared file system.
+        path: &'r str,
+        /// Regions to read.
+        view: &'r FileView,
+    },
+    /// Write scattered output records at master-assigned offsets.
+    OutputWrite {
+        /// Report path on the shared file system.
+        path: &'r str,
+        /// Regions to write (`payload` fills them in order).
+        view: &'r FileView,
+        /// The regions' bytes, concatenated.
+        payload: &'r [u8],
+    },
+    /// Persist a checkpoint blob (whole file, created or replaced).
+    CheckpointPut {
+        /// Blob path.
+        path: &'r str,
+        /// Blob bytes.
+        payload: &'r [u8],
+    },
+    /// Fetch a checkpoint blob (whole file).
+    CheckpointGet {
+        /// Blob path.
+        path: &'r str,
+    },
+    /// Drop a checkpoint blob, if present.
+    CheckpointDrop {
+        /// Blob path.
+        path: &'r str,
+    },
+}
+
+/// What a serviced request returns.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IoResponse {
+    /// The requested bytes, in view-region order.
+    Data(Vec<u8>),
+    /// A write/drop completed.
+    Done,
+}
+
+/// The typed access plane over one communicator and file system.
+pub struct IoPlane<'a, 'c> {
+    comm: &'a Comm<'c>,
+    fs: &'a SimFs,
+    cfg: PlaneConfig,
+}
+
+impl<'a, 'c> IoPlane<'a, 'c> {
+    /// Build a plane.
+    pub fn new(comm: &'a Comm<'c>, fs: &'a SimFs, cfg: PlaneConfig) -> IoPlane<'a, 'c> {
+        IoPlane { comm, fs, cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PlaneConfig {
+        &self.cfg
+    }
+
+    /// The strategy requests will actually be serviced under. The
+    /// adaptive `TwoPhase` default resolves by context: two-phase proper
+    /// on a collective plane, sieving when aggregation was requested but
+    /// the ranks cannot synchronize, independent otherwise.
+    pub fn effective_strategy(&self) -> IoStrategy {
+        match self.cfg.options.strategy {
+            IoStrategy::TwoPhase if self.cfg.collective => IoStrategy::TwoPhase,
+            IoStrategy::TwoPhase if self.cfg.aggregate => IoStrategy::Sieve,
+            IoStrategy::TwoPhase => IoStrategy::Independent,
+            s => s,
+        }
+    }
+
+    /// Whether data requests are serviced as true collectives (every
+    /// rank must then post them together, and they embed a barrier).
+    pub fn is_collective(&self) -> bool {
+        self.effective_strategy() == IoStrategy::TwoPhase
+    }
+
+    /// Service one typed request.
+    pub fn submit(&self, req: IoRequest<'_>) -> Result<IoResponse, StoreError> {
+        match req {
+            IoRequest::DbRead { path, view } => self.read_view(path, view).map(IoResponse::Data),
+            IoRequest::OutputWrite {
+                path,
+                view,
+                payload,
+            } => {
+                self.write_view(path, view, payload);
+                Ok(IoResponse::Done)
+            }
+            IoRequest::CheckpointPut { path, payload } => {
+                self.fs.create(self.comm.ctx(), path);
+                self.fs.write_at(self.comm.ctx(), path, 0, payload);
+                self.note(IoStrategy::Independent, 1, payload.len() as u64);
+                Ok(IoResponse::Done)
+            }
+            IoRequest::CheckpointGet { path } => {
+                let data = self.fs.read_all(self.comm.ctx(), path)?;
+                self.note(IoStrategy::Independent, 1, data.len() as u64);
+                Ok(IoResponse::Data(data))
+            }
+            IoRequest::CheckpointDrop { path } => {
+                self.fs.delete(self.comm.ctx(), path)?;
+                Ok(IoResponse::Done)
+            }
+        }
+    }
+
+    // ---- convenience wrappers over `submit` ----
+
+    /// Read a view of a database file ([`IoRequest::DbRead`]).
+    pub fn db_read(&self, path: &str, view: &FileView) -> Result<Vec<u8>, StoreError> {
+        match self.submit(IoRequest::DbRead { path, view })? {
+            IoResponse::Data(d) => Ok(d),
+            IoResponse::Done => unreachable!("reads return data"),
+        }
+    }
+
+    /// Read a whole file (staging: alias, queries, volume indexes).
+    pub fn read_whole(&self, path: &str) -> Result<Vec<u8>, StoreError> {
+        let data = self.fs.read_all(self.comm.ctx(), path)?;
+        self.note(IoStrategy::Independent, 1, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Write scattered records ([`IoRequest::OutputWrite`]).
+    pub fn write_output(&self, path: &str, view: &FileView, payload: &[u8]) {
+        self.submit(IoRequest::OutputWrite {
+            path,
+            view,
+            payload,
+        })
+        .expect("writes do not fail");
+    }
+
+    /// Persist a checkpoint blob ([`IoRequest::CheckpointPut`]).
+    pub fn checkpoint_put(&self, path: &str, payload: &[u8]) {
+        self.submit(IoRequest::CheckpointPut { path, payload })
+            .expect("writes do not fail");
+    }
+
+    /// Fetch a checkpoint blob ([`IoRequest::CheckpointGet`]).
+    pub fn checkpoint_get(&self, path: &str) -> Result<Vec<u8>, StoreError> {
+        match self.submit(IoRequest::CheckpointGet { path })? {
+            IoResponse::Data(d) => Ok(d),
+            IoResponse::Done => unreachable!("gets return data"),
+        }
+    }
+
+    /// Drop a checkpoint blob ([`IoRequest::CheckpointDrop`]).
+    pub fn checkpoint_drop(&self, path: &str) -> Result<(), StoreError> {
+        self.submit(IoRequest::CheckpointDrop { path }).map(|_| ())
+    }
+
+    // ---- strategy execution ----
+
+    fn note(&self, strategy: IoStrategy, requests: u64, bytes: u64) {
+        self.fs.note_class(strategy.class(), requests, bytes);
+    }
+
+    fn read_view(&self, path: &str, view: &FileView) -> Result<Vec<u8>, StoreError> {
+        let strategy = self.effective_strategy();
+        self.note(strategy, view.regions.len() as u64, view.total_bytes());
+        match strategy {
+            IoStrategy::Independent => {
+                let mut out = Vec::with_capacity(view.total_bytes() as usize);
+                for (abs, len) in view.absolute() {
+                    out.extend_from_slice(&self.fs.read_at(self.comm.ctx(), path, abs, len)?);
+                }
+                Ok(out)
+            }
+            IoStrategy::Sieve => {
+                let regions: Vec<(u64, u64)> = view.absolute().collect();
+                let runs = sieve_runs(&regions, self.cfg.options.sieve_threshold);
+                let mut out = Vec::with_capacity(view.total_bytes() as usize);
+                let mut run = runs.iter();
+                let mut cur: Option<(u64, Vec<u8>)> = None;
+                for (abs, len) in &regions {
+                    let covered = cur
+                        .as_ref()
+                        .is_some_and(|(o, d)| *abs >= *o && abs + len <= o + d.len() as u64);
+                    if !covered {
+                        let &(o, l) = run.next().expect("every region lies in a run");
+                        cur = Some((o, self.fs.read_at(self.comm.ctx(), path, o, l)?));
+                    }
+                    let (o, d) = cur.as_ref().expect("run just read");
+                    let start = (abs - o) as usize;
+                    out.extend_from_slice(&d[start..start + *len as usize]);
+                }
+                Ok(out)
+            }
+            IoStrategy::TwoPhase => {
+                let file = MpiFile::open(self.comm, self.fs, path).with_hints(self.cfg.hints);
+                file.read_at_all(view)
+            }
+        }
+    }
+
+    fn write_view(&self, path: &str, view: &FileView, payload: &[u8]) {
+        assert_eq!(
+            payload.len() as u64,
+            view.total_bytes(),
+            "payload must exactly fill the view"
+        );
+        let strategy = self.effective_strategy();
+        self.note(strategy, view.regions.len() as u64, view.total_bytes());
+        match strategy {
+            IoStrategy::Independent => {
+                let mut cursor = 0usize;
+                for (abs, len) in view.absolute() {
+                    self.fs.write_at(
+                        self.comm.ctx(),
+                        path,
+                        abs,
+                        &payload[cursor..cursor + len as usize],
+                    );
+                    cursor += len as usize;
+                }
+            }
+            IoStrategy::Sieve => {
+                // Coalesce only hole-free runs: writing through a hole
+                // would clobber bytes other ranks own.
+                let mut cursor = 0usize;
+                let mut run: Option<(u64, Vec<u8>)> = None;
+                for (abs, len) in view.absolute() {
+                    let piece = &payload[cursor..cursor + len as usize];
+                    cursor += len as usize;
+                    match &mut run {
+                        Some((o, d)) if *o + d.len() as u64 == abs => d.extend_from_slice(piece),
+                        _ => {
+                            if let Some((o, d)) = run.take() {
+                                self.fs.write_at(self.comm.ctx(), path, o, &d);
+                            }
+                            run = Some((abs, piece.to_vec()));
+                        }
+                    }
+                }
+                if let Some((o, d)) = run {
+                    self.fs.write_at(self.comm.ctx(), path, o, &d);
+                }
+            }
+            IoStrategy::TwoPhase => {
+                let file = MpiFile::open(self.comm, self.fs, path).with_hints(self.cfg.hints);
+                file.write_at_all(view, payload);
+            }
+        }
+    }
+}
+
+/// Merge sorted, disjoint absolute regions into read runs, bridging
+/// holes of at most `threshold` bytes.
+fn sieve_runs(regions: &[(u64, u64)], threshold: u64) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &(o, l) in regions {
+        match out.last_mut() {
+            Some((ro, rl)) if o - (*ro + *rl) <= threshold => *rl = o + l - *ro,
+            _ => out.push((o, l)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::NetProfile;
+    use parafs::FsProfile;
+    use simcluster::Sim;
+
+    fn net() -> NetProfile {
+        NetProfile {
+            latency: 5e-6,
+            bandwidth: 1e9,
+        }
+    }
+
+    fn fsprofile() -> FsProfile {
+        FsProfile {
+            per_client_bw: 100e6,
+            aggregate_bw: 400e6,
+            op_latency: 1e-4,
+        }
+    }
+
+    fn plane_cfg(strategy: IoStrategy, threshold: u64, collective: bool) -> PlaneConfig {
+        PlaneConfig {
+            options: IoOptions {
+                strategy,
+                sieve_threshold: threshold,
+            },
+            hints: CollectiveHints { aggregators: 2 },
+            aggregate: true,
+            collective,
+        }
+    }
+
+    #[test]
+    fn sieve_runs_bridge_small_holes_only() {
+        let regions = vec![(0u64, 10u64), (12, 8), (100, 5), (105, 5)];
+        assert_eq!(sieve_runs(&regions, 2), vec![(0, 20), (100, 10)]);
+        assert_eq!(
+            sieve_runs(&regions, 0),
+            vec![(0, 10), (12, 8), (100, 10)],
+            "threshold 0 still merges adjacency"
+        );
+        assert_eq!(sieve_runs(&regions, 1 << 30), vec![(0, 110)]);
+        assert!(sieve_runs(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn all_strategies_read_the_same_bytes() {
+        let content: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        for strategy in [
+            IoStrategy::Independent,
+            IoStrategy::Sieve,
+            IoStrategy::TwoPhase,
+        ] {
+            let sim = Sim::new(3);
+            let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+            fs.preload("db", content.clone());
+            let fs2 = fs.clone();
+            let out = sim.run(move |ctx| {
+                let comm = Comm::new(&ctx, net());
+                let plane = IoPlane::new(&comm, &fs2, plane_cfg(strategy, 16, true));
+                let base = 100 * ctx.rank() as u64;
+                let view = FileView::new(base, vec![(0, 20), (30, 10), (90, 10)]).unwrap();
+                plane.db_read("db", &view).unwrap()
+            });
+            for (r, got) in out.outputs.iter().enumerate() {
+                let base = 100 * r;
+                let mut want = content[base..base + 20].to_vec();
+                want.extend_from_slice(&content[base + 30..base + 40]);
+                want.extend_from_slice(&content[base + 90..base + 100]);
+                assert_eq!(got, &want, "{strategy} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sieved_reads_are_fewer_than_independent() {
+        let content = vec![7u8; 4000];
+        let run = |strategy: IoStrategy| -> u64 {
+            let sim = Sim::new(1);
+            let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+            fs.preload("db", content.clone());
+            let fs2 = fs.clone();
+            sim.run(move |ctx| {
+                let comm = Comm::new(&ctx, net());
+                let plane = IoPlane::new(&comm, &fs2, plane_cfg(strategy, 64, false));
+                // 16 regions with 8-byte holes: one sieved run.
+                let regions: Vec<(u64, u64)> = (0..16).map(|i| (i * 40, 32)).collect();
+                let view = FileView::new(0, regions).unwrap();
+                plane.db_read("db", &view).unwrap();
+            });
+            fs.counters().data_ops
+        };
+        assert_eq!(run(IoStrategy::Independent), 16);
+        assert_eq!(run(IoStrategy::Sieve), 1);
+    }
+
+    #[test]
+    fn sieved_writes_coalesce_only_adjacent_regions() {
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::Sieve, 1 << 20, false));
+            // Interleaved: rank r owns records r, r+2, r+4, ... of 10 bytes.
+            let me = ctx.rank() as u64;
+            let regions: Vec<(u64, u64)> = (0..4).map(|i| ((2 * i + me) * 10, 10)).collect();
+            let view = FileView::new(0, regions).unwrap();
+            let data = vec![me as u8 + 1; 40];
+            plane.write_output("out", &view, &data);
+        });
+        let written = fs.peek("out").unwrap();
+        assert_eq!(written.len(), 80);
+        for rec in 0..8u64 {
+            let want = (rec % 2) as u8 + 1;
+            assert!(
+                written[(rec * 10) as usize..(rec * 10 + 10) as usize]
+                    .iter()
+                    .all(|&b| b == want),
+                "record {rec}: a sieved write must never fill holes"
+            );
+        }
+        // No coalescing happened (every hole is another rank's record),
+        // so each rank issued one write per region.
+        assert_eq!(fs.counters().data_ops, 8);
+    }
+
+    #[test]
+    fn two_phase_without_an_aggregation_request_is_independent() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        fs.preload("db", vec![9u8; 100]);
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let mut cfg = plane_cfg(IoStrategy::TwoPhase, 1 << 20, false);
+            cfg.aggregate = false;
+            let plane = IoPlane::new(&comm, &fs2, cfg);
+            assert_eq!(plane.effective_strategy(), IoStrategy::Independent);
+            let view = FileView::new(0, vec![(0, 8), (16, 8)]).unwrap();
+            assert_eq!(plane.db_read("db", &view).unwrap(), vec![9u8; 16]);
+        });
+        // One physical read per region: no hole bridging happened.
+        assert_eq!(fs.counters().data_ops, 2);
+        assert_eq!(fs.counters().bytes_read, 16);
+        assert_eq!(fs.class_tally(IoClass::Independent).requests, 2);
+    }
+
+    #[test]
+    fn two_phase_degrades_to_sieve_off_the_collective_path() {
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        fs.preload("db", vec![3u8; 1000]);
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::TwoPhase, 64, false));
+            assert_eq!(plane.effective_strategy(), IoStrategy::Sieve);
+            assert!(!plane.is_collective());
+            // Only rank 1 posts a request: on a collective plane this
+            // would deadlock in the view exchange.
+            if ctx.rank() == 1 {
+                let view = FileView::new(0, vec![(0, 8), (16, 8)]).unwrap();
+                assert_eq!(plane.db_read("db", &view).unwrap(), vec![3u8; 16]);
+            }
+        });
+        assert_eq!(fs.class_tally(IoClass::Sieved).requests, 2);
+        assert_eq!(fs.class_tally(IoClass::Sieved).bytes, 16);
+        assert_eq!(fs.class_tally(IoClass::TwoPhase).requests, 0);
+    }
+
+    #[test]
+    fn class_tallies_attribute_logical_traffic() {
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::TwoPhase, 64, true));
+            let me = ctx.rank() as u64;
+            let view = FileView::new(0, vec![(me * 50, 50), (100 + me * 50, 50)]).unwrap();
+            plane.write_output("out", &view, &[me as u8; 100]);
+            // Checkpoint round trip rides the independent class.
+            let blob = vec![me as u8; 30];
+            let path = format!("ckpt.{me}");
+            plane.checkpoint_put(&path, &blob);
+            assert_eq!(plane.checkpoint_get(&path).unwrap(), blob);
+            plane.checkpoint_drop(&path).unwrap();
+        });
+        let two_phase = fs.class_tally(IoClass::TwoPhase);
+        assert_eq!(two_phase.requests, 4);
+        assert_eq!(two_phase.bytes, 200);
+        let indep = fs.class_tally(IoClass::Independent);
+        assert_eq!(indep.requests, 4, "2 puts + 2 gets");
+        assert_eq!(indep.bytes, 120);
+        assert_eq!(fs.counters().bytes_written, 200 + 60);
+    }
+
+    #[test]
+    fn checkpoint_get_of_a_missing_blob_is_a_typed_error() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, PlaneConfig::default());
+            assert!(matches!(
+                plane.checkpoint_get("absent"),
+                Err(StoreError::NotFound { .. })
+            ));
+        });
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of [`FileView`] construction and serialization.
+
+use mpiio::{FileView, ViewError};
+use proptest::prelude::*;
+
+/// Sorted, disjoint, non-empty regions: cumulative positive gaps/lens.
+/// `min` bounds the region count from below.
+fn arb_valid_regions(min: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..1000, 1u64..1000), min..32).prop_map(|gaps| {
+        let mut off = 0u64;
+        gaps.into_iter()
+            .map(|(gap, len)| {
+                let o = off + gap;
+                off = o + len;
+                (o, len)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode -> decode is the identity on every valid view.
+    #[test]
+    fn encode_decode_round_trips(disp in 0u64..1_000_000, regions in arb_valid_regions(0)) {
+        let view = FileView::new(disp, regions).unwrap();
+        let decoded = FileView::decode(&view.encode());
+        prop_assert_eq!(decoded.as_ref(), Some(&view));
+    }
+
+    /// decode rejects any truncation or extension of a valid encoding.
+    #[test]
+    fn decode_rejects_length_corruption(
+        disp in 0u64..1_000_000,
+        regions in arb_valid_regions(0),
+        cut in 1usize..16,
+        grow in any::<bool>(),
+    ) {
+        let bytes = FileView::new(disp, regions).unwrap().encode();
+        let corrupted = if grow {
+            let mut b = bytes;
+            b.extend_from_slice(&[0u8; 3]);
+            b
+        } else {
+            bytes[..bytes.len().saturating_sub(cut)].to_vec()
+        };
+        prop_assert_eq!(FileView::decode(&corrupted), None);
+    }
+
+    /// Swapping two adjacent distinct regions makes the list unsorted,
+    /// and `new` rejects it.
+    #[test]
+    fn new_rejects_out_of_order_regions(
+        regions in arb_valid_regions(2),
+        seed in 0usize..1024,
+    ) {
+        let i = seed % (regions.len() - 1);
+        let mut shuffled = regions;
+        shuffled.swap(i, i + 1);
+        prop_assert_eq!(FileView::new(0, shuffled).unwrap_err(), ViewError::Unsorted);
+    }
+
+    /// Forcing any region to overlap its predecessor's tail is rejected.
+    #[test]
+    fn new_rejects_overlapping_regions(
+        regions in arb_valid_regions(2),
+        seed in 0usize..1024,
+    ) {
+        let i = 1 + seed % (regions.len() - 1);
+        let mut overlapped = regions;
+        let (prev_off, prev_len) = overlapped[i - 1];
+        overlapped[i].0 = prev_off + prev_len - 1;
+        prop_assert_eq!(FileView::new(0, overlapped).unwrap_err(), ViewError::Unsorted);
+    }
+
+    /// Zero-length regions are rejected wherever they appear.
+    #[test]
+    fn new_rejects_empty_regions(
+        regions in arb_valid_regions(1),
+        seed in 0usize..1024,
+    ) {
+        let i = seed % regions.len();
+        let mut zeroed = regions;
+        zeroed[i].1 = 0;
+        prop_assert_eq!(FileView::new(0, zeroed).unwrap_err(), ViewError::EmptyRegion);
+    }
+}

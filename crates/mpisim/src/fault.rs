@@ -1,7 +1,7 @@
 //! Fault-aware communication: typed errors, timed receives, and a
 //! retry/backoff helper.
 //!
-//! The plain [`Comm`](crate::Comm) operations assume every peer is alive
+//! The plain [`Comm`] operations assume every peer is alive
 //! and block forever otherwise — matching stock MPI, where a lost rank
 //! hangs the job. The operations here surface rank death (injected via
 //! [`simcluster::FaultPlan`]) as typed errors instead, which is what the

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simcluster::{RankCtx, SimDuration, SimHandle, SimTime, WakeId};
 
-use crate::profile::FsProfile;
+use crate::profile::{ClassTally, FsProfile, IoClass};
 use crate::store::{FileStore, StoreError};
 
 /// Byte-level counters for one file system.
@@ -43,6 +43,7 @@ struct FsState {
     streams: Vec<Stream>,
     last_update: SimTime,
     counters: FsCounters,
+    class_tallies: [ClassTally; 3],
 }
 
 /// A simulated file system shared by all ranks (or private to one node,
@@ -68,6 +69,7 @@ impl SimFs {
                 streams: Vec::new(),
                 last_update: SimTime::ZERO,
                 counters: FsCounters::default(),
+                class_tallies: [ClassTally::default(); 3],
             })),
         }
     }
@@ -85,6 +87,21 @@ impl SimFs {
     /// Snapshot of the byte counters.
     pub fn counters(&self) -> FsCounters {
         self.state.lock().counters
+    }
+
+    /// Attribute `requests` logical regions covering `bytes` to an
+    /// access-strategy class (called by the I/O plane, once per request
+    /// it services).
+    pub fn note_class(&self, class: IoClass, requests: u64, bytes: u64) {
+        let mut st = self.state.lock();
+        let t = &mut st.class_tallies[class.index()];
+        t.requests += requests;
+        t.bytes += bytes;
+    }
+
+    /// The logical traffic attributed to one strategy class so far.
+    pub fn class_tally(&self, class: IoClass) -> ClassTally {
+        self.state.lock().class_tallies[class.index()]
     }
 
     /// Pre-load a file outside simulated time (for run setup: "the

@@ -16,5 +16,5 @@ pub mod profile;
 pub mod store;
 
 pub use fs::{FsCounters, SimFs};
-pub use profile::FsProfile;
+pub use profile::{ClassTally, FsProfile, IoClass};
 pub use store::{FileStore, StoreError};

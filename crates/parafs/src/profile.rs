@@ -6,6 +6,55 @@
 //! concurrent clients. These profiles parameterize the contention model in
 //! [`crate::fs::SimFs`].
 
+/// The access-strategy class an I/O-plane request was serviced under.
+///
+/// The I/O plane (`mpiio`) attributes every logical request it services
+/// to one of these classes so benches can break file-system traffic
+/// down by strategy (see [`crate::fs::SimFs::class_tally`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// One file-system operation per view region.
+    Independent,
+    /// Data-sieved: regions coalesced across small holes.
+    Sieved,
+    /// Two-phase collective: aggregator ranks issue the transfers.
+    TwoPhase,
+}
+
+impl IoClass {
+    /// Every class, in a fixed order (for iteration/reporting).
+    pub const ALL: [IoClass; 3] = [IoClass::Independent, IoClass::Sieved, IoClass::TwoPhase];
+
+    /// A stable lowercase label (used in bench JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            IoClass::Independent => "independent",
+            IoClass::Sieved => "sieve",
+            IoClass::TwoPhase => "two-phase",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            IoClass::Independent => 0,
+            IoClass::Sieved => 1,
+            IoClass::TwoPhase => 2,
+        }
+    }
+}
+
+/// Logical traffic attributed to one [`IoClass`]: how many view regions
+/// were posted through that strategy and how many bytes they covered.
+/// (Physical operation counts live in [`crate::fs::FsCounters`]; the
+/// gap between the two is exactly what aggregation buys.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Logical noncontiguous regions posted.
+    pub requests: u64,
+    /// Bytes those regions covered.
+    pub bytes: u64,
+}
+
 /// Performance parameters of a (simulated) file system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FsProfile {

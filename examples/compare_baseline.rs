@@ -68,6 +68,7 @@ fn main() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        io: Default::default(),
     };
     let pio = sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
     let pio_out = env.shared.peek("pio.txt").unwrap();

@@ -98,6 +98,7 @@ fn main() {
                     fault: Default::default(),
                     checkpoint: false,
                     rank_compute: None,
+                    io: Default::default(),
                 };
                 sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed
             };

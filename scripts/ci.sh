@@ -10,6 +10,11 @@ cargo test -q
 # deterministic per-test RNG (TestRng::from_name), so this is a fixed
 # seed: failures reproduce exactly, in CI and locally.
 cargo test --release -q --test fault_recovery
+# The lifted restriction must stay lifted: aggregated input under the
+# dynamic schedule + Recover, byte-identical across worker kills.
+cargo test --release -q --test fault_recovery collective_input_under_recovery_is_byte_identical
 # Bench targets (paper exhibits + kernel perf gate) must at least compile.
 cargo bench --workspace --no-run
 cargo clippy -- -D warnings
+# The I/O plane is a public API layer: its docs must build clean.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -69,6 +69,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     let pio_counters = env.shared.counters();
@@ -112,6 +113,7 @@ fn phase_totals_cover_the_run() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        io: Default::default(),
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     let total = outcome.elapsed.since(simcluster::SimTime::ZERO);
@@ -157,6 +159,7 @@ fn virtual_time_is_host_independent() {
                 fault: Default::default(),
                 checkpoint: false,
                 rank_compute: None,
+                io: Default::default(),
             };
             let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             out.elapsed.0
@@ -194,6 +197,7 @@ fn measured_and_modeled_modes_agree_on_results() {
             fault: Default::default(),
             checkpoint: false,
             rank_compute: None,
+            io: Default::default(),
         };
         sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
         outputs.push(env.shared.peek("out.txt").unwrap());
@@ -228,6 +232,7 @@ fn nfs_slows_everything_down() {
             fault: Default::default(),
             checkpoint: false,
             rank_compute: None,
+            io: Default::default(),
         };
         totals.push(sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed);
     }

@@ -48,6 +48,7 @@ fn run_recover_opts(
     nfrags: usize,
     query_batch: Option<usize>,
     checkpoint: bool,
+    collective_input: bool,
     plan: FaultPlan,
 ) -> (Vec<u8>, Vec<usize>) {
     let db = small_db();
@@ -69,11 +70,12 @@ fn run_recover_opts(
         collective_output: false,
         local_prune: false,
         query_batch,
-        collective_input: false,
+        collective_input,
         schedule: FragmentSchedule::Dynamic,
         fault: FaultMode::Recover,
         checkpoint,
         rank_compute: None,
+        io: Default::default(),
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
     let bytes = env.shared.peek("results.txt").unwrap_or_default();
@@ -81,7 +83,7 @@ fn run_recover_opts(
 }
 
 fn run_recover(nranks: usize, nfrags: usize, plan: FaultPlan) -> (Vec<u8>, Vec<usize>) {
-    run_recover_opts(nranks, nfrags, None, false, plan)
+    run_recover_opts(nranks, nfrags, None, false, false, plan)
 }
 
 fn reference_bytes() -> &'static [u8] {
@@ -135,13 +137,40 @@ proptest! {
         let victim = 1 + victim_seed % (nranks - 1);
         let plan = FaultPlan::none().kill_after_sends(victim, kill_after);
         let (bytes, killed) =
-            run_recover_opts(nranks, nfrags, Some(query_batch), checkpoint, plan);
+            run_recover_opts(nranks, nfrags, Some(query_batch), checkpoint, false, plan);
         prop_assert!(killed.is_empty() || killed == vec![victim]);
         prop_assert_eq!(
             &bytes[..],
             reference_bytes(),
             "nranks={} nfrags={} batch={} victim={} kill_after={} ckpt={} killed={:?}",
             nranks, nfrags, query_batch, victim, kill_after, checkpoint, killed
+        );
+    }
+
+    /// The lifted restriction: `collective_input` now composes with the
+    /// dynamic schedule and `FaultMode::Recover` (the plane degrades the
+    /// read pattern to per-rank sieved access off the collective path
+    /// instead of rejecting the config). Under an arbitrary worker kill,
+    /// with and without fragment checkpointing, aggregated input must
+    /// still recover byte-identically to the plain fault-free reference.
+    #[test]
+    fn collective_input_under_recovery_is_byte_identical(
+        nranks in 3usize..=5,
+        nfrags in 4usize..=10,
+        victim_seed in 0usize..64,
+        kill_after in 1u64..=8,
+        checkpoint in any::<bool>(),
+    ) {
+        let victim = 1 + victim_seed % (nranks - 1);
+        let plan = FaultPlan::none().kill_after_sends(victim, kill_after);
+        let (bytes, killed) =
+            run_recover_opts(nranks, nfrags, None, checkpoint, true, plan);
+        prop_assert!(killed.is_empty() || killed == vec![victim]);
+        prop_assert_eq!(
+            &bytes[..],
+            reference_bytes(),
+            "nranks={} nfrags={} victim={} kill_after={} ckpt={} killed={:?}",
+            nranks, nfrags, victim, kill_after, checkpoint, killed
         );
     }
 }

@@ -82,6 +82,7 @@ fn run_pio(
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     env.shared.peek("out.txt").expect("pio output")

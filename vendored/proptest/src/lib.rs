@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer-range and
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`, integer-range and
 //! tuple and collection strategies, a `[a-z]{1,12}`-style string
 //! strategy, `any::<T>()`, and the `proptest!`/`prop_assert!`/
 //! `prop_assert_eq!` macros. Inputs are drawn from a deterministic
@@ -18,7 +18,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Accepted size arguments for [`vec`]: an exact `usize` or a
+    /// Accepted size arguments for [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     pub trait IntoSizeRange {
         /// Lower/upper(+1) bounds of the length.
