@@ -23,6 +23,7 @@
 
 use std::fmt::Write as _;
 
+use blast_bench::runner::PHASE_PRECEDENCE;
 use blast_bench::workload::{default_db_residues, default_query_bytes, nr_like};
 use blast_core::search::SearchParams;
 use mpiblast::setup::{stage_queries, stage_shared_db};
@@ -44,11 +45,18 @@ struct Run {
     counters: FsCounters,
     class_requests: u64,
     class_bytes: u64,
+    /// Trace-derived critical-path share of each phase (fractions of
+    /// elapsed time): input, search, output.
+    share_input: f64,
+    share_search: f64,
+    share_output: f64,
 }
 
 fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
     let workload = nr_like(default_db_residues(), default_query_bytes(), 2005);
     let sim = Sim::new(procs);
+    let tracer = tracelog::Tracer::new(procs);
+    sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, platform);
     let db_alias = stage_shared_db(&env.shared, &workload.db);
     let query_path = stage_queries(&env.shared, &workload.queries);
@@ -83,12 +91,25 @@ fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
         r.as_ref().expect("rank completed");
     }
     let tally = env.shared.class_tally(strategy.class());
+    let wall = outcome.elapsed.since(simcluster::SimTime::ZERO).0;
+    let trace = tracer.finish(wall);
+    let path = tracelog::analyze::critical_path(&trace, &PHASE_PRECEDENCE);
+    let share = |name: &str| {
+        if wall == 0 {
+            0.0
+        } else {
+            path.get(name) as f64 / wall as f64
+        }
+    };
     Run {
         procs,
         elapsed_s: outcome.elapsed.as_secs_f64(),
         counters: env.shared.counters(),
         class_requests: tally.requests,
         class_bytes: tally.bytes,
+        share_input: share("input"),
+        share_search: share("search"),
+        share_output: share("output"),
     }
 }
 
@@ -144,7 +165,8 @@ fn main() {
                     json,
                     "      {{\"procs\": {}, \"strategy\": \"{}\", \"elapsed_s\": {:.6}, \
                      \"bytes_read\": {}, \"bytes_written\": {}, \"data_ops\": {}, \
-                     \"meta_ops\": {}, \"class_requests\": {}, \"class_bytes\": {}}}",
+                     \"meta_ops\": {}, \"class_requests\": {}, \"class_bytes\": {}, \
+                     \"share_input\": {:.6}, \"share_search\": {:.6}, \"share_output\": {:.6}}}",
                     r.procs,
                     strategy.label(),
                     r.elapsed_s,
@@ -153,7 +175,10 @@ fn main() {
                     r.counters.data_ops,
                     r.counters.meta_ops,
                     r.class_requests,
-                    r.class_bytes
+                    r.class_bytes,
+                    r.share_input,
+                    r.share_search,
+                    r.share_output
                 );
             }
         }

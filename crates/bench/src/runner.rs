@@ -5,6 +5,7 @@ use mpiblast::setup::{stage_fragments, stage_queries, stage_shared_db};
 use mpiblast::{phases, ClusterEnv, MpiBlastConfig, Platform, RankReport};
 use pioblast::PioBlastConfig;
 use simcluster::{Sim, SimDuration};
+use tracelog::Trace;
 
 use crate::workload::Workload;
 
@@ -66,34 +67,36 @@ impl RunSummary {
     }
 }
 
+/// The phase precedence the paper's charts imply: an instant of wall
+/// time where any rank is searching counts as search; copy/input beat
+/// output (they gate it); explicit "other" charges beat only the
+/// analyzer's gap fill.
+pub const PHASE_PRECEDENCE: [&str; 5] = [
+    phases::SEARCH,
+    phases::COPY,
+    phases::INPUT,
+    phases::OUTPUT,
+    phases::OTHER,
+];
+
 fn summarize(
     program: Program,
     nprocs: usize,
     nfrags: usize,
-    reports: &[RankReport],
+    trace: &Trace,
     total: SimDuration,
     output_bytes: u64,
 ) -> RunSummary {
-    let max_phase = |name: &str| -> f64 {
-        reports
-            .iter()
-            .map(|r| r.phases.get(name).as_secs_f64())
-            .fold(0.0, f64::max)
-    };
-    let mut copy_input = max_phase(phases::COPY).max(max_phase(phases::INPUT));
-    let mut search = max_phase(phases::SEARCH);
-    let mut output = max_phase(phases::OUTPUT);
+    // The breakdown is the trace-derived critical path: every instant of
+    // the run's wall clock is attributed to the strongest phase active
+    // on any rank at that instant, so the parts partition `total`
+    // exactly — no per-rank maxima, no rescaling.
+    let path = tracelog::analyze::critical_path(trace, &PHASE_PRECEDENCE);
+    let secs = |name: &str| path.get(name) as f64 / 1e9;
+    let copy_input = secs(phases::COPY) + secs(phases::INPUT);
+    let search = secs(phases::SEARCH);
+    let output = secs(phases::OUTPUT);
     let total = total.as_secs_f64();
-    // Each phase is a max over ranks, so the maxima can come from
-    // different ranks and sum past the wall time; scale them back so the
-    // summary stays a partition of `total`.
-    let accounted = copy_input + search + output;
-    if accounted > total && accounted > 0.0 {
-        let scale = total / accounted;
-        copy_input *= scale;
-        search *= scale;
-        output *= scale;
-    }
     let other = (total - copy_input - search - output).max(0.0);
     RunSummary {
         program,
@@ -155,13 +158,28 @@ pub fn run_with_options(
     workload: &Workload,
     pio_options: PioOptions,
 ) -> RunSummary {
+    run_traced(program, nprocs, nfrags, platform, workload, pio_options).0
+}
+
+/// [`run_with_options`], additionally returning the run's merged trace
+/// (the summary's phase breakdown is derived from it).
+pub fn run_traced(
+    program: Program,
+    nprocs: usize,
+    nfrags: Option<usize>,
+    platform: &Platform,
+    workload: &Workload,
+    pio_options: PioOptions,
+) -> (RunSummary, Trace) {
     let sim = Sim::new(nprocs);
+    let tracer = tracelog::Tracer::new(nprocs);
+    sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, platform);
     let query_path = stage_queries(&env.shared, &workload.queries);
     let nworkers = nprocs - 1;
     let output_path = "results.txt".to_string();
 
-    let (reports, elapsed, actual_frags) = match program {
+    let (_reports, elapsed, actual_frags) = match program {
         Program::MpiBlast => {
             let fragment_names =
                 stage_fragments(&env.shared, &workload.db, nfrags.unwrap_or(nworkers));
@@ -221,14 +239,10 @@ pub fn run_with_options(
         .peek(&output_path)
         .map(|b| b.len() as u64)
         .unwrap_or(0);
-    summarize(
-        program,
-        nprocs,
-        actual_frags,
-        &reports,
-        elapsed.since(simcluster::SimTime::ZERO),
-        output_bytes,
-    )
+    let wall = elapsed.since(simcluster::SimTime::ZERO);
+    let trace = tracer.finish(wall.0);
+    let summary = summarize(program, nprocs, actual_frags, &trace, wall, output_bytes);
+    (summary, trace)
 }
 
 #[cfg(test)]
@@ -263,5 +277,31 @@ mod tests {
         let sum = s.copy_input + s.search + s.output + s.other;
         assert!((sum - s.total).abs() < 1e-6);
         assert!(s.search_share() > 0.0 && s.search_share() <= 1.0);
+    }
+
+    #[test]
+    fn summary_phases_are_the_trace_critical_path() {
+        let w = nr_like(50_000, 1024, 17);
+        for program in [Program::MpiBlast, Program::PioBlast] {
+            let (s, trace) = run_traced(
+                program,
+                4,
+                None,
+                &Platform::altix(),
+                &w,
+                PioOptions::default(),
+            );
+            // The critical path partitions the engine wall clock exactly
+            // (integer nanoseconds): the old proportional-scaling fixup
+            // must have nothing left to do.
+            let path = tracelog::analyze::critical_path(&trace, &PHASE_PRECEDENCE);
+            assert_eq!(path.total(), trace.wall, "{program:?}");
+            // The summary is that partition in seconds.
+            let secs = |name: &str| path.get(name) as f64 / 1e9;
+            assert!((s.copy_input - secs(phases::COPY) - secs(phases::INPUT)).abs() < 1e-9);
+            assert!((s.search - secs(phases::SEARCH)).abs() < 1e-9);
+            assert!((s.output - secs(phases::OUTPUT)).abs() < 1e-9);
+            assert!((s.copy_input + s.search + s.output + s.other - s.total).abs() < 1e-9);
+        }
     }
 }

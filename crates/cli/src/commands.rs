@@ -55,8 +55,16 @@ USAGE:
                         [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
                         [--fault-detect] [--recover] [--checkpoint]
                         [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
+                        [--trace out.json] [--trace-filter LANE[,LANE...]]
+  pioblast-sim trace-check --in trace.json
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
+
+--trace writes a Chrome trace_event JSON (loadable in Perfetto or
+chrome://tracing): one process per rank, one thread per subsystem lane.
+--trace-filter limits the export to the named lanes (phase, search, io,
+net, runtime, sched, engine). trace-check validates a trace file:
+monotonic timestamps per lane and balanced begin/end span pairs.
 ";
 
 /// Dispatch a parsed command line.
@@ -66,6 +74,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "formatdb" => cmd_formatdb(args),
         "sample" => cmd_sample(args),
         "run" => cmd_run(args),
+        "trace-check" => cmd_trace_check(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
@@ -198,6 +207,35 @@ fn io_options(args: &ParsedArgs) -> Result<pioblast::IoOptions, CliError> {
     })
 }
 
+/// Parse `--trace-filter io,net` into lanes (`None` = all lanes).
+fn trace_filter(args: &ParsedArgs) -> Result<Option<Vec<tracelog::Lane>>, CliError> {
+    let Some(spec) = args.get("trace-filter") else {
+        return Ok(None);
+    };
+    let mut lanes = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let lane = tracelog::Lane::parse(part).ok_or_else(|| {
+            CliError(format!(
+                "unknown trace lane {part:?} (expected one of: phase, search, io, net, runtime, sched, engine)"
+            ))
+        })?;
+        lanes.push(lane);
+    }
+    Ok(Some(lanes))
+}
+
+fn cmd_trace_check(args: &ParsedArgs) -> Result<String, CliError> {
+    let input = args.require("in")?;
+    let text = fs::read_to_string(input)?;
+    let stats = tracelog::check::validate_chrome(&text)
+        .map_err(|e| CliError(format!("{input}: invalid trace: {e}")))?;
+    Ok(format!(
+        "{input}: valid Chrome trace — {} events ({} spans, {} instants, {} counter samples) across {} rank(s)",
+        stats.events, stats.spans, stats.instants, stats.counters, stats.ranks
+    ))
+}
+
 fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let program = args.require("program")?.to_string();
     let nprocs = args.require_u64("procs")? as usize;
@@ -228,7 +266,10 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
         .map_err(|e| CliError(format!("parsing {queries_path}: {e}")))?;
     let nfrags = args.u64_opt("frags")?.map(|v| v as usize);
 
+    let filter = trace_filter(args)?;
     let sim = Sim::new(nprocs);
+    let tracer = tracelog::Tracer::new(nprocs);
+    sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, &platform);
     let query_path = stage_queries(&env.shared, &queries);
     let output_path = "report.txt".to_string();
@@ -305,8 +346,23 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
         .peek(&output_path)
         .map_err(|e| CliError(format!("no report produced: {e}")))?;
     fs::write(out, &report)?;
+    let mut trace_note = String::new();
+    if let Some(path) = args.get("trace") {
+        let trace = tracer.finish(elapsed.since(simcluster::SimTime::ZERO).0);
+        let json = tracelog::chrome::export_chrome(&trace, filter.as_deref());
+        fs::write(path, &json)?;
+        trace_note = format!(
+            ", trace {} events{} -> {path}",
+            trace.events.len(),
+            if trace.dropped > 0 {
+                format!(" ({} dropped)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
     Ok(format!(
-        "{program}BLAST, {nprocs} processes on {}: {:.3}s virtual time, {} messages, report {} bytes -> {}",
+        "{program}BLAST, {nprocs} processes on {}: {:.3}s virtual time, {} messages, report {} bytes -> {}{trace_note}",
         db.alias.title,
         elapsed.as_secs_f64(),
         stats.messages,
@@ -375,10 +431,12 @@ mod tests {
         .unwrap();
         assert!(msg.contains("sampled"));
 
-        // Run both programs; reports must match byte-for-byte.
+        // Run both programs; reports must match byte-for-byte. Each run
+        // also exports a trace that trace-check must accept.
         let mut outputs = Vec::new();
         for program in ["pio", "mpi"] {
             let out = dir.join(format!("{program}.txt"));
+            let trace = dir.join(format!("{program}.json"));
             let msg = dispatch(&args(&[
                 "run",
                 "--program",
@@ -391,15 +449,36 @@ mod tests {
                 qfa.to_str().unwrap(),
                 "--out",
                 out.to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
             ]))
             .unwrap();
             assert!(msg.contains("report"), "{msg}");
+            assert!(msg.contains("trace"), "{msg}");
+            let check = dispatch(&args(&["trace-check", "--in", trace.to_str().unwrap()])).unwrap();
+            assert!(check.contains("valid Chrome trace"), "{check}");
             outputs.push(fs::read(&out).unwrap());
         }
         assert_eq!(outputs[0], outputs[1]);
         assert!(!outputs[0].is_empty());
         let _ = report;
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_filter_parses_and_rejects_unknown_lanes() {
+        let a = args(&["run", "--trace-filter", "io,net, search"]);
+        let lanes = trace_filter(&a).unwrap().unwrap();
+        assert_eq!(
+            lanes,
+            vec![
+                tracelog::Lane::Io,
+                tracelog::Lane::Net,
+                tracelog::Lane::Search
+            ]
+        );
+        assert!(trace_filter(&args(&["run", "--trace-filter", "gpu"])).is_err());
+        assert_eq!(trace_filter(&args(&["run"])).unwrap(), None);
     }
 
     #[test]

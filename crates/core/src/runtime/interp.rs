@@ -331,6 +331,11 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             TAG_SUBMIT => {
                 let (epoch, body) = split_epoch(&m.payload)?;
                 let sub = MetaSubmission::decode(body).map_err(decode_err)?;
+                tracelog::instant(
+                    tracelog::Lane::Runtime,
+                    "submission",
+                    vec![("from", m.src.into()), ("epoch", epoch.into())],
+                );
                 Ok(MasterEvent::Submission {
                     from: m.src,
                     epoch,
@@ -368,6 +373,28 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                     if ck.batch as usize == batch && ck.fragment as usize == f {
                         self.ckpts.insert((batch, f), ck);
                         checkpointed.push(f);
+                    }
+                }
+            }
+        }
+        // The machine will requeue exactly the victims' owned fragments
+        // that lack a checkpoint; mirror that decision into the trace so
+        // recovery runs leave a legible dead -> requeue -> re-collect
+        // record.
+        for &w in &ranks {
+            tracelog::instant(
+                tracelog::Lane::Runtime,
+                "worker_dead",
+                vec![("rank", w.into())],
+            );
+            if self.policy.fault == FaultMode::Recover {
+                for &f in sm.owned(w) {
+                    if !checkpointed.contains(&f) {
+                        tracelog::instant(
+                            tracelog::Lane::Runtime,
+                            "requeue",
+                            vec![("fragment", f.into()), ("owner", w.into())],
+                        );
                     }
                 }
             }
@@ -411,6 +438,15 @@ impl<'a, 'b> MasterIo<'a, 'b> {
     fn exec(&mut self, sm: &MasterSm, act: MasterAction) -> Result<Vec<MasterEvent>, PioError> {
         match act {
             MasterAction::Grant { to, frags, batch } => {
+                tracelog::instant(
+                    tracelog::Lane::Runtime,
+                    "grant",
+                    vec![
+                        ("to", to.into()),
+                        ("batch", batch.into()),
+                        ("nfrags", frags.len().into()),
+                    ],
+                );
                 let payload = self.grant_payload(batch, &frags);
                 if self.policy.p2p() {
                     // A failed send means the worker just died; the next
@@ -438,6 +474,11 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 Ok(vec![MasterEvent::ScatterDone])
             }
             MasterAction::Collect { batch, epoch } => {
+                tracelog::instant(
+                    tracelog::Lane::Runtime,
+                    "epoch_start",
+                    vec![("epoch", epoch.into()), ("batch", batch.into())],
+                );
                 if let Some(mark) = self.input_mark.take() {
                     self.phase_times.add(phases::INPUT, self.ctx.now() - mark);
                 }
@@ -473,6 +514,15 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 orphans,
             } => {
                 self.out_mark.get_or_insert(self.ctx.now());
+                tracelog::instant(
+                    tracelog::Lane::Runtime,
+                    "merge",
+                    vec![
+                        ("batch", batch.into()),
+                        ("epoch", epoch.into()),
+                        ("orphans", orphans.len().into()),
+                    ],
+                );
                 if !orphans.is_empty() {
                     subs[MASTER] = self.adopt_orphans(batch, &orphans)?;
                 }
@@ -926,6 +976,18 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             (r.per_query, r.stats)
         });
         self.stats_total.merge(&stats);
+        tracelog::closed_span(
+            tracelog::Lane::Search,
+            "search.fragment",
+            search_start.0,
+            self.ctx.now().0,
+            vec![
+                ("batch", batch.into()),
+                ("fragment", (id as u64).into()),
+                ("subjects", stats.subjects.into()),
+                ("hsps", stats.hsps_kept.into()),
+            ],
+        );
         self.phase_times
             .add(phases::SEARCH, self.ctx.now() - search_start);
 

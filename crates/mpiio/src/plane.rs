@@ -235,17 +235,24 @@ impl<'a, 'c> IoPlane<'a, 'c> {
                 Ok(IoResponse::Done)
             }
             IoRequest::CheckpointPut { path, payload } => {
+                let _span = tracelog::span_args(
+                    tracelog::Lane::Io,
+                    "plane.ckpt.put",
+                    vec![("bytes", payload.len().into())],
+                );
                 self.fs.create(self.comm.ctx(), path);
                 self.fs.write_at(self.comm.ctx(), path, 0, payload);
                 self.note(IoStrategy::Independent, 1, payload.len() as u64);
                 Ok(IoResponse::Done)
             }
             IoRequest::CheckpointGet { path } => {
+                let _span = tracelog::span(tracelog::Lane::Io, "plane.ckpt.get");
                 let data = self.fs.read_all(self.comm.ctx(), path)?;
                 self.note(IoStrategy::Independent, 1, data.len() as u64);
                 Ok(IoResponse::Data(data))
             }
             IoRequest::CheckpointDrop { path } => {
+                let _span = tracelog::span(tracelog::Lane::Io, "plane.ckpt.drop");
                 self.fs.delete(self.comm.ctx(), path)?;
                 Ok(IoResponse::Done)
             }
@@ -306,6 +313,15 @@ impl<'a, 'c> IoPlane<'a, 'c> {
 
     fn read_view(&self, path: &str, view: &FileView) -> Result<Vec<u8>, StoreError> {
         let strategy = self.effective_strategy();
+        let _span = tracelog::span_args(
+            tracelog::Lane::Io,
+            "plane.read",
+            vec![
+                ("strategy", strategy.label().into()),
+                ("regions", view.regions.len().into()),
+                ("bytes", view.total_bytes().into()),
+            ],
+        );
         self.note(strategy, view.regions.len() as u64, view.total_bytes());
         match strategy {
             IoStrategy::Independent => {
@@ -349,6 +365,15 @@ impl<'a, 'c> IoPlane<'a, 'c> {
             "payload must exactly fill the view"
         );
         let strategy = self.effective_strategy();
+        let _span = tracelog::span_args(
+            tracelog::Lane::Io,
+            "plane.write",
+            vec![
+                ("strategy", strategy.label().into()),
+                ("regions", view.regions.len().into()),
+                ("bytes", view.total_bytes().into()),
+            ],
+        );
         self.note(strategy, view.regions.len() as u64, view.total_bytes());
         match strategy {
             IoStrategy::Independent => {

@@ -38,6 +38,7 @@ pub trait Collectives {
 impl Collectives for Comm<'_> {
     fn barrier(&self) {
         let seq = self.next_coll_seq();
+        let _span = tracelog::span_args(tracelog::Lane::Net, "barrier", vec![("seq", seq.into())]);
         let me = self.rank();
         let n = self.size();
         if n == 1 {
@@ -76,6 +77,15 @@ impl Collectives for Comm<'_> {
 
     fn bcast(&self, root: usize, data: Bytes) -> Bytes {
         let seq = self.next_coll_seq();
+        let _span = tracelog::span_args(
+            tracelog::Lane::Net,
+            "bcast",
+            vec![
+                ("seq", seq.into()),
+                ("root", root.into()),
+                ("bytes", data.len().into()),
+            ],
+        );
         let tag = coll_tag(OP_BCAST, seq);
         let n = self.size();
         if n == 1 {
@@ -110,6 +120,15 @@ impl Collectives for Comm<'_> {
 
     fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
         let seq = self.next_coll_seq();
+        let _span = tracelog::span_args(
+            tracelog::Lane::Net,
+            "gather",
+            vec![
+                ("seq", seq.into()),
+                ("root", root.into()),
+                ("bytes", data.len().into()),
+            ],
+        );
         let tag = coll_tag(OP_GATHER, seq);
         let me = self.rank();
         let n = self.size();
@@ -133,6 +152,11 @@ impl Collectives for Comm<'_> {
 
     fn scatterv(&self, root: usize, pieces: Option<Vec<Bytes>>) -> Bytes {
         let seq = self.next_coll_seq();
+        let _span = tracelog::span_args(
+            tracelog::Lane::Net,
+            "scatterv",
+            vec![("seq", seq.into()), ("root", root.into())],
+        );
         let tag = coll_tag(OP_SCATTER, seq);
         let me = self.rank();
         let n = self.size();

@@ -60,6 +60,15 @@ impl<'a> Comm<'a> {
         assert!(dst != self.rank(), "self-sends are not modeled");
         assert!(dst < self.size(), "rank {dst} out of range");
         let bytes = payload.len() as u64;
+        let _span = tracelog::span_args(
+            tracelog::Lane::Net,
+            "send",
+            vec![
+                ("dst", dst.into()),
+                ("tag", tag.into()),
+                ("bytes", bytes.into()),
+            ],
+        );
         // Post first (delivery measured from send start), then charge the
         // sender's occupancy.
         self.ctx.post(
@@ -74,7 +83,18 @@ impl<'a> Comm<'a> {
 
     /// Blocking receive with optional source/tag filters.
     pub fn recv(&self, src: Option<usize>, tag: Option<u64>) -> Message {
-        self.ctx.recv(src, tag)
+        let _span = tracelog::span(tracelog::Lane::Net, "recv");
+        let m = self.ctx.recv(src, tag);
+        tracelog::instant(
+            tracelog::Lane::Net,
+            "recv.done",
+            vec![
+                ("src", m.src.into()),
+                ("tag", m.tag.into()),
+                ("bytes", m.payload.len().into()),
+            ],
+        );
+        m
     }
 
     /// Next collective sequence number (tags collectives uniquely).

@@ -72,6 +72,11 @@ impl Comm<'_> {
     pub fn send_checked(&self, dst: usize, tag: u64, payload: Bytes) -> Result<(), SendError> {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
         if self.ctx().is_dead(dst) {
+            tracelog::instant(
+                tracelog::Lane::Sched,
+                "send.dead",
+                vec![("rank", dst.into())],
+            );
             return Err(SendError::DeadPeer { rank: dst });
         }
         self.send(dst, tag, payload);
@@ -91,8 +96,14 @@ impl Comm<'_> {
         match self.ctx().recv_until(src, tag, deadline) {
             Some(m) => Ok(m),
             None => match src {
-                Some(s) if self.ctx().is_dead(s) => Err(RecvError::DeadPeer { rank: s }),
-                _ => Err(RecvError::Timeout { deadline }),
+                Some(s) if self.ctx().is_dead(s) => {
+                    tracelog::instant(tracelog::Lane::Sched, "peer.dead", vec![("rank", s.into())]);
+                    Err(RecvError::DeadPeer { rank: s })
+                }
+                _ => {
+                    tracelog::instant(tracelog::Lane::Sched, "recv.timeout", Vec::new());
+                    Err(RecvError::Timeout { deadline })
+                }
             },
         }
     }
@@ -125,6 +136,14 @@ impl Comm<'_> {
                 Err(e) => {
                     last = Some(e);
                     if attempt + 1 < attempts {
+                        tracelog::instant(
+                            tracelog::Lane::Sched,
+                            "backoff",
+                            vec![
+                                ("attempt", (attempt as u64).into()),
+                                ("ns", backoff.0.into()),
+                            ],
+                        );
                         self.ctx().charge(backoff);
                         backoff = backoff + backoff;
                     }

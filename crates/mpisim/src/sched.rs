@@ -96,6 +96,11 @@ impl Liveness {
         for r in 1..self.live.len() {
             if self.live[r] && ctx.is_dead(r) {
                 self.live[r] = false;
+                tracelog::instant(
+                    tracelog::Lane::Sched,
+                    "sweep.dead",
+                    vec![("rank", r.into())],
+                );
                 newly.push(r);
             }
         }

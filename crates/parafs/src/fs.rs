@@ -43,7 +43,10 @@ struct FsState {
     streams: Vec<Stream>,
     last_update: SimTime,
     counters: FsCounters,
-    class_tallies: [ClassTally; 3],
+    /// Per-strategy logical traffic, keyed `io.<class>.requests` /
+    /// `io.<class>.bytes` — stored in the `tracelog` registry type so
+    /// the I/O tallies share one accounting path with phase timing.
+    class_counters: tracelog::Counters,
 }
 
 /// A simulated file system shared by all ranks (or private to one node,
@@ -69,7 +72,7 @@ impl SimFs {
                 streams: Vec::new(),
                 last_update: SimTime::ZERO,
                 counters: FsCounters::default(),
-                class_tallies: [ClassTally::default(); 3],
+                class_counters: tracelog::Counters::new(),
             })),
         }
     }
@@ -91,17 +94,36 @@ impl SimFs {
 
     /// Attribute `requests` logical regions covering `bytes` to an
     /// access-strategy class (called by the I/O plane, once per request
-    /// it services).
+    /// it services). The new cumulative totals are also sampled onto
+    /// the calling rank's trace when a tracer is installed.
     pub fn note_class(&self, class: IoClass, requests: u64, bytes: u64) {
-        let mut st = self.state.lock();
-        let t = &mut st.class_tallies[class.index()];
-        t.requests += requests;
-        t.bytes += bytes;
+        let (req_key, bytes_key) = class.counter_keys();
+        let (total_req, total_bytes) = {
+            let mut st = self.state.lock();
+            st.class_counters.add(req_key, requests);
+            st.class_counters.add(bytes_key, bytes);
+            (
+                st.class_counters.get(req_key),
+                st.class_counters.get(bytes_key),
+            )
+        };
+        tracelog::counter(req_key, total_req);
+        tracelog::counter(bytes_key, total_bytes);
     }
 
     /// The logical traffic attributed to one strategy class so far.
     pub fn class_tally(&self, class: IoClass) -> ClassTally {
-        self.state.lock().class_tallies[class.index()]
+        let st = self.state.lock();
+        let (req_key, bytes_key) = class.counter_keys();
+        ClassTally {
+            requests: st.class_counters.get(req_key),
+            bytes: st.class_counters.get(bytes_key),
+        }
+    }
+
+    /// Snapshot of the per-class counter registry.
+    pub fn class_counters(&self) -> tracelog::Counters {
+        self.state.lock().class_counters.clone()
     }
 
     /// Pre-load a file outside simulated time (for run setup: "the
@@ -173,6 +195,11 @@ impl SimFs {
                 });
             }
         }
+        let _span = tracelog::span_args(
+            tracelog::Lane::Io,
+            "fs.read",
+            vec![("bytes", len.into()), ("offset", offset.into())],
+        );
         ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
         self.transfer(ctx, len);
         let mut st = self.state.lock();
@@ -195,6 +222,11 @@ impl SimFs {
     /// Write `data` at `offset`, charging latency plus contended transfer
     /// time. Creates/extends the file as needed.
     pub fn write_at(&self, ctx: &RankCtx, path: &str, offset: u64, data: &[u8]) {
+        let _span = tracelog::span_args(
+            tracelog::Lane::Io,
+            "fs.write",
+            vec![("bytes", data.len().into()), ("offset", offset.into())],
+        );
         ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
         self.transfer(ctx, data.len() as u64);
         let mut st = self.state.lock();

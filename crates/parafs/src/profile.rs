@@ -34,11 +34,13 @@ impl IoClass {
         }
     }
 
-    pub(crate) fn index(self) -> usize {
+    /// The `tracelog` registry keys this class tallies under:
+    /// `(io.<class>.requests, io.<class>.bytes)`.
+    pub fn counter_keys(self) -> (&'static str, &'static str) {
         match self {
-            IoClass::Independent => 0,
-            IoClass::Sieved => 1,
-            IoClass::TwoPhase => 2,
+            IoClass::Independent => ("io.independent.requests", "io.independent.bytes"),
+            IoClass::Sieved => ("io.sieve.requests", "io.sieve.bytes"),
+            IoClass::TwoPhase => ("io.two-phase.requests", "io.two-phase.bytes"),
         }
     }
 }

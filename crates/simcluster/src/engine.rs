@@ -273,6 +273,24 @@ struct Inner {
     gates: Vec<Gate>,
     yield_tx: Sender<YieldMsg>,
     yield_rx: Receiver<YieldMsg>,
+    tracer: Mutex<Option<tracelog::Tracer>>,
+}
+
+impl Inner {
+    /// Record an engine-lifecycle instant on `rank`'s trace at `t`.
+    /// Called from the scheduler thread, never while holding `state`.
+    fn trace_engine(&self, rank: usize, t: u64, name: &'static str) {
+        if let Some(tr) = self.tracer.lock().as_ref() {
+            tr.record(
+                rank,
+                t,
+                tracelog::Lane::Engine,
+                tracelog::EventKind::Instant,
+                name.into(),
+                Vec::new(),
+            );
+        }
+    }
 }
 
 /// A simulated cluster, fixed at `nranks` ranks.
@@ -331,6 +349,7 @@ impl Sim {
             gates: (0..nranks).map(|_| Gate::new()).collect(),
             yield_tx,
             yield_rx,
+            tracer: Mutex::new(None),
         });
         Sim { inner, nranks }
     }
@@ -338,6 +357,22 @@ impl Sim {
     /// Number of ranks.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Attach a [`tracelog::Tracer`] to this simulation. The engine
+    /// installs a thread-local tracer (rank id + virtual-clock closure)
+    /// in every rank thread it spawns, so instrumentation anywhere in
+    /// the stack records without plumbing a handle through signatures;
+    /// the scheduler itself records engine-lifecycle events (wake,
+    /// block, finish, kill) on each rank's [`tracelog::Lane::Engine`]
+    /// timeline.
+    pub fn set_tracer(&self, tracer: tracelog::Tracer) {
+        assert_eq!(
+            tracer.nranks(),
+            self.nranks,
+            "tracer rank count must match the simulation"
+        );
+        *self.inner.tracer.lock() = Some(tracer);
     }
 
     /// A handle for services (file systems, etc.) created before `run`.
@@ -411,6 +446,14 @@ impl Sim {
             for (rank, out_slot) in outputs_ref.iter().enumerate() {
                 let inner = Arc::clone(inner);
                 scope.spawn(move || {
+                    // Install the thread-local tracer before the body
+                    // runs: the clock closure reads the engine clock,
+                    // which is safe from rank code because the engine
+                    // state lock is never held across a body call.
+                    let _trace_guard = inner.tracer.lock().clone().map(|tr| {
+                        let clock_src = Arc::clone(&inner);
+                        tracelog::install(tr, rank, move || clock_src.state.lock().clock)
+                    });
                     inner.gates[rank].wait();
                     let ctx = RankCtx {
                         inner: Arc::clone(&inner),
@@ -448,8 +491,8 @@ impl Sim {
             let mut finished = 0usize;
             while finished < n {
                 enum Next {
-                    Resume(usize),
-                    Kill(usize),
+                    Resume(usize, u64),
+                    Kill(usize, u64),
                     Deadlock(String),
                 }
                 let next = {
@@ -464,7 +507,7 @@ impl Sim {
                                     st.stats.events += 1;
                                     st.clock = st.clock.max(time);
                                     st.mark_dead(rank);
-                                    break Next::Kill(rank);
+                                    break Next::Kill(rank, st.clock);
                                 }
                                 if let Some(rank) = st.wake_target.remove(&gen) {
                                     if st.status[rank] == Status::Finished {
@@ -473,7 +516,7 @@ impl Sim {
                                     st.stats.events += 1;
                                     st.clock = st.clock.max(time);
                                     st.status[rank] = Status::Running;
-                                    break Next::Resume(rank);
+                                    break Next::Resume(rank, st.clock);
                                 }
                                 // canceled wake
                             }
@@ -494,11 +537,15 @@ impl Sim {
                     }
                 };
                 let rank = match next {
-                    Next::Resume(r) => r,
-                    Next::Kill(r) => {
+                    Next::Resume(r, t) => {
+                        inner.trace_engine(r, t, "wake");
+                        r
+                    }
+                    Next::Kill(r, t) => {
                         // The rank thread is parked at its gate; shutdown
                         // unwinds it through the quiet `SimAborted` path,
                         // so it never reports an output.
+                        inner.trace_engine(r, t, "kill");
                         inner.gates[r].shutdown();
                         killed.push(r);
                         finished += 1;
@@ -513,13 +560,21 @@ impl Sim {
                     .expect("rank threads outlive scheduler")
                 {
                     YieldMsg::Blocked(r) => {
-                        let mut st = inner.state.lock();
-                        st.status[r] = Status::Blocked;
+                        let t = {
+                            let mut st = inner.state.lock();
+                            st.status[r] = Status::Blocked;
+                            st.clock
+                        };
+                        inner.trace_engine(r, t, "block");
                     }
                     YieldMsg::Finished(r) => {
-                        let mut st = inner.state.lock();
-                        st.status[r] = Status::Finished;
-                        finished += 1;
+                        let t = {
+                            let mut st = inner.state.lock();
+                            st.status[r] = Status::Finished;
+                            finished += 1;
+                            st.clock
+                        };
+                        inner.trace_engine(r, t, "finish");
                     }
                     YieldMsg::Panicked(r, msg) => {
                         abort(format!("rank {r} panicked: {msg}"));

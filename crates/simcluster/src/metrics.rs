@@ -3,15 +3,23 @@
 //! Rank bodies wrap their stages (`copy`, `input`, `search`, `output`,
 //! `other`) in [`PhaseTimes::timed`] and return the table; harnesses merge
 //! tables across ranks and print the breakdowns of Table 1 / Figures 1-4.
+//!
+//! Storage is a [`tracelog::Counters`] registry (phase name → virtual
+//! nanoseconds) — the same accounting type the I/O tallies use — so
+//! there is exactly one counter path in the suite. Every [`PhaseTimes::add`]
+//! additionally mirrors the charge onto the calling rank's
+//! [`tracelog::Lane::Phase`] trace timeline when a tracer is installed,
+//! which is how the observability plane reconstructs measured per-rank
+//! phase timelines without any extra instrumentation in rank bodies.
 
-use std::collections::BTreeMap;
+use tracelog::Counters;
 
 use crate::time::{SimDuration, SimTime};
 
 /// Accumulated virtual time per named phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
-    phases: BTreeMap<String, SimDuration>,
+    counters: Counters,
 }
 
 impl PhaseTimes {
@@ -20,42 +28,43 @@ impl PhaseTimes {
         PhaseTimes::default()
     }
 
-    /// Add `d` to `phase`.
+    /// Add `d` to `phase`, and mirror the charge as a retroactive span
+    /// ending now on the rank's trace (no-op when untraced).
     pub fn add(&mut self, phase: &str, d: SimDuration) {
-        *self.phases.entry(phase.to_string()).or_default() += d;
+        self.counters.add(phase, d.0);
+        tracelog::phase(phase, d.0);
     }
 
     /// Time accumulated in `phase` (zero if never recorded).
     pub fn get(&self, phase: &str) -> SimDuration {
-        self.phases.get(phase).copied().unwrap_or_default()
+        SimDuration(self.counters.get(phase))
     }
 
     /// Sum of all phases.
     pub fn total(&self) -> SimDuration {
-        self.phases.values().fold(SimDuration::ZERO, |a, &b| a + b)
+        SimDuration(self.counters.total())
     }
 
     /// Iterate `(phase, duration)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, SimDuration)> {
-        self.phases.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counters.iter().map(|(k, v)| (k, SimDuration(v)))
     }
 
     /// Merge another table into this one (summing shared phases).
+    /// Aggregation only — nothing is mirrored to the trace.
     pub fn merge(&mut self, other: &PhaseTimes) {
-        for (k, &v) in &other.phases {
-            *self.phases.entry(k.clone()).or_default() += v;
-        }
+        self.counters.merge(&other.counters);
     }
 
     /// Pointwise maximum with another table — the "slowest rank" view
-    /// used when phases run concurrently across ranks.
+    /// used when phases run concurrently across ranks. Aggregation only.
     pub fn max_merge(&mut self, other: &PhaseTimes) {
-        for (k, &v) in &other.phases {
-            let e = self.phases.entry(k.clone()).or_default();
-            if v > *e {
-                *e = v;
-            }
-        }
+        self.counters.max_merge(&other.counters);
+    }
+
+    /// The underlying counter registry (phase name → nanoseconds).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Time a closure with a virtual clock sampled before and after, and
@@ -81,6 +90,7 @@ mod tests {
         assert_eq!(p.get("search"), SimDuration::from_secs(5));
         assert_eq!(p.get("missing"), SimDuration::ZERO);
         assert_eq!(p.total(), SimDuration::from_secs(6));
+        assert_eq!(p.counters().get("search"), 5_000_000_000);
     }
 
     #[test]
@@ -122,5 +132,32 @@ mod tests {
         p.add("a", SimDuration(2));
         let names: Vec<&str> = p.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn charges_mirror_to_installed_tracer() {
+        let tracer = tracelog::Tracer::new(1);
+        let clock = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        {
+            let c = clock.clone();
+            let _g = tracelog::install(tracer.clone(), 0, move || c.get());
+            let mut p = PhaseTimes::new();
+            clock.set(500);
+            p.add("copy", SimDuration(200));
+            // Aggregation merges must not re-mirror.
+            let other = {
+                let mut o = PhaseTimes::new();
+                clock.set(900);
+                o.add("search", SimDuration(100));
+                o
+            };
+            p.merge(&other);
+            p.max_merge(&other);
+        }
+        let trace = tracer.finish(1000);
+        let totals = tracelog::analyze::rank_phase_totals(&trace, 0);
+        assert_eq!(totals.get("copy"), 200); // [300, 500]
+        assert_eq!(totals.get("search"), 100); // [800, 900] — charged once
+        assert_eq!(totals.get("other"), 700);
     }
 }

@@ -1,0 +1,339 @@
+//! Trace analysis: flat per-rank phase timelines and the cluster-wide
+//! critical-path phase breakdown.
+//!
+//! Phase charges arrive as retroactive spans on [`Lane::Phase`]
+//! (`PhaseTimes::add` records "d nanoseconds of X, ending now"). Charges
+//! can nest — a coarse retroactive span may contain finer charges made
+//! inside it — so raw spans are normalized into a **flat** timeline per
+//! rank: at every instant the rank is doing exactly one phase, with the
+//! most specific (latest-starting) covering span winning and uncovered
+//! time attributed to [`OTHER`]. Timelines partition `[0, wall]`
+//! exactly, in integer nanoseconds, so per-rank phase sums equal the
+//! engine wall clock *by construction* and the suite can assert it.
+//!
+//! [`critical_path`] lifts that to the cluster: every instant of wall
+//! time is attributed to the highest-precedence phase any rank is in,
+//! yielding an exact partition of the run — the measured replacement
+//! for the proportional-scaling attribution the bench runner used to
+//! fabricate.
+
+use std::collections::BTreeSet;
+
+use crate::counters::Counters;
+use crate::event::{EventKind, Lane};
+use crate::sink::Trace;
+
+/// The phase name for time no charge covers (idle, scheduling, waits).
+pub const OTHER: &str = "other";
+
+/// One flat timeline segment: `rank` spends `[start, end)` in `phase`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start, virtual ns.
+    pub start: u64,
+    /// Segment end, virtual ns (exclusive).
+    pub end: u64,
+    /// The phase label.
+    pub phase: String,
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    start: u64,
+    end: u64,
+    seq: u64,
+    name: String,
+}
+
+/// Pair up `rank`'s [`Lane::Phase`] begin/end events (in recording
+/// order) into closed intervals, clamped to `[0, wall]`.
+fn phase_intervals(trace: &Trace, rank: usize) -> Vec<Interval> {
+    let mut events: Vec<_> = trace
+        .rank_events(rank)
+        .filter(|e| e.lane == Lane::Phase)
+        .collect();
+    events.sort_by_key(|e| e.seq);
+    let mut stack: Vec<(u64, u64, String)> = Vec::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => stack.push((e.t, e.seq, e.name.to_string())),
+            EventKind::End => {
+                if let Some((start, seq, name)) = stack.pop() {
+                    let end = e.t.min(trace.wall);
+                    let start = start.min(end);
+                    if end > start {
+                        out.push(Interval {
+                            start,
+                            end,
+                            seq,
+                            name,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // An unclosed charge (rank killed mid-span) extends to the wall.
+    for (start, seq, name) in stack {
+        if trace.wall > start {
+            out.push(Interval {
+                start,
+                end: trace.wall,
+                seq,
+                name,
+            });
+        }
+    }
+    out
+}
+
+/// The flat phase timeline of `rank`: contiguous segments covering
+/// `[0, wall]` exactly, each labelled with the winning phase (or
+/// [`OTHER`] where no charge covers the instant).
+pub fn rank_phase_timeline(trace: &Trace, rank: usize) -> Vec<Segment> {
+    let intervals = phase_intervals(trace, rank);
+    flatten(&intervals, trace.wall)
+}
+
+fn flatten(intervals: &[Interval], wall: u64) -> Vec<Segment> {
+    if wall == 0 {
+        return Vec::new();
+    }
+    let mut bounds: BTreeSet<u64> = BTreeSet::new();
+    bounds.insert(0);
+    bounds.insert(wall);
+    for iv in intervals {
+        bounds.insert(iv.start);
+        bounds.insert(iv.end);
+    }
+    // Sweep boundaries, maintaining the set of covering intervals.
+    let mut starts: Vec<usize> = (0..intervals.len()).collect();
+    starts.sort_by_key(|&i| intervals[i].start);
+    let mut starts = starts.into_iter().peekable();
+    let mut active: Vec<usize> = Vec::new();
+    let mut out: Vec<Segment> = Vec::new();
+    let bounds: Vec<u64> = bounds.into_iter().collect();
+    for w in bounds.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        while let Some(&i) = starts.peek() {
+            if intervals[i].start <= a {
+                active.push(i);
+                starts.next();
+            } else {
+                break;
+            }
+        }
+        active.retain(|&i| intervals[i].end > a);
+        // The most specific covering charge wins: latest start, then
+        // tightest end, then latest recording.
+        let winner = active.iter().copied().max_by_key(|&i| {
+            (
+                intervals[i].start,
+                std::cmp::Reverse(intervals[i].end),
+                intervals[i].seq,
+            )
+        });
+        let phase = match winner {
+            Some(i) => intervals[i].name.as_str(),
+            None => OTHER,
+        };
+        match out.last_mut() {
+            Some(last) if last.phase == phase && last.end == a => last.end = b,
+            _ => out.push(Segment {
+                start: a,
+                end: b,
+                phase: phase.to_string(),
+            }),
+        }
+    }
+    out
+}
+
+/// Per-phase totals for one rank, summing its flat timeline. The totals
+/// always sum to `trace.wall` exactly.
+pub fn rank_phase_totals(trace: &Trace, rank: usize) -> Counters {
+    let mut c = Counters::new();
+    for seg in rank_phase_timeline(trace, rank) {
+        c.add(&seg.phase, seg.end - seg.start);
+    }
+    c
+}
+
+/// The cluster-wide critical-path phase breakdown: every instant of
+/// `[0, wall]` is attributed to the highest-precedence phase active on
+/// *any* rank at that instant (precedence = position in `precedence`,
+/// earlier is stronger; phases not listed rank below all listed ones).
+/// The returned totals partition the wall clock exactly.
+pub fn critical_path(trace: &Trace, precedence: &[&str]) -> Counters {
+    let timelines: Vec<Vec<Segment>> = (0..trace.nranks)
+        .map(|r| rank_phase_timeline(trace, r))
+        .collect();
+    let mut bounds: BTreeSet<u64> = BTreeSet::new();
+    bounds.insert(0);
+    bounds.insert(trace.wall);
+    for tl in &timelines {
+        for seg in tl {
+            bounds.insert(seg.start);
+            bounds.insert(seg.end);
+        }
+    }
+    let rank_of = |name: &str| {
+        precedence
+            .iter()
+            .position(|p| *p == name)
+            .unwrap_or(precedence.len())
+    };
+    let mut cursors = vec![0usize; timelines.len()];
+    let mut totals = Counters::new();
+    let bounds: Vec<u64> = bounds.into_iter().collect();
+    for w in bounds.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let mut best: Option<(usize, &str)> = None;
+        for (r, tl) in timelines.iter().enumerate() {
+            while cursors[r] < tl.len() && tl[cursors[r]].end <= a {
+                cursors[r] += 1;
+            }
+            let phase = tl
+                .get(cursors[r])
+                .filter(|seg| seg.start <= a)
+                .map(|seg| seg.phase.as_str())
+                .unwrap_or(OTHER);
+            let pr = rank_of(phase);
+            if best.is_none_or(|(bp, _)| pr < bp) {
+                best = Some((pr, phase));
+            }
+        }
+        let phase = best.map(|(_, p)| p).unwrap_or(OTHER);
+        totals.add(phase, b - a);
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ArgVal, EventKind};
+    use crate::sink::Tracer;
+    use std::borrow::Cow;
+
+    fn charge(tracer: &Tracer, rank: usize, name: &str, start: u64, end: u64) {
+        let owned: Cow<'static, str> = Cow::Owned(name.to_string());
+        tracer.record(
+            rank,
+            start,
+            Lane::Phase,
+            EventKind::Begin,
+            owned.clone(),
+            Vec::new(),
+        );
+        tracer.record(rank, end, Lane::Phase, EventKind::End, owned, Vec::new());
+    }
+
+    #[test]
+    fn gaps_become_other_and_cover_wall() {
+        let tracer = Tracer::new(1);
+        charge(&tracer, 0, "copy", 10, 30);
+        charge(&tracer, 0, "search", 40, 90);
+        let trace = tracer.finish(100);
+        let tl = rank_phase_timeline(&trace, 0);
+        let got: Vec<(u64, u64, &str)> = tl
+            .iter()
+            .map(|s| (s.start, s.end, s.phase.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 10, "other"),
+                (10, 30, "copy"),
+                (30, 40, "other"),
+                (40, 90, "search"),
+                (90, 100, "other"),
+            ]
+        );
+        let totals = rank_phase_totals(&trace, 0);
+        assert_eq!(totals.total(), 100);
+        assert_eq!(totals.get("copy"), 20);
+        assert_eq!(totals.get("search"), 50);
+        assert_eq!(totals.get("other"), 30);
+    }
+
+    #[test]
+    fn nested_charges_leaf_wins() {
+        let tracer = Tracer::new(1);
+        // Inner fine-grained charge recorded first, then a coarse
+        // retroactive envelope over it: the inner span keeps its slice.
+        charge(&tracer, 0, "input", 20, 40);
+        charge(&tracer, 0, "output", 10, 60);
+        let trace = tracer.finish(60);
+        let totals = rank_phase_totals(&trace, 0);
+        assert_eq!(totals.get("output"), 30); // [10,20) + [40,60)
+        assert_eq!(totals.get("input"), 20);
+        assert_eq!(totals.get("other"), 10); // [0,10)
+        assert_eq!(totals.total(), 60);
+    }
+
+    #[test]
+    fn unclosed_span_extends_to_wall() {
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            5,
+            Lane::Phase,
+            EventKind::Begin,
+            "search".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(50);
+        let totals = rank_phase_totals(&trace, 0);
+        assert_eq!(totals.get("search"), 45);
+        assert_eq!(totals.total(), 50);
+    }
+
+    #[test]
+    fn critical_path_partitions_wall_by_precedence() {
+        let tracer = Tracer::new(2);
+        charge(&tracer, 0, "output", 0, 60);
+        charge(&tracer, 1, "search", 20, 50);
+        let trace = tracer.finish(100);
+        let cp = critical_path(&trace, &["search", "copy", "input", "output", OTHER]);
+        assert_eq!(cp.get("search"), 30); // rank 1 outranks rank 0's output
+        assert_eq!(cp.get("output"), 30); // [0,20) + [50,60)
+        assert_eq!(cp.get("other"), 40); // [60,100)
+        assert_eq!(cp.total(), 100);
+    }
+
+    #[test]
+    fn empty_trace_is_all_other() {
+        let tracer = Tracer::new(3);
+        let trace = tracer.finish(42);
+        let cp = critical_path(&trace, &["search", OTHER]);
+        assert_eq!(cp.get(OTHER), 42);
+        assert_eq!(cp.total(), 42);
+        assert!(rank_phase_totals(&trace, 1).get(OTHER) == 42);
+    }
+
+    #[test]
+    fn args_do_not_disturb_analysis() {
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            0,
+            Lane::Phase,
+            EventKind::Begin,
+            "copy".into(),
+            vec![("bytes", ArgVal::U64(7))],
+        );
+        tracer.record(
+            0,
+            10,
+            Lane::Phase,
+            EventKind::End,
+            "copy".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(10);
+        assert_eq!(rank_phase_totals(&trace, 0).get("copy"), 10);
+    }
+}

@@ -1,0 +1,218 @@
+//! Schema validation for exported Chrome traces — the `trace-check`
+//! CI gate.
+//!
+//! The exporter writes one event object per line with a fixed field
+//! order, so this validator is a small line-oriented parser rather
+//! than a general JSON reader (the workspace vendors no JSON library).
+//! It enforces the invariants the suite relies on:
+//!
+//! * every event's `ph` is one of `M`, `B`, `E`, `i`, `C`;
+//! * timestamps are monotonically nondecreasing per `(pid, tid)`;
+//! * begin/end pairs balance per `(pid, tid)` — depth never goes
+//!   negative and ends at zero.
+
+use std::collections::BTreeMap;
+
+/// Summary of a validated trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Completed begin/end span pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Distinct `pid`s (ranks) seen.
+    pub ranks: usize,
+}
+
+/// Extract the string value of `"key":"..."` from `line`.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(&rest[..end]),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Extract the numeric value of `"key":123` or `"key":123.456`.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a `ts` in microseconds into integer nanoseconds.
+fn ts_ns(line: &str) -> Option<u64> {
+    let us = field_num(line, "ts")?;
+    if us < 0.0 {
+        return None;
+    }
+    Some((us * 1000.0).round() as u64)
+}
+
+/// Validate exported Chrome trace JSON. Returns summary statistics or
+/// a message naming the first offending line.
+pub fn validate_chrome(text: &str) -> Result<CheckStats, String> {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("trace is not a JSON array".into());
+    }
+    let mut stats = CheckStats::default();
+    let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut pids: BTreeMap<u64, ()> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {lineno}: not an event object"));
+        }
+        let ph = field_str(line, "ph").ok_or(format!("line {lineno}: missing ph"))?;
+        let pid = field_num(line, "pid").ok_or(format!("line {lineno}: missing pid"))? as u64;
+        let tid = field_num(line, "tid").ok_or(format!("line {lineno}: missing tid"))? as u64;
+        if field_str(line, "name").is_none() {
+            return Err(format!("line {lineno}: missing name"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        pids.insert(pid, ());
+        let ts = ts_ns(line).ok_or(format!("line {lineno}: missing or negative ts"))?;
+        let key = (pid, tid);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "line {lineno}: ts regressed on pid {pid} tid {tid} ({ts} ns after {prev} ns)"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        stats.events += 1;
+        match ph {
+            "B" => *depth.entry(key).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(key).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!(
+                        "line {lineno}: unmatched end on pid {pid} tid {tid}"
+                    ));
+                }
+                stats.spans += 1;
+            }
+            "i" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            other => return Err(format!("line {lineno}: unknown ph {other:?}")),
+        }
+    }
+    for ((pid, tid), d) in depth {
+        if d != 0 {
+            return Err(format!(
+                "pid {pid} tid {tid}: {d} begin event(s) never closed"
+            ));
+        }
+    }
+    stats.ranks = pids.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::export_chrome;
+    use crate::event::{EventKind, Lane};
+    use crate::sink::Tracer;
+
+    fn sample_trace() -> String {
+        let tracer = Tracer::new(2);
+        tracer.record(
+            0,
+            0,
+            Lane::Phase,
+            EventKind::Begin,
+            "search".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            0,
+            90,
+            Lane::Phase,
+            EventKind::End,
+            "search".into(),
+            Vec::new(),
+        );
+        tracer.record(1, 10, Lane::Io, EventKind::Begin, "read".into(), Vec::new());
+        tracer.record(1, 20, Lane::Io, EventKind::End, "".into(), Vec::new());
+        tracer.record(
+            1,
+            30,
+            Lane::Runtime,
+            EventKind::Instant,
+            "grant".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            1,
+            40,
+            Lane::Io,
+            EventKind::Counter(3),
+            "reqs".into(),
+            Vec::new(),
+        );
+        export_chrome(&tracer.finish(100), None)
+    }
+
+    #[test]
+    fn exporter_output_validates() {
+        let stats = validate_chrome(&sample_trace()).expect("valid");
+        assert_eq!(stats.ranks, 2);
+        assert!(stats.spans >= 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let bad = "[\n{\"name\":\"x\",\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":0.000}\n]\n";
+        let err = validate_chrome(bad).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+        let bad2 = "[\n{\"name\":\"x\",\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":0.000}\n]\n";
+        assert!(validate_chrome(bad2).unwrap_err().contains("unmatched end"));
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let bad = "[\n\
+            {\"name\":\"a\",\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":5.000,\"s\":\"t\"},\n\
+            {\"name\":\"b\",\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":4.000,\"s\":\"t\"}\n]\n";
+        assert!(validate_chrome(bad).unwrap_err().contains("regressed"));
+    }
+
+    #[test]
+    fn rejects_non_array_and_junk() {
+        assert!(validate_chrome("hello").is_err());
+        assert!(validate_chrome("[\nnot json\n]\n").is_err());
+        let nameless = "[\n{\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":1.000}\n]\n";
+        assert!(validate_chrome(nameless)
+            .unwrap_err()
+            .contains("missing name"));
+    }
+}

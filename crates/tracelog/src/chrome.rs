@@ -1,0 +1,344 @@
+//! Chrome `trace_event` JSON export, loadable in Perfetto / `chrome://tracing`.
+//!
+//! Layout: one trace "process" per simulated rank (`pid` = rank), one
+//! "thread" per subsystem [`Lane`] (`tid` = [`Lane::tid`]), with
+//! `process_name` / `thread_name` metadata so the viewer labels them.
+//! Timestamps are virtual microseconds with nanosecond precision
+//! (three decimals).
+//!
+//! The [`Lane::Phase`] lane is exported from the analyzer's *flat*
+//! per-rank timeline rather than the raw retroactive charges, so the
+//! viewer shows each rank doing exactly one phase at a time and the
+//! lane's spans tile `[0, wall]` exactly. All other lanes export their
+//! raw events, sanitized so begin/end pairs always balance (stray ends
+//! are dropped; spans left open by a killed rank are closed at the
+//! wall clock).
+//!
+//! The output is deliberately line-oriented — one event object per
+//! line, fixed field order — so the [`crate::check`] validator and the
+//! determinism tests can treat it as a stable byte stream.
+
+use std::fmt::Write as _;
+
+use crate::analyze;
+use crate::event::{ArgVal, EventKind, Lane};
+use crate::sink::Trace;
+
+fn esc(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_ts(ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_args(args: &[(&'static str, ArgVal)], out: &mut String) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":");
+        match v {
+            ArgVal::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgVal::Str(s) => {
+                out.push('"');
+                esc(s, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+#[allow(clippy::too_many_arguments)]
+fn event_line(
+    name: &str,
+    ph: char,
+    pid: usize,
+    tid: u64,
+    ts_ns: u64,
+    args: &[(&'static str, ArgVal)],
+    instant: bool,
+    out: &mut Vec<String>,
+) {
+    let mut line = String::new();
+    line.push_str("{\"name\":\"");
+    esc(name, &mut line);
+    let _ = write!(
+        line,
+        "\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":"
+    );
+    push_ts(ts_ns, &mut line);
+    if instant {
+        line.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        push_args(args, &mut line);
+    }
+    line.push('}');
+    out.push(line);
+}
+
+fn meta_line(kind: &str, pid: usize, tid: u64, label: &str, out: &mut Vec<String>) {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+    );
+    esc(label, &mut line);
+    line.push_str("\"}}");
+    out.push(line);
+}
+
+/// Serialize `trace` as Chrome `trace_event` JSON. `filter` restricts
+/// the export to the given lanes (`None` = everything).
+pub fn export_chrome(trace: &Trace, filter: Option<&[Lane]>) -> String {
+    let included = |lane: Lane| filter.is_none_or(|f| f.contains(&lane));
+    let mut lines: Vec<String> = Vec::new();
+
+    for rank in 0..trace.nranks {
+        meta_line("process_name", rank, 0, &format!("rank {rank}"), &mut lines);
+        for lane in Lane::ALL {
+            if included(lane) {
+                meta_line("thread_name", rank, lane.tid(), lane.label(), &mut lines);
+            }
+        }
+    }
+
+    // Phase lane: the normalized flat timeline, tiling [0, wall].
+    if included(Lane::Phase) {
+        for rank in 0..trace.nranks {
+            for seg in analyze::rank_phase_timeline(trace, rank) {
+                event_line(
+                    &seg.phase,
+                    'B',
+                    rank,
+                    Lane::Phase.tid(),
+                    seg.start,
+                    &[],
+                    false,
+                    &mut lines,
+                );
+                event_line(
+                    &seg.phase,
+                    'E',
+                    rank,
+                    Lane::Phase.tid(),
+                    seg.end,
+                    &[],
+                    false,
+                    &mut lines,
+                );
+            }
+        }
+    }
+
+    // All other lanes: raw events in merged order, with begin/end
+    // sanitized per (rank, lane). The stack remembers begin names so
+    // end events display matching names in the viewer.
+    let mut stacks: Vec<Vec<Vec<String>>> =
+        vec![Lane::ALL.map(|_| Vec::new()).to_vec(); trace.nranks];
+    let lane_idx = |lane: Lane| Lane::ALL.iter().position(|l| *l == lane).unwrap();
+    for e in &trace.events {
+        if e.lane == Lane::Phase || !included(e.lane) {
+            continue;
+        }
+        let tid = e.lane.tid();
+        match e.kind {
+            EventKind::Begin => {
+                stacks[e.rank][lane_idx(e.lane)].push(e.name.to_string());
+                event_line(&e.name, 'B', e.rank, tid, e.t, &e.args, false, &mut lines);
+            }
+            EventKind::End => {
+                if let Some(name) = stacks[e.rank][lane_idx(e.lane)].pop() {
+                    event_line(&name, 'E', e.rank, tid, e.t, &e.args, false, &mut lines);
+                }
+            }
+            EventKind::Instant => {
+                event_line(&e.name, 'i', e.rank, tid, e.t, &e.args, true, &mut lines);
+            }
+            EventKind::Counter(v) => {
+                event_line(
+                    &e.name,
+                    'C',
+                    e.rank,
+                    tid,
+                    e.t,
+                    &[("value", ArgVal::U64(v))],
+                    false,
+                    &mut lines,
+                );
+            }
+        }
+    }
+    // Close anything a killed rank left open.
+    for (rank, lanes) in stacks.iter_mut().enumerate() {
+        for (li, stack) in lanes.iter_mut().enumerate() {
+            while let Some(name) = stack.pop() {
+                event_line(
+                    &name,
+                    'E',
+                    rank,
+                    Lane::ALL[li].tid(),
+                    trace.wall,
+                    &[],
+                    false,
+                    &mut lines,
+                );
+            }
+        }
+    }
+
+    let mut out = String::from("[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Tracer;
+
+    #[test]
+    fn export_is_balanced_and_labelled() {
+        let tracer = Tracer::new(2);
+        tracer.record(
+            0,
+            0,
+            Lane::Phase,
+            EventKind::Begin,
+            "search".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            0,
+            80,
+            Lane::Phase,
+            EventKind::End,
+            "search".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            1,
+            10,
+            Lane::Io,
+            EventKind::Begin,
+            "read".into(),
+            vec![("bytes", ArgVal::U64(4096))],
+        );
+        tracer.record(1, 30, Lane::Io, EventKind::End, "".into(), Vec::new());
+        tracer.record(
+            1,
+            40,
+            Lane::Runtime,
+            EventKind::Instant,
+            "grant".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            0,
+            50,
+            Lane::Io,
+            EventKind::Counter(7),
+            "io.reqs".into(),
+            Vec::new(),
+        );
+        // A span the rank never closed: must be closed at the wall.
+        tracer.record(
+            1,
+            60,
+            Lane::Net,
+            EventKind::Begin,
+            "recv".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(100);
+        let json = export_chrome(&trace, None);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"rank 1\""));
+        assert!(json.contains("\"thread_name\""));
+        // The io span keeps its name on both ends.
+        assert_eq!(json.matches("\"name\":\"read\"").count(), 2);
+        // The unclosed net recv is closed at the 100 ns wall = 0.100 us.
+        assert!(json.contains("{\"name\":\"recv\",\"ph\":\"E\",\"pid\":1,\"tid\":4,\"ts\":0.100}"));
+        // Counter exports as a "C" sample.
+        assert!(json.contains("\"ph\":\"C\""));
+        // Phase lane tiles [0, wall]: search then trailing other.
+        assert!(
+            json.contains("{\"name\":\"search\",\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":0.000}")
+        );
+        assert!(json.contains("{\"name\":\"other\",\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":0.100}"));
+    }
+
+    #[test]
+    fn filter_restricts_lanes() {
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            1,
+            Lane::Io,
+            EventKind::Instant,
+            "open".into(),
+            Vec::new(),
+        );
+        tracer.record(
+            0,
+            2,
+            Lane::Net,
+            EventKind::Instant,
+            "send".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(10);
+        let json = export_chrome(&trace, Some(&[Lane::Net]));
+        assert!(json.contains("\"send\""));
+        assert!(!json.contains("\"open\""));
+        assert!(!json.contains("\"ph\":\"B\"")); // phase lane filtered out too
+    }
+
+    #[test]
+    fn stray_end_is_dropped() {
+        let tracer = Tracer::new(1);
+        tracer.record(0, 5, Lane::Io, EventKind::End, "".into(), Vec::new());
+        let trace = tracer.finish(10);
+        let json = export_chrome(&trace, Some(&[Lane::Io]));
+        assert!(!json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            1,
+            Lane::Runtime,
+            EventKind::Instant,
+            "weird\"name\\".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(2);
+        let json = export_chrome(&trace, None);
+        assert!(json.contains("weird\\\"name\\\\"));
+    }
+}

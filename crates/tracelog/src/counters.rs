@@ -1,0 +1,125 @@
+//! The counter registry: one value type for every accounting path.
+//!
+//! `simcluster::PhaseTimes` (per-phase virtual nanoseconds) and
+//! `parafs`'s per-class I/O tallies both store their numbers in a
+//! [`Counters`], so adding a phase or a tally is the same operation
+//! everywhere and merging reports is uniform.
+
+use std::collections::BTreeMap;
+
+/// A deterministic (sorted-key) registry of named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `delta` to `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.map.get_mut(name) {
+            *v += delta;
+        } else {
+            self.map.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set `name` to `value` exactly.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.map.insert(name.to_string(), value);
+    }
+
+    /// The current value of `name` (zero when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sum every counter in `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Keep, per counter, the larger of the two values — the merge rule
+    /// for "critical path across ranks" style aggregation.
+    pub fn max_merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            let cur = self.get(k);
+            if v > cur {
+                self.set(k, v);
+            }
+        }
+    }
+
+    /// Sum of all counter values.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+}
+
+impl<'a> FromIterator<(&'a str, u64)> for Counters {
+    fn from_iter<T: IntoIterator<Item = (&'a str, u64)>>(iter: T) -> Counters {
+        let mut c = Counters::new();
+        for (k, v) in iter {
+            c.add(k, v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = Counters::new();
+        a.add("x", 3);
+        a.add("x", 4);
+        a.add("y", 1);
+        assert_eq!(a.get("x"), 7);
+        assert_eq!(a.get("missing"), 0);
+        let b: Counters = [("x", 1u64), ("z", 9)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get("x"), 8);
+        assert_eq!(a.get("z"), 9);
+        assert_eq!(a.total(), 8 + 1 + 9);
+    }
+
+    #[test]
+    fn max_merge_keeps_larger() {
+        let mut a: Counters = [("p", 5u64), ("q", 2)].into_iter().collect();
+        let b: Counters = [("p", 3u64), ("q", 7), ("r", 1)].into_iter().collect();
+        a.max_merge(&b);
+        assert_eq!(a.get("p"), 5);
+        assert_eq!(a.get("q"), 7);
+        assert_eq!(a.get("r"), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let c: Counters = [("b", 1u64), ("a", 2), ("c", 3)].into_iter().collect();
+        let keys: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+}

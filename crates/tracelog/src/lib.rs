@@ -1,0 +1,51 @@
+//! # tracelog
+//!
+//! The cluster-wide observability plane: structured span/event tracing
+//! stamped with the discrete-event simulator's virtual clock.
+//!
+//! Every simulated rank is an OS thread coscheduled by `simcluster`, so
+//! the plane hangs off a thread-local tracer installed by the engine
+//! when it spawns a rank thread. Instrumented code anywhere in the
+//! stack calls the free functions ([`span`], [`instant`], [`counter`],
+//! [`phase`]) without threading a handle through every signature; when
+//! no tracer is installed they are no-ops, so untraced runs pay almost
+//! nothing.
+//!
+//! The pieces:
+//!
+//! * [`Tracer`] — per-rank ring-buffered event sinks, merged
+//!   deterministically into a [`Trace`] at run end;
+//! * [`Counters`] — the one counter registry. `simcluster`'s phase
+//!   accounting and `parafs`'s per-class I/O tallies are both stored in
+//!   this type, so there is exactly one accounting path;
+//! * [`chrome`] — a Chrome `trace_event` JSON exporter (one "process"
+//!   per rank, one "thread" per subsystem [`Lane`]) loadable in
+//!   Perfetto;
+//! * [`analyze`] — flat per-rank phase timelines and a cluster-wide
+//!   critical-path phase breakdown, both exact partitions of the
+//!   virtual wall clock in integer nanoseconds;
+//! * [`check`] — a schema validator for the exported JSON (monotonic
+//!   timestamps, balanced begin/end pairs), used by `trace-check` in CI.
+//!
+//! ## Clock domain
+//!
+//! All timestamps are **virtual nanoseconds** since simulation start —
+//! the same integer clock `simcluster::SimTime` wraps. Real (measured)
+//! compute time is charged to the virtual clock by the engine before
+//! any event is stamped, so traces are deterministic for a fixed seed.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod check;
+pub mod chrome;
+mod counters;
+mod event;
+mod sink;
+
+pub use counters::Counters;
+pub use event::{ArgVal, Event, EventKind, Lane};
+pub use sink::{
+    closed_span, counter, install, instant, instant_at, is_installed, now, phase, span, span_args,
+    InstallGuard, Span, Trace, Tracer,
+};

@@ -4,7 +4,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release
+# --workspace: the root facade package does not depend on pioblast-cli,
+# and the observability gate below runs the release binary.
+cargo build --release --workspace
 cargo test -q
 # The fault-recovery proptests run under the vendored proptest's
 # deterministic per-test RNG (TestRng::from_name), so this is a fixed
@@ -18,3 +20,17 @@ cargo bench --workspace --no-run
 cargo clippy -- -D warnings
 # The I/O plane is a public API layer: its docs must build clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# End-to-end observability gate: run a real search with --trace and
+# validate the exported Chrome trace (monotonic per-lane timestamps,
+# balanced begin/end span pairs).
+tracetmp="$(mktemp -d)"
+trap 'rm -rf "$tracetmp"' EXIT
+cli=target/release/pioblast-sim
+"$cli" gen --residues 30k --seed 5 --out "$tracetmp/db.fa"
+"$cli" formatdb --in "$tracetmp/db.fa" --title cidb --out-dir "$tracetmp/db"
+"$cli" sample --in "$tracetmp/db.fa" --bytes 1k --out "$tracetmp/q.fa"
+"$cli" run --program pio --procs 4 \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/report.txt" --trace "$tracetmp/trace.json"
+"$cli" trace-check --in "$tracetmp/trace.json"
