@@ -50,9 +50,21 @@ struct Run {
     share_input: f64,
     share_search: f64,
     share_output: f64,
+    /// Absolute critical-path time spent in input + output, in
+    /// simulated seconds — the numerator of the shares, kept so the
+    /// async comparison can report the raw shrink too.
+    io_path_s: f64,
+    /// Final merged result bytes, for byte-identity assertions.
+    output: Vec<u8>,
 }
 
-fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
+fn run_one(
+    platform: &Platform,
+    procs: usize,
+    strategy: IoStrategy,
+    collective: bool,
+    io_async: bool,
+) -> Run {
     let workload = nr_like(default_db_residues(), default_query_bytes(), 2005);
     let sim = Sim::new(procs);
     let tracer = tracelog::Tracer::new(procs);
@@ -73,16 +85,17 @@ fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
         // file is a list of noncontiguous ranges, which is exactly the
         // access shape the strategies differ on.
         num_fragments: Some((procs - 1) * 4),
-        collective_output: true,
+        collective_output: collective,
         local_prune: false,
         query_batch: None,
-        collective_input: true,
+        collective_input: collective,
         schedule: Default::default(),
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
         io: IoOptions {
             strategy,
+            io_async,
             ..Default::default()
         },
     };
@@ -101,6 +114,12 @@ fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
             path.get(name) as f64 / wall as f64
         }
     };
+    let tick = if wall == 0 {
+        0.0
+    } else {
+        outcome.elapsed.as_secs_f64() / wall as f64
+    };
+    let output = env.shared.peek("out.txt").expect("merged output present");
     Run {
         procs,
         elapsed_s: outcome.elapsed.as_secs_f64(),
@@ -110,6 +129,8 @@ fn run_one(platform: &Platform, procs: usize, strategy: IoStrategy) -> Run {
         share_input: share("input"),
         share_search: share("search"),
         share_output: share("output"),
+        io_path_s: (path.get("input") + path.get("output")) as f64 * tick,
+        output,
     }
 }
 
@@ -142,7 +163,7 @@ fn main() {
         let mut elapsed_at_16 = [0.0f64; 3];
         for (i, procs) in PROCS.into_iter().enumerate() {
             for (j, strategy) in STRATEGIES.into_iter().enumerate() {
-                let r = run_one(&platform, procs, strategy);
+                let r = run_one(&platform, procs, strategy, true, false);
                 let moved = (r.counters.bytes_read + r.counters.bytes_written) as f64 / 1e6;
                 println!(
                     "{:<35} {:>5} {:>12} {:>10.3} {:>10} {:>9} {:>9} {:>9.2}",
@@ -198,7 +219,65 @@ fn main() {
             );
         }
     }
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ],\n");
+
+    // Nonblocking plane: the same workload on the blade cluster's NFS
+    // at 16 processes, independent-mode sieving, with and without
+    // `--io-async`. Read-ahead overlaps the next fragment's transfer
+    // with the current fragment's search, and output/checkpoint writes
+    // fire all their runs concurrently instead of charging them
+    // serially — so the critical-path time attributed to input+output
+    // must strictly shrink while the merged bytes stay identical.
+    println!("== Nonblocking plane: async vs sync, blade/NFS, 16 processes ==");
+    let blade = Platform::blade_cluster();
+    let sync_r = run_one(&blade, 16, IoStrategy::Sieve, false, false);
+    let async_r = run_one(&blade, 16, IoStrategy::Sieve, false, true);
+    for (label, r) in [("sync", &sync_r), ("async", &async_r)] {
+        println!(
+            "{:<8} elapsed {:>8.3}s  input+output path {:>8.3}s  \
+             shares in/out {:.4}/{:.4}",
+            label, r.elapsed_s, r.io_path_s, r.share_input, r.share_output
+        );
+    }
+    assert_eq!(
+        sync_r.output, async_r.output,
+        "async plane must produce byte-identical merged output"
+    );
+    let sync_share = sync_r.share_input + sync_r.share_output;
+    let async_share = async_r.share_input + async_r.share_output;
+    assert!(
+        async_share < sync_share,
+        "input+output critical-path share must shrink with --io-async \
+         (sync {sync_share:.4}, async {async_share:.4})"
+    );
+    assert!(
+        async_r.io_path_s < sync_r.io_path_s,
+        "absolute input+output path time must shrink with --io-async \
+         (sync {:.3}s, async {:.3}s)",
+        sync_r.io_path_s,
+        async_r.io_path_s
+    );
+    let _ = write!(
+        json,
+        "  \"async_16\": {{\"platform\": \"{}\", \"procs\": 16, \"strategy\": \"{}\", \
+         \"sync\": {{\"elapsed_s\": {:.6}, \"io_path_s\": {:.6}, \
+         \"share_input\": {:.6}, \"share_output\": {:.6}}}, \
+         \"async\": {{\"elapsed_s\": {:.6}, \"io_path_s\": {:.6}, \
+         \"share_input\": {:.6}, \"share_output\": {:.6}}}, \
+         \"bytes_identical\": true}}\n",
+        blade.name,
+        IoStrategy::Sieve.label(),
+        sync_r.elapsed_s,
+        sync_r.io_path_s,
+        sync_r.share_input,
+        sync_r.share_output,
+        async_r.elapsed_s,
+        async_r.io_path_s,
+        async_r.share_input,
+        async_r.share_output
+    );
+    json.push('}');
+    json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_io.json");
     std::fs::write(path, &json).expect("write BENCH_io.json");
     println!("wrote {path}");

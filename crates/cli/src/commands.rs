@@ -55,7 +55,7 @@ USAGE:
                         [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
                         [--fault-detect] [--recover] [--checkpoint]
                         [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
-                        [--trace out.json] [--trace-filter LANE[,LANE...]]
+                        [--io-async] [--trace out.json] [--trace-filter LANE[,LANE...]]
   pioblast-sim trace-check --in trace.json
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
@@ -204,6 +204,7 @@ fn io_options(args: &ParsedArgs) -> Result<pioblast::IoOptions, CliError> {
     Ok(pioblast::IoOptions {
         strategy,
         sieve_threshold: args.u64_or("sieve-threshold", defaults.sieve_threshold)?,
+        io_async: args.flag("io-async"),
     })
 }
 

@@ -557,6 +557,7 @@ mod tests {
                     io: mpiio::IoOptions {
                         strategy,
                         sieve_threshold,
+                        ..Default::default()
                     },
                     ..Opts::default()
                 });

@@ -63,6 +63,9 @@ pub enum PioError {
     Protocol(String),
     /// The input stage failed to read or materialize a fragment.
     Input(crate::input::InputError),
+    /// The output stage could not land its bytes (e.g. a full file
+    /// system): the run degrades to a typed error instead of aborting.
+    Output(parafs::StoreError),
     /// The configuration combines knobs the runtime does not support
     /// (rejected up front by `PioBlastConfig::validate`, on every rank).
     UnsupportedConfig(String),
@@ -83,6 +86,7 @@ impl fmt::Display for PioError {
             PioError::Aborted => write!(f, "run aborted by the master"),
             PioError::Protocol(what) => write!(f, "protocol error: {what}"),
             PioError::Input(e) => write!(f, "input stage failed: {e}"),
+            PioError::Output(e) => write!(f, "output stage failed: {e}"),
             PioError::UnsupportedConfig(what) => {
                 write!(f, "unsupported configuration: {what}")
             }

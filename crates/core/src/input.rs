@@ -18,7 +18,7 @@
 //! only the volumes it was actually assigned, with no global sync.
 
 use blast_core::alphabet::Molecule;
-use mpiio::{FileView, IoPlane};
+use mpiio::{FileView, IoHandle, IoPlane, IoRequest, IoResponse};
 use parafs::StoreError;
 use seqfmt::FragmentData;
 
@@ -40,6 +40,8 @@ pub enum InputError {
     Store(StoreError),
     /// The read bytes do not form a consistent fragment.
     Fragment(String),
+    /// A setup file (alias, query FASTA, volume index) failed to decode.
+    Malformed(String),
 }
 
 impl fmt::Display for InputError {
@@ -53,6 +55,7 @@ impl fmt::Display for InputError {
             }
             InputError::Store(e) => write!(f, "database read failed: {e}"),
             InputError::Fragment(msg) => write!(f, "inconsistent fragment: {msg}"),
+            InputError::Malformed(msg) => write!(f, "malformed input: {msg}"),
         }
     }
 }
@@ -232,6 +235,112 @@ pub fn read_fragments(
             .map_err(|e| InputError::Fragment(e.to_string()))
         })
         .collect()
+}
+
+/// One fragment's three file reads, in flight.
+///
+/// Produced by [`read_fragment_begin`], joined by [`read_fragment_end`]:
+/// the split that lets a worker read ahead the *next* granted fragment
+/// while the search kernel runs on the current one. Only meaningful on a
+/// non-collective plane — per-fragment begins cannot be matched across
+/// ranks, so callers must gate on [`IoPlane::is_collective`].
+pub struct PendingFragment<'a, 'c> {
+    assignment: FragmentAssignment,
+    /// `(spans, handle)` for the idx, seq, and hdr files, in that order.
+    files: Vec<(Vec<(u64, u64)>, IoHandle<'a, 'c>)>,
+}
+
+/// The spans each of a fragment's three files needs, in
+/// `[idx, seq, hdr]` order.
+fn fragment_spans(a: &FragmentAssignment) -> [Vec<(u64, u64)>; 3] {
+    let spec = &a.spec;
+    [
+        coalesce_spans(
+            [spec.idx_seq_range, spec.idx_hdr_range]
+                .into_iter()
+                .map(|(lo, hi)| (lo, hi - lo))
+                .collect(),
+        ),
+        coalesce_spans(vec![(
+            spec.seq_range.0,
+            spec.seq_range.1 - spec.seq_range.0,
+        )]),
+        coalesce_spans(vec![(
+            spec.hdr_range.0,
+            spec.hdr_range.1 - spec.hdr_range.0,
+        )]),
+    ]
+}
+
+/// Begin reading one assigned fragment's ranges without blocking: posts
+/// an asynchronous ranged read per database file and returns the
+/// in-flight set. The transfers proceed in virtual time while the caller
+/// computes; [`read_fragment_end`] joins them and materializes the
+/// fragment.
+pub fn read_fragment_begin<'a, 'c>(
+    plane: &IoPlane<'a, 'c>,
+    assignment: &FragmentAssignment,
+) -> Result<PendingFragment<'a, 'c>, InputError> {
+    debug_assert!(
+        !plane.is_collective(),
+        "per-fragment begins cannot be matched across ranks"
+    );
+    let vol = &assignment.volume_name;
+    let mut files = Vec::with_capacity(3);
+    for (ext, spans) in ["idx", "seq", "hdr"]
+        .into_iter()
+        .zip(fragment_spans(assignment))
+    {
+        let view = FileView::new(0, spans.clone())
+            .map_err(|e| InputError::Fragment(format!("bad span set: {e}")))?;
+        let path = format!("db/{vol}.{ext}");
+        let handle = plane.submit_begin(IoRequest::DbRead {
+            path: &path,
+            view: &view,
+        });
+        files.push((spans, handle));
+    }
+    Ok(PendingFragment {
+        assignment: assignment.clone(),
+        files,
+    })
+}
+
+/// Join a fragment's in-flight reads and materialize it. Only the
+/// transfer remainder not already overlapped with compute is exposed as
+/// blocking time.
+pub fn read_fragment_end<'a, 'c>(
+    plane: &IoPlane<'a, 'c>,
+    pend: PendingFragment<'a, 'c>,
+    molecule: Molecule,
+) -> Result<FragmentData, InputError> {
+    let mut buffers = Vec::with_capacity(3);
+    for (spans, handle) in pend.files {
+        let data = match plane.wait(handle)? {
+            IoResponse::Data(d) => d,
+            IoResponse::Done => unreachable!("reads return data"),
+        };
+        buffers.push(RangeBuffers::new(spans, data));
+    }
+    let [idx, seq, hdr] = <[RangeBuffers; 3]>::try_from(buffers).expect("three files");
+    let spec = &pend.assignment.spec;
+    FragmentData::from_ranges(
+        molecule,
+        spec.base_oid,
+        idx.slice(
+            spec.idx_seq_range.0,
+            spec.idx_seq_range.1 - spec.idx_seq_range.0,
+        )?,
+        idx.slice(
+            spec.idx_hdr_range.0,
+            spec.idx_hdr_range.1 - spec.idx_hdr_range.0,
+        )?,
+        seq.slice(spec.seq_range.0, spec.seq_range.1 - spec.seq_range.0)?
+            .to_vec(),
+        hdr.slice(spec.hdr_range.0, spec.hdr_range.1 - spec.hdr_range.0)?
+            .to_vec(),
+    )
+    .map_err(|e| InputError::Fragment(e.to_string()))
 }
 
 #[cfg(test)]

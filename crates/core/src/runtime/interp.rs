@@ -19,11 +19,13 @@ use bytes::Bytes;
 use mpiblast::phases;
 use mpiblast::wire::{FragmentCheckpoint, MetaHit, MetaSubmission, OffsetAssignment, QueryBundle};
 use mpiblast::{ComputeModel, RankReport, MASTER};
-use mpiio::{CollectiveHints, FileView, IoOptions, IoPlane, IoStrategy, PlaneConfig};
+use mpiio::{
+    CollectiveHints, FileView, IoHandle, IoOptions, IoPlane, IoRequest, IoStrategy, PlaneConfig,
+};
 use mpisim::sched::{default_sweep, Liveness, Polled, Pump};
 use mpisim::{Collectives, Comm};
 use seqfmt::{AliasFile, FragmentData, VolumeIndex};
-use simcluster::{Message, PhaseTimes, RankCtx, SimTime};
+use simcluster::{Message, PhaseTimes, RankCtx, SimDuration, SimTime};
 
 use super::master::{MasterAction, MasterEvent, MasterPhase, MasterSm};
 use super::worker::{WorkerAction, WorkerEvent, WorkerSm};
@@ -143,7 +145,23 @@ fn flush_output(
     }
     let view = FileView::new(0, regions)
         .map_err(|e| PioError::Protocol(format!("output layout is not writable: {e}")))?;
-    plane.write_output(path, &view, &data);
+    if plane.config().options.io_async {
+        // Fire-and-collect: every run of the view goes in flight at once,
+        // so per-operation latencies overlap instead of summing (on a
+        // collective plane this is the split collective — begin and wait
+        // are both posted by every rank). A full file system surfaces as
+        // a typed error, not an abort.
+        let handle = plane.submit_begin(IoRequest::OutputWrite {
+            path,
+            view: &view,
+            payload: &data,
+        });
+        plane.wait(handle).map_err(PioError::Output)?;
+    } else {
+        plane
+            .write_output(path, &view, &data)
+            .map_err(PioError::Output)?;
+    }
     Ok(())
 }
 
@@ -157,7 +175,7 @@ pub(crate) fn run_master(
     comm: &Comm<'_>,
     cfg: &PioBlastConfig,
 ) -> Result<RankReport, PioError> {
-    MasterIo::new(ctx, comm, cfg).run()
+    MasterIo::new(ctx, comm, cfg)?.run()
 }
 
 struct MasterIo<'a, 'b> {
@@ -183,18 +201,60 @@ struct MasterIo<'a, 'b> {
 }
 
 impl<'a, 'b> MasterIo<'a, 'b> {
-    fn new(ctx: &'a RankCtx, comm: &'a Comm<'b>, cfg: &'a PioBlastConfig) -> MasterIo<'a, 'b> {
+    fn new(
+        ctx: &'a RankCtx,
+        comm: &'a Comm<'b>,
+        cfg: &'a PioBlastConfig,
+    ) -> Result<MasterIo<'a, 'b>, PioError> {
         let staging = independent_plane(comm, cfg);
         let mut phase_times = PhaseTimes::new();
 
-        // ---- startup: alias + queries, bundle distributed ----
+        // ---- startup: read and validate *every* setup file before the
+        // bundle is distributed, so a missing or malformed alias, query
+        // FASTA, or volume index degrades into a typed error on every
+        // rank instead of panicking the master (and deadlocking workers
+        // mid-broadcast).
         let start = ctx.now();
-        let alias_bytes = staging.read_whole(&cfg.db_alias).expect("alias present");
-        let alias = AliasFile::decode(&alias_bytes).expect("valid alias");
-        let query_text = staging
-            .read_whole(&cfg.query_path)
-            .expect("query file present");
-        let queries = fasta::parse(alias.molecule, &query_text).expect("valid query FASTA");
+        let store_err = |e| PioError::Input(crate::input::InputError::Store(e));
+        let bad = |what: String| PioError::Input(crate::input::InputError::Malformed(what));
+        let setup =
+            || -> Result<(AliasFile, Vec<SeqRecord>, Vec<VolumeIndex>, SimDuration), PioError> {
+                let alias_bytes = staging.read_whole(&cfg.db_alias).map_err(store_err)?;
+                let alias = AliasFile::decode(&alias_bytes)
+                    .map_err(|e| bad(format!("alias {}: {e}", cfg.db_alias)))?;
+                let query_text = staging.read_whole(&cfg.query_path).map_err(store_err)?;
+                let queries = fasta::parse(alias.molecule, &query_text)
+                    .map_err(|e| bad(format!("query FASTA {}: {e}", cfg.query_path)))?;
+                let idx_start = ctx.now();
+                let mut indexes: Vec<VolumeIndex> = Vec::new();
+                for vol in &alias.volumes {
+                    let path = format!("db/{vol}.idx");
+                    let idx_bytes = staging.read_whole(&path).map_err(store_err)?;
+                    indexes.push(
+                        VolumeIndex::decode(&idx_bytes)
+                            .map_err(|e| bad(format!("volume index {path}: {e}")))?,
+                    );
+                }
+                Ok((alias, queries, indexes, ctx.now() - idx_start))
+            };
+        let (alias, queries, indexes, idx_dur) = match setup() {
+            Ok(v) => v,
+            Err(e) => {
+                // Release the workers before bailing. Under the
+                // collective protocol they sit in the bundle broadcast:
+                // an empty bundle fails their decode into a typed
+                // protocol error. Under point-to-point modes an abort
+                // does the same through the normal path.
+                if cfg.fault == FaultMode::Off {
+                    comm.bcast(MASTER, Bytes::new());
+                } else {
+                    for w in 1..ctx.nranks() {
+                        let _ = comm.send_checked(w, TAG_ABORT, Bytes::new());
+                    }
+                }
+                return Err(e);
+            }
+        };
         let bundle = QueryBundle {
             db_title: alias.title.clone(),
             db_stats: alias.global_stats,
@@ -214,17 +274,17 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                     .is_ok();
             }
         }
-        phase_times.add(phases::OTHER, ctx.now() - start);
+        // The index reads moved ahead of the broadcast (validation must
+        // finish before distribution), but they are still the master's
+        // input phase: back-date the input mark by their duration and
+        // charge the rest of the startup to OTHER, exactly as before.
+        let input_mark = SimTime(ctx.now().0 - idx_dur.0);
+        phase_times.add(
+            phases::OTHER,
+            SimDuration((ctx.now() - start).0 - idx_dur.0),
+        );
 
         // ---- virtual fragments ----
-        let input_mark = ctx.now();
-        let mut indexes: Vec<VolumeIndex> = Vec::new();
-        for vol in &alias.volumes {
-            let idx_bytes = staging
-                .read_whole(&format!("db/{vol}.idx"))
-                .expect("volume index present");
-            indexes.push(VolumeIndex::decode(&idx_bytes).expect("valid volume index"));
-        }
         let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
         let batches = query_batches(&bundle.queries, cfg.query_batch);
         let policy = policy_of(ctx, cfg, batches.len());
@@ -238,7 +298,7 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             .collect();
 
         let nbatches = batches.len();
-        MasterIo {
+        Ok(MasterIo {
             ctx,
             comm,
             cfg,
@@ -258,7 +318,7 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             outcome: None,
             input_mark: Some(input_mark),
             out_mark: None,
-        }
+        })
     }
 
     fn run(mut self) -> Result<RankReport, PioError> {
@@ -702,6 +762,10 @@ struct WorkerIo<'a, 'b> {
     /// Kernel working memory, reused across all fragments of the run so
     /// the per-subject search path never allocates.
     scratch: SearchScratch,
+    /// Checkpoint writes fired and not yet collected (`--io-async`):
+    /// they stay in flight across searches and are fenced at the epoch
+    /// boundary, before the batch's results are acknowledged.
+    pending_ckpts: Vec<IoHandle<'a, 'b>>,
     phase_times: PhaseTimes,
     out_mark: Option<SimTime>,
 }
@@ -754,6 +818,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             assign: None,
             stats_total: SearchStats::default(),
             scratch: SearchScratch::new(),
+            pending_ckpts: Vec::new(),
             phase_times,
             out_mark: None,
         })
@@ -918,6 +983,10 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 Ok(())
             }
             WorkerAction::Submit { batch: _, epoch } => {
+                // Epoch fence: checkpoints fired during this batch's
+                // searches must have landed (or degraded) before the
+                // results are acknowledged.
+                self.drain_ckpts();
                 let meta = self.cache.metadata().encode();
                 if self.policy.p2p() {
                     self.comm.send(MASTER, TAG_SUBMIT, with_epoch(epoch, &meta));
@@ -944,8 +1013,12 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                     .ok_or_else(|| PioError::Protocol("grant count exceeds stash".into()))?,
             );
         }
+        let policy = self.policy;
+        let plane = input_plane(self.comm, self.cfg, &policy);
+        if self.cfg.io.io_async && !plane.is_collective() {
+            return self.ingest_readahead(batch, granted, search);
+        }
         let specs: Vec<FragmentAssignment> = granted.iter().map(|(_, a)| a.clone()).collect();
-        let plane = input_plane(self.comm, self.cfg, &self.policy);
         let input_start = self.ctx.now();
         let datas =
             crate::input::read_fragments(&plane, &self.grant_volumes, &specs, self.molecule)?;
@@ -958,6 +1031,63 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             self.frags.push((id, frag));
         }
         Ok(())
+    }
+
+    /// The read-ahead pipeline (`--io-async`, non-collective planes):
+    /// the next granted fragment's ranged reads go in flight *before*
+    /// the search kernel runs on the current one, so the exposed input
+    /// time is the first fragment's read plus whatever remainder each
+    /// search did not cover.
+    fn ingest_readahead(
+        &mut self,
+        batch: usize,
+        granted: Vec<(u32, FragmentAssignment)>,
+        search: bool,
+    ) -> Result<(), PioError> {
+        let policy = self.policy;
+        let plane = input_plane(self.comm, self.cfg, &policy);
+        let mut pend = match granted.first() {
+            Some((_, a)) => Some(crate::input::read_fragment_begin(&plane, a)?),
+            None => None,
+        };
+        let mut next = 0usize;
+        while let Some(p) = pend.take() {
+            let wait_start = self.ctx.now();
+            let frag = crate::input::read_fragment_end(&plane, p, self.molecule)?;
+            self.phase_times
+                .add(phases::INPUT, self.ctx.now() - wait_start);
+            let id = granted[next].0;
+            next += 1;
+            // Read ahead before searching: the next fragment's bytes
+            // move while this one is in the kernel.
+            if let Some((_, a)) = granted.get(next) {
+                pend = Some(crate::input::read_fragment_begin(&plane, a)?);
+            }
+            if search {
+                self.search_one(batch, id, &frag);
+            }
+            self.frags.push((id, frag));
+        }
+        Ok(())
+    }
+
+    /// Join every in-flight checkpoint write. Failures degrade — the
+    /// blob is simply absent, exactly as if the worker had died
+    /// mid-checkpoint, and recovery re-queues the fragment.
+    fn drain_ckpts(&mut self) {
+        if self.pending_ckpts.is_empty() {
+            return;
+        }
+        let plane = independent_plane(self.comm, self.cfg);
+        for h in std::mem::take(&mut self.pending_ckpts) {
+            if let Err(e) = plane.wait(h) {
+                tracelog::instant(
+                    tracelog::Lane::Io,
+                    "ckpt.skipped",
+                    vec![("error", e.to_string().into())],
+                );
+            }
+        }
     }
 
     /// Search one fragment against the prepared batch, cache the
@@ -1032,8 +1162,26 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 records,
             }
             .encode();
-            independent_plane(self.comm, self.cfg)
-                .checkpoint_put(&ckpt_path(self.cfg, batch, id as usize), &blob);
+            let path = ckpt_path(self.cfg, batch, id as usize);
+            let plane = independent_plane(self.comm, self.cfg);
+            if self.cfg.io.io_async {
+                // Fire-and-collect: the blob write stays in flight while
+                // the worker searches on; drain_ckpts joins it at the
+                // epoch fence.
+                let handle = plane.submit_begin(IoRequest::CheckpointPut {
+                    path: &path,
+                    payload: &blob,
+                });
+                self.pending_ckpts.push(handle);
+            } else if let Err(e) = plane.checkpoint_put(&path, &blob) {
+                // A full file system degrades, not aborts: the blob is
+                // absent and recovery re-queues the fragment.
+                tracelog::instant(
+                    tracelog::Lane::Io,
+                    "ckpt.skipped",
+                    vec![("error", e.to_string().into())],
+                );
+            }
         }
         self.phase_times
             .add(phases::OUTPUT, self.ctx.now() - cache_start);

@@ -74,6 +74,9 @@ pub enum ProtocolError {
     MasterDied,
     /// A worker was told to abort by the master (another rank died).
     Aborted,
+    /// Shared or private storage failed (e.g. a full file system); the
+    /// run degrades to a typed error instead of aborting.
+    Storage(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -85,6 +88,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::WorkerDied { rank } => write!(f, "worker rank {rank} died"),
             ProtocolError::MasterDied => write!(f, "master rank died"),
             ProtocolError::Aborted => write!(f, "aborted by master after a rank death"),
+            ProtocolError::Storage(what) => write!(f, "storage failed: {what}"),
         }
     }
 }
@@ -347,7 +351,9 @@ fn run_master(
         }
         section.extend_from_slice(layout.footer.as_bytes());
         let view = FileView::contiguous(file_off, section.len() as u64);
-        out_plane.write_output(&cfg.output_path, &view, &section);
+        out_plane
+            .write_output(&cfg.output_path, &view, &section)
+            .map_err(|e| ProtocolError::Storage(e.to_string()))?;
         file_off += section.len() as u64;
     }
     for w in live.live_workers() {
@@ -415,7 +421,9 @@ fn run_worker(
             let src = format!("{name}.{ext}");
             let data = shared.read_all(ctx, &src).expect("fragment file present");
             let dst = format!("{prefix}{src}");
-            private.write_all(ctx, &dst, &data);
+            private
+                .write_all(ctx, &dst, &data)
+                .map_err(|e| ProtocolError::Storage(e.to_string()))?;
             copied.push((dst, data));
         }
         phases.add(phases::COPY, now() - copy_start);

@@ -11,7 +11,7 @@
 
 use bytes::Bytes;
 use mpisim::{Collectives, Comm};
-use parafs::{SimFs, StoreError};
+use parafs::{AsyncIo, SimFs, StoreError};
 
 use crate::view::FileView;
 
@@ -71,9 +71,10 @@ impl<'a, 'c> MpiFile<'a, 'c> {
         self.fs.read_at(self.comm.ctx(), &self.path, offset, len)
     }
 
-    /// Independent ranged write (`MPI_File_write_at`).
-    pub fn write_at(&self, offset: u64, data: &[u8]) {
-        self.fs.write_at(self.comm.ctx(), &self.path, offset, data);
+    /// Independent ranged write (`MPI_File_write_at`). Fails with
+    /// [`StoreError::NoSpace`] on a full file system.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        self.fs.write_at(self.comm.ctx(), &self.path, offset, data)
     }
 
     fn next_tag(&self) -> u64 {
@@ -83,7 +84,7 @@ impl<'a, 'c> MpiFile<'a, 'c> {
     }
 
     /// Exchange every rank's view (gather at 0, broadcast the bundle).
-    fn exchange_views(&self, view: &FileView) -> Vec<FileView> {
+    fn exchange_views(&self, view: &FileView) -> Result<Vec<FileView>, StoreError> {
         let mine = Bytes::from(view.encode());
         let gathered = self.comm.gather(0, mine);
         let bundle = if self.comm.rank() == 0 {
@@ -102,24 +103,19 @@ impl<'a, 'c> MpiFile<'a, 'c> {
         decode_view_bundle(&bundle)
     }
 
-    /// Collective write: `data` holds the bytes of `view`'s regions, in
-    /// order. All ranks must call this together (a rank with nothing to
-    /// write passes an empty view).
-    pub fn write_at_all(&self, view: &FileView, data: &[u8]) {
-        assert_eq!(
-            data.len() as u64,
-            view.total_bytes(),
-            "data must exactly fill the view"
-        );
-        let tag = self.next_tag();
-        let all_views = self.exchange_views(view);
-        let Some(domains) = Domains::compute(&all_views, self.comm.size(), self.hints) else {
-            self.comm.barrier();
-            return; // nobody is writing anything
-        };
-
-        // Exchange phase: route each of my chunks to its domain's
-        // aggregator (or stash it locally if that is me).
+    /// Exchange + receive phases of a collective write: route each of my
+    /// chunks to its domain's aggregator (or stash it locally if that is
+    /// me), then — if I aggregate a domain — receive every expected
+    /// chunk in rank order and coalesce into maximal runs. Returns the
+    /// runs this rank must write (empty for non-aggregators).
+    fn gather_write_runs(
+        &self,
+        tag: u64,
+        view: &FileView,
+        data: &[u8],
+        all_views: &[FileView],
+        domains: &Domains,
+    ) -> Vec<(u64, Vec<u8>)> {
         let me = self.comm.rank();
         let mut local_chunks: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut cursor = 0usize;
@@ -140,8 +136,6 @@ impl<'a, 'c> MpiFile<'a, 'c> {
         }
         debug_assert_eq!(cursor, data.len());
 
-        // I/O phase (aggregators only): receive expected chunks in rank
-        // order, coalesce, and issue large writes.
         if let Some(my_domain) = domains.domain_of(me) {
             let mut chunks: Vec<(u64, Vec<u8>)> = Vec::new();
             for (src, view) in all_views.iter().enumerate() {
@@ -162,65 +156,139 @@ impl<'a, 'c> MpiFile<'a, 'c> {
                 }
             }
             chunks.extend(local_chunks);
-            for (run_off, run_data) in coalesce(chunks) {
-                self.fs
-                    .write_at(self.comm.ctx(), &self.path, run_off, &run_data);
-            }
+            coalesce(chunks)
         } else {
             debug_assert!(local_chunks.is_empty());
+            Vec::new()
         }
-        self.comm.barrier();
     }
 
-    /// Collective read: returns the bytes of `view`'s regions, in order.
-    pub fn read_at_all(&self, view: &FileView) -> Result<Vec<u8>, StoreError> {
+    /// Collective write: `data` holds the bytes of `view`'s regions, in
+    /// order. All ranks must call this together (a rank with nothing to
+    /// write passes an empty view). A failed run write (e.g.
+    /// [`StoreError::NoSpace`]) is reported after the closing barrier so
+    /// the collective stays aligned across ranks.
+    pub fn write_at_all(&self, view: &FileView, data: &[u8]) -> Result<(), StoreError> {
+        assert_eq!(
+            data.len() as u64,
+            view.total_bytes(),
+            "data must exactly fill the view"
+        );
         let tag = self.next_tag();
-        let all_views = self.exchange_views(view);
+        let all_views = self.exchange_views(view)?;
         let Some(domains) = Domains::compute(&all_views, self.comm.size(), self.hints) else {
             self.comm.barrier();
-            return Ok(Vec::new());
+            return Ok(()); // nobody is writing anything
         };
-        let me = self.comm.rank();
+        let mut err = None;
+        for (run_off, run_data) in self.gather_write_runs(tag, view, data, &all_views, &domains) {
+            if let Err(e) = self
+                .fs
+                .write_at(self.comm.ctx(), &self.path, run_off, &run_data)
+            {
+                err.get_or_insert(e);
+            }
+        }
+        self.comm.barrier();
+        err.map_or(Ok(()), Err)
+    }
 
-        // I/O phase: aggregators read coalesced runs of their domain and
-        // serve every rank's chunks in deterministic order.
-        let mut served: Vec<(usize, u64, Vec<u8>)> = Vec::new(); // (dst, off, data) for me
-        if let Some(my_domain) = domains.domain_of(me) {
-            // Collect every chunk in my domain across all ranks.
-            let mut wanted: Vec<(usize, u64, u64)> = Vec::new(); // (src, off, len)
-            for (src, view) in all_views.iter().enumerate() {
-                for (abs, len) in view.absolute() {
-                    for (d, off, piece_len) in domains.split(abs, len) {
-                        if d == my_domain {
-                            wanted.push((src, off, piece_len));
-                        }
+    /// Begin a split-collective write (`MPI_File_write_at_all_begin`):
+    /// the view exchange, chunk routing, and aggregator coalescing run
+    /// now, and the aggregators' large writes are issued asynchronously.
+    /// Every rank must call this together and later join with
+    /// [`MpiFile::write_at_all_end`]; the caller may compute in between
+    /// while the file-system transfers proceed in virtual time. At most
+    /// one split-collective operation may be outstanding per file.
+    pub fn write_at_all_begin(
+        &self,
+        view: &FileView,
+        data: &[u8],
+    ) -> Result<PendingWriteAll, StoreError> {
+        assert_eq!(
+            data.len() as u64,
+            view.total_bytes(),
+            "data must exactly fill the view"
+        );
+        let tag = self.next_tag();
+        let all_views = self.exchange_views(view)?;
+        let Some(domains) = Domains::compute(&all_views, self.comm.size(), self.hints) else {
+            return Ok(PendingWriteAll { ops: Vec::new() });
+        };
+        let ops = self
+            .gather_write_runs(tag, view, data, &all_views, &domains)
+            .into_iter()
+            .map(|(run_off, run_data)| {
+                self.fs
+                    .write_at_begin(self.comm.ctx(), &self.path, run_off, run_data)
+            })
+            .collect();
+        Ok(PendingWriteAll { ops })
+    }
+
+    /// Join a split-collective write: wait for this rank's outstanding
+    /// run writes, then barrier. Errors (e.g. a full file system at
+    /// completion time) are reported after the barrier.
+    pub fn write_at_all_end(&self, pend: PendingWriteAll) -> Result<(), StoreError> {
+        let mut err = None;
+        for op in pend.ops {
+            if let Err(e) = self.fs.io_wait(self.comm.ctx(), op) {
+                err.get_or_insert(e);
+            }
+        }
+        self.comm.barrier();
+        err.map_or(Ok(()), Err)
+    }
+
+    /// Every chunk of my aggregation domain across all ranks, as
+    /// `(src, off, len)` in deterministic rank order (empty if I
+    /// aggregate no domain).
+    fn wanted_chunks(&self, all_views: &[FileView], domains: &Domains) -> Vec<(usize, u64, u64)> {
+        let Some(my_domain) = domains.domain_of(self.comm.rank()) else {
+            return Vec::new();
+        };
+        let mut wanted = Vec::new();
+        for (src, view) in all_views.iter().enumerate() {
+            for (abs, len) in view.absolute() {
+                for (d, off, piece_len) in domains.split(abs, len) {
+                    if d == my_domain {
+                        wanted.push((src, off, piece_len));
                     }
                 }
             }
-            // Large coalesced reads.
-            let runs = coalesce_ranges(wanted.iter().map(|&(_, o, l)| (o, l)).collect());
-            let mut run_data: Vec<(u64, Vec<u8>)> = Vec::new();
-            for (o, l) in runs {
-                run_data.push((o, self.fs.read_at(self.comm.ctx(), &self.path, o, l)?));
-            }
-            let fetch = |off: u64, len: u64| -> Vec<u8> {
-                let (ro, rd) = run_data
-                    .iter()
-                    .find(|(ro, rd)| off >= *ro && off + len <= *ro + rd.len() as u64)
-                    .expect("chunk lies in a coalesced run");
-                rd[(off - ro) as usize..(off - ro + len) as usize].to_vec()
-            };
-            for (dst, off, len) in wanted {
-                let piece = fetch(off, len);
-                if dst == me {
-                    served.push((me, off, piece));
-                } else {
-                    self.comm.send(dst, tag, Bytes::from(piece));
-                }
+        }
+        wanted
+    }
+
+    /// Serve + assembly phases of a collective read: slice each wanted
+    /// chunk out of the aggregator's run data and send it to its rank
+    /// (or stash locally), then collect my own chunks in view order.
+    fn serve_and_assemble(
+        &self,
+        tag: u64,
+        view: &FileView,
+        domains: &Domains,
+        wanted: Vec<(usize, u64, u64)>,
+        run_data: Vec<(u64, Vec<u8>)>,
+    ) -> Vec<u8> {
+        let me = self.comm.rank();
+        let mut served: Vec<(usize, u64, Vec<u8>)> = Vec::new(); // (dst, off, data) for me
+        let fetch = |off: u64, len: u64| -> Vec<u8> {
+            let (ro, rd) = run_data
+                .iter()
+                .find(|(ro, rd)| off >= *ro && off + len <= *ro + rd.len() as u64)
+                .expect("chunk lies in a coalesced run");
+            rd[(off - ro) as usize..(off - ro + len) as usize].to_vec()
+        };
+        for (dst, off, len) in wanted {
+            let piece = fetch(off, len);
+            if dst == me {
+                served.push((me, off, piece));
+            } else {
+                self.comm.send(dst, tag, Bytes::from(piece));
             }
         }
 
-        // Assembly phase: collect my chunks in view order.
         let mut out = Vec::with_capacity(view.total_bytes() as usize);
         let mut local_iter = served.into_iter();
         for (abs, len) in view.absolute() {
@@ -236,22 +304,169 @@ impl<'a, 'c> MpiFile<'a, 'c> {
                 }
             }
         }
+        out
+    }
+
+    /// Collective read: returns the bytes of `view`'s regions, in order.
+    pub fn read_at_all(&self, view: &FileView) -> Result<Vec<u8>, StoreError> {
+        let tag = self.next_tag();
+        let all_views = self.exchange_views(view)?;
+        let Some(domains) = Domains::compute(&all_views, self.comm.size(), self.hints) else {
+            self.comm.barrier();
+            return Ok(Vec::new());
+        };
+
+        // I/O phase: aggregators read coalesced runs of their domain and
+        // serve every rank's chunks in deterministic order.
+        let wanted = self.wanted_chunks(&all_views, &domains);
+        let runs = coalesce_ranges(wanted.iter().map(|&(_, o, l)| (o, l)).collect());
+        let mut run_data: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (o, l) in runs {
+            run_data.push((o, self.fs.read_at(self.comm.ctx(), &self.path, o, l)?));
+        }
+        let out = self.serve_and_assemble(tag, view, &domains, wanted, run_data);
+        self.comm.barrier();
+        Ok(out)
+    }
+
+    /// Begin a split-collective read (`MPI_File_read_at_all_begin`): the
+    /// view exchange runs now and the aggregators' large coalesced reads
+    /// are issued asynchronously. Every rank must call this together and
+    /// later join with [`MpiFile::read_at_all_end`]; the caller may
+    /// compute in between while the transfers proceed in virtual time.
+    /// At most one split-collective operation may be outstanding per
+    /// file.
+    pub fn read_at_all_begin(&self, view: &FileView) -> Result<PendingReadAll, StoreError> {
+        let tag = self.next_tag();
+        let all_views = self.exchange_views(view)?;
+        let Some(domains) = Domains::compute(&all_views, self.comm.size(), self.hints) else {
+            return Ok(PendingReadAll {
+                tag,
+                view: view.clone(),
+                domains: None,
+                wanted: Vec::new(),
+                runs: Vec::new(),
+            });
+        };
+        let wanted = self.wanted_chunks(&all_views, &domains);
+        let mut runs = Vec::new();
+        for (o, l) in coalesce_ranges(wanted.iter().map(|&(_, o, l)| (o, l)).collect()) {
+            runs.push((o, self.fs.read_at_begin(self.comm.ctx(), &self.path, o, l)?));
+        }
+        Ok(PendingReadAll {
+            tag,
+            view: view.clone(),
+            domains: Some(domains),
+            wanted,
+            runs,
+        })
+    }
+
+    /// Join a split-collective read: wait for this rank's outstanding
+    /// run reads, serve every rank's chunks, assemble my view's bytes,
+    /// and barrier.
+    pub fn read_at_all_end(&self, pend: PendingReadAll) -> Result<Vec<u8>, StoreError> {
+        let PendingReadAll {
+            tag,
+            view,
+            domains,
+            wanted,
+            runs,
+        } = pend;
+        let Some(domains) = domains else {
+            self.comm.barrier();
+            return Ok(Vec::new());
+        };
+        let mut run_data: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (o, op) in runs {
+            run_data.push((o, self.fs.io_wait(self.comm.ctx(), op)?));
+        }
+        let out = self.serve_and_assemble(tag, &view, &domains, wanted, run_data);
         self.comm.barrier();
         Ok(out)
     }
 }
 
-fn decode_view_bundle(buf: &[u8]) -> Vec<FileView> {
-    let n = u32::from_le_bytes(buf[..4].try_into().expect("bundle header")) as usize;
-    let mut out = Vec::with_capacity(n);
+/// This rank's outstanding half of a split-collective write (see
+/// [`MpiFile::write_at_all_begin`]).
+pub struct PendingWriteAll {
+    ops: Vec<AsyncIo>,
+}
+
+impl PendingWriteAll {
+    /// Whether every underlying transfer has already completed (the
+    /// `end` call would still barrier, but not block on the file
+    /// system).
+    pub fn is_done(&self) -> bool {
+        self.ops.iter().all(AsyncIo::is_done)
+    }
+
+    /// Earliest issue time among the outstanding transfers, in virtual
+    /// nanoseconds (`None` when this rank aggregates nothing).
+    pub fn issued_ns(&self) -> Option<u64> {
+        self.ops.iter().map(|op| op.issued_at().0).min()
+    }
+}
+
+/// This rank's outstanding half of a split-collective read (see
+/// [`MpiFile::read_at_all_begin`]).
+pub struct PendingReadAll {
+    tag: u64,
+    view: FileView,
+    domains: Option<Domains>,
+    wanted: Vec<(usize, u64, u64)>,
+    runs: Vec<(u64, AsyncIo)>,
+}
+
+impl PendingReadAll {
+    /// Whether every underlying transfer has already completed.
+    pub fn is_done(&self) -> bool {
+        self.runs.iter().all(|(_, op)| op.is_done())
+    }
+
+    /// Earliest issue time among the outstanding transfers, in virtual
+    /// nanoseconds (`None` when this rank aggregates nothing).
+    pub fn issued_ns(&self) -> Option<u64> {
+        self.runs.iter().map(|(_, op)| op.issued_at().0).min()
+    }
+}
+
+/// Decode the gathered-and-broadcast bundle of every rank's view.
+///
+/// Wire bytes are untrusted: every length is validated before slicing,
+/// and malformed input comes back as [`StoreError::Corrupt`] instead of
+/// a panic, so one corrupted broadcast degrades the collective rather
+/// than aborting the whole run.
+fn decode_view_bundle(buf: &[u8]) -> Result<Vec<FileView>, StoreError> {
+    let corrupt = |what: String| StoreError::Corrupt { what };
+    let header = buf
+        .get(..4)
+        .ok_or_else(|| corrupt("view bundle: truncated count header".into()))?;
+    let n = u32::from_le_bytes(header.try_into().unwrap()) as usize;
+    let mut out = Vec::new();
     let mut pos = 4usize;
-    for _ in 0..n {
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("frame len")) as usize;
+    for i in 0..n {
+        let frame_len = buf
+            .get(pos..pos + 4)
+            .ok_or_else(|| corrupt(format!("view bundle: truncated length of frame {i}")))?;
+        let len = u32::from_le_bytes(frame_len.try_into().unwrap()) as usize;
         pos += 4;
-        out.push(FileView::decode(&buf[pos..pos + len]).expect("valid view frame"));
+        let body = buf
+            .get(pos..pos + len)
+            .ok_or_else(|| corrupt(format!("view bundle: frame {i} overruns the bundle")))?;
+        out.push(
+            FileView::decode(body)
+                .ok_or_else(|| corrupt(format!("view bundle: frame {i} is not a file view")))?,
+        );
         pos += len;
     }
-    out
+    if pos != buf.len() {
+        return Err(corrupt(format!(
+            "view bundle: {} trailing bytes after {n} frames",
+            buf.len() - pos
+        )));
+    }
+    Ok(out)
 }
 
 /// The file-domain partition of one collective operation.
@@ -367,7 +582,7 @@ mod tests {
     use super::*;
     use mpisim::NetProfile;
     use parafs::FsProfile;
-    use simcluster::Sim;
+    use simcluster::{Sim, SimDuration};
 
     fn net() -> NetProfile {
         NetProfile {
@@ -408,7 +623,7 @@ mod tests {
             let regions: Vec<(u64, u64)> = (0..5).map(|i| ((i * 6 + me) * 10, 10)).collect();
             let view = FileView::new(0, regions).unwrap();
             let data: Vec<u8> = (0..5).flat_map(|i| vec![(i * 6 + me) as u8; 10]).collect();
-            file.write_at_all(&view, &data);
+            file.write_at_all(&view, &data).unwrap();
         });
         let written = fs.peek("out").unwrap();
         assert_eq!(written.len(), 300);
@@ -445,7 +660,7 @@ mod tests {
             let r = ctx.rank() as u64;
             let view = FileView::new(0, regions_of(r)).unwrap();
             let data = vec![(r + 1) as u8; view.total_bytes() as usize];
-            file.write_at_all(&view, &data);
+            file.write_at_all(&view, &data).unwrap();
         });
         let written = fs.peek("ref").unwrap();
         assert_eq!(written, reference);
@@ -486,7 +701,7 @@ mod tests {
                 FileView::contiguous(0, 0)
             };
             let data = vec![9u8; view.total_bytes() as usize];
-            file.write_at_all(&view, &data);
+            file.write_at_all(&view, &data).unwrap();
         });
         assert_eq!(fs.peek("sparse").unwrap()[100..110], [9u8; 10]);
     }
@@ -499,7 +714,7 @@ mod tests {
         sim.run(move |ctx| {
             let comm = Comm::new(&ctx, net());
             let file = MpiFile::open(&comm, &fs2, "none");
-            file.write_at_all(&FileView::contiguous(0, 0), &[]);
+            file.write_at_all(&FileView::contiguous(0, 0), &[]).unwrap();
             let got = file.read_at_all(&FileView::contiguous(0, 0)).unwrap();
             assert!(got.is_empty());
         });
@@ -521,7 +736,7 @@ mod tests {
             let regions: Vec<(u64, u64)> = (0..16).map(|i| ((i * 8 + me) * 50, 50)).collect();
             let view = FileView::new(0, regions).unwrap();
             let data = vec![me as u8; view.total_bytes() as usize];
-            file.write_at_all(&view, &data);
+            file.write_at_all(&view, &data).unwrap();
         });
         let c = fs.counters();
         assert_eq!(c.bytes_written, 6400);
@@ -533,6 +748,101 @@ mod tests {
     }
 
     #[test]
+    fn malformed_view_bundles_error_instead_of_panicking() {
+        // Truncated count header.
+        assert!(matches!(
+            decode_view_bundle(&[1, 0]),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Count promises more frames than the bundle holds.
+        assert!(matches!(
+            decode_view_bundle(&2u32.to_le_bytes()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Frame length overruns the bundle.
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            decode_view_bundle(&buf),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Frame bytes that do not decode as a view.
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[9, 9, 9]);
+        assert!(matches!(
+            decode_view_bundle(&buf),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Trailing garbage after the last frame.
+        let v = FileView::contiguous(0, 10);
+        let enc = v.encode();
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&enc);
+        buf.push(0);
+        assert!(matches!(
+            decode_view_bundle(&buf),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // The same bundle without the stray byte round-trips.
+        buf.pop();
+        assert_eq!(decode_view_bundle(&buf).unwrap(), vec![v]);
+    }
+
+    #[test]
+    fn split_collective_write_matches_blocking_collective() {
+        let sim = Sim::new(6);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let file =
+                MpiFile::open(&comm, &fs2, "out").with_hints(CollectiveHints { aggregators: 3 });
+            let me = ctx.rank() as u64;
+            let regions: Vec<(u64, u64)> = (0..5).map(|i| ((i * 6 + me) * 10, 10)).collect();
+            let view = FileView::new(0, regions).unwrap();
+            let data: Vec<u8> = (0..5).flat_map(|i| vec![(i * 6 + me) as u8; 10]).collect();
+            let pend = file.write_at_all_begin(&view, &data).unwrap();
+            ctx.charge(SimDuration::from_millis(5)); // compute while runs are in flight
+            file.write_at_all_end(pend).unwrap();
+        });
+        let written = fs.peek("out").unwrap();
+        assert_eq!(written.len(), 300);
+        for rec in 0..30u64 {
+            for b in &written[(rec * 10) as usize..(rec * 10 + 10) as usize] {
+                assert_eq!(*b as u64, rec, "record {rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_collective_read_matches_blocking_collective() {
+        let sim = Sim::new(4);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        let content: Vec<u8> = (0..240u32).map(|i| (i % 251) as u8).collect();
+        fs.preload("db", content.clone());
+        let fs2 = fs.clone();
+        let out = sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let file =
+                MpiFile::open(&comm, &fs2, "db").with_hints(CollectiveHints { aggregators: 2 });
+            let me = ctx.rank() as u64;
+            let view = FileView::new(60 * me, vec![(0, 20), (20, 10), (30, 30)]).unwrap();
+            let sync = file.read_at_all(&view).unwrap();
+            let pend = file.read_at_all_begin(&view).unwrap();
+            ctx.charge(SimDuration::from_millis(2)); // compute while runs are in flight
+            let split = file.read_at_all_end(pend).unwrap();
+            assert_eq!(split, sync);
+            split
+        });
+        for (r, got) in out.outputs.iter().enumerate() {
+            assert_eq!(&got[..], &content[60 * r..60 * (r + 1)], "rank {r}");
+        }
+    }
+
+    #[test]
     fn independent_io_works() {
         let sim = Sim::new(2);
         let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
@@ -541,7 +851,7 @@ mod tests {
             let comm = Comm::new(&ctx, net());
             let file = MpiFile::open(&comm, &fs2, "indep");
             if ctx.rank() == 0 {
-                file.write_at(0, b"hello from zero");
+                file.write_at(0, b"hello from zero").unwrap();
                 comm.send(1, 1, Bytes::new());
                 Vec::new()
             } else {

@@ -24,5 +24,5 @@ pub mod plane;
 pub mod view;
 
 pub use fileio::{CollectiveHints, MpiFile};
-pub use plane::{IoOptions, IoPlane, IoRequest, IoResponse, IoStrategy, PlaneConfig};
+pub use plane::{IoHandle, IoOptions, IoPlane, IoRequest, IoResponse, IoStrategy, PlaneConfig};
 pub use view::{FileView, ViewError};

@@ -39,11 +39,11 @@
 //! on the backing file system so benches can break traffic down by
 //! strategy.
 
-use parafs::{IoClass, SimFs, StoreError};
+use parafs::{AsyncIo, IoClass, SimFs, StoreError};
 
 use mpisim::Comm;
 
-use crate::fileio::{CollectiveHints, MpiFile};
+use crate::fileio::{CollectiveHints, MpiFile, PendingReadAll, PendingWriteAll};
 use crate::view::FileView;
 
 /// How a plane services noncontiguous requests.
@@ -109,6 +109,12 @@ pub struct IoOptions {
     /// regions into one transfer. The default (64 KiB) sits near the
     /// latency/bandwidth break-even of both modeled file systems.
     pub sieve_threshold: u64,
+    /// Service data requests asynchronously (the `--io-async` knob):
+    /// consumers post [`IoPlane::submit_begin`]/[`IoPlane::wait`] pairs
+    /// so transfers stay in flight while the rank computes — fragment
+    /// read-ahead on input, fire-and-collect on output. Off by default;
+    /// the synchronous [`IoPlane::submit`] path is the paper's baseline.
+    pub io_async: bool,
 }
 
 impl Default for IoOptions {
@@ -116,6 +122,7 @@ impl Default for IoOptions {
         IoOptions {
             strategy: IoStrategy::TwoPhase,
             sieve_threshold: 64 * 1024,
+            io_async: false,
         }
     }
 }
@@ -185,6 +192,75 @@ pub enum IoResponse {
     Done,
 }
 
+/// An in-flight request, returned by [`IoPlane::submit_begin`] and
+/// joined with [`IoPlane::wait`]. While a handle is outstanding its
+/// transfers proceed in virtual time — latency and contended bandwidth
+/// elapse whether or not the owning rank is computing — so only the
+/// *remainder* at `wait` is exposed as I/O wait.
+///
+/// On the two-phase collective path the handle is the rank's half of a
+/// split-collective operation: `submit_begin` and `wait` are both
+/// collective calls, and at most one collective handle may be
+/// outstanding per plane. Independent and sieved handles are purely
+/// local; any number may be in flight (they contend for file-system
+/// bandwidth like concurrent clients).
+#[must_use = "every submit_begin must be paired with exactly one wait"]
+pub struct IoHandle<'a, 'c> {
+    op: &'static str,
+    bytes: u64,
+    kind: HandleKind<'a, 'c>,
+}
+
+enum HandleKind<'a, 'c> {
+    /// The request was serviced (or failed) synchronously at begin time.
+    Ready(Result<IoResponse, StoreError>),
+    /// Independent/sieved read: in-flight run reads plus the region list
+    /// for view-order assembly.
+    Read {
+        runs: Vec<(u64, AsyncIo)>,
+        regions: Vec<(u64, u64)>,
+    },
+    /// Independent/sieved/checkpoint write: in-flight run writes.
+    Write { ops: Vec<AsyncIo> },
+    /// Split-collective read.
+    CollRead {
+        file: MpiFile<'a, 'c>,
+        pend: PendingReadAll,
+    },
+    /// Split-collective write.
+    CollWrite {
+        file: MpiFile<'a, 'c>,
+        pend: PendingWriteAll,
+    },
+}
+
+impl IoHandle<'_, '_> {
+    /// Whether every underlying transfer has already completed in
+    /// virtual time (a `wait` would still assemble — and, on the
+    /// collective path, barrier — but not block on the file system).
+    pub fn is_done(&self) -> bool {
+        match &self.kind {
+            HandleKind::Ready(_) => true,
+            HandleKind::Read { runs, .. } => runs.iter().all(|(_, op)| op.is_done()),
+            HandleKind::Write { ops } => ops.iter().all(AsyncIo::is_done),
+            HandleKind::CollRead { pend, .. } => pend.is_done(),
+            HandleKind::CollWrite { pend, .. } => pend.is_done(),
+        }
+    }
+
+    /// Earliest issue time among the handle's transfers, in virtual
+    /// nanoseconds.
+    fn issued_ns(&self) -> Option<u64> {
+        match &self.kind {
+            HandleKind::Ready(_) => None,
+            HandleKind::Read { runs, .. } => runs.iter().map(|(_, op)| op.issued_at().0).min(),
+            HandleKind::Write { ops } => ops.iter().map(|op| op.issued_at().0).min(),
+            HandleKind::CollRead { pend, .. } => pend.issued_ns(),
+            HandleKind::CollWrite { pend, .. } => pend.issued_ns(),
+        }
+    }
+}
+
 /// The typed access plane over one communicator and file system.
 pub struct IoPlane<'a, 'c> {
     comm: &'a Comm<'c>,
@@ -231,7 +307,7 @@ impl<'a, 'c> IoPlane<'a, 'c> {
                 view,
                 payload,
             } => {
-                self.write_view(path, view, payload);
+                self.write_view(path, view, payload)?;
                 Ok(IoResponse::Done)
             }
             IoRequest::CheckpointPut { path, payload } => {
@@ -241,8 +317,8 @@ impl<'a, 'c> IoPlane<'a, 'c> {
                     vec![("bytes", payload.len().into())],
                 );
                 self.fs.create(self.comm.ctx(), path);
-                self.fs.write_at(self.comm.ctx(), path, 0, payload);
                 self.note(IoStrategy::Independent, 1, payload.len() as u64);
+                self.fs.write_at(self.comm.ctx(), path, 0, payload)?;
                 Ok(IoResponse::Done)
             }
             IoRequest::CheckpointGet { path } => {
@@ -276,20 +352,28 @@ impl<'a, 'c> IoPlane<'a, 'c> {
         Ok(data)
     }
 
-    /// Write scattered records ([`IoRequest::OutputWrite`]).
-    pub fn write_output(&self, path: &str, view: &FileView, payload: &[u8]) {
+    /// Write scattered records ([`IoRequest::OutputWrite`]). Writes *do*
+    /// fail — a full file system surfaces as
+    /// [`StoreError::NoSpace`] — and the caller must degrade, not abort.
+    pub fn write_output(
+        &self,
+        path: &str,
+        view: &FileView,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
         self.submit(IoRequest::OutputWrite {
             path,
             view,
             payload,
         })
-        .expect("writes do not fail");
+        .map(|_| ())
     }
 
-    /// Persist a checkpoint blob ([`IoRequest::CheckpointPut`]).
-    pub fn checkpoint_put(&self, path: &str, payload: &[u8]) {
+    /// Persist a checkpoint blob ([`IoRequest::CheckpointPut`]). Fails
+    /// with [`StoreError::NoSpace`] on a full file system.
+    pub fn checkpoint_put(&self, path: &str, payload: &[u8]) -> Result<(), StoreError> {
         self.submit(IoRequest::CheckpointPut { path, payload })
-            .expect("writes do not fail");
+            .map(|_| ())
     }
 
     /// Fetch a checkpoint blob ([`IoRequest::CheckpointGet`]).
@@ -303,6 +387,169 @@ impl<'a, 'c> IoPlane<'a, 'c> {
     /// Drop a checkpoint blob ([`IoRequest::CheckpointDrop`]).
     pub fn checkpoint_drop(&self, path: &str) -> Result<(), StoreError> {
         self.submit(IoRequest::CheckpointDrop { path }).map(|_| ())
+    }
+
+    // ---- asynchronous submission ----
+
+    /// Begin servicing a request without blocking on the file system,
+    /// returning a handle to [`IoPlane::wait`] on. Reads and writes stay
+    /// in flight — contending for bandwidth like any concurrent
+    /// client — while the rank computes; `wait` exposes only the
+    /// remainder. Under the two-phase strategy this is a split
+    /// collective (every rank must post begin and wait together);
+    /// checkpoint gets/drops and begin-time failures resolve immediately
+    /// into a ready handle.
+    pub fn submit_begin(&self, req: IoRequest<'_>) -> IoHandle<'a, 'c> {
+        let strategy = self.effective_strategy();
+        let (op, bytes) = match &req {
+            IoRequest::DbRead { view, .. } => ("db_read", view.total_bytes()),
+            IoRequest::OutputWrite { payload, .. } => ("output_write", payload.len() as u64),
+            IoRequest::CheckpointPut { payload, .. } => ("ckpt_put", payload.len() as u64),
+            IoRequest::CheckpointGet { .. } => ("ckpt_get", 0),
+            IoRequest::CheckpointDrop { .. } => ("ckpt_drop", 0),
+        };
+        tracelog::instant(
+            tracelog::Lane::Io,
+            "plane.async.begin",
+            vec![
+                ("op", op.into()),
+                ("strategy", strategy.label().into()),
+                ("bytes", bytes.into()),
+            ],
+        );
+        let kind = match req {
+            IoRequest::DbRead { path, view } => {
+                self.note(strategy, view.regions.len() as u64, view.total_bytes());
+                match strategy {
+                    IoStrategy::TwoPhase => {
+                        let file =
+                            MpiFile::open(self.comm, self.fs, path).with_hints(self.cfg.hints);
+                        match file.read_at_all_begin(view) {
+                            Ok(pend) => HandleKind::CollRead { file, pend },
+                            Err(e) => HandleKind::Ready(Err(e)),
+                        }
+                    }
+                    _ => {
+                        let regions: Vec<(u64, u64)> = view.absolute().collect();
+                        let run_ranges = if strategy == IoStrategy::Sieve {
+                            sieve_runs(&regions, self.cfg.options.sieve_threshold)
+                        } else {
+                            regions.clone()
+                        };
+                        let begin_all = || -> Result<Vec<(u64, AsyncIo)>, StoreError> {
+                            run_ranges
+                                .iter()
+                                .map(|&(o, l)| {
+                                    Ok((o, self.fs.read_at_begin(self.comm.ctx(), path, o, l)?))
+                                })
+                                .collect()
+                        };
+                        match begin_all() {
+                            Ok(runs) => HandleKind::Read { runs, regions },
+                            Err(e) => HandleKind::Ready(Err(e)),
+                        }
+                    }
+                }
+            }
+            IoRequest::OutputWrite {
+                path,
+                view,
+                payload,
+            } => {
+                assert_eq!(
+                    payload.len() as u64,
+                    view.total_bytes(),
+                    "payload must exactly fill the view"
+                );
+                self.note(strategy, view.regions.len() as u64, view.total_bytes());
+                match strategy {
+                    IoStrategy::TwoPhase => {
+                        let file =
+                            MpiFile::open(self.comm, self.fs, path).with_hints(self.cfg.hints);
+                        match file.write_at_all_begin(view, payload) {
+                            Ok(pend) => HandleKind::CollWrite { file, pend },
+                            Err(e) => HandleKind::Ready(Err(e)),
+                        }
+                    }
+                    _ => {
+                        let ops = write_runs(view, payload, strategy == IoStrategy::Sieve)
+                            .into_iter()
+                            .map(|(o, d)| self.fs.write_at_begin(self.comm.ctx(), path, o, d))
+                            .collect();
+                        HandleKind::Write { ops }
+                    }
+                }
+            }
+            IoRequest::CheckpointPut { path, payload } => {
+                self.note(IoStrategy::Independent, 1, payload.len() as u64);
+                self.fs.create(self.comm.ctx(), path);
+                let op = self
+                    .fs
+                    .write_at_begin(self.comm.ctx(), path, 0, payload.to_vec());
+                HandleKind::Write { ops: vec![op] }
+            }
+            // Gets and drops are latency-bound metadata round trips; the
+            // sync path already charges them faithfully.
+            req @ (IoRequest::CheckpointGet { .. } | IoRequest::CheckpointDrop { .. }) => {
+                HandleKind::Ready(self.submit(req))
+            }
+        };
+        IoHandle { op, bytes, kind }
+    }
+
+    /// Join an in-flight request: block until its transfers complete,
+    /// assemble the response, and (on the collective path) barrier. The
+    /// exposed wait — everything this call blocks on — lands in a
+    /// `plane.async.wait` span; the time the handle spent in flight
+    /// before the join is reported as its `queued_ns` argument.
+    pub fn wait(&self, handle: IoHandle<'a, 'c>) -> Result<IoResponse, StoreError> {
+        let queued_ns = handle
+            .issued_ns()
+            .map_or(0, |t| self.comm.ctx().now().0.saturating_sub(t));
+        let _span = tracelog::span_args(
+            tracelog::Lane::Io,
+            "plane.async.wait",
+            vec![
+                ("op", handle.op.into()),
+                ("bytes", handle.bytes.into()),
+                ("queued_ns", queued_ns.into()),
+            ],
+        );
+        match handle.kind {
+            HandleKind::Ready(result) => result,
+            HandleKind::Read { runs, regions } => {
+                let mut run_data: Vec<(u64, Vec<u8>)> = Vec::with_capacity(runs.len());
+                for (o, op) in runs {
+                    run_data.push((o, self.fs.io_wait(self.comm.ctx(), op)?));
+                }
+                let total = regions.iter().map(|&(_, l)| l).sum::<u64>() as usize;
+                let mut out = Vec::with_capacity(total);
+                for (abs, len) in regions {
+                    let (o, d) = run_data
+                        .iter()
+                        .find(|(o, d)| abs >= *o && abs + len <= o + d.len() as u64)
+                        .expect("every region lies in a run");
+                    let start = (abs - o) as usize;
+                    out.extend_from_slice(&d[start..start + len as usize]);
+                }
+                Ok(IoResponse::Data(out))
+            }
+            HandleKind::Write { ops } => {
+                // Wait for every write even after a failure: the others
+                // are still in flight and still land.
+                let mut err = None;
+                for op in ops {
+                    if let Err(e) = self.fs.io_wait(self.comm.ctx(), op) {
+                        err.get_or_insert(e);
+                    }
+                }
+                err.map_or(Ok(IoResponse::Done), Err)
+            }
+            HandleKind::CollRead { file, pend } => file.read_at_all_end(pend).map(IoResponse::Data),
+            HandleKind::CollWrite { file, pend } => {
+                file.write_at_all_end(pend).map(|_| IoResponse::Done)
+            }
+        }
     }
 
     // ---- strategy execution ----
@@ -358,7 +605,7 @@ impl<'a, 'c> IoPlane<'a, 'c> {
         }
     }
 
-    fn write_view(&self, path: &str, view: &FileView, payload: &[u8]) {
+    fn write_view(&self, path: &str, view: &FileView, payload: &[u8]) -> Result<(), StoreError> {
         assert_eq!(
             payload.len() as u64,
             view.total_bytes(),
@@ -376,43 +623,15 @@ impl<'a, 'c> IoPlane<'a, 'c> {
         );
         self.note(strategy, view.regions.len() as u64, view.total_bytes());
         match strategy {
-            IoStrategy::Independent => {
-                let mut cursor = 0usize;
-                for (abs, len) in view.absolute() {
-                    self.fs.write_at(
-                        self.comm.ctx(),
-                        path,
-                        abs,
-                        &payload[cursor..cursor + len as usize],
-                    );
-                    cursor += len as usize;
+            IoStrategy::Independent | IoStrategy::Sieve => {
+                for (o, d) in write_runs(view, payload, strategy == IoStrategy::Sieve) {
+                    self.fs.write_at(self.comm.ctx(), path, o, &d)?;
                 }
-            }
-            IoStrategy::Sieve => {
-                // Coalesce only hole-free runs: writing through a hole
-                // would clobber bytes other ranks own.
-                let mut cursor = 0usize;
-                let mut run: Option<(u64, Vec<u8>)> = None;
-                for (abs, len) in view.absolute() {
-                    let piece = &payload[cursor..cursor + len as usize];
-                    cursor += len as usize;
-                    match &mut run {
-                        Some((o, d)) if *o + d.len() as u64 == abs => d.extend_from_slice(piece),
-                        _ => {
-                            if let Some((o, d)) = run.take() {
-                                self.fs.write_at(self.comm.ctx(), path, o, &d);
-                            }
-                            run = Some((abs, piece.to_vec()));
-                        }
-                    }
-                }
-                if let Some((o, d)) = run {
-                    self.fs.write_at(self.comm.ctx(), path, o, &d);
-                }
+                Ok(())
             }
             IoStrategy::TwoPhase => {
                 let file = MpiFile::open(self.comm, self.fs, path).with_hints(self.cfg.hints);
-                file.write_at_all(view, payload);
+                file.write_at_all(view, payload)
             }
         }
     }
@@ -431,12 +650,30 @@ fn sieve_runs(regions: &[(u64, u64)], threshold: u64) -> Vec<(u64, u64)> {
     out
 }
 
+/// Materialize a view's write runs: one `(offset, bytes)` per region,
+/// or — when `coalesce` (the sieve write path) — merging only strictly
+/// adjacent regions. Writing *through* a hole would clobber bytes other
+/// ranks own, so holes always split runs.
+fn write_runs(view: &FileView, payload: &[u8], coalesce: bool) -> Vec<(u64, Vec<u8>)> {
+    let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut cursor = 0usize;
+    for (abs, len) in view.absolute() {
+        let piece = &payload[cursor..cursor + len as usize];
+        cursor += len as usize;
+        match out.last_mut() {
+            Some((o, d)) if coalesce && *o + d.len() as u64 == abs => d.extend_from_slice(piece),
+            _ => out.push((abs, piece.to_vec())),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mpisim::NetProfile;
     use parafs::FsProfile;
-    use simcluster::Sim;
+    use simcluster::{Sim, SimDuration};
 
     fn net() -> NetProfile {
         NetProfile {
@@ -458,6 +695,7 @@ mod tests {
             options: IoOptions {
                 strategy,
                 sieve_threshold: threshold,
+                io_async: false,
             },
             hints: CollectiveHints { aggregators: 2 },
             aggregate: true,
@@ -542,7 +780,7 @@ mod tests {
             let regions: Vec<(u64, u64)> = (0..4).map(|i| ((2 * i + me) * 10, 10)).collect();
             let view = FileView::new(0, regions).unwrap();
             let data = vec![me as u8 + 1; 40];
-            plane.write_output("out", &view, &data);
+            plane.write_output("out", &view, &data).unwrap();
         });
         let written = fs.peek("out").unwrap();
         assert_eq!(written.len(), 80);
@@ -614,11 +852,11 @@ mod tests {
             let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::TwoPhase, 64, true));
             let me = ctx.rank() as u64;
             let view = FileView::new(0, vec![(me * 50, 50), (100 + me * 50, 50)]).unwrap();
-            plane.write_output("out", &view, &[me as u8; 100]);
+            plane.write_output("out", &view, &[me as u8; 100]).unwrap();
             // Checkpoint round trip rides the independent class.
             let blob = vec![me as u8; 30];
             let path = format!("ckpt.{me}");
-            plane.checkpoint_put(&path, &blob);
+            plane.checkpoint_put(&path, &blob).unwrap();
             assert_eq!(plane.checkpoint_get(&path).unwrap(), blob);
             plane.checkpoint_drop(&path).unwrap();
         });
@@ -629,6 +867,112 @@ mod tests {
         assert_eq!(indep.requests, 4, "2 puts + 2 gets");
         assert_eq!(indep.bytes, 120);
         assert_eq!(fs.counters().bytes_written, 200 + 60);
+    }
+
+    #[test]
+    fn async_handles_return_the_same_bytes_as_sync() {
+        let content: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        for strategy in [
+            IoStrategy::Independent,
+            IoStrategy::Sieve,
+            IoStrategy::TwoPhase,
+        ] {
+            let sim = Sim::new(3);
+            let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+            fs.preload("db", content.clone());
+            let fs2 = fs.clone();
+            sim.run(move |ctx| {
+                let comm = Comm::new(&ctx, net());
+                let plane = IoPlane::new(&comm, &fs2, plane_cfg(strategy, 16, true));
+                let base = 100 * ctx.rank() as u64;
+                let view = FileView::new(base, vec![(0, 20), (30, 10), (90, 10)]).unwrap();
+                let sync = plane.db_read("db", &view).unwrap();
+                let handle = plane.submit_begin(IoRequest::DbRead {
+                    path: "db",
+                    view: &view,
+                });
+                match plane.wait(handle).unwrap() {
+                    IoResponse::Data(d) => assert_eq!(d, sync, "{strategy} read"),
+                    IoResponse::Done => panic!("reads return data"),
+                }
+                // Scattered writes land the same bytes on both paths.
+                let me = ctx.rank() as u64;
+                let wview = FileView::new(0, vec![(me * 30, 15), (90 + me * 30, 15)]).unwrap();
+                let payload = vec![me as u8 + 1; 30];
+                plane.write_output("out.sync", &wview, &payload).unwrap();
+                let handle = plane.submit_begin(IoRequest::OutputWrite {
+                    path: "out.async",
+                    view: &wview,
+                    payload: &payload,
+                });
+                assert_eq!(plane.wait(handle).unwrap(), IoResponse::Done);
+            });
+            assert_eq!(
+                fs.peek("out.sync").unwrap(),
+                fs.peek("out.async").unwrap(),
+                "{strategy} write"
+            );
+        }
+    }
+
+    #[test]
+    fn async_reads_overlap_compute() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        fs.preload("db", vec![1u8; 50_000_000]);
+        let fs2 = fs.clone();
+        let out = sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::Sieve, 0, false));
+            let view = FileView::contiguous(0, 50_000_000);
+            let start = ctx.now();
+            let handle = plane.submit_begin(IoRequest::DbRead {
+                path: "db",
+                view: &view,
+            });
+            ctx.charge(SimDuration::from_millis(300));
+            match plane.wait(handle).unwrap() {
+                IoResponse::Data(d) => assert_eq!(d.len(), 50_000_000),
+                IoResponse::Done => panic!("reads return data"),
+            }
+            (ctx.now() - start).0
+        });
+        // 50 MB at 100 MB/s is 0.5 s (plus 0.1 ms op latency); the
+        // 0.3 s of compute must hide entirely inside the transfer.
+        let elapsed = out.outputs[0] as f64 / 1e9;
+        assert!(elapsed > 0.4999, "transfer time still elapses: {elapsed}");
+        assert!(elapsed < 0.5002, "compute must overlap I/O: {elapsed}");
+    }
+
+    #[test]
+    fn full_file_system_degrades_writes_to_errors() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "xfs", fsprofile());
+        fs.set_capacity(100);
+        let fs2 = fs.clone();
+        sim.run(move |ctx| {
+            let comm = Comm::new(&ctx, net());
+            let plane = IoPlane::new(&comm, &fs2, plane_cfg(IoStrategy::Independent, 0, false));
+            // Sync paths surface the late ENOSPC as a typed error.
+            assert!(matches!(
+                plane.checkpoint_put("ckpt", &[0u8; 200]),
+                Err(StoreError::NoSpace { .. })
+            ));
+            let view = FileView::contiguous(0, 150);
+            assert!(matches!(
+                plane.write_output("out", &view, &[0u8; 150]),
+                Err(StoreError::NoSpace { .. })
+            ));
+            // Async: the failure lands at wait time, not begin time.
+            let h = plane.submit_begin(IoRequest::CheckpointPut {
+                path: "ckpt2",
+                payload: &[0u8; 200],
+            });
+            assert!(matches!(plane.wait(h), Err(StoreError::NoSpace { .. })));
+            // A blob that fits still goes through.
+            plane.checkpoint_put("small", &[7u8; 40]).unwrap();
+        });
+        assert_eq!(fs.peek("small").unwrap(), vec![7u8; 40]);
     }
 
     #[test]

@@ -36,6 +36,74 @@ struct Stream {
     remaining: f64,
     rate: f64,
     wake: Option<WakeId>,
+    /// Detached in-flight op this stream belongs to; `None` means the
+    /// owner rank is blocked in [`SimFs::transfer`] and its wake resumes
+    /// it directly.
+    async_op: Option<AsyncCell>,
+}
+
+/// What an asynchronous operation does to the store when its transfer
+/// completes.
+#[derive(Clone)]
+enum AsyncAction {
+    Read {
+        path: String,
+        offset: u64,
+        len: u64,
+    },
+    Write {
+        path: String,
+        offset: u64,
+        data: Arc<Vec<u8>>,
+    },
+}
+
+/// The completion state shared between an [`AsyncIo`] token and the
+/// stream/callbacks driving it.
+struct AsyncState {
+    result: Option<Result<Vec<u8>, StoreError>>,
+    /// Rank blocked in [`SimFs::io_wait`], woken on completion.
+    waiter: Option<usize>,
+}
+
+#[derive(Clone)]
+struct AsyncCell {
+    shared: Arc<Mutex<AsyncState>>,
+    action: AsyncAction,
+}
+
+/// An in-flight asynchronous file-system operation.
+///
+/// Obtained from [`SimFs::read_at_begin`] / [`SimFs::write_at_begin`];
+/// the transfer proceeds in virtual time while the owner rank keeps
+/// computing, and [`SimFs::io_wait`] joins it (consuming the token, so
+/// an op cannot be waited twice). Ops are modeled as scheduled engine
+/// callbacks: the operation latency and the contended transfer both
+/// elapse in flight, and the store mutation (or read snapshot) lands at
+/// completion time — a killed owner's write therefore never lands,
+/// exactly like a rank killed mid-`transfer` on the synchronous path.
+pub struct AsyncIo {
+    shared: Arc<Mutex<AsyncState>>,
+    issued: SimTime,
+    bytes: u64,
+}
+
+impl AsyncIo {
+    /// Virtual time the operation was issued.
+    pub fn issued_at(&self) -> SimTime {
+        self.issued
+    }
+
+    /// Bytes the operation transfers.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the operation has already completed (its wait would not
+    /// block).
+    pub fn is_done(&self) -> bool {
+        self.shared.lock().result.is_some()
+    }
 }
 
 struct FsState {
@@ -43,10 +111,35 @@ struct FsState {
     streams: Vec<Stream>,
     last_update: SimTime,
     counters: FsCounters,
+    /// Optional total-bytes capacity; a write that would grow the store
+    /// past it fails with [`StoreError::NoSpace`].
+    capacity: Option<u64>,
     /// Per-strategy logical traffic, keyed `io.<class>.requests` /
     /// `io.<class>.bytes` — stored in the `tracelog` registry type so
     /// the I/O tallies share one accounting path with phase timing.
     class_counters: tracelog::Counters,
+}
+
+impl FsState {
+    /// Land a write into the store, honoring the capacity limit.
+    fn land_write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        if let Some(cap) = self.capacity {
+            let end = offset + data.len() as u64;
+            let growth = end.saturating_sub(self.store.len(path).unwrap_or(0));
+            let used = self.store.total_bytes();
+            if used + growth > cap {
+                return Err(StoreError::NoSpace {
+                    path: path.to_string(),
+                    needed: growth,
+                    free: cap.saturating_sub(used),
+                });
+            }
+        }
+        self.counters.bytes_written += data.len() as u64;
+        self.counters.data_ops += 1;
+        self.store.write_at(path, offset, data);
+        Ok(())
+    }
 }
 
 /// A simulated file system shared by all ranks (or private to one node,
@@ -72,6 +165,7 @@ impl SimFs {
                 streams: Vec::new(),
                 last_update: SimTime::ZERO,
                 counters: FsCounters::default(),
+                capacity: None,
                 class_counters: tracelog::Counters::new(),
             })),
         }
@@ -90,6 +184,15 @@ impl SimFs {
     /// Snapshot of the byte counters.
     pub fn counters(&self) -> FsCounters {
         self.state.lock().counters
+    }
+
+    /// Cap the store at `bytes` total: any write (sync or async) that
+    /// would grow past the cap fails with [`StoreError::NoSpace`]
+    /// instead of landing. Setup helpers ([`SimFs::preload`]) bypass
+    /// the cap, so a test can stage a database and then let the run fill
+    /// the remaining space.
+    pub fn set_capacity(&self, bytes: u64) {
+        self.state.lock().capacity = Some(bytes);
     }
 
     /// Attribute `requests` logical regions covering `bytes` to an
@@ -220,8 +323,16 @@ impl SimFs {
     }
 
     /// Write `data` at `offset`, charging latency plus contended transfer
-    /// time. Creates/extends the file as needed.
-    pub fn write_at(&self, ctx: &RankCtx, path: &str, offset: u64, data: &[u8]) {
+    /// time. Creates/extends the file as needed. Fails with
+    /// [`StoreError::NoSpace`] — after the transfer, like a real late
+    /// `ENOSPC` — when a capacity is set and would be exceeded.
+    pub fn write_at(
+        &self,
+        ctx: &RankCtx,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
         let _span = tracelog::span_args(
             tracelog::Lane::Io,
             "fs.write",
@@ -229,16 +340,182 @@ impl SimFs {
         );
         ctx.charge(SimDuration::from_secs_f64(self.profile.op_latency));
         self.transfer(ctx, data.len() as u64);
-        let mut st = self.state.lock();
-        st.counters.bytes_written += data.len() as u64;
-        st.counters.data_ops += 1;
-        st.store.write_at(path, offset, data);
+        self.state.lock().land_write(path, offset, data)
     }
 
     /// Replace a file's contents.
-    pub fn write_all(&self, ctx: &RankCtx, path: &str, data: &[u8]) {
+    pub fn write_all(&self, ctx: &RankCtx, path: &str, data: &[u8]) -> Result<(), StoreError> {
         self.create(ctx, path);
-        self.write_at(ctx, path, 0, data);
+        self.write_at(ctx, path, 0, data)
+    }
+
+    // ---- asynchronous operations (in-flight while the rank computes) ----
+
+    /// Begin an asynchronous read: validate the range (one metadata op),
+    /// then return immediately with the transfer in flight. The op's
+    /// latency and contended transfer elapse in virtual time via engine
+    /// callbacks; join with [`SimFs::io_wait`].
+    pub fn read_at_begin(
+        &self,
+        ctx: &RankCtx,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<AsyncIo, StoreError> {
+        {
+            let mut st = self.state.lock();
+            st.counters.meta_ops += 1;
+            let size = st.store.len(path).ok_or_else(|| StoreError::NotFound {
+                path: path.to_string(),
+            })?;
+            if offset.checked_add(len).is_none_or(|e| e > size) {
+                return Err(StoreError::OutOfRange {
+                    path: path.to_string(),
+                    offset,
+                    len,
+                    size,
+                });
+            }
+        }
+        tracelog::instant(
+            tracelog::Lane::Io,
+            "fs.read.begin",
+            vec![("bytes", len.into()), ("offset", offset.into())],
+        );
+        Ok(self.begin_async(
+            ctx.rank(),
+            len,
+            AsyncAction::Read {
+                path: path.to_string(),
+                offset,
+                len,
+            },
+        ))
+    }
+
+    /// Begin an asynchronous write; join with [`SimFs::io_wait`]. The
+    /// store mutation lands at completion time, so a killed owner's
+    /// write never lands and capacity is checked against the store as it
+    /// is then.
+    pub fn write_at_begin(&self, ctx: &RankCtx, path: &str, offset: u64, data: Vec<u8>) -> AsyncIo {
+        tracelog::instant(
+            tracelog::Lane::Io,
+            "fs.write.begin",
+            vec![("bytes", data.len().into()), ("offset", offset.into())],
+        );
+        let len = data.len() as u64;
+        self.begin_async(
+            ctx.rank(),
+            len,
+            AsyncAction::Write {
+                path: path.to_string(),
+                offset,
+                data: Arc::new(data),
+            },
+        )
+    }
+
+    /// Block the calling rank until the op completes, returning the read
+    /// bytes (empty for writes) or the completion error.
+    pub fn io_wait(&self, ctx: &RankCtx, op: AsyncIo) -> Result<Vec<u8>, StoreError> {
+        loop {
+            {
+                let mut a = op.shared.lock();
+                if let Some(result) = a.result.take() {
+                    return result;
+                }
+                a.waiter = Some(ctx.rank());
+            }
+            ctx.wait_woken();
+        }
+    }
+
+    /// Issue the service-side machinery for one async op: a callback at
+    /// `now + op_latency` (the request reaching the server) activates
+    /// the transfer stream; its completion callback lands the result.
+    fn begin_async(&self, rank: usize, bytes: u64, action: AsyncAction) -> AsyncIo {
+        let shared = Arc::new(Mutex::new(AsyncState {
+            result: None,
+            waiter: None,
+        }));
+        let cell = AsyncCell {
+            shared: Arc::clone(&shared),
+            action,
+        };
+        let now = self.handle.now();
+        let start = now + SimDuration::from_secs_f64(self.profile.op_latency);
+        let fs = self.clone();
+        self.handle.schedule_callback(start, move || {
+            let mut st = fs.state.lock();
+            let at = fs.handle.now();
+            fs.settle(&mut st, at);
+            st.streams.push(Stream {
+                rank,
+                remaining: bytes as f64,
+                rate: 0.0,
+                wake: None,
+                async_op: Some(cell),
+            });
+            fs.retime(&mut st, at);
+        });
+        AsyncIo {
+            shared,
+            issued: now,
+            bytes,
+        }
+    }
+
+    /// Completion callback for a detached stream: remove it, land the
+    /// action (unless the owner died mid-flight — crash-stop semantics),
+    /// retime the survivors, and wake any joined waiter.
+    fn finish_async(&self, shared: &Arc<Mutex<AsyncState>>) {
+        let waiter = {
+            let mut st = self.state.lock();
+            let now = self.handle.now();
+            self.settle(&mut st, now);
+            let Some(idx) = st.streams.iter().position(|s| {
+                s.async_op
+                    .as_ref()
+                    .is_some_and(|c| Arc::ptr_eq(&c.shared, shared))
+            }) else {
+                return;
+            };
+            if st.streams[idx].remaining > 0.5 {
+                // Stale completion (should have been canceled): retime.
+                self.retime(&mut st, now);
+                return;
+            }
+            let stream = st.streams.swap_remove(idx);
+            let cell = stream.async_op.expect("finish_async targets async streams");
+            let result = if self.handle.is_dead(stream.rank) {
+                // The owner was killed with the op in flight: discard the
+                // effect, exactly as a rank killed inside `transfer`
+                // never reaches its store mutation.
+                Ok(Vec::new())
+            } else {
+                match &cell.action {
+                    AsyncAction::Read { path, offset, len } => {
+                        let r = st.store.read_at(path, *offset, *len);
+                        if r.is_ok() {
+                            st.counters.bytes_read += len;
+                            st.counters.data_ops += 1;
+                        }
+                        r
+                    }
+                    AsyncAction::Write { path, offset, data } => {
+                        st.land_write(path, *offset, data).map(|()| Vec::new())
+                    }
+                }
+            };
+            self.retime(&mut st, now);
+            let mut a = cell.shared.lock();
+            a.result = Some(result);
+            a.waiter.take()
+        };
+        if let Some(rank) = waiter {
+            let now = self.handle.now();
+            self.handle.schedule_wake(rank, now);
+        }
     }
 
     fn meta_op(&self, ctx: &RankCtx) {
@@ -256,8 +533,10 @@ impl SimFs {
             let mut st = self.state.lock();
             let now = self.handle.now();
             debug_assert!(
-                st.streams.iter().all(|s| s.rank != rank),
-                "rank {rank} already has an active stream on {}",
+                st.streams
+                    .iter()
+                    .all(|s| s.rank != rank || s.async_op.is_some()),
+                "rank {rank} already blocked on a stream on {}",
                 self.name
             );
             self.settle(&mut st, now);
@@ -266,6 +545,7 @@ impl SimFs {
                 remaining: bytes as f64,
                 rate: 0.0,
                 wake: None,
+                async_op: None,
             });
             self.retime(&mut st, now);
         }
@@ -277,7 +557,7 @@ impl SimFs {
             let idx = st
                 .streams
                 .iter()
-                .position(|s| s.rank == rank)
+                .position(|s| s.rank == rank && s.async_op.is_none())
                 .expect("stream vanished while owner was blocked");
             if st.streams[idx].remaining <= 0.5 {
                 let done = st.streams.swap_remove(idx);
@@ -303,7 +583,9 @@ impl SimFs {
         st.last_update = now;
     }
 
-    /// Recompute fair-share rates and reschedule every stream's wake.
+    /// Recompute fair-share rates and reschedule every stream's
+    /// completion: a wake for a blocked owner, a completion callback for
+    /// a detached async stream.
     fn retime(&self, st: &mut FsState, now: SimTime) {
         let n = st.streams.len();
         if n == 0 {
@@ -316,7 +598,15 @@ impl SimFs {
                 self.handle.cancel_wake(w);
             }
             let finish = now + SimDuration::from_secs_f64(s.remaining / rate);
-            s.wake = Some(self.handle.schedule_wake(s.rank, finish));
+            s.wake = Some(match &s.async_op {
+                None => self.handle.schedule_wake(s.rank, finish),
+                Some(cell) => {
+                    let fs = self.clone();
+                    let shared = Arc::clone(&cell.shared);
+                    self.handle
+                        .schedule_callback(finish, move || fs.finish_async(&shared))
+                }
+            });
         }
     }
 }
@@ -425,7 +715,7 @@ mod tests {
         let fs = SimFs::new(sim.handle(), "t", test_profile());
         let out = sim.run(|ctx| {
             if ctx.rank() == 0 {
-                fs.write_at(&ctx, "shared", 0, b"rank0 data");
+                fs.write_at(&ctx, "shared", 0, b"rank0 data").unwrap();
                 ctx.post(1, 1, bytes::Bytes::new(), SimDuration::ZERO);
                 true
             } else {
@@ -466,6 +756,178 @@ mod tests {
             ctx.now().as_secs_f64()
         });
         assert!((out.outputs[0] - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_read_matches_sync_bytes_and_overlaps_compute() {
+        // A 100 MB read takes 1 ms latency + 1 s transfer. Issued async
+        // and joined after 2 s of compute, the whole transfer hides:
+        // elapsed = max(compute, io) = 2 s, and the bytes are identical.
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload(
+            "f",
+            (0..1_000_000u32).flat_map(|i| i.to_le_bytes()).collect(),
+        );
+        let out = sim.run(|ctx| {
+            let op = fs.read_at_begin(&ctx, "f", 4_000, 4_000).unwrap();
+            ctx.charge(SimDuration::from_secs(2));
+            assert!(op.is_done(), "4 KB moves well within 2 s");
+            let data = fs.io_wait(&ctx, op).unwrap();
+            (data, ctx.now().as_secs_f64())
+        });
+        let (data, t) = &out.outputs[0];
+        let expect: Vec<u8> = (1_000u32..2_000).flat_map(|i| i.to_le_bytes()).collect();
+        assert_eq!(data, &expect);
+        assert!((t - 2.0).abs() < 1e-9, "fully hidden: t = {t}");
+    }
+
+    #[test]
+    fn async_wait_exposes_only_the_remainder() {
+        // 100 MB at 100 MB/s = 1 s transfer + 1 ms latency. After 0.4 s
+        // of compute, the join blocks for the remaining 0.601 s.
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![3u8; 100_000_000]);
+        let out = sim.run(|ctx| {
+            let op = fs.read_at_begin(&ctx, "f", 0, 100_000_000).unwrap();
+            ctx.charge(SimDuration::from_secs_f64(0.4));
+            assert!(!op.is_done());
+            let data = fs.io_wait(&ctx, op).unwrap();
+            assert_eq!(data.len(), 100_000_000);
+            ctx.now().as_secs_f64()
+        });
+        assert!(
+            (out.outputs[0] - 1.001).abs() < 1e-6,
+            "t = {}",
+            out.outputs[0]
+        );
+    }
+
+    #[test]
+    fn async_write_lands_at_completion_not_at_begin() {
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        let fsw = fs.clone();
+        let out = sim.run(move |ctx| {
+            if ctx.rank() == 0 {
+                let op = fsw.write_at_begin(&ctx, "f", 0, vec![9u8; 50_000_000]);
+                // Signal rank 1 that the write is in flight.
+                ctx.post(1, 1, bytes::Bytes::new(), SimDuration::ZERO);
+                fsw.io_wait(&ctx, op).unwrap();
+                ctx.now().as_secs_f64()
+            } else {
+                ctx.recv(Some(0), Some(1));
+                // Mid-flight the file does not exist yet.
+                let missing = fsw.peek("f").is_err();
+                ctx.charge(SimDuration::from_secs(3));
+                let after = fsw.peek("f").unwrap();
+                assert!(missing, "write landed before completion");
+                assert_eq!(after, vec![9u8; 50_000_000]);
+                0.0
+            }
+        });
+        // 1 ms latency + 0.5 s transfer (alone at 100 MB/s).
+        assert!((out.outputs[0] - 0.501).abs() < 1e-6, "{out:?}");
+        let c = fs.counters();
+        assert_eq!(c.bytes_written, 50_000_000);
+    }
+
+    #[test]
+    fn concurrent_async_ops_contend_like_streams() {
+        // Two 100 MB async reads from one rank share the 200 MB/s
+        // aggregate: each runs at 100 MB/s, both finish at ~1.001 s.
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 200_000_000]);
+        let out = sim.run(|ctx| {
+            let a = fs.read_at_begin(&ctx, "f", 0, 100_000_000).unwrap();
+            let b = fs
+                .read_at_begin(&ctx, "f", 100_000_000, 100_000_000)
+                .unwrap();
+            fs.io_wait(&ctx, a).unwrap();
+            let t_a = ctx.now().as_secs_f64();
+            fs.io_wait(&ctx, b).unwrap();
+            (t_a, ctx.now().as_secs_f64())
+        });
+        let (t_a, t_b) = out.outputs[0];
+        assert!((t_a - 1.001).abs() < 1e-6, "t_a = {t_a}");
+        assert!((t_b - 1.001).abs() < 1e-6, "t_b = {t_b}");
+    }
+
+    #[test]
+    fn async_and_sync_streams_coexist_for_one_rank() {
+        // An async write in flight must not trip the one-blocked-stream
+        // invariant when the same rank issues a sync read.
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.preload("f", vec![0u8; 10_000_000]);
+        sim.run(|ctx| {
+            let op = fs.write_at_begin(&ctx, "g", 0, vec![1u8; 10_000_000]);
+            let data = fs.read_at(&ctx, "f", 0, 10_000_000).unwrap();
+            assert_eq!(data.len(), 10_000_000);
+            fs.io_wait(&ctx, op).unwrap();
+        });
+        assert_eq!(fs.counters().bytes_written, 10_000_000);
+        assert_eq!(fs.counters().bytes_read, 10_000_000);
+    }
+
+    #[test]
+    fn killed_owner_write_never_lands() {
+        use simcluster::FaultPlan;
+        let sim = Sim::new(2);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        // Rank 1 begins a 100 MB write (completes ~1.001 s) but is
+        // killed at 0.5 s: crash-stop says the write must vanish.
+        let plan = FaultPlan::none().kill_at(1, SimTime(500_000_000));
+        let fsw = fs.clone();
+        let out = sim.run_faulty(plan, move |ctx| {
+            if ctx.rank() == 1 {
+                let op = fsw.write_at_begin(&ctx, "doomed", 0, vec![5u8; 100_000_000]);
+                ctx.charge(SimDuration::from_secs(10));
+                fsw.io_wait(&ctx, op).unwrap();
+            } else {
+                ctx.charge(SimDuration::from_secs(5));
+                assert!(fsw.peek("doomed").is_err(), "dead rank's write landed");
+            }
+            ctx.rank()
+        });
+        assert_eq!(out.killed, vec![1]);
+        assert!(fs.peek("doomed").is_err());
+        assert_eq!(fs.counters().bytes_written, 0);
+    }
+
+    #[test]
+    fn capacity_limits_writes_with_nospace() {
+        let sim = Sim::new(1);
+        let fs = SimFs::new(sim.handle(), "t", test_profile());
+        fs.set_capacity(1_000);
+        let out = sim.run(|ctx| {
+            fs.write_at(&ctx, "a", 0, &[1u8; 600]).unwrap();
+            // Overwriting in place needs no growth.
+            fs.write_at(&ctx, "a", 0, &[2u8; 600]).unwrap();
+            let err = fs.write_at(&ctx, "b", 0, &[3u8; 600]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::NoSpace {
+                        needed: 600,
+                        free: 400,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+            // Async writes hit the same wall at completion time.
+            let op = fs.write_at_begin(&ctx, "c", 0, vec![4u8; 500]);
+            let err2 = fs.io_wait(&ctx, op).unwrap_err();
+            assert!(matches!(err2, StoreError::NoSpace { .. }));
+            fs.write_at(&ctx, "d", 0, &[5u8; 400]).unwrap()
+        });
+        let _ = out;
+        assert!(fs.peek("b").is_err());
+        assert!(fs.peek("c").is_err());
+        assert_eq!(fs.peek("d").unwrap().len(), 400);
     }
 
     #[test]

@@ -15,6 +15,6 @@ pub mod fs;
 pub mod profile;
 pub mod store;
 
-pub use fs::{FsCounters, SimFs};
+pub use fs::{AsyncIo, FsCounters, SimFs};
 pub use profile::{ClassTally, FsProfile, IoClass};
 pub use store::{FileStore, StoreError};

@@ -28,6 +28,23 @@ pub enum StoreError {
         /// Actual file size.
         size: u64,
     },
+    /// A write would grow the file system past its configured capacity
+    /// (see [`crate::fs::SimFs::set_capacity`]). The write did not land.
+    NoSpace {
+        /// The path being written.
+        path: String,
+        /// Bytes the write would have added.
+        needed: u64,
+        /// Bytes still free under the capacity.
+        free: u64,
+    },
+    /// Bytes that should decode as a known on-disk or on-wire structure
+    /// did not (produced by layers above the store, e.g. the I/O plane's
+    /// view-bundle decoder).
+    Corrupt {
+        /// What failed to decode.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -43,6 +60,11 @@ impl std::fmt::Display for StoreError {
                 f,
                 "read [{offset}, {offset}+{len}) out of range for {path} (size {size})"
             ),
+            StoreError::NoSpace { path, needed, free } => write!(
+                f,
+                "file system full writing {path} (needs {needed} more bytes, {free} free)"
+            ),
+            StoreError::Corrupt { what } => write!(f, "corrupt data: {what}"),
         }
     }
 }

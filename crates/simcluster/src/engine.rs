@@ -142,12 +142,18 @@ impl FaultPlan {
     }
 }
 
+/// A deferred service action run on the scheduler thread when its event
+/// fires (see [`SimHandle::schedule_callback`]).
+type Callback = Box<dyn FnOnce() + Send>;
+
 struct EngineState {
     clock: u64,
     heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>, // (time, gen)
     wake_target: HashMap<u64, usize>,
     /// Events that kill a rank instead of waking it.
     kill_target: HashMap<u64, usize>,
+    /// Events that run a service callback instead of resuming a rank.
+    callback_target: HashMap<u64, Callback>,
     status: Vec<Status>,
     dead: Vec<bool>,
     mailboxes: Vec<Vec<QueuedMsg>>,
@@ -177,8 +183,17 @@ impl EngineState {
         self.kill_target.insert(gen, rank);
     }
 
+    fn schedule_callback(&mut self, time: u64, cb: Callback) -> WakeId {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.heap.push(std::cmp::Reverse((time, gen)));
+        self.callback_target.insert(gen, cb);
+        WakeId(gen)
+    }
+
     fn cancel(&mut self, id: WakeId) {
         self.wake_target.remove(&id.0);
+        self.callback_target.remove(&id.0);
     }
 
     /// Crash-stop `rank`: discard its mailbox and pending recv state, and
@@ -335,6 +350,7 @@ impl Sim {
                 heap: BinaryHeap::new(),
                 wake_target: HashMap::new(),
                 kill_target: HashMap::new(),
+                callback_target: HashMap::new(),
                 status: vec![Status::Blocked; nranks],
                 dead: vec![false; nranks],
                 mailboxes: vec![Vec::new(); nranks],
@@ -493,6 +509,7 @@ impl Sim {
                 enum Next {
                     Resume(usize, u64),
                     Kill(usize, u64),
+                    Service(Callback),
                     Deadlock(String),
                 }
                 let next = {
@@ -517,6 +534,11 @@ impl Sim {
                                     st.clock = st.clock.max(time);
                                     st.status[rank] = Status::Running;
                                     break Next::Resume(rank, st.clock);
+                                }
+                                if let Some(cb) = st.callback_target.remove(&gen) {
+                                    st.stats.events += 1;
+                                    st.clock = st.clock.max(time);
+                                    break Next::Service(cb);
                                 }
                                 // canceled wake
                             }
@@ -549,6 +571,13 @@ impl Sim {
                         inner.gates[r].shutdown();
                         killed.push(r);
                         finished += 1;
+                        continue;
+                    }
+                    Next::Service(cb) => {
+                        // Run the service action on the scheduler thread
+                        // while every rank is parked; the callback may
+                        // schedule wakes, further callbacks, or posts.
+                        cb();
                         continue;
                     }
                     Next::Deadlock(msg) => abort(msg),
@@ -623,7 +652,21 @@ impl SimHandle {
         st.schedule(rank, t)
     }
 
-    /// Cancel a previously scheduled wake (no-op if already fired).
+    /// Schedule `cb` to run on the scheduler thread at `time` (clamped to
+    /// now). Callbacks are heap events like wakes, so deadlock detection
+    /// stays sound: a run with a pending callback is never "stuck". The
+    /// callback runs with no engine lock held while every rank thread is
+    /// parked, and may itself schedule wakes, callbacks, or posts — this
+    /// is how a service models an in-flight operation that completes
+    /// while its owner rank keeps computing.
+    pub fn schedule_callback(&self, time: SimTime, cb: impl FnOnce() + Send + 'static) -> WakeId {
+        let mut st = self.inner.state.lock();
+        let t = time.0.max(st.clock);
+        st.schedule_callback(t, Box::new(cb))
+    }
+
+    /// Cancel a previously scheduled wake or callback (no-op if already
+    /// fired).
     pub fn cancel_wake(&self, id: WakeId) {
         self.inner.state.lock().cancel(id);
     }
@@ -1044,6 +1087,70 @@ mod tests {
             }
         });
         assert_eq!(out.outputs[0], SimTime(5_000_000));
+    }
+
+    #[test]
+    fn callbacks_run_at_their_time_and_can_wake_ranks() {
+        let sim = Sim::new(2);
+        let handle = sim.handle();
+        let out = sim.run(move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.recv(Some(1), Some(0)); // sync: wait for arrangement
+                ctx.wait_woken();
+                ctx.now()
+            } else {
+                // A callback at 2 ms re-arms a second callback at 7 ms
+                // that finally wakes rank 0 — two service hops with no
+                // rank runnable in between.
+                let h = handle.clone();
+                handle.schedule_callback(SimTime(2_000_000), move || {
+                    let h2 = h.clone();
+                    let at = h.now() + SimDuration::from_millis(5);
+                    h.schedule_callback(at, move || {
+                        let now = h2.now();
+                        h2.schedule_wake(0, now);
+                    });
+                });
+                ctx.post(0, 0, Bytes::new(), SimDuration::ZERO);
+                ctx.now()
+            }
+        });
+        assert_eq!(out.outputs[0], SimTime(7_000_000));
+    }
+
+    #[test]
+    fn canceled_callbacks_do_not_run() {
+        let sim = Sim::new(1);
+        let handle = sim.handle();
+        let fired = Arc::new(Mutex::new(false));
+        let fired_in_cb = Arc::clone(&fired);
+        let out = sim.run(move |ctx| {
+            let f = Arc::clone(&fired_in_cb);
+            let early = handle.schedule_callback(SimTime(1_000), move || {
+                *f.lock() = true;
+            });
+            handle.cancel_wake(early);
+            // An uncanceled wake afterwards proves the canceled event was
+            // skipped without disturbing the clock.
+            handle.schedule_wake(0, SimTime(5_000));
+            ctx.wait_woken();
+            ctx.now()
+        });
+        assert_eq!(out.outputs[0], SimTime(5_000));
+        assert!(!*fired.lock());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn callback_that_wakes_no_one_still_deadlocks() {
+        let sim = Sim::new(1);
+        let handle = sim.handle();
+        sim.run(move |ctx| {
+            handle.schedule_callback(SimTime(1_000), || {});
+            // The callback fires at 1 us but arranges nothing: the rank
+            // stays blocked with an empty heap afterwards.
+            ctx.wait_woken();
+        });
     }
 
     #[test]

@@ -15,6 +15,11 @@ cargo test --release -q --test fault_recovery
 # The lifted restriction must stay lifted: aggregated input under the
 # dynamic schedule + Recover, byte-identical across worker kills.
 cargo test --release -q --test fault_recovery collective_input_under_recovery_is_byte_identical
+# Nonblocking-plane interleaving proptests: async begin/wait orderings
+# (epoch-fence crossings, worker kills with ops in flight under
+# Recover) must stay byte-identical to the sync plane, and malformed
+# inputs / a full file system must degrade to typed errors, not aborts.
+cargo test --release -q --test async_io
 # Bench targets (paper exhibits + kernel perf gate) must at least compile.
 cargo bench --workspace --no-run
 cargo clippy -- -D warnings
@@ -34,3 +39,10 @@ cli=target/release/pioblast-sim
   --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
   --out "$tracetmp/report.txt" --trace "$tracetmp/trace.json"
 "$cli" trace-check --in "$tracetmp/trace.json"
+# Same run on the nonblocking plane: the async begin/wait spans must
+# still produce a well-formed trace, and the report must not change.
+"$cli" run --program pio --procs 4 --io-async \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/report-async.txt" --trace "$tracetmp/trace-async.json"
+"$cli" trace-check --in "$tracetmp/trace-async.json"
+cmp "$tracetmp/report.txt" "$tracetmp/report-async.txt"
