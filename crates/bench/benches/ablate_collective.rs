@@ -32,6 +32,7 @@ fn main() {
                 PioOptions {
                     collective_output: collective,
                     local_prune: false,
+                    threads: 1,
                 },
             );
             labels.push(if collective {
@@ -94,6 +95,7 @@ fn main() {
                 fault: Default::default(),
                 checkpoint: false,
                 rank_compute: None,
+                threads: 1,
                 io: Default::default(),
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

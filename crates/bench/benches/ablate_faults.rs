@@ -73,6 +73,7 @@ fn run_mode(platform: &Platform, checkpoint: bool) -> Vec<Run> {
             fault: FaultMode::Recover,
             checkpoint,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         let outcome = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));

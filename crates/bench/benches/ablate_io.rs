@@ -93,6 +93,7 @@ fn run_one(
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: IoOptions {
             strategy,
             io_async,

@@ -33,6 +33,7 @@ fn main() {
             PioOptions {
                 collective_output: true,
                 local_prune: prune,
+                threads: 1,
             },
         ));
     }

@@ -118,6 +118,8 @@ pub struct PioOptions {
     pub collective_output: bool,
     /// Worker-side local pruning before formatting (paper §5).
     pub local_prune: bool,
+    /// Intra-rank compute slots per worker (`--threads`).
+    pub threads: usize,
 }
 
 impl Default for PioOptions {
@@ -125,6 +127,7 @@ impl Default for PioOptions {
         PioOptions {
             collective_output: true,
             local_prune: false,
+            threads: 1,
         }
     }
 }
@@ -223,6 +226,7 @@ pub fn run_traced(
                 fault: Default::default(),
                 checkpoint: false,
                 rank_compute: None,
+                threads: pio_options.threads,
                 io: Default::default(),
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

@@ -449,19 +449,45 @@ impl<'a> BlastSearcher<'a> {
         source: &S,
         scratch: &mut SearchScratch,
     ) -> FragmentResult {
+        let mut result = self.search_subject_range(source, 0..source.num_subjects(), scratch);
+        self.finalize(&mut result, scratch);
+        result
+    }
+
+    /// Scan a contiguous subject range of one partition, returning
+    /// *unranked* per-query hits (subject-scan order, no hitlist cut).
+    ///
+    /// This is the shardable half of [`BlastSearcher::search`]: disjoint
+    /// ranges covering `0..num_subjects` can be scanned with independent
+    /// scratches (one per compute slot) and recombined with
+    /// [`BlastSearcher::merge_sharded`] — the merged result is
+    /// byte-identical to the serial search for every shard count, because
+    /// ranking keys are computed per subject and each subject appears in
+    /// exactly one shard.
+    pub fn search_subject_range<S: SubjectSource + ?Sized>(
+        &self,
+        source: &S,
+        range: std::ops::Range<usize>,
+        scratch: &mut SearchScratch,
+    ) -> FragmentResult {
         let mut result = FragmentResult {
             per_query: vec![Vec::new(); self.queries.len()],
             stats: SearchStats::default(),
         };
         let concat_len = self.queries.set.concat().len();
-        for si in 0..source.num_subjects() {
+        for si in range {
             let subject = source.subject(si);
             self.search_subject(&subject, concat_len, scratch, &mut result);
         }
-        // Keep only the best `hitlist_size` subjects per query, sorting on
-        // ranking keys computed once per subject instead of twice per
-        // comparison. Keys are distinct (each subject appears once per
-        // partition), so the unstable sort is deterministic.
+        result
+    }
+
+    /// Rank a scanned partition: keep only the best `hitlist_size`
+    /// subjects per query, sorting on ranking keys computed once per
+    /// subject instead of twice per comparison. Keys are distinct (each
+    /// subject appears once per partition), so the unstable sort is
+    /// deterministic.
+    pub fn finalize(&self, result: &mut FragmentResult, scratch: &mut SearchScratch) {
         let ranked = &mut scratch.ranked;
         for hits in &mut result.per_query {
             ranked.clear();
@@ -470,7 +496,34 @@ impl<'a> BlastSearcher<'a> {
             ranked.truncate(self.params.hitlist_size);
             hits.extend(ranked.drain(..).map(|(_, h)| h));
         }
-        result
+    }
+
+    /// Deterministically merge per-shard scan results (from
+    /// [`BlastSearcher::search_subject_range`] over disjoint ranges of one
+    /// partition) into the finalized whole-partition result.
+    ///
+    /// Per-query hit lists are concatenated in shard order, then ranked by
+    /// [`BlastSearcher::finalize`]. Each subject belongs to exactly one
+    /// shard, so every rank key appears once and the sort's output is
+    /// independent of both shard count and shard boundaries — byte-
+    /// identical to the serial kernel.
+    pub fn merge_sharded(
+        &self,
+        shards: impl IntoIterator<Item = FragmentResult>,
+        scratch: &mut SearchScratch,
+    ) -> FragmentResult {
+        let mut merged = FragmentResult {
+            per_query: vec![Vec::new(); self.queries.len()],
+            stats: SearchStats::default(),
+        };
+        for shard in shards {
+            merged.stats.merge(&shard.stats);
+            for (q, hits) in shard.per_query.into_iter().enumerate() {
+                merged.per_query[q].extend(hits);
+            }
+        }
+        self.finalize(&mut merged, scratch);
+        merged
     }
 
     fn search_subject(
@@ -856,6 +909,43 @@ MKVLAAGHWRTEYFNDCQAAERTYPLKIHGFDSAEWCVNM\n";
             .collect();
         merged.sort_by(|a, b| a.hsps[0].rank_key().cmp(&b.hsps[0].rank_key()));
         assert_eq!(merged, whole.per_query[0]);
+    }
+
+    #[test]
+    fn sharded_scan_matches_serial_for_every_shard_count() {
+        // The compute-slot invariant: shard the subject range across any
+        // number of per-slot scratches, merge, and the result is
+        // byte-identical to the serial kernel.
+        let params = SearchParams::blastp();
+        let records = db_records();
+        let db = stats_for(&records);
+        let queries = vec![SeqRecord::from_ascii(
+            Molecule::Protein,
+            "q1",
+            b"MKVLAAGHWRTEYFNDCQWHERTYPLKIHGFDSAEWCVNM",
+        )
+        .unwrap()];
+        let prepared = PreparedQueries::prepare(&params, queries, db);
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let source = VecSource::from_records(&records);
+        let serial = searcher.search(&source, &mut SearchScratch::new());
+
+        let n = source.num_subjects();
+        for shards in 1..=n + 2 {
+            let mut scratches: Vec<SearchScratch> =
+                (0..shards).map(|_| SearchScratch::new()).collect();
+            let per = n.div_ceil(shards);
+            let parts: Vec<FragmentResult> = (0..shards)
+                .map(|k| {
+                    let lo = (k * per).min(n);
+                    let hi = ((k + 1) * per).min(n);
+                    searcher.search_subject_range(&source, lo..hi, &mut scratches[k])
+                })
+                .collect();
+            let merged = searcher.merge_sharded(parts, &mut scratches[0]);
+            assert_eq!(merged.per_query, serial.per_query, "shards={shards}");
+            assert_eq!(merged.stats, serial.stats, "shards={shards}");
+        }
     }
 
     #[test]

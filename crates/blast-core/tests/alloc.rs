@@ -130,6 +130,97 @@ fn steady_state_subject_scan_is_allocation_free() {
 }
 
 #[test]
+fn sharded_scan_with_per_slot_scratches_stays_allocation_free() {
+    // The intra-rank threaded path: each slot scans its subject range
+    // through its *own* scratch (no aliasing between slots), then the
+    // shards merge deterministically through slot 0's scratch. After
+    // warmup, the whole shard-and-merge cycle must cost a constant
+    // number of allocations — independent of how many subjects each
+    // shard scans — and must reproduce the serial kernel's results.
+    let mut params = SearchParams::blastp();
+    params.expect = 1e-6;
+
+    let subjects: Vec<SeqRecord> = (0..16)
+        .map(|i| SeqRecord {
+            defline: format!("s{i}"),
+            residues: noise(i, 60 + (i % 7) * 11),
+            molecule: Molecule::Protein,
+        })
+        .collect();
+    let db = DbStats {
+        num_sequences: subjects.len() as u64,
+        total_residues: subjects.iter().map(|r| r.len() as u64).sum(),
+    };
+    let queries = vec![SeqRecord {
+        defline: "q".into(),
+        residues: noise(97, 80),
+        molecule: Molecule::Protein,
+    }];
+    let prepared = PreparedQueries::prepare(&params, queries, db);
+    let searcher = BlastSearcher::new(&params, &prepared);
+
+    let small = VecSource::from_records(&subjects);
+    let tripled: Vec<SeqRecord> = (0..3).flat_map(|_| subjects.iter().cloned()).collect();
+    let large = VecSource::from_records(&tripled);
+
+    const NSHARDS: usize = 4;
+    let mut scratches: Vec<SearchScratch> = (0..NSHARDS).map(|_| SearchScratch::new()).collect();
+
+    fn cycle(
+        searcher: &BlastSearcher,
+        source: &VecSource,
+        n: usize,
+        scratches: &mut [SearchScratch],
+    ) -> blast_core::search::FragmentResult {
+        let per = n.div_ceil(NSHARDS);
+        let parts: Vec<_> = (0..NSHARDS)
+            .map(|i| {
+                let lo = (i * per).min(n);
+                let hi = ((i + 1) * per).min(n);
+                searcher.search_subject_range(source, lo..hi, &mut scratches[i])
+            })
+            .collect();
+        let (head, tail) = scratches.split_first_mut().unwrap();
+        let _ = tail;
+        searcher.merge_sharded(parts, head)
+    }
+
+    // Warmup: grow every slot's buffers to their high-water marks.
+    let warm = cycle(&searcher, &large, tripled.len(), &mut scratches);
+    assert!(warm.stats.seed_hits > 0, "workload must exercise seeding");
+
+    let before_small = allocs();
+    let r_small = cycle(&searcher, &small, subjects.len(), &mut scratches);
+    let cost_small = allocs() - before_small;
+
+    let before_large = allocs();
+    let r_large = cycle(&searcher, &large, tripled.len(), &mut scratches);
+    let cost_large = allocs() - before_large;
+
+    assert_eq!(r_small.stats.subjects, 16);
+    assert_eq!(r_large.stats.subjects, 48);
+
+    // Per-subject path across all slots: zero allocations. Tripling the
+    // subjects per shard must not change the cycle's constant cost (the
+    // shard-result vector and the per-shard/merged output vectors).
+    assert_eq!(
+        cost_small, cost_large,
+        "sharded allocation count must be independent of subjects scanned"
+    );
+    assert!(
+        cost_small <= 2 + 2 * NSHARDS as u64,
+        "expected only the shard/result vectors, got {cost_small} allocations"
+    );
+
+    // Aliasing check: per-slot scratches and the merge reproduce the
+    // serial kernel exactly.
+    let mut serial = SearchScratch::new();
+    let reference = searcher.search(&small, &mut serial);
+    assert_eq!(r_small.per_query, reference.per_query);
+    assert_eq!(r_small.stats, reference.stats);
+}
+
+#[test]
 fn retained_hits_allocate_only_per_hit_output() {
     // With hits retained, the steady state allocates only the output the
     // caller keeps: repeating the identical search through a warmed

@@ -51,14 +51,19 @@ USAGE:
   pioblast-sim formatdb --in db.fa --title NAME --out-dir DIR [--volume-cap N] [--dna]
   pioblast-sim sample   --in db.fa --bytes N --out queries.fa [--seed S] [--dna]
   pioblast-sim run      --program pio|mpi --procs N --db-dir DIR --queries q.fa
-                        --out report.txt [--platform altix|blade] [--frags N]
-                        [--batch N] [--measured] [--dna] [--no-collective] [--dynamic]
-                        [--fault-detect] [--recover] [--checkpoint]
+                        --out report.txt [--platform altix|blade|manycore] [--frags N]
+                        [--threads N] [--batch N] [--measured] [--dna] [--no-collective]
+                        [--dynamic] [--fault-detect] [--recover] [--checkpoint]
                         [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
                         [--io-async] [--trace out.json] [--trace-filter LANE[,LANE...]]
   pioblast-sim trace-check --in trace.json
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
+
+--threads N (pio only) shards each granted fragment's subjects across N
+intra-rank compute slots with a deterministic merge — output bytes never
+change. N must be between 1 and the platform's cores per node (altix 16,
+blade 2, manycore 64).
 
 --trace writes a Chrome trace_event JSON (loadable in Perfetto or
 chrome://tracing): one process per rank, one thread per subsystem lane.
@@ -249,8 +254,10 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let platform = match args.get("platform").unwrap_or("altix") {
         "altix" => Platform::altix(),
         "blade" => Platform::blade_cluster(),
+        "manycore" => Platform::manycore(),
         other => return Err(CliError(format!("unknown platform {other:?}"))),
     };
+    let threads = args.u64_or("threads", 1)? as usize;
     let molecule = molecule_of(args);
     let params = match molecule {
         Molecule::Protein => SearchParams::blastp(),
@@ -326,6 +333,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 },
                 checkpoint: args.flag("checkpoint"),
                 rank_compute: None,
+                threads,
                 io: io_options(args)?,
             };
             let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -462,7 +470,92 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert!(!outputs[0].is_empty());
+
+        // --threads shards the scan across compute slots without changing
+        // a single output byte.
+        let threaded_out = dir.join("pio-t4.txt");
+        dispatch(&args(&[
+            "run",
+            "--program",
+            "pio",
+            "--procs",
+            "4",
+            "--threads",
+            "4",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--queries",
+            qfa.to_str().unwrap(),
+            "--out",
+            threaded_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(fs::read(&threaded_out).unwrap(), outputs[0]);
         let _ = report;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_flag_is_validated() {
+        let dir = tmpdir("threads");
+        let fa = dir.join("db.fa");
+        let qfa = dir.join("q.fa");
+        let dbdir = dir.join("db");
+        dispatch(&args(&[
+            "gen",
+            "--residues",
+            "10k",
+            "--out",
+            fa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "formatdb",
+            "--in",
+            fa.to_str().unwrap(),
+            "--title",
+            "t",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "sample",
+            "--in",
+            fa.to_str().unwrap(),
+            "--bytes",
+            "256",
+            "--out",
+            qfa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dir.join("out.txt");
+        let run = |extra: &[&str]| {
+            let mut v = vec![
+                "run",
+                "--program",
+                "pio",
+                "--procs",
+                "3",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--queries",
+                qfa.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            dispatch(&args(&v))
+        };
+        // Zero slots and oversubscribing the platform's cores are typed
+        // errors, not panics.
+        let err = run(&["--threads", "0"]).unwrap_err();
+        assert!(err.0.contains("--threads must be at least 1"), "{err}");
+        let err = run(&["--platform", "blade", "--threads", "8"]).unwrap_err();
+        assert!(err.0.contains("cores per node"), "{err}");
+        // The platform ceiling itself is fine (blade HS20s expose four
+        // hardware threads).
+        run(&["--platform", "blade", "--threads", "4"]).unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

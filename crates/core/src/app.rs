@@ -108,6 +108,12 @@ pub struct PioBlastConfig {
     /// Per-rank compute-speed multipliers (> 1 = slower node), to model
     /// heterogeneous clusters; `None` = homogeneous.
     pub rank_compute: Option<Vec<f64>>,
+    /// Intra-rank compute slots per worker (`--threads`): each granted
+    /// fragment's subjects are sharded across this many slots (one
+    /// `SearchScratch` per slot) and the per-shard hit lists are merged
+    /// deterministically, so output bytes never change. Must be ≥ 1 and
+    /// ≤ the platform's `cores_per_node`.
+    pub threads: usize,
     /// I/O-plane tuning: the physical access strategy (independent,
     /// sieve, or the adaptive two-phase default) and the sieve-hole
     /// threshold. Strategy is a pure performance knob — output bytes
@@ -135,6 +141,12 @@ impl PioBlastConfig {
         }
         if self.checkpoint && self.fault != FaultMode::Recover {
             return unsupported("fragment checkpointing requires FaultMode::Recover");
+        }
+        if self.threads == 0 {
+            return unsupported("--threads must be at least 1");
+        }
+        if self.threads > self.platform.cores_per_node {
+            return unsupported("--threads exceeds the platform's cores per node");
         }
         Ok(())
     }
@@ -221,6 +233,7 @@ mod tests {
         schedule: FragmentSchedule,
         fault: FaultMode,
         rank_compute: Option<Vec<f64>>,
+        threads: usize,
         io: mpiio::IoOptions,
     }
 
@@ -239,6 +252,7 @@ mod tests {
                 schedule: FragmentSchedule::Static,
                 fault: FaultMode::Off,
                 rank_compute: None,
+                threads: 1,
                 io: mpiio::IoOptions::default(),
             }
         }
@@ -269,6 +283,7 @@ mod tests {
             fault: opts.fault,
             checkpoint: false,
             rank_compute: opts.rank_compute.clone(),
+            threads: opts.threads,
             io: opts.io,
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
@@ -485,6 +500,7 @@ mod tests {
                 fault: FaultMode::Off,
                 checkpoint: false,
                 rank_compute: hetero.clone(),
+                threads: 1,
                 io: Default::default(),
             };
             sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0
@@ -604,6 +620,7 @@ mod tests {
                 fault: opts.fault,
                 checkpoint: false,
                 rank_compute: opts.rank_compute.clone(),
+                threads: opts.threads,
                 io: opts.io,
             };
             let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
@@ -635,6 +652,7 @@ mod tests {
             fault: FaultMode::Detect,
             checkpoint: true,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         assert_eq!(
@@ -643,5 +661,58 @@ mod tests {
                 "fragment checkpointing requires FaultMode::Recover".to_string()
             )
         );
+    }
+
+    #[test]
+    fn thread_counts_are_validated_against_the_platform() {
+        // Satellite: `--threads 0` and thread counts beyond the
+        // platform's cores are typed errors, not panics or silent clamps.
+        let mk = |platform: Platform, threads: usize| {
+            let sim = Sim::new(2);
+            let env = ClusterEnv::new(&sim, &platform);
+            PioBlastConfig {
+                platform,
+                env,
+                compute: ComputeModel::modeled(),
+                params: SearchParams::blastp(),
+                report: ReportOptions::default(),
+                db_alias: "db.pal".into(),
+                query_path: "queries.fa".into(),
+                output_path: "results.txt".into(),
+                num_fragments: None,
+                collective_output: true,
+                local_prune: false,
+                query_batch: None,
+                collective_input: false,
+                schedule: FragmentSchedule::Static,
+                fault: FaultMode::Off,
+                checkpoint: false,
+                rank_compute: None,
+                threads,
+                io: Default::default(),
+            }
+        };
+        assert_eq!(
+            mk(Platform::altix(), 0).validate().expect_err("zero slots"),
+            PioError::UnsupportedConfig("--threads must be at least 1".to_string())
+        );
+        // Blade nodes expose four hardware threads: 8 slots oversubscribe.
+        assert_eq!(
+            mk(Platform::blade_cluster(), 8)
+                .validate()
+                .expect_err("oversubscribed"),
+            PioError::UnsupportedConfig(
+                "--threads exceeds the platform's cores per node".to_string()
+            )
+        );
+        // Every in-budget count on every profile validates.
+        for (platform, max) in [
+            (Platform::altix(), 16),
+            (Platform::blade_cluster(), 4),
+            (Platform::manycore(), 64),
+        ] {
+            assert!(mk(platform.clone(), 1).validate().is_ok());
+            assert!(mk(platform, max).validate().is_ok());
+        }
     }
 }

@@ -173,6 +173,7 @@ mod tests {
             fault,
             checkpoint,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
@@ -358,6 +359,7 @@ mod tests {
             fault: FaultMode::Recover,
             checkpoint: true,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         sim.run(|ctx| run_rank(&ctx, &cfg));

@@ -759,9 +759,11 @@ struct WorkerIo<'a, 'b> {
     grant_volumes: Vec<String>,
     assign: Option<OffsetAssignment>,
     stats_total: SearchStats,
-    /// Kernel working memory, reused across all fragments of the run so
-    /// the per-subject search path never allocates.
-    scratch: SearchScratch,
+    /// Kernel working memory, one scratch per compute slot
+    /// (`cfg.threads`), reused across all fragments of the run so the
+    /// per-subject search path never allocates — serial runs use slot 0
+    /// only.
+    scratches: Vec<SearchScratch>,
     /// Checkpoint writes fired and not yet collected (`--io-async`):
     /// they stay in flight across searches and are fenced at the epoch
     /// boundary, before the batch's results are acknowledged.
@@ -817,7 +819,9 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             grant_volumes: Vec::new(),
             assign: None,
             stats_total: SearchStats::default(),
-            scratch: SearchScratch::new(),
+            scratches: (0..cfg.threads.max(1))
+                .map(|_| SearchScratch::new())
+                .collect(),
             pending_ckpts: Vec::new(),
             phase_times,
             out_mark: None,
@@ -852,10 +856,13 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 TAG_GRANT => self.stash_grant(&m.payload)?,
                 TAG_SUBMIT_REQ => {
                     let (epoch, body) = split_epoch(&m.payload)?;
-                    if body.len() < 4 {
-                        return Err(PioError::Protocol("submit request lacks a batch".into()));
-                    }
-                    let batch = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+                    // A truncated body is a typed protocol error, never a
+                    // slice panic.
+                    let raw: [u8; 4] = body
+                        .get(..4)
+                        .and_then(|b| b.try_into().ok())
+                        .ok_or_else(|| PioError::Protocol("submit request lacks a batch".into()))?;
+                    let batch = u32::from_le_bytes(raw) as usize;
                     WorkerEvent::SubmitReq { batch, epoch }
                 }
                 TAG_ASSIGN => {
@@ -1093,18 +1100,46 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
     /// Search one fragment against the prepared batch, cache the
     /// formatted records, and (under the checkpoint policy) persist the
     /// fragment's results before anything is acknowledged.
+    ///
+    /// With `cfg.threads > 1` the fragment's subjects are sharded into
+    /// contiguous ranges, scanned on per-slot scratches through
+    /// [`ComputeModel::run_search_sharded`] (the rank is charged the max
+    /// over slot loads plus fork/join), and merged deterministically —
+    /// byte-identical to the serial kernel for every slot count. This
+    /// composes with `--io-async` read-ahead and `FaultMode::Recover`
+    /// unchanged because both sit outside this call.
     fn search_one(&mut self, batch: usize, id: u32, frag: &FragmentData) {
+        use blast_core::search::SubjectSource;
         let prepared = self
             .prepared
             .as_ref()
             .expect("batch prepared before search");
         let searcher = BlastSearcher::new(&self.cfg.params, prepared);
-        let scratch = &mut self.scratch;
+        let scratches = &mut self.scratches;
+        let slots = self.cfg.threads.max(1);
         let search_start = self.ctx.now();
-        let (per_query, stats) = self.compute.run_search(self.ctx, || {
-            let r = searcher.search(frag, scratch);
-            (r.per_query, r.stats)
-        });
+        let (per_query, stats) = if slots == 1 {
+            let scratch = &mut scratches[0];
+            self.compute.run_search(self.ctx, || {
+                let r = searcher.search(frag, scratch);
+                (r.per_query, r.stats)
+            })
+        } else {
+            let n = frag.num_subjects();
+            let nshards = slots.min(n.max(1));
+            let per = n.div_ceil(nshards);
+            let (parts, _) = self
+                .compute
+                .run_search_sharded(self.ctx, slots, nshards, |i| {
+                    let lo = (i * per).min(n);
+                    let hi = ((i + 1) * per).min(n);
+                    let r = searcher.search_subject_range(frag, lo..hi, &mut scratches[i]);
+                    let stats = r.stats;
+                    (r, stats)
+                });
+            let merged = searcher.merge_sharded(parts, &mut scratches[0]);
+            (merged.per_query, merged.stats)
+        };
         self.stats_total.merge(&stats);
         tracelog::closed_span(
             tracelog::Lane::Search,

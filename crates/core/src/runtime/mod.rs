@@ -143,21 +143,32 @@ pub(crate) fn encode_grant(batch: u32, ids: &[usize], part: &PartitionMessage) -
     buf
 }
 
+/// Read a little-endian `u32` at `at`, or fail with a typed protocol
+/// error naming the field. Received frames must never be able to panic a
+/// rank, however truncated or garbled.
+fn read_u32(buf: &[u8], at: usize, what: &str) -> Result<u32, PioError> {
+    buf.get(at..at + 4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| PioError::Protocol(format!("grant frame truncated at {what}")))
+}
+
 /// Inverse of [`encode_grant`].
 pub(crate) fn decode_grant(buf: &[u8]) -> Result<(u32, Vec<u32>, PartitionMessage), PioError> {
-    if buf.len() < 8 {
-        return Err(PioError::Protocol("grant frame too short".into()));
-    }
-    let batch = u32::from_le_bytes(buf[..4].try_into().unwrap());
-    let n = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
-    if buf.len() < 8 + 4 * n {
+    let batch = read_u32(buf, 0, "batch")?;
+    let n = read_u32(buf, 4, "id count")? as usize;
+    // Bound the count by the frame itself before sizing anything: a
+    // garbage length can't trigger a huge allocation or an overflowing
+    // offset.
+    let ids_end = 8usize.saturating_add(n.saturating_mul(4));
+    if buf.len() < ids_end {
         return Err(PioError::Protocol("grant id list truncated".into()));
     }
     let ids = (0..n)
-        .map(|i| u32::from_le_bytes(buf[8 + 4 * i..12 + 4 * i].try_into().unwrap()))
-        .collect();
-    let part = PartitionMessage::decode(&buf[8 + 4 * n..])
-        .map_err(|e| PioError::Protocol(e.to_string()))?;
+        .map(|i| read_u32(buf, 8 + 4 * i, "fragment id"))
+        .collect::<Result<Vec<u32>, PioError>>()?;
+    let part =
+        PartitionMessage::decode(&buf[ids_end..]).map_err(|e| PioError::Protocol(e.to_string()))?;
     Ok((batch, ids, part))
 }
 
@@ -188,5 +199,35 @@ mod tests {
         assert_eq!(ids, vec![5, 9]);
         assert_eq!(got, part);
         assert!(decode_grant(&buf[..6]).is_err());
+    }
+
+    #[test]
+    fn malformed_grants_are_typed_errors_not_panics() {
+        // Satellite: every truncation point and garbage frame must fail
+        // with `PioError::Protocol`, never a slice or allocation panic.
+        let part = PartitionMessage::default();
+        let good = encode_grant(1, &[2, 3, 4], &part);
+        // Every proper prefix of a valid frame.
+        for cut in 0..good.len() {
+            match decode_grant(&good[..cut]) {
+                Ok((batch, ids, p)) => {
+                    // A prefix may only decode if it is itself coherent —
+                    // which a strict-length PartitionMessage rejects.
+                    panic!("prefix {cut} decoded: ({batch}, {ids:?}, {p:?})")
+                }
+                Err(PioError::Protocol(_)) => {}
+                Err(other) => panic!("prefix {cut}: wrong error kind {other:?}"),
+            }
+        }
+        // A length field claiming far more ids than the frame holds must
+        // not allocate or scan past the buffer.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&0u32.to_le_bytes());
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_grant(&lying), Err(PioError::Protocol(_))));
+        // Pure garbage.
+        for garbage in [&b""[..], &b"\xff"[..], &[0xAAu8; 37][..]] {
+            assert!(matches!(decode_grant(garbage), Err(PioError::Protocol(_))));
+        }
     }
 }

@@ -77,6 +77,8 @@ pub enum ProtocolError {
     /// Shared or private storage failed (e.g. a full file system); the
     /// run degrades to a typed error instead of aborting.
     Storage(String),
+    /// A received frame was truncated or otherwise undecodable.
+    Malformed(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -89,6 +91,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::MasterDied => write!(f, "master rank died"),
             ProtocolError::Aborted => write!(f, "aborted by master after a rank death"),
             ProtocolError::Storage(what) => write!(f, "storage failed: {what}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
         }
     }
 }
@@ -380,7 +383,8 @@ fn run_worker(
 
     // ---- startup ----
     let bundle_bytes = comm.bcast(MASTER, Bytes::new());
-    let bundle = QueryBundle::decode(&bundle_bytes).expect("valid query bundle");
+    let bundle = QueryBundle::decode(&bundle_bytes)
+        .map_err(|e| ProtocolError::Malformed(format!("query bundle: {e}")))?;
     let total_q_residues: u64 = bundle.queries.iter().map(|q| q.len() as u64).sum();
     let mut stats_total = SearchStats::default();
 
@@ -399,7 +403,14 @@ fn run_worker(
             .map_err(|_| ProtocolError::MasterDied)?;
         let fid = match m.tag {
             TAG_FRAG_ASSIGN => {
-                u32::from_le_bytes(m.payload[..4].try_into().expect("assign payload"))
+                let raw: [u8; 4] = m
+                    .payload
+                    .get(..4)
+                    .and_then(|b| b.try_into().ok())
+                    .ok_or_else(|| {
+                        ProtocolError::Malformed("fragment assignment lacks an id".into())
+                    })?;
+                u32::from_le_bytes(raw)
             }
             TAG_ABORT => return Err(ProtocolError::Aborted),
             other => {

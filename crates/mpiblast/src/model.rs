@@ -49,6 +49,10 @@ pub struct ModelParams {
     /// list deserialization and bookkeeping; mpiBLAST sends one message
     /// per (fragment, query) pair).
     pub per_submission: f64,
+    /// Seconds of fork/join overhead per subject shard when a fragment
+    /// search is spread across intra-rank compute slots (thread wake,
+    /// work handoff, and the merge's share of the join).
+    pub per_fork_join: f64,
 }
 
 impl Default for ModelParams {
@@ -64,9 +68,14 @@ impl Default for ModelParams {
             per_prepare_residue: 0.5e-6,
             per_fetch: 250e-6,
             per_submission: 1.0e-3,
+            per_fork_join: 5e-6,
         }
     }
 }
+
+/// Per-shard fork/join seconds charged in `Measured` mode (where there
+/// are no model coefficients to draw from), before the wall-time scale.
+const MEASURED_FORK_JOIN: f64 = 5e-6;
 
 impl ComputeModel {
     /// Deterministic test default.
@@ -93,6 +102,7 @@ impl ComputeModel {
                 per_prepare_residue: p.per_prepare_residue * factor,
                 per_fetch: p.per_fetch * factor,
                 per_submission: p.per_submission * factor,
+                per_fork_join: p.per_fork_join * factor,
             }),
         }
     }
@@ -122,6 +132,55 @@ impl ComputeModel {
                 (out, stats)
             }
         }
+    }
+
+    /// Run a fragment search sharded across `slots` intra-rank compute
+    /// slots. `shard(i)` executes shard `i`'s real subject scan and
+    /// returns its value plus that shard's own [`SearchStats`]; the
+    /// engine packs the shards onto slots and charges the *maximum* slot
+    /// load plus per-shard fork/join overhead
+    /// ([`ModelParams::per_fork_join`], or a fixed `MEASURED_FORK_JOIN`
+    /// constant of the same magnitude in `Measured` mode). In `Modeled` mode the fragment's fixed setup
+    /// cost (`per_fragment`) is charged once, serially, before the fork —
+    /// kernel init does not replicate per shard. Returns the shard values
+    /// in shard order and the merged stats.
+    pub fn run_search_sharded<T>(
+        &self,
+        ctx: &RankCtx,
+        slots: usize,
+        nshards: usize,
+        mut shard: impl FnMut(usize) -> (T, SearchStats),
+    ) -> (Vec<T>, SearchStats) {
+        let outs = match *self {
+            ComputeModel::Measured { scale } => {
+                let fork_join = SimDuration::from_secs_f64(MEASURED_FORK_JOIN * scale);
+                ctx.compute_parallel(slots, fork_join, nshards, |i| {
+                    let start = std::time::Instant::now();
+                    let (v, stats) = shard(i);
+                    let d = SimDuration::from_secs_f64(start.elapsed().as_secs_f64() * scale);
+                    ((v, stats), d)
+                })
+            }
+            ComputeModel::Modeled(p) => {
+                ctx.charge(SimDuration::from_secs_f64(p.per_fragment));
+                let fork_join = SimDuration::from_secs_f64(p.per_fork_join);
+                ctx.compute_parallel(slots, fork_join, nshards, |i| {
+                    let (v, stats) = shard(i);
+                    let secs = p.per_residue * stats.residues as f64
+                        + p.per_seed * stats.seed_hits as f64
+                        + p.per_ungapped * stats.ungapped_extensions as f64
+                        + p.per_gapped * stats.gapped_extensions as f64;
+                    ((v, stats), SimDuration::from_secs_f64(secs))
+                })
+            }
+        };
+        let mut total = SearchStats::default();
+        let mut vals = Vec::with_capacity(outs.len());
+        for (v, stats) in outs {
+            total.merge(&stats);
+            vals.push(v);
+        }
+        (vals, total)
     }
 
     /// Run output formatting that produces `bytes` of text.
@@ -234,6 +293,34 @@ mod tests {
         // + 0.08ms format + 1ms merge ≈ 63 ms.
         let secs = a as f64 / 1e9;
         assert!((0.05..0.08).contains(&secs), "charged {secs}s");
+    }
+
+    #[test]
+    fn sharded_search_charges_slot_parallel_time() {
+        let run = |slots: usize| {
+            let sim = Sim::new(1);
+            sim.run(move |ctx| {
+                let model = ComputeModel::modeled();
+                let stats = SearchStats {
+                    subjects: 1,
+                    residues: 1_000_000,
+                    seed_hits: 0,
+                    ungapped_extensions: 0,
+                    gapped_extensions: 0,
+                    hsps_kept: 0,
+                };
+                let (vals, total) = model.run_search_sharded(&ctx, slots, 4, |i| (i, stats));
+                assert_eq!(vals, vec![0, 1, 2, 3], "shard values in shard order");
+                assert_eq!(total.residues, 4_000_000, "stats merge across shards");
+                ctx.now().0
+            })
+            .outputs[0]
+        };
+        // 4 equal 40 ms shards + 20 ms per-fragment setup (charged once)
+        // + 4 x 5 us fork/join. One slot serializes the shards; four
+        // slots overlap them completely.
+        assert_eq!(run(1), 180_020_000);
+        assert_eq!(run(4), 60_020_000);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct Platform {
     /// Wall-time scale factor for measured compute (1.0 = charge host
     /// time as-is).
     pub compute_scale: f64,
+    /// CPU cores available to one rank's node — the ceiling on intra-rank
+    /// compute slots (`--threads`).
+    pub cores_per_node: usize,
 }
 
 impl Platform {
@@ -34,6 +37,9 @@ impl Platform {
             local_disk: None,
             aggregators: 8,
             compute_scale: 1.0,
+            // The 256-way Itanium2 SMP: at the paper's 16-way runs each
+            // rank can fan out across 16 CPUs of the shared machine.
+            cores_per_node: 16,
         }
     }
 
@@ -46,6 +52,24 @@ impl Platform {
             local_disk: Some(FsProfile::local_disk()),
             aggregators: 4,
             compute_scale: 1.0,
+            // HS20 blades: dual-socket single-core Xeons with
+            // HyperThreading — four schedulable hardware threads.
+            cores_per_node: 4,
+        }
+    }
+
+    /// A modern many-core commodity node: blade-class network and NFS
+    /// but 64 cores per node, for exploring intra-rank slot scaling well
+    /// past the 2005 hardware.
+    pub fn manycore() -> Platform {
+        Platform {
+            name: "Many-core Commodity Cluster".to_string(),
+            net: NetProfile::blade_gigabit(),
+            shared_fs: FsProfile::blade_nfs(),
+            local_disk: Some(FsProfile::local_disk()),
+            aggregators: 4,
+            compute_scale: 1.0,
+            cores_per_node: 64,
         }
     }
 }
@@ -105,6 +129,13 @@ mod tests {
         let (fs, prefix) = env.private_store(1);
         assert_eq!(fs.name(), "local1");
         assert!(prefix.is_empty());
+    }
+
+    #[test]
+    fn cores_per_node_are_historically_honest() {
+        assert_eq!(Platform::altix().cores_per_node, 16);
+        assert_eq!(Platform::blade_cluster().cores_per_node, 4);
+        assert!(Platform::manycore().cores_per_node >= 32);
     }
 
     #[test]

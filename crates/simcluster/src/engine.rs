@@ -785,6 +785,62 @@ impl RankCtx {
         out
     }
 
+    /// Run `nslices` independent compute slices and charge their
+    /// *slot-parallel* virtual time: each slice reports the virtual
+    /// duration it would cost serially, slices are packed onto `slots`
+    /// compute slots (deterministic greedy least-loaded, ties broken
+    /// toward the lowest slot index), and the rank's clock advances by
+    /// the maximum slot load plus `fork_join` overhead per slice.
+    ///
+    /// The slices themselves execute serially in real time on this
+    /// rank's thread — the engine still coschedules exactly one OS
+    /// thread — so measured compute stays honest, and a kill or fault
+    /// tears down every slot with the rank (the only blocking point is
+    /// the single trailing [`RankCtx::charge`], which unwinds through
+    /// the scheduler's shutdown gate like any other block).
+    ///
+    /// Each slot's packed slices are mirrored onto the rank's
+    /// [`tracelog::Lane::Search`] timeline as retroactive `search.slot`
+    /// spans carrying `slot`/`slice` arguments: slot `k`'s spans tile
+    /// `[t0, t0 + load_k)` where `t0` is the clock at the call. The
+    /// Chrome exporter turns these into per-slot sub-lanes.
+    pub fn compute_parallel<T>(
+        &self,
+        slots: usize,
+        fork_join: SimDuration,
+        nslices: usize,
+        mut slice: impl FnMut(usize) -> (T, SimDuration),
+    ) -> Vec<T> {
+        assert!(slots > 0, "compute_parallel needs at least one slot");
+        let t0 = self.now().0;
+        let mut outs = Vec::with_capacity(nslices);
+        let mut costs: Vec<u64> = Vec::with_capacity(nslices);
+        for i in 0..nslices {
+            let (v, d) = slice(i);
+            outs.push(v);
+            costs.push(d.0);
+        }
+        let nslots = slots.min(nslices.max(1));
+        let mut loads = vec![0u64; nslots];
+        for (i, &cost) in costs.iter().enumerate() {
+            let k = (0..nslots)
+                .min_by_key(|&k| (loads[k], k))
+                .expect("at least one slot");
+            let start = t0 + loads[k];
+            loads[k] += cost;
+            tracelog::closed_span(
+                tracelog::Lane::Search,
+                "search.slot",
+                start,
+                t0 + loads[k],
+                vec![("slot", k.into()), ("slice", i.into())],
+            );
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        self.charge(SimDuration(max_load + fork_join.0 * nslices as u64));
+        outs
+    }
+
     /// Post a message to `dst` arriving after `delay`. This is the raw
     /// primitive; the `mpisim` crate layers send-side occupancy and
     /// latency/bandwidth models over it.
@@ -1193,6 +1249,105 @@ mod tests {
             ctx.now()
         });
         assert!(out.outputs[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn compute_parallel_charges_max_over_slots() {
+        // Costs 3/1/1/1 s on two slots pack greedily as slot0=[3],
+        // slot1=[1,1,1]: elapsed is the 3 s maximum, not the 6 s sum.
+        let costs = [3u64, 1, 1, 1];
+        let run = |slots: usize| {
+            let sim = Sim::new(1);
+            let out = sim.run(move |ctx| {
+                let vals = ctx.compute_parallel(slots, SimDuration::ZERO, costs.len(), |i| {
+                    (i, SimDuration::from_secs(costs[i]))
+                });
+                assert_eq!(vals, vec![0, 1, 2, 3], "slice results in slice order");
+                ctx.now()
+            });
+            out.outputs[0]
+        };
+        assert_eq!(run(1), SimTime(6_000_000_000));
+        assert_eq!(run(2), SimTime(3_000_000_000));
+        // More slots than slices: bounded by the longest slice.
+        assert_eq!(run(8), SimTime(3_000_000_000));
+    }
+
+    #[test]
+    fn compute_parallel_charges_fork_join_per_slice() {
+        let sim = Sim::new(1);
+        let out = sim.run(|ctx| {
+            ctx.compute_parallel(4, SimDuration::from_micros(10), 3, |_| {
+                ((), SimDuration::from_millis(1))
+            });
+            ctx.now()
+        });
+        // max slot load (1 ms) + 3 slices x 10 us fork/join.
+        assert_eq!(out.outputs[0], SimTime(1_030_000));
+    }
+
+    #[test]
+    fn compute_parallel_traces_per_slot_spans() {
+        let sim = Sim::new(1);
+        let tracer = tracelog::Tracer::new(1);
+        sim.set_tracer(tracer.clone());
+        let out = sim.run(|ctx| {
+            ctx.charge(SimDuration::from_micros(1));
+            ctx.compute_parallel(2, SimDuration::ZERO, 3, |i| {
+                ((), SimDuration::from_micros(1 + i as u64))
+            });
+            ctx.now()
+        });
+        let trace = tracer.finish(out.elapsed.0);
+        // Slices 1/2/3 us on two slots: slot0=[1,3] us, slot1=[2] us.
+        let spans: Vec<(u64, u64, u64)> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "search.slot" && e.kind == tracelog::EventKind::Begin)
+            .map(|e| {
+                let slot = e
+                    .args
+                    .iter()
+                    .find_map(|(k, v)| match (k, v) {
+                        (&"slot", tracelog::ArgVal::U64(s)) => Some(*s),
+                        _ => None,
+                    })
+                    .expect("slot arg");
+                let slice = e
+                    .args
+                    .iter()
+                    .find_map(|(k, v)| match (k, v) {
+                        (&"slice", tracelog::ArgVal::U64(s)) => Some(*s),
+                        _ => None,
+                    })
+                    .expect("slice arg");
+                (slot, slice, e.t)
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![(0, 0, 1_000), (1, 1, 1_000), (0, 2, 2_000)],
+            "slot-packed starts offset from the call time"
+        );
+        assert_eq!(out.outputs[0], SimTime(1_000 + 4_000));
+    }
+
+    #[test]
+    fn kill_tears_down_compute_slots() {
+        // A rank killed while charging slot-parallel compute yields no
+        // output: the slices already ran on the rank thread, and the
+        // trailing charge unwinds through the shutdown gate.
+        let sim = Sim::new(2);
+        let plan = FaultPlan::none().kill_at(1, SimTime(5_000));
+        let out = sim.run_faulty(plan, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.compute_parallel(4, SimDuration::ZERO, 8, |_| ((), SimDuration::from_secs(1)));
+            }
+            ctx.rank()
+        });
+        assert_eq!(out.killed, vec![1]);
+        assert_eq!(out.outputs[0], Some(0));
+        assert_eq!(out.outputs[1], None);
     }
 
     #[test]

@@ -14,15 +14,40 @@
 //! are dropped; spans left open by a killed rank are closed at the
 //! wall clock).
 //!
+//! **Slot sub-lanes.** [`Lane::Search`] begin events carrying a
+//! `("slot", k)` argument — the DES engine's virtual compute slots —
+//! are routed to a dedicated thread per slot (`tid` =
+//! [`SLOT_TID_BASE`]` + k`, labelled "search slot k") so overlapping
+//! slot slices render side by side instead of as a bogus nested stack.
+//! The matching end event carries no arguments; it is paired by record
+//! adjacency — `closed_span` records a span's begin and end back to
+//! back on the rank thread, so the end's per-rank `seq` is exactly the
+//! begin's plus one.
+//!
 //! The output is deliberately line-oriented — one event object per
 //! line, fixed field order — so the [`crate::check`] validator and the
 //! determinism tests can treat it as a stable byte stream.
 
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 
 use crate::analyze;
 use crate::event::{ArgVal, EventKind, Lane};
 use crate::sink::Trace;
+
+/// Exported `tid` of compute slot 0; slot `k` maps to `SLOT_TID_BASE + k`.
+/// Far above every [`Lane::tid`] so slot threads can never collide with
+/// a lane thread.
+pub const SLOT_TID_BASE: u64 = 100;
+
+/// The `("slot", k)` argument that marks a Search-lane begin as a
+/// compute-slot slice.
+fn slot_arg(args: &[(&'static str, ArgVal)]) -> Option<u64> {
+    args.iter().find_map(|(k, v)| match (*k, v) {
+        ("slot", ArgVal::U64(n)) => Some(*n),
+        _ => None,
+    })
+}
 
 fn esc(s: &str, out: &mut String) {
     for ch in s.chars() {
@@ -108,12 +133,34 @@ pub fn export_chrome(trace: &Trace, filter: Option<&[Lane]>) -> String {
     let included = |lane: Lane| filter.is_none_or(|f| f.contains(&lane));
     let mut lines: Vec<String> = Vec::new();
 
+    // Which (rank, slot) sub-lanes does this trace use? Collected up
+    // front so their thread names sit with the other metadata.
+    let mut slot_tids: BTreeSet<(usize, u64)> = BTreeSet::new();
+    if included(Lane::Search) {
+        for e in &trace.events {
+            if e.lane == Lane::Search && e.kind == EventKind::Begin {
+                if let Some(k) = slot_arg(&e.args) {
+                    slot_tids.insert((e.rank, SLOT_TID_BASE + k));
+                }
+            }
+        }
+    }
+
     for rank in 0..trace.nranks {
         meta_line("process_name", rank, 0, &format!("rank {rank}"), &mut lines);
         for lane in Lane::ALL {
             if included(lane) {
                 meta_line("thread_name", rank, lane.tid(), lane.label(), &mut lines);
             }
+        }
+        for &(r, tid) in slot_tids.range((rank, 0)..(rank + 1, 0)) {
+            meta_line(
+                "thread_name",
+                r,
+                tid,
+                &format!("search slot {}", tid - SLOT_TID_BASE),
+                &mut lines,
+            );
         }
     }
 
@@ -151,6 +198,11 @@ pub fn export_chrome(trace: &Trace, filter: Option<&[Lane]>) -> String {
     let mut stacks: Vec<Vec<Vec<String>>> =
         vec![Lane::ALL.map(|_| Vec::new()).to_vec(); trace.nranks];
     let lane_idx = |lane: Lane| Lane::ALL.iter().position(|l| *l == lane).unwrap();
+    // Slot slices awaiting their end event, keyed by the `(rank, seq)`
+    // the end will carry (begin's seq + 1 — `closed_span` records the
+    // pair adjacently). Slot ends can't use the lane stacks: slices on
+    // different slots overlap, so time order is not stack order.
+    let mut slot_pending: HashMap<(usize, u64), (u64, String)> = HashMap::new();
     for e in &trace.events {
         if e.lane == Lane::Phase || !included(e.lane) {
             continue;
@@ -158,10 +210,22 @@ pub fn export_chrome(trace: &Trace, filter: Option<&[Lane]>) -> String {
         let tid = e.lane.tid();
         match e.kind {
             EventKind::Begin => {
+                if e.lane == Lane::Search {
+                    if let Some(k) = slot_arg(&e.args) {
+                        let tid = SLOT_TID_BASE + k;
+                        slot_pending.insert((e.rank, e.seq + 1), (tid, e.name.to_string()));
+                        event_line(&e.name, 'B', e.rank, tid, e.t, &e.args, false, &mut lines);
+                        continue;
+                    }
+                }
                 stacks[e.rank][lane_idx(e.lane)].push(e.name.to_string());
                 event_line(&e.name, 'B', e.rank, tid, e.t, &e.args, false, &mut lines);
             }
             EventKind::End => {
+                if let Some((tid, name)) = slot_pending.remove(&(e.rank, e.seq)) {
+                    event_line(&name, 'E', e.rank, tid, e.t, &e.args, false, &mut lines);
+                    continue;
+                }
                 if let Some(name) = stacks[e.rank][lane_idx(e.lane)].pop() {
                     event_line(&name, 'E', e.rank, tid, e.t, &e.args, false, &mut lines);
                 }
@@ -183,7 +247,14 @@ pub fn export_chrome(trace: &Trace, filter: Option<&[Lane]>) -> String {
             }
         }
     }
-    // Close anything a killed rank left open.
+    // Close anything a killed rank left open. Slot slices first: a
+    // begin whose adjacent end never arrived (it was recorded by some
+    // path other than `closed_span`) must still balance.
+    let mut stranded: Vec<((usize, u64), (u64, String))> = slot_pending.into_iter().collect();
+    stranded.sort_by_key(|&((rank, seq), _)| (rank, seq));
+    for ((rank, _), (tid, name)) in stranded {
+        event_line(&name, 'E', rank, tid, trace.wall, &[], false, &mut lines);
+    }
     for (rank, lanes) in stacks.iter_mut().enumerate() {
         for (li, stack) in lanes.iter_mut().enumerate() {
             while let Some(name) = stack.pop() {
@@ -324,6 +395,103 @@ mod tests {
         let trace = tracer.finish(10);
         let json = export_chrome(&trace, Some(&[Lane::Io]));
         assert!(!json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn slot_slices_get_their_own_sub_lanes() {
+        // Two compute-slot slices overlapping in virtual time on rank 0,
+        // recorded the way `closed_span` records them (begin and end
+        // back to back, so their seqs are adjacent), under an ordinary
+        // search.fragment span on the plain Search thread.
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            10,
+            Lane::Search,
+            EventKind::Begin,
+            "search.slot".into(),
+            vec![("slot", ArgVal::U64(0)), ("slice", ArgVal::U64(0))],
+        );
+        tracer.record(0, 40, Lane::Search, EventKind::End, "".into(), Vec::new());
+        tracer.record(
+            0,
+            10,
+            Lane::Search,
+            EventKind::Begin,
+            "search.slot".into(),
+            vec![("slot", ArgVal::U64(1)), ("slice", ArgVal::U64(1))],
+        );
+        tracer.record(0, 25, Lane::Search, EventKind::End, "".into(), Vec::new());
+        tracer.record(
+            0,
+            10,
+            Lane::Search,
+            EventKind::Begin,
+            "search.fragment".into(),
+            Vec::new(),
+        );
+        tracer.record(0, 40, Lane::Search, EventKind::End, "".into(), Vec::new());
+        let trace = tracer.finish(50);
+        let json = export_chrome(&trace, None);
+
+        // Each used slot gets a labelled sub-thread.
+        assert!(json.contains(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"search slot 0\"}}}}",
+            SLOT_TID_BASE
+        )));
+        assert!(json.contains("\"search slot 1\""));
+        // Slot 1's end at 25 ns routes to tid 101 even though slot 0's
+        // slice (begun earlier in record order) is still open — the
+        // overlap a naive per-lane stack would mispair.
+        assert!(json.contains(&format!(
+            "{{\"name\":\"search.slot\",\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":0.025}}",
+            SLOT_TID_BASE + 1
+        )));
+        assert!(json.contains(&format!(
+            "{{\"name\":\"search.slot\",\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":0.040}}",
+            SLOT_TID_BASE
+        )));
+        // The wrapping fragment span stays on the plain Search thread.
+        assert!(json.contains(&format!(
+            "{{\"name\":\"search.fragment\",\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":0.040}}",
+            Lane::Search.tid()
+        )));
+        // And the whole export passes the trace-check validator:
+        // balanced depth and monotone time on every thread, slot
+        // sub-threads included.
+        let stats = crate::check::validate_chrome(&json).expect("slot export validates");
+        assert!(stats.spans >= 3);
+    }
+
+    #[test]
+    fn stranded_slot_begin_is_closed_at_the_wall() {
+        // A slot-tagged begin whose adjacent record is not its end (not
+        // produced by `closed_span`): the exporter must still balance
+        // it, at the wall clock.
+        let tracer = Tracer::new(1);
+        tracer.record(
+            0,
+            5,
+            Lane::Search,
+            EventKind::Begin,
+            "search.slot".into(),
+            vec![("slot", ArgVal::U64(2))],
+        );
+        tracer.record(
+            0,
+            6,
+            Lane::Search,
+            EventKind::Instant,
+            "note".into(),
+            Vec::new(),
+        );
+        let trace = tracer.finish(30);
+        let json = export_chrome(&trace, None);
+        assert!(json.contains(&format!(
+            "{{\"name\":\"search.slot\",\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":0.030}}",
+            SLOT_TID_BASE + 2
+        )));
+        crate::check::validate_chrome(&json).expect("stranded slot begin still balances");
     }
 
     #[test]

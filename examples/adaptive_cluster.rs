@@ -88,6 +88,7 @@ fn main() {
             fault: Default::default(),
             checkpoint: false,
             rank_compute: Some(scales.clone()),
+            threads: 1,
             io: Default::default(),
         };
         let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

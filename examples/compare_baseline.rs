@@ -68,6 +68,7 @@ fn main() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     let pio = sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));

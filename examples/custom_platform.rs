@@ -23,6 +23,7 @@ fn custom(name: &str, shared: FsProfile, net: NetProfile) -> Platform {
         local_disk: Some(FsProfile::local_disk()),
         aggregators: 4,
         compute_scale: 1.0,
+        cores_per_node: 8,
     }
 }
 
@@ -98,6 +99,7 @@ fn main() {
                     fault: Default::default(),
                     checkpoint: false,
                     rank_compute: None,
+                    threads: 1,
                     io: Default::default(),
                 };
                 sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed

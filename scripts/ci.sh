@@ -20,7 +20,12 @@ cargo test --release -q --test fault_recovery collective_input_under_recovery_is
 # Recover) must stay byte-identical to the sync plane, and malformed
 # inputs / a full file system must degrade to typed errors, not aborts.
 cargo test --release -q --test async_io
-# Bench targets (paper exhibits + kernel perf gate) must at least compile.
+# Intra-rank compute slots: the sharded subject scan + deterministic
+# merge must stay byte-identical to the serial kernel across shard
+# counts x fragment shapes x Recover kills x the async plane.
+cargo test --release -q --test hybrid
+# Bench targets (paper exhibits + kernel perf gate, ablate_hybrid
+# included via --workspace) must at least compile.
 cargo bench --workspace --no-run
 cargo clippy -- -D warnings
 # The I/O plane is a public API layer: its docs must build clean.
@@ -46,3 +51,11 @@ cli=target/release/pioblast-sim
   --out "$tracetmp/report-async.txt" --trace "$tracetmp/trace-async.json"
 "$cli" trace-check --in "$tracetmp/trace-async.json"
 cmp "$tracetmp/report.txt" "$tracetmp/report-async.txt"
+# Slot-parallel run: four compute slots per worker must export a
+# well-formed trace (per-slot Search sub-lanes validate too) and the
+# report must stay byte-identical to the serial run.
+"$cli" run --program pio --procs 4 --threads 4 \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/report-hybrid.txt" --trace "$tracetmp/trace-hybrid.json"
+"$cli" trace-check --in "$tracetmp/trace-hybrid.json"
+cmp "$tracetmp/report.txt" "$tracetmp/report-hybrid.txt"

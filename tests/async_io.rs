@@ -60,6 +60,7 @@ struct Opts {
     checkpoint: bool,
     query_batch: Option<usize>,
     rank_compute: Option<Vec<f64>>,
+    threads: usize,
     plan: FaultPlan,
 }
 
@@ -78,6 +79,7 @@ impl Default for Opts {
             checkpoint: false,
             query_batch: None,
             rank_compute: None,
+            threads: 1,
             plan: FaultPlan::none(),
         }
     }
@@ -108,6 +110,7 @@ fn run_opts(opts: Opts) -> (Vec<u8>, Vec<usize>) {
         fault: opts.fault,
         checkpoint: opts.checkpoint,
         rank_compute: opts.rank_compute.clone(),
+        threads: opts.threads,
         io: mpiio::IoOptions {
             strategy: opts.strategy,
             io_async: opts.io_async,
@@ -260,6 +263,7 @@ fn run_corrupted(
         fault,
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).outputs
@@ -346,6 +350,7 @@ fn full_file_system_degrades_output_to_typed_errors() {
             fault: FaultMode::Off,
             checkpoint: false,
             rank_compute: None,
+            threads: 1,
             io: mpiio::IoOptions {
                 io_async,
                 ..Default::default()

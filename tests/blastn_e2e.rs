@@ -59,6 +59,7 @@ fn blastn_all_three_implementations_agree() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));

@@ -69,6 +69,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -113,6 +114,7 @@ fn phase_totals_cover_the_run() {
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -159,6 +161,7 @@ fn virtual_time_is_host_independent() {
                 fault: Default::default(),
                 checkpoint: false,
                 rank_compute: None,
+                threads: 1,
                 io: Default::default(),
             };
             let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -197,6 +200,7 @@ fn measured_and_modeled_modes_agree_on_results() {
             fault: Default::default(),
             checkpoint: false,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
@@ -232,6 +236,7 @@ fn nfs_slows_everything_down() {
             fault: Default::default(),
             checkpoint: false,
             rank_compute: None,
+            threads: 1,
             io: Default::default(),
         };
         totals.push(sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed);

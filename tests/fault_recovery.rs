@@ -75,6 +75,7 @@ fn run_recover_opts(
         fault: FaultMode::Recover,
         checkpoint,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));

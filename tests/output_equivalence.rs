@@ -82,6 +82,7 @@ fn run_pio(
         fault: Default::default(),
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));

@@ -82,6 +82,7 @@ fn run_pio_traced(
         fault,
         checkpoint: false,
         rank_compute: None,
+        threads: 1,
         io: Default::default(),
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
