@@ -97,6 +97,7 @@ fn main() {
                 rank_compute: None,
                 threads: 1,
                 io: Default::default(),
+                service: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             let input_max = outcome

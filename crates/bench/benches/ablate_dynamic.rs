@@ -58,6 +58,7 @@ fn main() {
                 rank_compute: Some(scales.clone()),
                 threads: 1,
                 io: Default::default(),
+                service: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             totals.push(outcome.elapsed.as_secs_f64());

@@ -75,6 +75,7 @@ fn run_mode(platform: &Platform, checkpoint: bool) -> Vec<Run> {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         let outcome = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
         assert_eq!(outcome.killed.len(), failures, "every planned kill fires");

@@ -71,6 +71,7 @@ fn run_one(platform: &Platform, workload: &Workload, slots: usize) -> Run {
         rank_compute: None,
         threads: slots,
         io: Default::default(),
+        service: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     for r in &outcome.outputs {

@@ -99,6 +99,7 @@ fn run_one(
             io_async,
             ..Default::default()
         },
+        service: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     for r in &outcome.outputs {

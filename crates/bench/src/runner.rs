@@ -228,6 +228,7 @@ pub fn run_traced(
                 rank_compute: None,
                 threads: pio_options.threads,
                 io: Default::default(),
+                service: None,
             };
             let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             let reports: Vec<RankReport> = outcome

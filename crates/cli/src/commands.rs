@@ -56,9 +56,22 @@ USAGE:
                         [--dynamic] [--fault-detect] [--recover] [--checkpoint]
                         [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
                         [--io-async] [--trace out.json] [--trace-filter LANE[,LANE...]]
+  pioblast-sim serve    --procs N --db-dir DIR --queries q.fa --out report.txt
+                        [--platform altix|blade|manycore] [--users N] [--stream-batches N]
+                        [--mean-gap-ms N] [--resident-mb N] [--affinity] [--frags N]
+                        [--threads N] [--io-async] [--recover] [--checkpoint] [--seed S]
+                        [--measured] [--dna] [--trace out.json] [--trace-filter LANE[,...]]
   pioblast-sim trace-check --in trace.json
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
+
+serve replays a seeded query stream (--users users submitting
+--stream-batches batches, inter-arrival gaps averaging --mean-gap-ms)
+against a long-lived cluster. Each stream batch's report is written to
+<--out>.q<batch> and is byte-identical to running that batch alone.
+--resident-mb caps each worker's resident fragment store (0 keeps
+nothing); --affinity re-grants fragments to the workers that already
+hold them, so resident re-grants skip their reads entirely.
 
 --threads N (pio only) shards each granted fragment's subjects across N
 intra-rank compute slots with a deterministic merge — output bytes never
@@ -79,6 +92,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "formatdb" => cmd_formatdb(args),
         "sample" => cmd_sample(args),
         "run" => cmd_run(args),
+        "serve" => cmd_serve(args),
         "trace-check" => cmd_trace_check(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -335,6 +349,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
                 rank_compute: None,
                 threads,
                 io: io_options(args)?,
+                service: None,
             };
             let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             for r in &o.outputs {
@@ -377,6 +392,142 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
         stats.messages,
         report.len(),
         out
+    ))
+}
+
+/// `serve`: replay a seeded query stream against a long-lived cluster,
+/// writing each stream batch's report to `<out>.q<batch>`.
+fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let nprocs = args.require_u64("procs")? as usize;
+    if nprocs < 2 {
+        return Err(CliError("--procs must be at least 2".into()));
+    }
+    let db_dir = args.require("db-dir")?;
+    let queries_path = args.require("queries")?;
+    let out = args.require("out")?.to_string();
+    let platform = match args.get("platform").unwrap_or("altix") {
+        "altix" => Platform::altix(),
+        "blade" => Platform::blade_cluster(),
+        "manycore" => Platform::manycore(),
+        other => return Err(CliError(format!("unknown platform {other:?}"))),
+    };
+    let users = args.u64_or("users", 4)? as u32;
+    if users == 0 {
+        return Err(CliError("--users must be at least 1".into()));
+    }
+    let nbatches = args.u64_or("stream-batches", 8)? as usize;
+    if nbatches == 0 {
+        return Err(CliError("--stream-batches must be at least 1".into()));
+    }
+    let mean_gap_ms = args.u64_or("mean-gap-ms", 1)?;
+    let resident_mb = args.u64_or("resident-mb", 0)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.u64_or("threads", 1)? as usize;
+    let molecule = molecule_of(args);
+    let params = match molecule {
+        Molecule::Protein => SearchParams::blastp(),
+        Molecule::Dna => SearchParams::blastn(),
+    };
+    let compute = if args.flag("measured") {
+        ComputeModel::measured()
+    } else {
+        ComputeModel::modeled()
+    };
+    let db = load_db(db_dir)?;
+    let query_text = fs::read(queries_path)?;
+    let queries = fasta::parse(molecule, &query_text)
+        .map_err(|e| CliError(format!("parsing {queries_path}: {e}")))?;
+    if queries.len() < nbatches {
+        return Err(CliError(format!(
+            "--stream-batches {} needs at least that many queries ({queries_path} holds {})",
+            nbatches,
+            queries.len()
+        )));
+    }
+    let plan = pioblast::QueryStreamPlan::generate(
+        users,
+        nbatches,
+        queries.len(),
+        mean_gap_ms * 1_000_000,
+        seed,
+    );
+
+    let filter = trace_filter(args)?;
+    let sim = Sim::new(nprocs);
+    let tracer = tracelog::Tracer::new(nprocs);
+    sim.set_tracer(tracer.clone());
+    let env = ClusterEnv::new(&sim, &platform);
+    let db_alias = mpiblast::setup::stage_shared_db(&env.shared, &db);
+    let query_path = stage_queries(&env.shared, &queries);
+    let output_path = "report.txt".to_string();
+    let cfg = PioBlastConfig {
+        platform,
+        env: env.clone(),
+        compute,
+        params,
+        report: ReportOptions::default(),
+        db_alias,
+        query_path,
+        output_path: output_path.clone(),
+        num_fragments: args.u64_opt("frags")?.map(|v| v as usize),
+        collective_output: false,
+        local_prune: false,
+        query_batch: None,
+        collective_input: false,
+        schedule: pioblast::FragmentSchedule::Dynamic,
+        fault: if args.flag("recover") {
+            pioblast::FaultMode::Recover
+        } else {
+            pioblast::FaultMode::Off
+        },
+        checkpoint: args.flag("checkpoint"),
+        rank_compute: None,
+        threads,
+        io: io_options(args)?,
+        service: Some(pioblast::ServiceOptions {
+            plan,
+            resident_bytes: resident_mb << 20,
+            affinity: args.flag("affinity"),
+        }),
+    };
+    let o = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
+    for r in &o.outputs {
+        if let Err(e) = r {
+            return Err(CliError(format!("serve failed: {e}")));
+        }
+    }
+    let mut bytes = 0usize;
+    for b in 0..nbatches {
+        let report = env
+            .shared
+            .peek(&format!("{output_path}.q{b}"))
+            .map_err(|e| CliError(format!("stream batch {b} produced no report: {e}")))?;
+        bytes += report.len();
+        fs::write(format!("{out}.q{b}"), &report)?;
+    }
+    let trace = tracer.finish(o.elapsed.since(simcluster::SimTime::ZERO).0);
+    let metrics = pioblast::ServiceMetrics::from_trace(&trace);
+    let mut trace_note = String::new();
+    if let Some(path) = args.get("trace") {
+        let json = tracelog::chrome::export_chrome(&trace, filter.as_deref());
+        fs::write(path, &json)?;
+        trace_note = format!(", trace {} events -> {path}", trace.events.len());
+    }
+    Ok(format!(
+        "pioBLAST service, {nprocs} processes on {}: {} users x {} batches in {:.3}s virtual time, \
+         {:.2} queries/s, p50 {:.3}s, p99 {:.3}s, hit rate {:.1}% ({}/{} grants), \
+         {bytes} report bytes -> {out}.q0..q{}{trace_note}",
+        db.alias.title,
+        users,
+        nbatches,
+        o.elapsed.as_secs_f64(),
+        metrics.queries_per_sec,
+        metrics.p50_latency_s,
+        metrics.p99_latency_s,
+        100.0 * metrics.hit_rate(),
+        metrics.cache_hits,
+        metrics.cache_hits + metrics.cache_misses,
+        nbatches - 1
     ))
 }
 
@@ -556,6 +707,115 @@ mod tests {
         // The platform ceiling itself is fine (blade HS20s expose four
         // hardware threads).
         run(&["--platform", "blade", "--threads", "4"]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_streams_batches_and_reports_metrics() {
+        let dir = tmpdir("serve");
+        let fa = dir.join("db.fa");
+        let qfa = dir.join("q.fa");
+        let dbdir = dir.join("db");
+        dispatch(&args(&[
+            "gen",
+            "--residues",
+            "30k",
+            "--seed",
+            "5",
+            "--out",
+            fa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "formatdb",
+            "--in",
+            fa.to_str().unwrap(),
+            "--title",
+            "servedb",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "sample",
+            "--in",
+            fa.to_str().unwrap(),
+            "--bytes",
+            "2k",
+            "--out",
+            qfa.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Affinity on and off: per-batch reports must agree byte for
+        // byte (residency is a cache, never a result change), and the
+        // affinity run must actually hit its resident store.
+        let serve = |label: &str, extra: &[&str]| {
+            let out = dir.join(format!("svc-{label}.txt"));
+            let mut v = vec![
+                "serve",
+                "--procs",
+                "4",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--queries",
+                qfa.to_str().unwrap(),
+                "--users",
+                "2",
+                "--stream-batches",
+                "3",
+                "--seed",
+                "9",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            let msg = dispatch(&args(&v)).unwrap();
+            let reports: Vec<Vec<u8>> = (0..3)
+                .map(|b| fs::read(format!("{}.q{b}", out.to_str().unwrap())).unwrap())
+                .collect();
+            (msg, reports)
+        };
+        let (msg_off, off) = serve("off", &[]);
+        let (msg_on, on) = serve("on", &["--affinity", "--resident-mb", "64"]);
+        assert!(msg_off.contains("hit rate 0.0%"), "{msg_off}");
+        assert!(!msg_on.contains("hit rate 0.0%"), "{msg_on}");
+        assert!(msg_on.contains("queries/s"), "{msg_on}");
+        assert_eq!(on, off, "affinity changed report bytes");
+        assert!(on.iter().all(|r| !r.is_empty()));
+
+        // A traced serve exports a validator-clean Chrome trace.
+        let trace = dir.join("svc.json");
+        let (msg, _) = serve(
+            "traced",
+            &[
+                "--affinity",
+                "--resident-mb",
+                "64",
+                "--trace",
+                trace.to_str().unwrap(),
+            ],
+        );
+        assert!(msg.contains("trace"), "{msg}");
+        let check = dispatch(&args(&["trace-check", "--in", trace.to_str().unwrap()])).unwrap();
+        assert!(check.contains("valid Chrome trace"), "{check}");
+
+        // More batches than queries is a typed error, not a panic.
+        let err = dispatch(&args(&[
+            "serve",
+            "--procs",
+            "4",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--queries",
+            qfa.to_str().unwrap(),
+            "--stream-batches",
+            "100000",
+            "--out",
+            dir.join("x.txt").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("needs at least that many queries"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

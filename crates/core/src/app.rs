@@ -119,6 +119,17 @@ pub struct PioBlastConfig {
     /// threshold. Strategy is a pure performance knob — output bytes
     /// never depend on it.
     pub io: mpiio::IoOptions,
+    /// Query-stream service mode (`pioblast serve`): the query set is
+    /// split by a [`crate::service::QueryStreamPlan`] into per-user
+    /// stream batches, admitted at their arrival times, with every
+    /// fragment re-granted per batch; workers keep a bounded resident
+    /// fragment store so re-grants skip their reads, and the scheduler
+    /// steers each fragment back to its last holder when
+    /// [`crate::service::ServiceOptions::affinity`] is set. Each stream
+    /// batch's report lands at `<output_path>.q<batch>`, byte-identical
+    /// to a one-shot run over the same queries. Requires the dynamic
+    /// schedule and excludes `query_batch`. `None` = one-shot run.
+    pub service: Option<crate::service::ServiceOptions>,
 }
 
 impl PioBlastConfig {
@@ -147,6 +158,19 @@ impl PioBlastConfig {
         }
         if self.threads > self.platform.cores_per_node {
             return unsupported("--threads exceeds the platform's cores per node");
+        }
+        if let Some(svc) = &self.service {
+            if self.schedule != FragmentSchedule::Dynamic {
+                return unsupported("service mode requires the dynamic schedule");
+            }
+            if self.query_batch.is_some() {
+                return unsupported(
+                    "service mode excludes --query-batch (the stream plan batches queries)",
+                );
+            }
+            if svc.plan.batches.is_empty() {
+                return unsupported("service mode needs a non-empty stream plan");
+            }
         }
         Ok(())
     }
@@ -285,6 +309,7 @@ mod tests {
             rank_compute: opts.rank_compute.clone(),
             threads: opts.threads,
             io: opts.io,
+            service: None,
         };
         let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
         let output = env.shared.peek("results.txt").unwrap_or_default();
@@ -502,6 +527,7 @@ mod tests {
                 rank_compute: hetero.clone(),
                 threads: 1,
                 io: Default::default(),
+                service: None,
             };
             sim.run(|ctx| run_rank(&ctx, &cfg)).elapsed.0
         };
@@ -622,6 +648,7 @@ mod tests {
                 rank_compute: opts.rank_compute.clone(),
                 threads: opts.threads,
                 io: opts.io,
+                service: None,
             };
             let outcome = sim.run(|ctx| run_rank(&ctx, &cfg));
             for r in outcome.outputs {
@@ -654,6 +681,7 @@ mod tests {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         assert_eq!(
             cfg.validate().expect_err("checkpoint needs Recover"),
@@ -690,6 +718,7 @@ mod tests {
                 rank_compute: None,
                 threads,
                 io: Default::default(),
+                service: None,
             }
         };
         assert_eq!(

@@ -15,6 +15,8 @@ use blast_core::search::{PreparedQueries, SearchParams, SubjectHit};
 use mpiblast::wire::{MetaHit, MetaSubmission};
 use seqfmt::FragmentData;
 
+use crate::fault::PioError;
+
 /// A worker's formatted-record cache plus the metadata to submit.
 #[derive(Debug, Default)]
 pub struct ResultCache {
@@ -27,6 +29,10 @@ impl ResultCache {
     ///
     /// `per_query[q]` holds query `q`'s subjects found in `fragment`.
     /// Returns the number of record bytes formatted (for cost accounting).
+    /// A hit whose oid falls outside `fragment` is a protocol violation
+    /// (the search produced it from *some* fragment, so a mismatch means
+    /// grant bookkeeping went wrong) and fails with a typed error rather
+    /// than panicking the rank.
     pub fn add_fragment(
         &mut self,
         params: &SearchParams,
@@ -34,9 +40,9 @@ impl ResultCache {
         prepared: &PreparedQueries,
         fragment: &FragmentData,
         per_query: Vec<Vec<SubjectHit>>,
-    ) -> u64 {
+    ) -> Result<u64, PioError> {
         self.add_fragment_traced(params, report_cfg, prepared, fragment, per_query)
-            .0
+            .map(|(bytes, _, _)| bytes)
     }
 
     /// [`ResultCache::add_fragment`], also returning this fragment's own
@@ -52,7 +58,7 @@ impl ResultCache {
         prepared: &PreparedQueries,
         fragment: &FragmentData,
         per_query: Vec<Vec<SubjectHit>>,
-    ) -> (u64, MetaSubmission, Vec<(u32, u32, String)>) {
+    ) -> Result<(u64, MetaSubmission, Vec<(u32, u32, String)>), PioError> {
         let mut bytes = 0u64;
         let mut frag_meta = Vec::new();
         let mut frag_records = Vec::new();
@@ -63,12 +69,20 @@ impl ResultCache {
             let query = &prepared.records[q];
             let mut metas = Vec::with_capacity(hits.len());
             for hit in hits {
+                let outside = |what: &str| {
+                    PioError::Protocol(format!(
+                        "hit subject oid {} has no {what} in the searched fragment \
+                         ({} sequences)",
+                        hit.oid,
+                        fragment.num_seqs()
+                    ))
+                };
                 let defline_bytes = fragment
                     .defline_of(hit.oid)
-                    .expect("hit subject in fragment");
+                    .ok_or_else(|| outside("defline"))?;
                 let residues = fragment
                     .residues_of(hit.oid)
-                    .expect("hit subject in fragment");
+                    .ok_or_else(|| outside("residues"))?;
                 let defline = String::from_utf8_lossy(defline_bytes).into_owned();
                 let record = format::alignment_record(
                     params,
@@ -97,13 +111,13 @@ impl ResultCache {
                 None => self.per_query.push((q as u32, metas)),
             }
         }
-        (
+        Ok((
             bytes,
             MetaSubmission {
                 per_query: frag_meta,
             },
             frag_records,
-        )
+        ))
     }
 
     /// The metadata submission for the master (sorted by query index).
@@ -179,7 +193,9 @@ mod tests {
         let searcher = BlastSearcher::new(&params, &prepared);
         let result = searcher.search(&frag, &mut SearchScratch::new());
         let mut cache = ResultCache::default();
-        let bytes = cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone());
+        let bytes = cache
+            .add_fragment(&params, &cfg, &prepared, &frag, result.per_query.clone())
+            .expect("hits resolve in their own fragment");
         assert!(!cache.is_empty());
         assert_eq!(bytes, cache.total_bytes());
         let meta = cache.metadata();
@@ -201,7 +217,9 @@ mod tests {
         let result = searcher.search(&frag, &mut SearchScratch::new());
         let best_score = result.per_query[0][0].hsps[0].score;
         let mut cache = ResultCache::default();
-        cache.add_fragment(&params, &cfg, &prepared, &frag, result.per_query);
+        cache
+            .add_fragment(&params, &cfg, &prepared, &frag, result.per_query)
+            .expect("hits resolve in their own fragment");
         let meta = cache.metadata();
         let max_meta = meta.per_query[0]
             .1
@@ -217,5 +235,27 @@ mod tests {
         let cache = ResultCache::default();
         assert!(cache.record(0, 42).is_none());
         assert_eq!(cache.metadata().per_query.len(), 0);
+    }
+
+    #[test]
+    fn hit_outside_fragment_is_a_typed_error_not_a_panic() {
+        let (params, cfg, prepared, frag) = setup();
+        let searcher = BlastSearcher::new(&params, &prepared);
+        let result = searcher.search(&frag, &mut SearchScratch::new());
+        // Forge a hit whose oid lies past the fragment's last sequence —
+        // the shape a corrupted grant or a stale resident fragment would
+        // produce.
+        let mut forged = result.per_query.clone();
+        let mut bogus = forged[0][0].clone();
+        bogus.oid = frag.num_seqs() as u32 + 7;
+        forged[0].push(bogus);
+        let mut cache = ResultCache::default();
+        let err = cache
+            .add_fragment(&params, &cfg, &prepared, &frag, forged)
+            .expect_err("out-of-fragment oid must fail");
+        match err {
+            PioError::Protocol(msg) => assert!(msg.contains("no defline"), "{msg}"),
+            other => panic!("wrong error kind: {other:?}"),
+        }
     }
 }

@@ -175,6 +175,7 @@ mod tests {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         let out = sim.run_faulty(plan, |ctx| run_rank(&ctx, &cfg));
         let bytes = env.shared.peek("results.txt").unwrap_or_default();
@@ -361,6 +362,7 @@ mod tests {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         sim.run(|ctx| run_rank(&ctx, &cfg));
         let leftovers: Vec<String> = env.shared.peek_list("results.txt.ckpt.");

@@ -39,12 +39,14 @@ pub mod input;
 pub mod merge;
 pub mod proto;
 pub mod runtime;
+pub mod service;
 
 pub use app::{run_rank, FragmentSchedule, PioBlastConfig};
 pub use cache::ResultCache;
 pub use fault::{FaultMode, PioError};
 pub use input::InputError;
 pub use merge::{merge_and_layout, MergeOutcome};
+pub use service::{FragmentStore, QueryStreamPlan, ServiceMetrics, ServiceOptions, StreamBatch};
 
 // Re-export the pieces callers need to assemble a run.
 pub use mpiblast::{phases, ClusterEnv, ComputeModel, Platform, RankReport, ReportOptions};

@@ -30,14 +30,16 @@ use simcluster::{Message, PhaseTimes, RankCtx, SimDuration, SimTime};
 use super::master::{MasterAction, MasterEvent, MasterPhase, MasterSm};
 use super::worker::{WorkerAction, WorkerEvent, WorkerSm};
 use super::{
-    ckpt_path, decode_grant, encode_grant, split_epoch, with_epoch, RunPolicy, TAG_ABORT,
-    TAG_ASSIGN, TAG_BUNDLE, TAG_DONE, TAG_FINISH, TAG_GRANT, TAG_READY, TAG_SUBMIT, TAG_SUBMIT_REQ,
+    ckpt_path, decode_grant, decode_qbatch, encode_grant, encode_qbatch, split_epoch,
+    stream_output_path, with_epoch, RunPolicy, TAG_ABORT, TAG_ASSIGN, TAG_BUNDLE, TAG_DONE,
+    TAG_FINISH, TAG_GRANT, TAG_QBATCH, TAG_READY, TAG_SUBMIT, TAG_SUBMIT_REQ,
 };
 use crate::app::{query_batches, FragmentSchedule, PioBlastConfig};
 use crate::cache::ResultCache;
 use crate::fault::{FaultMode, PioError};
 use crate::merge::{merge_and_layout, MergeOutcome};
 use crate::proto::{FragmentAssignment, PartitionMessage};
+use crate::service::FragmentStore;
 
 fn decode_err(e: seqfmt::codec::CodecError) -> PioError {
     PioError::Protocol(e.to_string())
@@ -52,6 +54,8 @@ fn policy_of(ctx: &RankCtx, cfg: &PioBlastConfig, nbatches: usize) -> RunPolicy 
         nranks: ctx.nranks(),
         nfrags: cfg.num_fragments.unwrap_or(ctx.nranks() - 1),
         nbatches,
+        service: cfg.service.is_some(),
+        affinity: cfg.service.as_ref().is_some_and(|s| s.affinity),
     }
 }
 
@@ -198,6 +202,9 @@ struct MasterIo<'a, 'b> {
     outcome: Option<MergeOutcome>,
     input_mark: Option<SimTime>,
     out_mark: Option<SimTime>,
+    /// Service mode: which stream batches' queries have been shipped
+    /// (each batch goes out exactly once, gated on its arrival time).
+    qbatch_sent: Vec<bool>,
 }
 
 impl<'a, 'b> MasterIo<'a, 'b> {
@@ -255,11 +262,37 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 return Err(e);
             }
         };
+        // Service mode partitions the query set into per-user stream
+        // batches and delivers each over its own TAG_QBATCH message at
+        // admission time; the bundle ships *empty* queries. Partition
+        // before the bundle goes out so a plan that does not cover the
+        // query set exactly degrades through the same release path as a
+        // malformed setup file.
+        let service_batches = match &cfg.service {
+            Some(svc) => match svc.plan.partition(&queries) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    if cfg.fault == FaultMode::Off {
+                        comm.bcast(MASTER, Bytes::new());
+                    } else {
+                        for w in 1..ctx.nranks() {
+                            let _ = comm.send_checked(w, TAG_ABORT, Bytes::new());
+                        }
+                    }
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
         let bundle = QueryBundle {
             db_title: alias.title.clone(),
             db_stats: alias.global_stats,
             molecule: alias.molecule,
-            queries,
+            queries: if cfg.service.is_some() {
+                Vec::new()
+            } else {
+                queries
+            },
         };
         let report_cfg =
             ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
@@ -286,7 +319,10 @@ impl<'a, 'b> MasterIo<'a, 'b> {
 
         // ---- virtual fragments ----
         let index_refs: Vec<&VolumeIndex> = indexes.iter().collect();
-        let batches = query_batches(&bundle.queries, cfg.query_batch);
+        let batches = match service_batches {
+            Some(b) => b,
+            None => query_batches(&bundle.queries, cfg.query_batch),
+        };
         let policy = policy_of(ctx, cfg, batches.len());
         let specs = seqfmt::virtual_fragments(&index_refs, policy.nfrags);
         let assignments: Vec<FragmentAssignment> = specs
@@ -318,10 +354,15 @@ impl<'a, 'b> MasterIo<'a, 'b> {
             outcome: None,
             input_mark: Some(input_mark),
             out_mark: None,
+            qbatch_sent: vec![false; nbatches],
         })
     }
 
     fn run(mut self) -> Result<RankReport, PioError> {
+        // Service mode: the first stream batch's queries go out before
+        // the grant loop, so workers prepare them ahead of their first
+        // grant.
+        self.ensure_qbatch(0);
         let (mut sm, init) = MasterSm::new(self.policy, self.live0.clone());
         let mut actions: VecDeque<MasterAction> = init.into();
         loop {
@@ -471,6 +512,55 @@ impl<'a, 'b> MasterIo<'a, 'b> {
         }
     }
 
+    /// Service mode: deliver one stream batch's queries to every live
+    /// worker, gating on the plan's arrival time — the admission point
+    /// of the simulated query stream. Ships each batch exactly once;
+    /// a no-op for one-shot runs.
+    fn ensure_qbatch(&mut self, batch: usize) {
+        let Some(svc) = &self.cfg.service else { return };
+        if self.qbatch_sent[batch] {
+            return;
+        }
+        let sb = &svc.plan.batches[batch];
+        let (arrival_ns, user, nqueries) = (sb.arrival_ns, sb.user, sb.nqueries);
+        self.qbatch_sent[batch] = true;
+        let now = self.ctx.now().0;
+        if arrival_ns > now {
+            // The stream has not submitted this batch yet: wait for it.
+            self.ctx.charge(SimDuration(arrival_ns - now));
+        }
+        tracelog::instant(
+            tracelog::Lane::Runtime,
+            "service.admit",
+            vec![
+                ("query", batch.into()),
+                ("user", u64::from(user).into()),
+                ("queries", nqueries.into()),
+            ],
+        );
+        let payload = Bytes::from(encode_qbatch(batch as u32, &self.batches[batch]));
+        for w in self.liveness.live_workers() {
+            let _ = self.comm.send_checked(w, TAG_QBATCH, payload.clone());
+        }
+    }
+
+    /// Ship the next stream batch's queries early when it has already
+    /// arrived — the delivery overlaps the current batch's searches, so
+    /// workers never stall on queries at the batch boundary.
+    fn prefetch_qbatch(&mut self, next: usize) {
+        let arrived = match &self.cfg.service {
+            Some(svc) => {
+                next < svc.plan.batches.len()
+                    && !self.qbatch_sent[next]
+                    && svc.plan.batches[next].arrival_ns <= self.ctx.now().0
+            }
+            None => false,
+        };
+        if arrived {
+            self.ensure_qbatch(next);
+        }
+    }
+
     fn ensure_prepared(&mut self, batch: usize) {
         if self.prepared_cache[batch].is_some() {
             return;
@@ -498,6 +588,11 @@ impl<'a, 'b> MasterIo<'a, 'b> {
     fn exec(&mut self, sm: &MasterSm, act: MasterAction) -> Result<Vec<MasterEvent>, PioError> {
         match act {
             MasterAction::Grant { to, frags, batch } => {
+                // Service mode: the batch's queries must precede its
+                // first grant (FIFO per pair keeps them ordered), and an
+                // already-arrived next batch rides along early.
+                self.ensure_qbatch(batch);
+                self.prefetch_qbatch(batch + 1);
                 tracelog::instant(
                     tracelog::Lane::Runtime,
                     "grant",
@@ -534,6 +629,8 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 Ok(vec![MasterEvent::ScatterDone])
             }
             MasterAction::Collect { batch, epoch } => {
+                self.ensure_qbatch(batch);
+                self.prefetch_qbatch(batch + 1);
                 tracelog::instant(
                     tracelog::Lane::Runtime,
                     "epoch_start",
@@ -588,7 +685,13 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                 }
                 self.ensure_prepared(batch);
                 let prepared = self.prepared_cache[batch].as_ref().expect("just prepared");
-                let start_offset = self.batch_offsets[batch];
+                // Service mode writes each stream batch to its own file,
+                // so every report starts at offset zero.
+                let start_offset = if self.policy.service {
+                    0
+                } else {
+                    self.batch_offsets[batch]
+                };
                 let outcome = self.cfg.compute.run_format(
                     self.ctx,
                     || {
@@ -631,12 +734,17 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                     Ok(vec![MasterEvent::WriteAllDone])
                 }
             }
-            MasterAction::FinishBatch { batch: _ } => {
+            MasterAction::FinishBatch { batch } => {
                 // Point-to-point only: all live workers wrote. Orphan
                 // records (dead owners' checkpointed fragments) land in
                 // the master's own assignment slot.
                 let outcome = self.outcome.take().expect("merge precedes batch finish");
                 let plane = output_plane(self.comm, self.cfg, &self.policy);
+                let path = if self.policy.service {
+                    stream_output_path(self.cfg, batch)
+                } else {
+                    self.cfg.output_path.clone()
+                };
                 let orphans = outcome.per_rank[MASTER]
                     .records
                     .iter()
@@ -651,15 +759,40 @@ impl<'a, 'b> MasterIo<'a, 'b> {
                             })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                flush_output(&plane, &self.cfg.output_path, orphans)?;
+                flush_output(&plane, &path, orphans)?;
                 let sections = outcome
                     .master_sections
                     .iter()
                     .map(|(off, text)| (*off, text.as_str()))
                     .collect();
-                flush_output(&plane, &self.cfg.output_path, sections)?;
+                flush_output(&plane, &path, sections)?;
                 if let Some(mark) = self.out_mark.take() {
                     self.phase_times.add(phases::OUTPUT, self.ctx.now() - mark);
+                }
+                if let Some(svc) = &self.cfg.service {
+                    // The sealed report is the stream query's response:
+                    // its latency runs from admission to this moment.
+                    let sb = &svc.plan.batches[batch];
+                    let now = self.ctx.now().0;
+                    tracelog::closed_span(
+                        tracelog::Lane::Runtime,
+                        "service.query",
+                        sb.arrival_ns,
+                        now,
+                        vec![
+                            ("query", batch.into()),
+                            ("user", u64::from(sb.user).into()),
+                            ("queries", sb.nqueries.into()),
+                        ],
+                    );
+                    tracelog::instant(
+                        tracelog::Lane::Runtime,
+                        "service.done",
+                        vec![
+                            ("query", batch.into()),
+                            ("latency_ns", now.saturating_sub(sb.arrival_ns).into()),
+                        ],
+                    );
                 }
                 Ok(Vec::new())
             }
@@ -752,6 +885,13 @@ struct WorkerIo<'a, 'b> {
     report_cfg: ReportConfig,
     molecule: blast_core::Molecule,
     batches: Vec<Vec<SeqRecord>>,
+    /// Service mode: stream batches delivered over TAG_QBATCH, keyed by
+    /// batch index, consumed by that batch's prepare.
+    batch_store: HashMap<usize, Vec<SeqRecord>>,
+    /// Service mode: resident fragments (bounded LRU by bytes). A
+    /// re-granted resident fragment skips its read entirely — the
+    /// cross-query cache hit this mode exists for.
+    store: FragmentStore,
     prepared: Option<PreparedQueries>,
     cache: ResultCache,
     frags: Vec<(u32, FragmentData)>,
@@ -801,7 +941,13 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
         let report_cfg =
             ReportConfig::for_molecule(bundle.molecule, bundle.db_title.clone(), bundle.db_stats);
         let batches = query_batches(&bundle.queries, cfg.query_batch);
-        let policy = policy_of(ctx, cfg, batches.len());
+        // Service mode: the bundle's query list is empty (queries come
+        // per stream batch), so the batch count comes from the plan.
+        let nbatches = match &cfg.service {
+            Some(svc) => svc.plan.batches.len(),
+            None => batches.len(),
+        };
+        let policy = policy_of(ctx, cfg, nbatches);
         phase_times.add(phases::OTHER, ctx.now() - start);
         Ok(WorkerIo {
             ctx,
@@ -812,6 +958,8 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             report_cfg,
             molecule: bundle.molecule,
             batches,
+            batch_store: HashMap::new(),
+            store: FragmentStore::new(cfg.service.as_ref().map_or(0, |s| s.resident_bytes)),
             prepared: None,
             cache: ResultCache::default(),
             frags: Vec::new(),
@@ -853,6 +1001,12 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
         loop {
             let m = self.recv_master()?;
             let event = match m.tag {
+                TAG_QBATCH => {
+                    // A stream batch's queries, possibly prefetched well
+                    // ahead of its first grant: stash and keep listening.
+                    self.stash_qbatch(&m.payload)?;
+                    continue;
+                }
                 TAG_GRANT => self.stash_grant(&m.payload)?,
                 TAG_SUBMIT_REQ => {
                     let (epoch, body) = split_epoch(&m.payload)?;
@@ -937,6 +1091,32 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
         Ok(m)
     }
 
+    /// Stash a service-mode query batch delivered over the wire.
+    fn stash_qbatch(&mut self, payload: &[u8]) -> Result<(), PioError> {
+        let (batch, queries) = decode_qbatch(payload, self.molecule)?;
+        self.batch_store.insert(batch as usize, queries);
+        Ok(())
+    }
+
+    /// Block until `batch`'s queries have arrived (service mode). The
+    /// master ships each batch ahead of its first grant and FIFO order
+    /// per pair holds, so this only actually waits for batch 0's
+    /// prepare, which runs before the command loop.
+    fn ensure_batch_queries(&mut self, batch: usize) -> Result<(), PioError> {
+        while !self.batch_store.contains_key(&batch) {
+            let m = self.recv_master()?;
+            if m.tag == TAG_QBATCH {
+                self.stash_qbatch(&m.payload)?;
+            } else {
+                return Err(PioError::Protocol(format!(
+                    "worker expected stream batch {batch} queries, got tag {}",
+                    m.tag
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Queue a grant's assignments and produce the matching event.
     fn stash_grant(&mut self, payload: &[u8]) -> Result<WorkerEvent, PioError> {
         let (batch, ids, part) = decode_grant(payload)?;
@@ -960,8 +1140,15 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
     fn exec(&mut self, act: WorkerAction) -> Result<(), PioError> {
         match act {
             WorkerAction::Prepare { batch } => {
+                if self.policy.service {
+                    self.ensure_batch_queries(batch)?;
+                }
                 let t = self.ctx.now();
-                let records = self.batches[batch].clone();
+                let records = if self.policy.service {
+                    self.batch_store.remove(&batch).expect("ensured just above")
+                } else {
+                    self.batches[batch].clone()
+                };
                 let residues: u64 = records.iter().map(|q| q.len() as u64).sum();
                 let stats = self.report_cfg.db_stats;
                 let prepared = self.compute.run_prepare(self.ctx, residues, || {
@@ -975,7 +1162,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             WorkerAction::SearchHeld { batch } => {
                 let frags = std::mem::take(&mut self.frags);
                 for (id, frag) in &frags {
-                    self.search_one(batch, *id, frag);
+                    self.search_one(batch, *id, frag)?;
                 }
                 self.frags = frags;
                 Ok(())
@@ -1003,7 +1190,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 }
                 Ok(())
             }
-            WorkerAction::WriteAssigned { epoch } => self.write_assigned(epoch),
+            WorkerAction::WriteAssigned { batch, epoch } => self.write_assigned(batch, epoch),
             WorkerAction::Stop => Ok(()),
         }
     }
@@ -1020,6 +1207,9 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                     .ok_or_else(|| PioError::Protocol("grant count exceeds stash".into()))?,
             );
         }
+        if self.policy.service {
+            return self.ingest_service(batch, granted);
+        }
         let policy = self.policy;
         let plane = input_plane(self.comm, self.cfg, &policy);
         if self.cfg.io.io_async && !plane.is_collective() {
@@ -1033,11 +1223,166 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             .add(phases::INPUT, self.ctx.now() - input_start);
         for ((id, _), frag) in granted.into_iter().zip(datas) {
             if search {
-                self.search_one(batch, id, &frag);
+                self.search_one(batch, id, &frag)?;
             }
             self.frags.push((id, frag));
         }
         Ok(())
+    }
+
+    /// Service-mode ingest: a granted fragment already resident in the
+    /// [`FragmentStore`] skips its read entirely — the cross-query cache
+    /// hit this mode exists for. Misses are read through the input plane
+    /// (one batched posted set, or pipelined ahead of the searches under
+    /// `--io-async`), and every searched fragment is (re)admitted as
+    /// most-recently-used.
+    fn ingest_service(
+        &mut self,
+        batch: usize,
+        granted: Vec<(u32, FragmentAssignment)>,
+    ) -> Result<(), PioError> {
+        let policy = self.policy;
+        let plane = input_plane(self.comm, self.cfg, &policy);
+        // Classify against the store up front so the misses' reads are
+        // planned before any search runs.
+        let miss_ids: Vec<u32> = granted
+            .iter()
+            .filter(|(id, _)| !self.store.contains(*id as usize))
+            .map(|(id, _)| *id)
+            .collect();
+        if self.cfg.io.io_async && !plane.is_collective() {
+            return self.ingest_service_readahead(batch, granted, miss_ids);
+        }
+        let specs: Vec<FragmentAssignment> = granted
+            .iter()
+            .filter(|(id, _)| miss_ids.contains(id))
+            .map(|(_, a)| a.clone())
+            .collect();
+        let input_start = self.ctx.now();
+        let datas = if specs.is_empty() {
+            Vec::new()
+        } else {
+            crate::input::read_fragments(&plane, &self.grant_volumes, &specs, self.molecule)?
+        };
+        self.phase_times
+            .add(phases::INPUT, self.ctx.now() - input_start);
+        let mut reads = datas.into_iter();
+        for (id, a) in granted {
+            let frag = match self.store.take(id as usize) {
+                Some(frag) => {
+                    self.trace_residency(true, id, batch);
+                    frag
+                }
+                None => {
+                    self.trace_residency(false, id, batch);
+                    if miss_ids.contains(&id) {
+                        reads.next().expect("one read per classified miss")
+                    } else {
+                        // Evicted between classification and use (an
+                        // earlier insert in this very batch squeezed it
+                        // out): read it now, alone.
+                        let t = self.ctx.now();
+                        let frag = crate::input::read_fragments(
+                            &plane,
+                            &self.grant_volumes,
+                            std::slice::from_ref(&a),
+                            self.molecule,
+                        )?
+                        .pop()
+                        .expect("one spec, one fragment");
+                        self.phase_times.add(phases::INPUT, self.ctx.now() - t);
+                        frag
+                    }
+                }
+            };
+            self.search_one(batch, id, &frag)?;
+            self.admit_resident(id, frag);
+        }
+        Ok(())
+    }
+
+    /// The service-mode read-ahead pipeline (`--io-async`): the next
+    /// *miss*'s ranged reads go in flight before the current fragment is
+    /// searched; resident hits interleave without touching the plane.
+    fn ingest_service_readahead(
+        &mut self,
+        batch: usize,
+        granted: Vec<(u32, FragmentAssignment)>,
+        miss_ids: Vec<u32>,
+    ) -> Result<(), PioError> {
+        let policy = self.policy;
+        let plane = input_plane(self.comm, self.cfg, &policy);
+        let misses: Vec<usize> = granted
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| miss_ids.contains(id))
+            .map(|(i, _)| i)
+            .collect();
+        let mut next_miss = 0usize;
+        let mut pend = match misses.first() {
+            Some(&p) => {
+                next_miss = 1;
+                Some((p, crate::input::read_fragment_begin(&plane, &granted[p].1)?))
+            }
+            None => None,
+        };
+        for (i, (id, a)) in granted.iter().enumerate() {
+            let id = *id;
+            let frag = if let Some(frag) = self.store.take(id as usize) {
+                self.trace_residency(true, id, batch);
+                frag
+            } else {
+                self.trace_residency(false, id, batch);
+                if pend.as_ref().is_some_and(|(p, _)| *p == i) {
+                    let (_, p) = pend.take().expect("just checked");
+                    let wait_start = self.ctx.now();
+                    let frag = crate::input::read_fragment_end(&plane, p, self.molecule)?;
+                    self.phase_times
+                        .add(phases::INPUT, self.ctx.now() - wait_start);
+                    if next_miss < misses.len() {
+                        let np = misses[next_miss];
+                        next_miss += 1;
+                        pend = Some((
+                            np,
+                            crate::input::read_fragment_begin(&plane, &granted[np].1)?,
+                        ));
+                    }
+                    frag
+                } else {
+                    // Evicted after classification: synchronous catch-up.
+                    let wait_start = self.ctx.now();
+                    let p = crate::input::read_fragment_begin(&plane, a)?;
+                    let frag = crate::input::read_fragment_end(&plane, p, self.molecule)?;
+                    self.phase_times
+                        .add(phases::INPUT, self.ctx.now() - wait_start);
+                    frag
+                }
+            };
+            self.search_one(batch, id, &frag)?;
+            self.admit_resident(id, frag);
+        }
+        Ok(())
+    }
+
+    /// Trace one service-mode residency outcome for a granted fragment.
+    fn trace_residency(&self, hit: bool, id: u32, batch: usize) {
+        tracelog::instant(
+            tracelog::Lane::Io,
+            if hit { "cache.hit" } else { "cache.miss" },
+            vec![("fragment", u64::from(id).into()), ("batch", batch.into())],
+        );
+    }
+
+    /// Admit a searched fragment into the resident store, tracing each
+    /// LRU eviction the insert forces.
+    fn admit_resident(&mut self, id: u32, frag: FragmentData) {
+        for evicted in self.store.insert(id as usize, frag) {
+            tracelog::instant(
+                tracelog::Lane::Io,
+                "store.evict",
+                vec![("fragment", (evicted as u64).into())],
+            );
+        }
     }
 
     /// The read-ahead pipeline (`--io-async`, non-collective planes):
@@ -1071,7 +1416,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                 pend = Some(crate::input::read_fragment_begin(&plane, a)?);
             }
             if search {
-                self.search_one(batch, id, &frag);
+                self.search_one(batch, id, &frag)?;
             }
             self.frags.push((id, frag));
         }
@@ -1108,7 +1453,7 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
     /// byte-identical to the serial kernel for every slot count. This
     /// composes with `--io-async` read-ahead and `FaultMode::Recover`
     /// unchanged because both sit outside this call.
-    fn search_one(&mut self, batch: usize, id: u32, frag: &FragmentData) {
+    fn search_one(&mut self, batch: usize, id: u32, frag: &FragmentData) -> Result<(), PioError> {
         use blast_core::search::SubjectSource;
         let prepared = self
             .prepared
@@ -1187,8 +1532,8 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
                     per_query,
                 )
             },
-            |(bytes, _, _)| *bytes,
-        );
+            |r| r.as_ref().map(|(bytes, _, _)| *bytes).unwrap_or(0),
+        )?;
         if self.cfg.checkpoint {
             let blob = FragmentCheckpoint {
                 batch: batch as u32,
@@ -1220,9 +1565,10 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
         }
         self.phase_times
             .add(phases::OUTPUT, self.ctx.now() - cache_start);
+        Ok(())
     }
 
-    fn write_assigned(&mut self, epoch: u64) -> Result<(), PioError> {
+    fn write_assigned(&mut self, batch: usize, epoch: u64) -> Result<(), PioError> {
         let t = self.ctx.now();
         let assignment = if self.policy.p2p() {
             self.assign
@@ -1239,7 +1585,12 @@ impl<'a, 'b> WorkerIo<'a, 'b> {
             .map_err(|(q, oid)| {
                 PioError::Protocol(format!("assigned record ({q}, {oid}) not cached"))
             })?;
-        flush_output(&plane, &self.cfg.output_path, items)?;
+        let path = if self.policy.service {
+            stream_output_path(self.cfg, batch)
+        } else {
+            self.cfg.output_path.clone()
+        };
+        flush_output(&plane, &path, items)?;
         if !self.policy.p2p() && !plane.is_collective() {
             self.comm.barrier();
         }

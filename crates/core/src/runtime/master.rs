@@ -160,6 +160,9 @@ pub struct MasterSm {
     batch: usize,
     subs: Vec<Option<MetaSubmission>>,
     done: Vec<bool>,
+    /// Service mode: which fragments each rank is believed to hold
+    /// resident (last grant wins). Steers re-grants back to the data.
+    affinity_hint: Vec<Vec<usize>>,
 }
 
 impl MasterSm {
@@ -182,6 +185,7 @@ impl MasterSm {
             batch: 0,
             subs: vec![None; nranks],
             done: vec![false; nranks],
+            affinity_hint: vec![Vec::new(); nranks],
         };
         if sm.policy.p2p() && !sm.any_worker_live() {
             sm.phase = MasterPhase::Failed;
@@ -288,7 +292,16 @@ impl MasterSm {
             let Some(w) = (1..self.policy.nranks).find(|&w| self.live[w] && self.idle[w]) else {
                 break;
             };
-            let f = self.queue.grant_to(w).expect("queue not drained");
+            let f = if self.policy.affinity {
+                self.queue
+                    .grant_to_preferring(w, &self.affinity_hint[w])
+                    .expect("queue not drained")
+            } else {
+                self.queue.grant_to(w).expect("queue not drained")
+            };
+            if self.policy.service {
+                self.note_residency(f, w);
+            }
             self.ledger.granted(f, w);
             self.idle[w] = false;
             acts.push(MasterAction::Grant {
@@ -298,6 +311,15 @@ impl MasterSm {
             });
         }
         acts
+    }
+
+    /// Record that `frag`'s bytes now live at `rank` (service mode): the
+    /// re-grant of the next stream batch should go back to the data.
+    fn note_residency(&mut self, frag: usize, rank: usize) {
+        for hint in &mut self.affinity_hint {
+            hint.retain(|&f| f != frag);
+        }
+        self.affinity_hint[rank].push(frag);
     }
 
     fn distribution_complete(&self) -> bool {
@@ -366,6 +388,18 @@ impl MasterSm {
         self.batch += 1;
         for f in self.ledger.advance_batch() {
             self.queue.push(f);
+        }
+        if self.policy.service {
+            // A stream batch searches the whole database again: every
+            // fragment re-enters circulation. Workers keep the *bytes*
+            // resident, and the affinity hints steer each fragment's
+            // re-grant back to its last holder so the read is skipped.
+            for w in 1..self.policy.nranks {
+                let (requeued, _) = self.queue.release(w, |_| true);
+                for &f in &requeued {
+                    self.ledger.requeued(f);
+                }
+            }
         }
         self.redistribute()
     }
@@ -460,7 +494,16 @@ impl MasterSm {
         let ck: std::collections::BTreeSet<usize> = checkpointed.iter().copied().collect();
         let mut requeued_any = false;
         for &w in ranks {
-            let (requeued, orphaned) = self.queue.release(w, |f| !ck.contains(&f));
+            // Service mode requeues a victim's fragments at the *front*:
+            // a stream of batches keeps refilling the queue's tail, and a
+            // tail requeue would starve recovered fragments behind work
+            // that arrived after the death.
+            let (requeued, orphaned) = if self.policy.service {
+                self.queue.release_front(w, |f| !ck.contains(&f))
+            } else {
+                self.queue.release(w, |f| !ck.contains(&f))
+            };
+            self.affinity_hint[w].clear();
             for &f in &requeued {
                 self.ledger.requeued(f);
             }
@@ -548,6 +591,8 @@ mod tests {
             nranks: 3,
             nfrags,
             nbatches,
+            service: false,
+            affinity: false,
         }
     }
 
@@ -669,6 +714,89 @@ mod tests {
             panic!("expected a fail action, got {acts:?}");
         };
         assert_eq!(sm.phase(), MasterPhase::Failed);
+    }
+
+    #[test]
+    fn service_regrants_every_fragment_to_its_resident_holder() {
+        let mut p = policy(FragmentSchedule::Dynamic, FaultMode::Off, false, 4, 2);
+        p.service = true;
+        p.affinity = true;
+        let (mut sm, acts) = MasterSm::new(p, vec![true; 3]);
+        assert!(acts.is_empty());
+        // Batch 0: requests alternate, so worker 1 ends up holding
+        // fragments {0, 2} and worker 2 holds {1, 3}.
+        for w in [1, 2, 1, 2] {
+            let _ = sm.handle(MasterEvent::Ready { from: w });
+        }
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        let [MasterAction::Collect { epoch, .. }] = &acts[..] else {
+            panic!("expected collection, got {acts:?}");
+        };
+        assert_eq!(sm.owned(1), &[0, 2]);
+        assert_eq!(sm.owned(2), &[1, 3]);
+        let epoch = *epoch;
+        for w in [1, 2] {
+            let _ = sm.handle(MasterEvent::Submission {
+                from: w,
+                epoch,
+                sub: sub(),
+            });
+        }
+        let _ = sm.handle(MasterEvent::WriteDone { from: 1, epoch });
+        let acts = sm.handle(MasterEvent::WriteDone { from: 2, epoch });
+        // Sealing the batch re-queues all four fragments and immediately
+        // re-grants one to each idle worker — the one it already holds.
+        let [MasterAction::FinishBatch { batch: 0 }, MasterAction::Grant {
+            to: 1,
+            frags: f1,
+            batch: 1,
+        }, MasterAction::Grant {
+            to: 2,
+            frags: f2,
+            batch: 1,
+        }] = &acts[..]
+        else {
+            panic!("expected finish + affinity re-grants, got {acts:?}");
+        };
+        assert_eq!((f1.as_slice(), f2.as_slice()), (&[0][..], &[1][..]));
+        // The follow-up requests pull each worker's other resident
+        // fragment, so batch 1 repeats batch 0's placement exactly.
+        let acts = sm.handle(MasterEvent::Ready { from: 1 });
+        let [MasterAction::Grant { to: 1, frags, .. }] = &acts[..] else {
+            panic!("expected a grant, got {acts:?}");
+        };
+        assert_eq!(frags, &[2]);
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        let [MasterAction::Grant { to: 2, frags, .. }] = &acts[..] else {
+            panic!("expected a grant, got {acts:?}");
+        };
+        assert_eq!(frags, &[3]);
+        assert_eq!(sm.owned(1), &[0, 2]);
+        assert_eq!(sm.owned(2), &[1, 3]);
+    }
+
+    #[test]
+    fn service_death_requeues_recovered_fragments_at_the_front() {
+        let mut p = policy(FragmentSchedule::Dynamic, FaultMode::Recover, false, 4, 1);
+        p.service = true;
+        let (mut sm, _) = MasterSm::new(p, vec![true; 3]);
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        let _ = sm.handle(MasterEvent::Ready { from: 2 });
+        let _ = sm.handle(MasterEvent::Ready { from: 1 });
+        assert_eq!(sm.owned(1), &[0, 2]);
+        // Worker 1 dies holding {0, 2}; fragment 3 is still queued. The
+        // recovered fragments must jump *ahead* of it, not behind.
+        let acts = sm.handle(MasterEvent::Dead {
+            ranks: vec![1],
+            checkpointed: vec![],
+        });
+        assert!(acts.is_empty(), "worker 2 is busy, nothing to grant yet");
+        let acts = sm.handle(MasterEvent::Ready { from: 2 });
+        let [MasterAction::Grant { to: 2, frags, .. }] = &acts[..] else {
+            panic!("expected a grant, got {acts:?}");
+        };
+        assert_eq!(frags, &[0], "recovered fragment granted before the backlog");
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub(crate) const TAG_DONE: u64 = 15;
 pub(crate) const TAG_FINISH: u64 = 16;
 /// Master -> worker: abandon the run.
 pub(crate) const TAG_ABORT: u64 = 17;
+/// Master -> worker: one stream batch's queries (`[batch u32][queries]`,
+/// service mode). Sent ahead of the batch's first grant — FIFO ordering
+/// per peer pair guarantees the queries precede every command that
+/// needs them — and prefetched behind the previous batch's search.
+pub(crate) const TAG_QBATCH: u64 = 18;
 
 /// How the runtime behaves, derived once from the run configuration.
 /// This is the knob set that turns the one state machine into the
@@ -86,13 +91,22 @@ pub struct RunPolicy {
     /// Virtual fragment count.
     pub nfrags: usize,
     /// Query-batch count (>= 1; an empty query set is one empty batch).
+    /// In service mode this is the stream plan's batch count.
     pub nbatches: usize,
+    /// Query-stream service mode: per-batch query delivery, per-batch
+    /// fragment re-grants, resident fragment stores on the workers.
+    pub service: bool,
+    /// Affinity-aware grants (service mode): prefer re-granting a
+    /// fragment to the worker that held it last.
+    pub affinity: bool,
 }
 
 impl RunPolicy {
-    /// Point-to-point command protocol (any fault mode) vs collectives.
+    /// Point-to-point command protocol vs collectives. Service mode
+    /// always uses the command protocol — admission and per-batch
+    /// re-grants cannot be expressed as matched collectives.
     pub fn p2p(&self) -> bool {
-        self.fault != FaultMode::Off
+        self.fault != FaultMode::Off || self.service
     }
 
     /// Do workers acknowledge grants with a `READY` message?
@@ -177,6 +191,51 @@ pub(crate) fn ckpt_path(cfg: &PioBlastConfig, batch: usize, fragment: usize) -> 
     format!("{}.ckpt.b{batch}.f{fragment}", cfg.output_path)
 }
 
+/// The report path of one stream batch (service mode): each stream
+/// batch's report is its own file, byte-identical to running the batch
+/// as a one-shot job.
+pub(crate) fn stream_output_path(cfg: &PioBlastConfig, batch: usize) -> String {
+    format!("{}.q{batch}", cfg.output_path)
+}
+
+/// A `TAG_QBATCH` payload: the stream batch id plus its query records
+/// (service mode; the molecule travels in the startup bundle).
+pub(crate) fn encode_qbatch(batch: u32, queries: &[blast_core::seq::SeqRecord]) -> Vec<u8> {
+    let mut w = seqfmt::codec::Writer::new();
+    w.u32(batch);
+    w.u32(queries.len() as u32);
+    for q in queries {
+        w.string(&q.defline);
+        w.u32(q.residues.len() as u32);
+        w.bytes(&q.residues);
+    }
+    w.finish()
+}
+
+/// Inverse of [`encode_qbatch`]. Truncated or garbled frames are typed
+/// protocol errors, never panics.
+pub(crate) fn decode_qbatch(
+    buf: &[u8],
+    molecule: blast_core::Molecule,
+) -> Result<(u32, Vec<blast_core::seq::SeqRecord>), PioError> {
+    let err = |e: seqfmt::codec::CodecError| PioError::Protocol(format!("query batch: {e}"));
+    let mut r = seqfmt::codec::Reader::new(buf);
+    let batch = r.u32("stream batch").map_err(err)?;
+    let n = r.u32("query count").map_err(err)? as usize;
+    let mut queries = Vec::new();
+    for _ in 0..n {
+        let defline = r.string("query defline").map_err(err)?;
+        let len = r.u32("query len").map_err(err)? as usize;
+        let residues = r.bytes(len, "query residues").map_err(err)?.to_vec();
+        queries.push(blast_core::seq::SeqRecord {
+            defline,
+            residues,
+            molecule,
+        });
+    }
+    Ok((batch, queries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +258,36 @@ mod tests {
         assert_eq!(ids, vec![5, 9]);
         assert_eq!(got, part);
         assert!(decode_grant(&buf[..6]).is_err());
+    }
+
+    #[test]
+    fn qbatch_framing_round_trips_and_rejects_truncation() {
+        let molecule = blast_core::Molecule::Protein;
+        let queries = vec![
+            blast_core::seq::SeqRecord {
+                defline: "q0 first".into(),
+                residues: b"MKV".to_vec(),
+                molecule,
+            },
+            blast_core::seq::SeqRecord {
+                defline: "q1 second".into(),
+                residues: b"ACDEFG".to_vec(),
+                molecule,
+            },
+        ];
+        let buf = encode_qbatch(5, &queries);
+        let (batch, got) = decode_qbatch(&buf, molecule).unwrap();
+        assert_eq!(batch, 5);
+        assert_eq!(got, queries);
+        for cut in 0..buf.len() {
+            if let Ok((b, q)) = decode_qbatch(&buf[..cut], molecule) {
+                // Only a coherent prefix (fewer whole queries) may
+                // decode; the count field forbids even that.
+                panic!("prefix {cut} decoded: ({b}, {} queries)", q.len());
+            }
+        }
+        let (b, q) = decode_qbatch(&encode_qbatch(0, &[]), molecule).unwrap();
+        assert_eq!((b, q.len()), (0, 0));
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub enum WorkerAction {
     },
     /// Write the assigned records and acknowledge under this epoch.
     WriteAssigned {
+        /// Batch being written (service mode writes each stream batch's
+        /// report to its own per-batch path).
+        batch: usize,
         /// Fencing epoch to echo.
         epoch: u64,
     },
@@ -120,7 +123,10 @@ impl WorkerSm {
             return Vec::new();
         }
         self.batch = Some(batch);
-        self.searched = false;
+        // Service mode never re-searches held fragments: residency is a
+        // *cache* (skipping the read), not outstanding work. Each stream
+        // batch searches exactly what the master re-grants it.
+        self.searched = self.policy.service;
         vec![WorkerAction::Prepare { batch }]
     }
 
@@ -160,7 +166,10 @@ impl WorkerSm {
                 });
                 acts
             }
-            WorkerEvent::Assign { epoch } => vec![WorkerAction::WriteAssigned { epoch }],
+            WorkerEvent::Assign { epoch } => vec![WorkerAction::WriteAssigned {
+                batch: self.batch.unwrap_or(0),
+                epoch,
+            }],
             WorkerEvent::Finish => vec![WorkerAction::Stop],
         }
     }
@@ -180,6 +189,8 @@ mod tests {
             nranks: 3,
             nfrags: 4,
             nbatches: 2,
+            service: false,
+            affinity: false,
         }
     }
 
@@ -269,7 +280,64 @@ mod tests {
             ]
         );
         let acts = sm.handle(WorkerEvent::Assign { epoch: 5 });
-        assert_eq!(acts, vec![WorkerAction::WriteAssigned { epoch: 5 }]);
+        assert_eq!(
+            acts,
+            vec![WorkerAction::WriteAssigned { batch: 1, epoch: 5 }]
+        );
         assert_eq!(sm.handle(WorkerEvent::Finish), vec![WorkerAction::Stop]);
+    }
+
+    #[test]
+    fn service_mode_treats_held_fragments_as_cache_not_work() {
+        let mut p = policy(FragmentSchedule::Dynamic, FaultMode::Off);
+        p.service = true;
+        p.affinity = true;
+        assert!(p.p2p(), "service mode always runs the p2p planes");
+        let (mut sm, init) = WorkerSm::new(p);
+        assert_eq!(init, vec![WorkerAction::Prepare { batch: 0 }]);
+        let acts = sm.handle(WorkerEvent::Grant {
+            batch: 0,
+            nfrags: 2,
+        });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Ingest {
+                    batch: 0,
+                    count: 2,
+                    search: true
+                },
+                WorkerAction::AckGrant,
+            ]
+        );
+        // The next stream batch re-grants fragments explicitly; the new
+        // batch must NOT schedule a SearchHeld over last batch's residents
+        // (they are cache entries, and the re-grant covers the work).
+        let acts = sm.handle(WorkerEvent::Grant {
+            batch: 1,
+            nfrags: 1,
+        });
+        assert_eq!(
+            acts,
+            vec![
+                WorkerAction::Prepare { batch: 1 },
+                WorkerAction::Ingest {
+                    batch: 1,
+                    count: 1,
+                    search: true
+                },
+                WorkerAction::AckGrant,
+            ]
+        );
+        // Nor does a submission request sneak one in.
+        let acts = sm.handle(WorkerEvent::SubmitReq { batch: 1, epoch: 2 });
+        assert_eq!(acts, vec![WorkerAction::Submit { batch: 1, epoch: 2 }]);
+        // Per-batch writes carry the batch so the interpreter can route
+        // them to the stream's per-batch output path.
+        let acts = sm.handle(WorkerEvent::Assign { epoch: 3 });
+        assert_eq!(
+            acts,
+            vec![WorkerAction::WriteAssigned { batch: 1, epoch: 3 }]
+        );
     }
 }

@@ -214,6 +214,24 @@ impl GrantQueue {
         Some(f)
     }
 
+    /// Affinity-aware grant: prefer the frontmost pending fragment that
+    /// `rank` already holds resident, falling back to the plain
+    /// front-of-queue grant (work stealing) when none of its resident
+    /// fragments are pending. Load balance is preserved — a rank never
+    /// idles waiting for "its" fragment — and requeued (recovered)
+    /// fragments at the queue front still win over affinity whenever the
+    /// rank holds nothing pending.
+    pub fn grant_to_preferring(&mut self, rank: usize, resident: &[usize]) -> Option<usize> {
+        match self.pending.iter().position(|f| resident.contains(f)) {
+            Some(pos) => {
+                let f = self.pending.remove(pos).expect("position just found");
+                self.owned[rank].push(f);
+                Some(f)
+            }
+            None => self.grant_to(rank),
+        }
+    }
+
     /// Grant the front `n` fragments to `rank` as one chunk.
     pub fn grant_chunk(&mut self, rank: usize, n: usize) -> Vec<usize> {
         let mut chunk = Vec::with_capacity(n);
@@ -253,6 +271,34 @@ impl GrantQueue {
         (requeued, dropped)
     }
 
+    /// [`GrantQueue::release`], but requeue at the queue *front* (still
+    /// in grant order). Under a long stream backlog, tail requeueing
+    /// starves a dead worker's recovered fragments behind every pending
+    /// batch; service mode uses this variant so recovery work is granted
+    /// next.
+    pub fn release_front(
+        &mut self,
+        rank: usize,
+        mut requeue: impl FnMut(usize) -> bool,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let held = std::mem::take(&mut self.owned[rank]);
+        let mut requeued = Vec::new();
+        let mut dropped = Vec::new();
+        for f in held {
+            if requeue(f) {
+                requeued.push(f);
+            } else {
+                dropped.push(f);
+            }
+        }
+        // Reverse push_front keeps the requeued block in grant order at
+        // the head of the queue.
+        for &f in requeued.iter().rev() {
+            self.pending.push_front(f);
+        }
+        (requeued, dropped)
+    }
+
     /// Push a fragment back onto the queue tail (e.g. a previously
     /// orphaned fragment re-entering circulation at a batch boundary).
     pub fn push(&mut self, frag: usize) {
@@ -285,6 +331,40 @@ mod tests {
         assert_eq!(q.owned(2), &[] as &[usize]);
         // Pending order: untouched tail first, then the requeue.
         assert_eq!(q.pending().collect::<Vec<_>>(), vec![3, 2]);
+    }
+
+    #[test]
+    fn preferring_grants_pick_resident_fragments_first() {
+        let mut q = GrantQueue::new(5, 3);
+        // Rank 1 holds 3 and 1 resident: affinity pulls 1 (frontmost
+        // resident match), then 3, skipping over 0 and 2.
+        assert_eq!(q.grant_to_preferring(1, &[3, 1]), Some(1));
+        assert_eq!(q.grant_to_preferring(1, &[3, 1]), Some(3));
+        // Nothing resident pending: falls back to front-of-queue.
+        assert_eq!(q.grant_to_preferring(1, &[7, 9]), Some(0));
+        assert_eq!(q.grant_to_preferring(2, &[]), Some(2));
+        assert_eq!(q.owned(1), &[1, 3, 0]);
+        assert_eq!(q.pending().collect::<Vec<_>>(), vec![4]);
+        assert_eq!(q.grant_to_preferring(2, &[4]), Some(4));
+        assert_eq!(q.grant_to_preferring(2, &[4]), None);
+    }
+
+    #[test]
+    fn release_front_requeues_ahead_of_the_backlog() {
+        let mut q = GrantQueue::new(6, 3);
+        assert_eq!(q.grant_chunk(1, 3), vec![0, 1, 2]);
+        // Backlog 3,4,5 is pending when rank 1 dies holding 0,1,2 with
+        // fragment 1 checkpointed (dropped). The recovered fragments must
+        // come out *before* the backlog, in grant order.
+        let (requeued, dropped) = q.release_front(1, |f| f != 1);
+        assert_eq!(requeued, vec![0, 2]);
+        assert_eq!(dropped, vec![1]);
+        assert_eq!(q.pending().collect::<Vec<_>>(), vec![0, 2, 3, 4, 5]);
+        // Tail release, by contrast, starves them behind the backlog.
+        let mut tail = GrantQueue::new(6, 3);
+        assert_eq!(tail.grant_chunk(1, 3), vec![0, 1, 2]);
+        let _ = tail.release(1, |f| f != 1);
+        assert_eq!(tail.pending().collect::<Vec<_>>(), vec![3, 4, 5, 0, 2]);
     }
 
     #[test]

@@ -90,6 +90,7 @@ fn main() {
             rank_compute: Some(scales.clone()),
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
         let report = env.shared.peek("out.txt").unwrap();

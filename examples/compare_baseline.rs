@@ -70,6 +70,7 @@ fn main() {
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     let pio = sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
     let pio_out = env.shared.peek("pio.txt").unwrap();

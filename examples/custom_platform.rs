@@ -101,6 +101,7 @@ fn main() {
                     rank_compute: None,
                     threads: 1,
                     io: Default::default(),
+                    service: None,
                 };
                 sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed
             };

@@ -24,6 +24,10 @@ cargo test --release -q --test async_io
 # merge must stay byte-identical to the serial kernel across shard
 # counts x fragment shapes x Recover kills x the async plane.
 cargo test --release -q --test hybrid
+# Query-stream service mode: every stream batch's report byte-identical
+# to its one-shot run across affinity x io-async x threads x Recover
+# kills, and the resident store actually hits.
+cargo test --release -q --test service
 # Bench targets (paper exhibits + kernel perf gate, ablate_hybrid
 # included via --workspace) must at least compile.
 cargo bench --workspace --no-run
@@ -59,3 +63,19 @@ cmp "$tracetmp/report.txt" "$tracetmp/report-async.txt"
   --out "$tracetmp/report-hybrid.txt" --trace "$tracetmp/trace-hybrid.json"
 "$cli" trace-check --in "$tracetmp/trace-hybrid.json"
 cmp "$tracetmp/report.txt" "$tracetmp/report-hybrid.txt"
+# Service-mode gate: a traced 16-rank serve with affinity + residency,
+# one query per stream batch, must export a well-formed trace AND every
+# per-batch report must be byte-identical to running that query alone.
+nq="$(grep -c '^>' "$tracetmp/q.fa")"
+"$cli" serve --procs 16 --affinity --resident-mb 64 \
+  --users 2 --stream-batches "$nq" --seed 9 \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/svc.txt" --trace "$tracetmp/trace-serve.json"
+"$cli" trace-check --in "$tracetmp/trace-serve.json"
+for b in $(seq 0 $((nq - 1))); do
+  awk -v n="$b" 'BEGIN{c=-1} /^>/{c++} c==n' "$tracetmp/q.fa" >"$tracetmp/q$b.fa"
+  "$cli" run --program pio --procs 16 --dynamic --no-collective \
+    --db-dir "$tracetmp/db" --queries "$tracetmp/q$b.fa" \
+    --out "$tracetmp/ref$b.txt"
+  cmp "$tracetmp/svc.txt.q$b" "$tracetmp/ref$b.txt"
+done

@@ -116,6 +116,7 @@ fn run_opts(opts: Opts) -> (Vec<u8>, Vec<usize>) {
             io_async: opts.io_async,
             ..Default::default()
         },
+        service: None,
     };
     let out = sim.run_faulty(opts.plan.clone(), |ctx| pioblast::run_rank(&ctx, &cfg));
     let bytes = env.shared.peek("results.txt").unwrap_or_default();
@@ -265,6 +266,7 @@ fn run_corrupted(
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).outputs
 }
@@ -355,6 +357,7 @@ fn full_file_system_degrades_output_to_typed_errors() {
                 io_async,
                 ..Default::default()
             },
+            service: None,
         };
         let outputs = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).outputs;
         let writers = outputs

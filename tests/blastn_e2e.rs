@@ -61,6 +61,7 @@ fn blastn_all_three_implementations_agree() {
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &pio_cfg));
     let pio = env.shared.peek("pio.txt").unwrap();

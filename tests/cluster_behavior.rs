@@ -71,6 +71,7 @@ fn pioblast_moves_less_shared_fs_data_than_mpiblast() {
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     let pio_counters = env.shared.counters();
@@ -116,6 +117,7 @@ fn phase_totals_cover_the_run() {
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     let outcome = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     let total = outcome.elapsed.since(simcluster::SimTime::ZERO);
@@ -163,6 +165,7 @@ fn virtual_time_is_host_independent() {
                 rank_compute: None,
                 threads: 1,
                 io: Default::default(),
+                service: None,
             };
             let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
             out.elapsed.0
@@ -202,6 +205,7 @@ fn measured_and_modeled_modes_agree_on_results() {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
         outputs.push(env.shared.peek("out.txt").unwrap());
@@ -238,6 +242,7 @@ fn nfs_slows_everything_down() {
             rank_compute: None,
             threads: 1,
             io: Default::default(),
+            service: None,
         };
         totals.push(sim.run(|ctx| pioblast::run_rank(&ctx, &cfg)).elapsed);
     }

@@ -77,6 +77,7 @@ fn run_recover_opts(
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
     let bytes = env.shared.peek("results.txt").unwrap_or_default();

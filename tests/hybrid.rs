@@ -80,6 +80,7 @@ fn run_hybrid(
             io_async,
             ..Default::default()
         },
+        service: None,
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
     let bytes = env.shared.peek("results.txt").unwrap_or_default();

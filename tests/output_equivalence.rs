@@ -84,6 +84,7 @@ fn run_pio(
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
     env.shared.peek("out.txt").expect("pio output")

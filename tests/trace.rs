@@ -84,6 +84,7 @@ fn run_pio_traced(
         rank_compute: None,
         threads: 1,
         io: Default::default(),
+        service: None,
     };
     let out = sim.run_faulty(plan, |ctx| pioblast::run_rank(&ctx, &cfg));
     let trace = tracer.finish(out.elapsed.since(simcluster::SimTime::ZERO).0);
