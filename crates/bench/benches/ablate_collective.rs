@@ -33,6 +33,7 @@ fn main() {
                     collective_output: collective,
                     local_prune: false,
                     threads: 1,
+                    ..Default::default()
                 },
             );
             labels.push(if collective {

@@ -34,6 +34,7 @@ fn main() {
                 collective_output: true,
                 local_prune: prune,
                 threads: 1,
+                ..Default::default()
             },
         ));
     }

@@ -120,6 +120,10 @@ pub struct PioOptions {
     pub local_prune: bool,
     /// Intra-rank compute slots per worker (`--threads`).
     pub threads: usize,
+    /// DES engine worker-pool width (`--pool-threads`); `None` uses
+    /// [`simcluster::default_pool_threads`]. Applies to both programs —
+    /// it is an engine knob, invisible to every output and trace byte.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for PioOptions {
@@ -128,6 +132,7 @@ impl Default for PioOptions {
             collective_output: true,
             local_prune: false,
             threads: 1,
+            pool_threads: None,
         }
     }
 }
@@ -174,7 +179,10 @@ pub fn run_traced(
     workload: &Workload,
     pio_options: PioOptions,
 ) -> (RunSummary, Trace) {
-    let sim = Sim::new(nprocs);
+    let sim = match pio_options.pool_threads {
+        Some(pool) => Sim::with_pool(nprocs, pool),
+        None => Sim::new(nprocs),
+    };
     let tracer = tracelog::Tracer::new(nprocs);
     sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, platform);

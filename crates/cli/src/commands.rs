@@ -51,19 +51,33 @@ USAGE:
   pioblast-sim formatdb --in db.fa --title NAME --out-dir DIR [--volume-cap N] [--dna]
   pioblast-sim sample   --in db.fa --bytes N --out queries.fa [--seed S] [--dna]
   pioblast-sim run      --program pio|mpi --procs N --db-dir DIR --queries q.fa
-                        --out report.txt [--platform altix|blade|manycore] [--frags N]
-                        [--threads N] [--batch N] [--measured] [--dna] [--no-collective]
-                        [--dynamic] [--fault-detect] [--recover] [--checkpoint]
-                        [--io-strategy independent|sieve|two-phase] [--sieve-threshold N]
-                        [--io-async] [--trace out.json] [--trace-filter LANE[,LANE...]]
+                        --out report.txt [--platform PLATFORM] [--frags N]
+                        [--threads N] [--pool-threads N] [--batch N] [--measured] [--dna]
+                        [--no-collective] [--dynamic] [--fault-detect] [--recover]
+                        [--checkpoint] [--io-strategy independent|sieve|two-phase]
+                        [--sieve-threshold N] [--io-async] [--trace out.json]
+                        [--trace-filter LANE[,LANE...]]
   pioblast-sim serve    --procs N --db-dir DIR --queries q.fa --out report.txt
-                        [--platform altix|blade|manycore] [--users N] [--stream-batches N]
+                        [--platform PLATFORM] [--users N] [--stream-batches N]
                         [--mean-gap-ms N] [--resident-mb N] [--affinity] [--frags N]
-                        [--threads N] [--io-async] [--recover] [--checkpoint] [--seed S]
-                        [--measured] [--dna] [--trace out.json] [--trace-filter LANE[,...]]
+                        [--threads N] [--pool-threads N] [--io-async] [--recover]
+                        [--checkpoint] [--seed S] [--measured] [--dna] [--trace out.json]
+                        [--trace-filter LANE[,...]]
   pioblast-sim trace-check --in trace.json
+  pioblast-sim trace-diff  --a run1.json --b run2.json [--top N]
 
 Integer options accept k/M/G suffixes (e.g. --residues 12M).
+
+PLATFORM is one of altix (SGI Altix: NUMAlink + striped XFS), blade
+(IBM blades: gigabit + NFS + local disks), manycore (64-core nodes),
+objectstore (10 GbE + S3/Ceph-class store: huge aggregate bandwidth,
+HTTP-scale request overhead), multisite (two sites over a WAN: tens of
+milliseconds per message and per shared-fs operation).
+
+--pool-threads N sets the DES engine's worker-pool width (default
+min(ncpus, 16)). Ranks run as resumable continuations on the pool, so
+a 512-rank run needs pool+1 OS threads, not 512 — and the width never
+changes a single output, clock, or trace byte.
 
 serve replays a seeded query stream (--users users submitting
 --stream-batches batches, inter-arrival gaps averaging --mean-gap-ms)
@@ -83,6 +97,10 @@ chrome://tracing): one process per rank, one thread per subsystem lane.
 --trace-filter limits the export to the named lanes (phase, search, io,
 net, runtime, sched, engine). trace-check validates a trace file:
 monotonic timestamps per lane and balanced begin/end span pairs.
+trace-diff aligns two exported runs by (rank, lane, phase) and reports
+which lane/phase diverged and by how much (--top rows per section);
+runs at different rank counts compare cluster totals and per-rank
+means, identical runs report an empty diff.
 ";
 
 /// Dispatch a parsed command line.
@@ -94,6 +112,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "run" => cmd_run(args),
         "serve" => cmd_serve(args),
         "trace-check" => cmd_trace_check(args),
+        "trace-diff" => cmd_trace_diff(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
@@ -211,6 +230,29 @@ pub fn load_db(db_dir: &str) -> Result<FormattedDb, CliError> {
     Ok(FormattedDb { alias, volumes })
 }
 
+/// Parse `--platform` into one of the simulated machines.
+fn parse_platform(args: &ParsedArgs) -> Result<Platform, CliError> {
+    match args.get("platform").unwrap_or("altix") {
+        "altix" => Ok(Platform::altix()),
+        "blade" => Ok(Platform::blade_cluster()),
+        "manycore" => Ok(Platform::manycore()),
+        "objectstore" => Ok(Platform::objectstore()),
+        "multisite" => Ok(Platform::multisite()),
+        other => Err(CliError(format!(
+            "unknown platform {other:?} (expected altix, blade, manycore, objectstore, or multisite)"
+        ))),
+    }
+}
+
+/// Build the simulation, honoring `--pool-threads` when present.
+fn make_sim(args: &ParsedArgs, nprocs: usize) -> Result<Sim, CliError> {
+    match args.u64_opt("pool-threads")? {
+        None => Ok(Sim::new(nprocs)),
+        Some(0) => Err(CliError("--pool-threads must be at least 1".into())),
+        Some(p) => Ok(Sim::with_pool(nprocs, p as usize)),
+    }
+}
+
 /// Parse `--io-strategy` / `--sieve-threshold` into plane options.
 fn io_options(args: &ParsedArgs) -> Result<pioblast::IoOptions, CliError> {
     let defaults = pioblast::IoOptions::default();
@@ -256,6 +298,19 @@ fn cmd_trace_check(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_trace_diff(args: &ParsedArgs) -> Result<String, CliError> {
+    let path_a = args.require("a")?;
+    let path_b = args.require("b")?;
+    let top = args.u64_or("top", 12)? as usize;
+    let load = |path: &str| -> Result<tracelog::diff::RunProfile, CliError> {
+        let text = fs::read_to_string(path)?;
+        tracelog::diff::profile_chrome(&text)
+            .map_err(|e| CliError(format!("{path}: invalid trace: {e}")))
+    };
+    let d = tracelog::diff::diff_profiles(&load(path_a)?, &load(path_b)?);
+    Ok(tracelog::diff::render_diff(&d, top.max(1)))
+}
+
 fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let program = args.require("program")?.to_string();
     let nprocs = args.require_u64("procs")? as usize;
@@ -265,12 +320,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let db_dir = args.require("db-dir")?;
     let queries_path = args.require("queries")?;
     let out = args.require("out")?;
-    let platform = match args.get("platform").unwrap_or("altix") {
-        "altix" => Platform::altix(),
-        "blade" => Platform::blade_cluster(),
-        "manycore" => Platform::manycore(),
-        other => return Err(CliError(format!("unknown platform {other:?}"))),
-    };
+    let platform = parse_platform(args)?;
     let threads = args.u64_or("threads", 1)? as usize;
     let molecule = molecule_of(args);
     let params = match molecule {
@@ -289,7 +339,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let nfrags = args.u64_opt("frags")?.map(|v| v as usize);
 
     let filter = trace_filter(args)?;
-    let sim = Sim::new(nprocs);
+    let sim = make_sim(args, nprocs)?;
     let tracer = tracelog::Tracer::new(nprocs);
     sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, &platform);
@@ -405,12 +455,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     let db_dir = args.require("db-dir")?;
     let queries_path = args.require("queries")?;
     let out = args.require("out")?.to_string();
-    let platform = match args.get("platform").unwrap_or("altix") {
-        "altix" => Platform::altix(),
-        "blade" => Platform::blade_cluster(),
-        "manycore" => Platform::manycore(),
-        other => return Err(CliError(format!("unknown platform {other:?}"))),
-    };
+    let platform = parse_platform(args)?;
     let users = args.u64_or("users", 4)? as u32;
     if users == 0 {
         return Err(CliError("--users must be at least 1".into()));
@@ -453,7 +498,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     );
 
     let filter = trace_filter(args)?;
-    let sim = Sim::new(nprocs);
+    let sim = make_sim(args, nprocs)?;
     let tracer = tracelog::Tracer::new(nprocs);
     sim.set_tracer(tracer.clone());
     let env = ClusterEnv::new(&sim, &platform);
@@ -622,6 +667,31 @@ mod tests {
         assert_eq!(outputs[0], outputs[1]);
         assert!(!outputs[0].is_empty());
 
+        // trace-diff: a trace against itself is equivalent; pio vs mpi
+        // runs differ and the divergence report names lanes.
+        let pio_trace = dir.join("pio.json");
+        let mpi_trace = dir.join("mpi.json");
+        let same = dispatch(&args(&[
+            "trace-diff",
+            "--a",
+            pio_trace.to_str().unwrap(),
+            "--b",
+            pio_trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(same.contains("equivalent"), "{same}");
+        let diff = dispatch(&args(&[
+            "trace-diff",
+            "--a",
+            pio_trace.to_str().unwrap(),
+            "--b",
+            mpi_trace.to_str().unwrap(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(diff.contains("cluster totals"), "{diff}");
+
         // --threads shards the scan across compute slots without changing
         // a single output byte.
         let threaded_out = dir.join("pio-t4.txt");
@@ -707,6 +777,83 @@ mod tests {
         // The platform ceiling itself is fine (blade HS20s expose four
         // hardware threads).
         run(&["--platform", "blade", "--threads", "4"]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_threads_and_new_platforms() {
+        let dir = tmpdir("pool");
+        let fa = dir.join("db.fa");
+        let qfa = dir.join("q.fa");
+        let dbdir = dir.join("db");
+        dispatch(&args(&[
+            "gen",
+            "--residues",
+            "15k",
+            "--out",
+            fa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "formatdb",
+            "--in",
+            fa.to_str().unwrap(),
+            "--title",
+            "p",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "sample",
+            "--in",
+            fa.to_str().unwrap(),
+            "--bytes",
+            "256",
+            "--out",
+            qfa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let run = |label: &str, extra: &[&str]| {
+            let out = dir.join(format!("{label}.txt"));
+            let mut v = vec![
+                "run",
+                "--program",
+                "pio",
+                "--procs",
+                "3",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--queries",
+                qfa.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            dispatch(&args(&v)).map(|_| fs::read(&out).unwrap())
+        };
+        // The pool width never changes report bytes.
+        let narrow = run(
+            "pool1",
+            &["--platform", "objectstore", "--pool-threads", "1"],
+        )
+        .unwrap();
+        let wide = run(
+            "pool4",
+            &["--platform", "objectstore", "--pool-threads", "4"],
+        )
+        .unwrap();
+        assert_eq!(narrow, wide, "pool width leaked into the report");
+        // The new platforms both complete; their I/O regimes differ, so
+        // reports agree (same database, same queries) even though times
+        // do not.
+        let multi = run("multisite", &["--platform", "multisite"]).unwrap();
+        assert_eq!(multi, narrow);
+        // Bad values are typed errors.
+        let err = run("bad", &["--pool-threads", "0"]).unwrap_err();
+        assert!(err.0.contains("--pool-threads"), "{err}");
+        let err = run("badplat", &["--platform", "cloud9"]).unwrap_err();
+        assert!(err.0.contains("objectstore"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -30,6 +30,25 @@ impl NetProfile {
         }
     }
 
+    /// 10-gigabit datacenter Ethernet — the object-store cluster's
+    /// fabric: lower latency than the blades' gigabit, an order more
+    /// bandwidth.
+    pub fn datacenter_10g() -> NetProfile {
+        NetProfile {
+            latency: 20.0e-6,
+            bandwidth: 1.2e9,
+        }
+    }
+
+    /// A cross-site WAN path: tens of milliseconds one way over a
+    /// shared gigabit-class link.
+    pub fn wan_crosssite() -> NetProfile {
+        NetProfile {
+            latency: 35.0e-3,
+            bandwidth: 120.0e6,
+        }
+    }
+
     /// Seconds the sender is occupied by a `bytes`-byte message.
     pub fn occupancy(&self, bytes: u64) -> f64 {
         bytes as f64 / self.bandwidth

@@ -99,6 +99,29 @@ impl FsProfile {
         }
     }
 
+    /// An S3/Ceph-class parallel object store: any one client stream is
+    /// modest, but the striped backend aggregates to tens of GB/s, so
+    /// hundreds of clients can read concurrently without serializing.
+    /// Each request pays HTTP-scale overhead rather than a syscall.
+    pub fn object_store() -> FsProfile {
+        FsProfile {
+            per_client_bw: 250.0e6,
+            aggregate_bw: 25.0e9,
+            op_latency: 8.0e-3,
+        }
+    }
+
+    /// A shared file system mounted across sites: streaming bandwidth is
+    /// tolerable once established, but every operation pays a WAN round
+    /// trip of tens of milliseconds.
+    pub fn wan_shared() -> FsProfile {
+        FsProfile {
+            per_client_bw: 80.0e6,
+            aggregate_bw: 400.0e6,
+            op_latency: 45.0e-3,
+        }
+    }
+
     /// Effective per-stream bandwidth when `n` streams are active.
     pub fn stream_bw(&self, n: usize) -> f64 {
         debug_assert!(n > 0);

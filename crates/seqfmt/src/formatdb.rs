@@ -131,6 +131,56 @@ pub fn format_records(records: &[SeqRecord], cfg: &FormatDbConfig) -> FormattedD
     FormattedDb { alias, volumes }
 }
 
+/// Format records with *explicit* volume boundaries — one input slice
+/// per volume — instead of splitting by a residue cap. This is what the
+/// multi-volume synthesis sweep uses: each volume's record set (and
+/// therefore its size and length distribution) is chosen by the
+/// generator, and the formatter must not re-draw the boundaries.
+/// `cfg.volume_residue_cap` is ignored. Oids stay continuous across
+/// volumes, exactly as with cap-based splitting.
+pub fn format_volumes(per_volume: &[Vec<SeqRecord>], cfg: &FormatDbConfig) -> FormattedDb {
+    let global_stats = DbStats {
+        num_sequences: per_volume.iter().map(|v| v.len() as u64).sum(),
+        total_residues: per_volume
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|r| r.len() as u64)
+            .sum(),
+    };
+    let empty: Vec<SeqRecord> = Vec::new();
+    let slices: Vec<&Vec<SeqRecord>> = if per_volume.is_empty() {
+        vec![&empty]
+    } else {
+        per_volume.iter().collect()
+    };
+    let multi = slices.len() > 1;
+    let mut volumes = Vec::with_capacity(slices.len());
+    let mut base_oid = 0u64;
+    for (vi, slice) in slices.iter().enumerate() {
+        let name = if multi {
+            format!("{}.{:02}", cfg.title, vi)
+        } else {
+            cfg.title.clone()
+        };
+        volumes.push(encode_volume(
+            &name,
+            &cfg.title,
+            cfg.molecule,
+            base_oid,
+            slice,
+            global_stats,
+        ));
+        base_oid += slice.len() as u64;
+    }
+    let alias = AliasFile {
+        title: cfg.title.clone(),
+        molecule: cfg.molecule,
+        volumes: volumes.iter().map(|v| v.name.clone()).collect(),
+        global_stats,
+    };
+    FormattedDb { alias, volumes }
+}
+
 /// Format raw FASTA text.
 pub fn format_fasta(text: &[u8], cfg: &FormatDbConfig) -> Result<FormattedDb, FastaError> {
     let records = fasta::parse(cfg.molecule, text)?;

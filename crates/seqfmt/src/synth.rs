@@ -71,6 +71,100 @@ impl SynthConfig {
     }
 }
 
+/// One volume of a multi-volume synthesis plan: its residue budget and
+/// its own record-length distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeSpec {
+    /// Residues to emit into this volume.
+    pub residues: u64,
+    /// ln-space mean of this volume's length distribution.
+    pub len_ln_mean: f64,
+    /// ln-space standard deviation of this volume's length distribution.
+    pub len_ln_sigma: f64,
+}
+
+/// A multi-volume database synthesis plan — the scale sweep's database
+/// generator. Each volume draws from its *own* record-length
+/// distribution and its *own* seed (derived deterministically from the
+/// base seed and the volume index), so:
+///
+/// * volume `v`'s records are identical no matter how many other
+///   volumes the plan holds — growing a 4-volume database to 16 volumes
+///   extends it without rewriting a byte of the first four;
+/// * the sweep can vary composition across volumes (short-record
+///   volumes next to contig-like ones) to exercise fragment-size skew.
+///
+/// [`MultiVolumeConfig::format`] formats the volumes with explicit
+/// boundaries ([`crate::formatdb::format_volumes`]): the generator, not
+/// a residue cap, decides where volumes end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVolumeConfig {
+    /// Base seed; volume `v` uses a seed derived from `(seed, v)`.
+    pub seed: u64,
+    /// The volumes, in oid order.
+    pub volumes: Vec<VolumeSpec>,
+}
+
+impl MultiVolumeConfig {
+    /// A size sweep: `nvolumes` volumes totalling `total_residues`,
+    /// with per-volume length distributions swept from short-record
+    /// (ln-mean 5.0, median ≈ 150) to contig-like (ln-mean 6.4,
+    /// median ≈ 600) across the volume index.
+    pub fn size_sweep(seed: u64, nvolumes: usize, total_residues: u64) -> MultiVolumeConfig {
+        let n = nvolumes.max(1);
+        let volumes = (0..n)
+            .map(|v| {
+                let t = if n == 1 {
+                    0.0
+                } else {
+                    v as f64 / (n - 1) as f64
+                };
+                VolumeSpec {
+                    residues: total_residues / n as u64,
+                    len_ln_mean: 5.0 + 1.4 * t,
+                    len_ln_sigma: 0.45 + 0.2 * t,
+                }
+            })
+            .collect();
+        MultiVolumeConfig { seed, volumes }
+    }
+
+    /// The seed volume `v` generates from: a splitmix64 of the base
+    /// seed and the index, so adjacent volumes are decorrelated.
+    fn volume_seed(&self, v: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((v as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Generate every volume's records (protein), one record set per
+    /// volume, deterministically.
+    pub fn generate_volumes(&self) -> Vec<Vec<SeqRecord>> {
+        self.volumes
+            .iter()
+            .enumerate()
+            .map(|(v, spec)| {
+                let mut cfg = SynthConfig::nr_like(self.volume_seed(v), spec.residues);
+                cfg.len_ln_mean = spec.len_ln_mean;
+                cfg.len_ln_sigma = spec.len_ln_sigma;
+                generate_with_namespace(&cfg, Molecule::Protein, v as u64)
+            })
+            .collect()
+    }
+
+    /// Generate and format the database with explicit volume
+    /// boundaries.
+    pub fn format(&self, title: &str) -> crate::formatdb::FormattedDb {
+        crate::formatdb::format_volumes(
+            &self.generate_volumes(),
+            &crate::formatdb::FormatDbConfig::protein(title),
+        )
+    }
+}
+
 /// Cumulative Robinson–Robinson table for residue sampling.
 fn cumulative_freqs() -> [f64; 20] {
     let total: f64 = ROBINSON_FREQS.iter().sum();
@@ -154,6 +248,13 @@ pub fn generate_dna(cfg: &SynthConfig) -> Vec<SeqRecord> {
 /// The shared generator; `molecule` selects the residue sampler and the
 /// defline style.
 fn generate_with(cfg: &SynthConfig, molecule: Molecule) -> Vec<SeqRecord> {
+    generate_with_namespace(cfg, molecule, 0)
+}
+
+/// Like [`generate_with`], but with gi and family numbering offset into
+/// namespace `ns`, so record sets generated independently (one per
+/// database volume) have globally unique identifiers.
+fn generate_with_namespace(cfg: &SynthConfig, molecule: Molecule, ns: u64) -> Vec<SeqRecord> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let cum = match molecule {
         Molecule::Protein => cumulative_freqs(),
@@ -169,8 +270,8 @@ fn generate_with(cfg: &SynthConfig, molecule: Molecule) -> Vec<SeqRecord> {
     };
     let mut records = Vec::new();
     let mut residues = 0u64;
-    let mut gi = 1_000_000u64;
-    let mut family = 0u64;
+    let mut gi = 1_000_000 + ns * 1_000_000_000;
+    let mut family = ns * 1_000_000;
     while residues < cfg.target_residues {
         family += 1;
         let len = sample_length(&mut rng, cfg);
@@ -311,6 +412,106 @@ mod tests {
         // Tryptophan (code 17) is the rarest (~1.3%).
         let trp = counts[17] as f64 / total as f64;
         assert!(trp < 0.03, "Trp freq {trp}");
+    }
+
+    #[test]
+    fn multivolume_boundaries_are_exactly_the_generated_sets() {
+        let cfg = MultiVolumeConfig::size_sweep(17, 4, 80_000);
+        let per_volume = cfg.generate_volumes();
+        let db = cfg.format("sweepdb");
+        assert_eq!(db.volumes.len(), 4);
+        // Each volume holds exactly its generated record set — the
+        // formatter must not re-draw boundaries — and oids run
+        // continuously across volume edges.
+        let mut base_oid = 0u64;
+        for (v, vol) in db.volumes.iter().enumerate() {
+            assert_eq!(
+                vol.index.volume_stats.num_sequences,
+                per_volume[v].len() as u64,
+                "volume {v} boundary moved"
+            );
+            assert_eq!(vol.index.base_oid, base_oid, "volume {v} oid base");
+            base_oid += per_volume[v].len() as u64;
+            assert_eq!(vol.name, format!("sweepdb.{v:02}"));
+        }
+        assert_eq!(db.stats().num_sequences, base_oid);
+        // Round-trip: the first and last records survive encoding at
+        // their global oids.
+        let first = crate::FragmentData::from_volume(&db.volumes[0]);
+        use blast_core::search::SubjectSource;
+        assert_eq!(
+            first.subject(0).residues,
+            per_volume[0][0].residues.as_slice()
+        );
+    }
+
+    #[test]
+    fn multivolume_sweep_varies_length_distribution_per_volume() {
+        let cfg = MultiVolumeConfig::size_sweep(3, 5, 250_000);
+        let per_volume = cfg.generate_volumes();
+        let median = |recs: &[SeqRecord]| {
+            let mut lens: Vec<usize> = recs.iter().map(|r| r.len()).collect();
+            lens.sort_unstable();
+            lens[lens.len() / 2]
+        };
+        let first = median(&per_volume[0]);
+        let last = median(&per_volume[4]);
+        assert!(
+            last as f64 > 1.8 * first as f64,
+            "sweep must skew lengths: first median {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn multivolume_volumes_are_stable_under_growth() {
+        // Growing the plan from 2 to 6 volumes must not change the
+        // records of the first two: per-volume seeds are a function of
+        // (base seed, index) only. Note size_sweep varies the length
+        // distribution with the volume *fraction*, so compare explicit
+        // specs instead.
+        let spec = |r| VolumeSpec {
+            residues: r,
+            len_ln_mean: 5.7,
+            len_ln_sigma: 0.5,
+        };
+        let small = MultiVolumeConfig {
+            seed: 9,
+            volumes: vec![spec(20_000), spec(30_000)],
+        };
+        let large = MultiVolumeConfig {
+            seed: 9,
+            volumes: (0..6).map(|_| spec(20_000)).collect(),
+        };
+        let a = small.generate_volumes();
+        let b = large.generate_volumes();
+        assert_eq!(a[0], b[0], "volume 0 rewrote under growth");
+        // Different budgets share a prefix: volume 1's first records
+        // agree even though `small`'s volume 1 is larger.
+        assert_eq!(a[1][..b[1].len().min(a[1].len())], b[1][..]);
+        // And different volume indexes decorrelate.
+        assert_ne!(b[0], b[1]);
+    }
+
+    #[test]
+    fn multivolume_ids_are_globally_unique() {
+        let cfg = MultiVolumeConfig::size_sweep(21, 3, 45_000);
+        let all: Vec<SeqRecord> = cfg.generate_volumes().into_iter().flatten().collect();
+        let mut ids: Vec<String> = all.iter().map(|r| r.id().to_string()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate ids across volumes");
+    }
+
+    #[test]
+    fn multivolume_format_is_deterministic() {
+        let files = |seed| {
+            MultiVolumeConfig::size_sweep(seed, 3, 30_000)
+                .format("det")
+                .files()
+        };
+        assert_eq!(files(5), files(5));
+        assert_ne!(files(5), files(6));
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! The discrete-event engine and rank runtime.
 //!
-//! Each simulated MPI rank runs as a real OS thread, but the engine
-//! coschedules them so *exactly one* thread is ever runnable: the
-//! scheduler pops the earliest event, resumes its target rank, and waits
-//! for that rank to block again (on a timer, a message receive, or a
-//! service-managed wake such as a file-system transfer). Virtual time
-//! advances only between events, so 64 simulated ranks scale perfectly in
-//! virtual time on any host.
+//! Each simulated MPI rank runs as a *resumable continuation* — a
+//! stackful fiber ([`crate::fiber`]) pinned to one worker of a small
+//! thread pool (default [`default_pool_threads`], `min(ncpus, 16)`).
+//! The engine coschedules them so *exactly one* rank is ever running:
+//! the scheduler pops the earliest event, dispatches a resume to the
+//! target rank's worker, and waits for the rank to yield again (on a
+//! timer, a message receive, or a service-managed wake such as a
+//! file-system transfer). A yielding rank parks by switching stacks
+//! back to its worker, not by blocking an OS thread, so a 512-rank run
+//! needs `pool + 1` threads rather than 512. Virtual time advances only
+//! between events, and the pool width is invisible to results: any pool
+//! size produces bit-identical outputs, clocks, and traces.
 //!
-//! Because only one thread runs at a time, a rank can execute *real*
+//! Because only one rank runs at a time, a rank can execute *real*
 //! computation (e.g. an actual BLAST fragment search) and charge its
 //! measured wall time to the virtual clock ([`RankCtx::run_measured`]) —
 //! the mechanism the benchmark harnesses use to get honest compute costs
@@ -18,6 +23,12 @@
 //! [`SimHandle`] that can schedule and cancel wakes for blocked ranks,
 //! which is what lets a processor-sharing bandwidth model retime pending
 //! transfers whenever contention changes.
+//!
+//! Teardown is synchronous: a killed rank's fiber is force-unwound at
+//! its kill time (destructors, and therefore open trace spans, close
+//! deterministically), and a rank panic or deadlock drains every other
+//! live fiber before [`Sim::try_run_faulty`] surfaces a typed
+//! [`SimError`] — nothing is left parked for a join to deadlock on.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
@@ -25,8 +36,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
+use crate::fiber::{self, Fiber};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled wake, used to cancel or replace it.
@@ -218,76 +230,93 @@ impl EngineState {
     }
 }
 
-/// Per-rank resume gate. A gate can be signalled to run once, or put into
-/// shutdown mode (after a scheduler panic) so parked rank threads unwind
-/// instead of blocking `thread::scope` forever.
-struct Gate {
-    flag: Mutex<GateState>,
-    cv: Condvar,
+/// Fiber stack size for rank bodies. Stacks are lazily committed by the
+/// allocator, so this costs address space, not resident memory; bodies
+/// run real search kernels, so it is sized like a small thread stack.
+const RANK_STACK_BYTES: usize = 2 << 20;
+
+/// Yield code: the rank suspended at an engine yield point
+/// ([`RankCtx::wait_woken`]).
+const YIELD_BLOCKED: usize = 0;
+/// Completion code: the body returned and its output is stored.
+const DONE_FINISHED: usize = 1;
+/// Completion code: a teardown unwind ran the body's destructors.
+const DONE_UNWOUND: usize = 2;
+/// Completion code: the body panicked; the message is stored.
+const DONE_PANICKED: usize = 3;
+
+/// The default worker-pool width: `min(ncpus, 16)`.
+pub fn default_pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum GateState {
-    Parked,
-    Run,
-    Shutdown,
+/// A fatal simulation failure, surfaced as a typed error by
+/// [`Sim::try_run_faulty`]. The panicking entry points ([`Sim::run`],
+/// [`Sim::run_faulty`]) panic with this error's `Display` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A rank body panicked. The engine drains the pool (force-unwinding
+    /// every other live rank) before reporting, so the scheduler never
+    /// deadlocks on a panicked run.
+    RankPanic {
+        /// The rank whose body panicked.
+        rank: usize,
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
+    /// No runnable rank and no pending event while unfinished ranks
+    /// remain.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// The ranks still blocked, ascending.
+        blocked: Vec<usize>,
+    },
 }
 
-impl Gate {
-    fn new() -> Gate {
-        Gate {
-            flag: Mutex::new(GateState::Parked),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn resume(&self) {
-        let mut f = self.flag.lock();
-        if *f != GateState::Shutdown {
-            *f = GateState::Run;
-        }
-        self.cv.notify_one();
-    }
-
-    fn shutdown(&self) {
-        let mut f = self.flag.lock();
-        *f = GateState::Shutdown;
-        self.cv.notify_one();
-    }
-
-    /// Park until resumed; panics (to unwind the rank body) on shutdown.
-    fn wait(&self) {
-        let mut f = self.flag.lock();
-        while *f == GateState::Parked {
-            self.cv.wait(&mut f);
-        }
-        match *f {
-            GateState::Run => *f = GateState::Parked,
-            GateState::Shutdown => {
-                drop(f);
-                // resume_unwind skips the panic hook: rank teardown is a
-                // scheduler-internal control transfer, not an error.
-                std::panic::resume_unwind(Box::new(SimAborted));
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
             }
-            GateState::Parked => unreachable!(),
+            SimError::Deadlock { at, blocked } => write!(
+                f,
+                "simcluster deadlock at {at}: ranks {blocked:?} blocked with no pending events"
+            ),
         }
     }
 }
 
-/// Panic payload used to unwind rank threads when the scheduler aborts.
-struct SimAborted;
+impl std::error::Error for SimError {}
 
-enum YieldMsg {
-    Blocked(usize),
-    Finished(usize),
-    Panicked(usize, String),
+/// Commands from the scheduler to a pool worker. Exactly one command is
+/// ever outstanding across the whole pool (the scheduler round-trips
+/// each one), which is what keeps any pool width deterministic.
+#[derive(Debug)]
+enum Cmd {
+    /// Resume this rank's fiber until it yields or completes.
+    Resume(usize),
+    /// Force-unwind this rank's fiber (kill teardown or drain).
+    Unwind(usize),
+    /// Shut the worker down; all its fibers must already be done.
+    Exit,
+}
+
+/// A worker's answer to one command (exactly one is outstanding, so
+/// replies need no rank id).
+enum Reply {
+    /// `Resume` result: the yield or completion code.
+    Yielded(usize),
+    /// `Unwind` result: `None` if there was nothing to unwind.
+    Unwound(Option<usize>),
 }
 
 struct Inner {
     state: Mutex<EngineState>,
-    gates: Vec<Gate>,
-    yield_tx: Sender<YieldMsg>,
-    yield_rx: Receiver<YieldMsg>,
     tracer: Mutex<Option<tracelog::Tracer>>,
 }
 
@@ -312,6 +341,7 @@ impl Inner {
 pub struct Sim {
     inner: Arc<Inner>,
     nranks: usize,
+    pool: usize,
 }
 
 /// The result of a completed simulation.
@@ -340,10 +370,20 @@ pub struct FaultySimOutcome<R> {
 }
 
 impl Sim {
-    /// Create a simulation with `nranks` ranks.
+    /// Create a simulation with `nranks` ranks and the default worker
+    /// pool ([`default_pool_threads`]).
     pub fn new(nranks: usize) -> Sim {
+        Sim::with_pool(nranks, default_pool_threads())
+    }
+
+    /// Create a simulation whose rank continuations execute on a pool of
+    /// `pool_threads` workers (clamped to `1..=nranks` at run time).
+    /// The pool width affects only host-side parallelism of the *engine
+    /// machinery* — outputs, virtual clocks, statistics, and traces are
+    /// bit-identical for every width, because exactly one rank runs at
+    /// a time regardless.
+    pub fn with_pool(nranks: usize, pool_threads: usize) -> Sim {
         assert!(nranks > 0, "need at least one rank");
-        let (yield_tx, yield_rx) = unbounded();
         let inner = Arc::new(Inner {
             state: Mutex::new(EngineState {
                 clock: 0,
@@ -362,12 +402,13 @@ impl Sim {
                 next_seq: 0,
                 stats: EngineStats::default(),
             }),
-            gates: (0..nranks).map(|_| Gate::new()).collect(),
-            yield_tx,
-            yield_rx,
             tracer: Mutex::new(None),
         });
-        Sim { inner, nranks }
+        Sim {
+            inner,
+            nranks,
+            pool: pool_threads.max(1),
+        }
     }
 
     /// Number of ranks.
@@ -375,13 +416,20 @@ impl Sim {
         self.nranks
     }
 
+    /// The effective worker-pool width a run will use:
+    /// `min(pool_threads, nranks)`.
+    pub fn pool_threads(&self) -> usize {
+        self.pool.min(self.nranks)
+    }
+
     /// Attach a [`tracelog::Tracer`] to this simulation. The engine
-    /// installs a thread-local tracer (rank id + virtual-clock closure)
-    /// in every rank thread it spawns, so instrumentation anywhere in
-    /// the stack records without plumbing a handle through signatures;
-    /// the scheduler itself records engine-lifecycle events (wake,
-    /// block, finish, kill) on each rank's [`tracelog::Lane::Engine`]
-    /// timeline.
+    /// builds one [`tracelog::RankHandle`] per rank (rank id +
+    /// virtual-clock closure) and swaps it into the worker's
+    /// thread-local slot around every resumption, so instrumentation
+    /// anywhere in the stack records without plumbing a handle through
+    /// signatures; the scheduler itself records engine-lifecycle events
+    /// (wake, block, finish, kill) on each rank's
+    /// [`tracelog::Lane::Engine`] timeline.
     pub fn set_tracer(&self, tracer: tracelog::Tracer) {
         assert_eq!(
             tracer.nranks(),
@@ -426,13 +474,36 @@ impl Sim {
     ///
     /// # Panics
     /// Panics if any surviving rank body panics, or on deadlock among
-    /// surviving ranks.
+    /// surviving ranks (the [`Sim::try_run_faulty`] error's `Display`
+    /// string).
     pub fn run_faulty<R, F>(self, plan: FaultPlan, body: F) -> FaultySimOutcome<R>
     where
         R: Send,
         F: Fn(RankCtx) -> R + Sync,
     {
+        match self.try_run_faulty(plan, body) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run the simulation under an injected [`FaultPlan`], surfacing
+    /// rank panics and deadlocks as typed [`SimError`]s instead of
+    /// panicking. On error the engine has already drained the worker
+    /// pool — every live rank continuation was force-unwound and every
+    /// worker joined — so the call returns cleanly with no leaked
+    /// threads or stacks.
+    pub fn try_run_faulty<R, F>(
+        self,
+        plan: FaultPlan,
+        body: F,
+    ) -> Result<FaultySimOutcome<R>, SimError>
+    where
+        R: Send,
+        F: Fn(RankCtx) -> R + Sync,
+    {
         let n = self.nranks;
+        let pool = self.pool.min(n);
         let inner = &self.inner;
         // Seed: every rank wakes at t = 0, and faults arm.
         {
@@ -452,65 +523,131 @@ impl Sim {
             }
         }
         let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panics: Vec<Mutex<Option<String>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let tracer = inner.tracer.lock().clone();
         let body = &body;
         let outputs_ref = &outputs;
+        let panics_ref = &panics;
+        let tracer_ref = &tracer;
+
         let mut killed: Vec<usize> = Vec::new();
-        let killed_ref = &mut killed;
+        let mut error: Option<SimError> = None;
+
+        // One command channel per worker (ranks pin to worker
+        // `rank % pool`), one shared reply channel. The scheduler
+        // round-trips a single command at a time, so replies are never
+        // interleaved.
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(pool);
+        let mut cmd_rxs: Vec<Receiver<Cmd>> = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let (tx, rx) = unbounded::<Cmd>();
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
 
         std::thread::scope(|scope| {
-            let killed = killed_ref;
-            for (rank, out_slot) in outputs_ref.iter().enumerate() {
+            for (w, cmd_rx) in cmd_rxs.into_iter().enumerate() {
+                let reply_tx = reply_tx.clone();
                 let inner = Arc::clone(inner);
                 scope.spawn(move || {
-                    // Install the thread-local tracer before the body
-                    // runs: the clock closure reads the engine clock,
-                    // which is safe from rank code because the engine
-                    // state lock is never held across a body call.
-                    let _trace_guard = inner.tracer.lock().clone().map(|tr| {
-                        let clock_src = Arc::clone(&inner);
-                        tracelog::install(tr, rank, move || clock_src.state.lock().clock)
-                    });
-                    inner.gates[rank].wait();
-                    let ctx = RankCtx {
-                        inner: Arc::clone(&inner),
-                        rank,
-                        nranks: n,
-                    };
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
-                    match result {
-                        Ok(out) => {
-                            *out_slot.lock() = Some(out);
-                            let _ = inner.yield_tx.send(YieldMsg::Finished(rank));
-                        }
-                        Err(payload) if payload.is::<SimAborted>() => {
-                            // The scheduler is tearing the run down; exit
-                            // quietly so thread::scope can join.
-                        }
-                        Err(payload) => {
-                            // `&*payload`: downcast the payload itself, not the Box.
-                            let msg = panic_message(&*payload);
-                            let _ = inner.yield_tx.send(YieldMsg::Panicked(rank, msg));
+                    // Build this worker's rank continuations. A fiber is
+                    // only ever resumed from the thread that built it,
+                    // so thread-local state observed by rank code stays
+                    // consistent across resumptions.
+                    let mut lanes: HashMap<usize, (Fiber<'_>, Option<tracelog::RankHandle>)> =
+                        HashMap::new();
+                    for rank in (w..n).step_by(pool) {
+                        let ctx_inner = Arc::clone(&inner);
+                        let entry = move |_first: usize| -> usize {
+                            let ctx = RankCtx {
+                                inner: ctx_inner,
+                                rank,
+                                nranks: n,
+                            };
+                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                            match result {
+                                Ok(out) => {
+                                    *outputs_ref[rank].lock() = Some(out);
+                                    DONE_FINISHED
+                                }
+                                Err(payload) if payload.is::<fiber::ForcedUnwind>() => DONE_UNWOUND,
+                                Err(payload) => {
+                                    // `&*payload`: downcast the payload
+                                    // itself, not the Box.
+                                    *panics_ref[rank].lock() = Some(panic_message(&*payload));
+                                    DONE_PANICKED
+                                }
+                            }
+                        };
+                        let fib = Fiber::new(RANK_STACK_BYTES, entry);
+                        // The rank's tracer handle, swapped into the
+                        // thread-local slot per *resumption* (the clock
+                        // closure reads the engine clock, which is safe
+                        // from rank code because the state lock is never
+                        // held across a yield).
+                        let handle = tracer_ref.clone().map(|tr| {
+                            let clock_src = Arc::clone(&inner);
+                            tracelog::rank_handle(tr, rank, move || clock_src.state.lock().clock)
+                        });
+                        lanes.insert(rank, (fib, handle));
+                    }
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Resume(rank) => {
+                                let (fib, handle) =
+                                    lanes.get_mut(&rank).expect("rank pinned to this worker");
+                                if let Some(h) = handle.as_mut() {
+                                    h.swap();
+                                }
+                                let code = fib.resume(0);
+                                if let Some(h) = handle.as_mut() {
+                                    h.swap();
+                                }
+                                let _ = reply_tx.send(Reply::Yielded(code));
+                            }
+                            Cmd::Unwind(rank) => {
+                                let (fib, handle) =
+                                    lanes.get_mut(&rank).expect("rank pinned to this worker");
+                                // Swap the tracer in for the unwind too:
+                                // destructors close open spans, and those
+                                // events must land on the rank's buffer
+                                // at the (deterministic) current clock.
+                                if let Some(h) = handle.as_mut() {
+                                    h.swap();
+                                }
+                                let res = fib.unwind();
+                                if let Some(h) = handle.as_mut() {
+                                    h.swap();
+                                }
+                                let _ = reply_tx.send(Reply::Unwound(res));
+                            }
+                            Cmd::Exit => break,
                         }
                     }
                 });
             }
 
-            // Scheduler loop (runs on the calling thread). On any fatal
-            // condition, shut all gates down first so parked rank threads
-            // unwind and thread::scope can join before the panic.
-            let abort = |message: String| -> ! {
-                for g in &inner.gates {
-                    g.shutdown();
-                }
-                panic!("{message}");
+            // ---- scheduler (runs on the calling thread) ----
+            let roundtrip = |cmd: Cmd| -> Reply {
+                let worker = match &cmd {
+                    Cmd::Resume(r) | Cmd::Unwind(r) => r % pool,
+                    Cmd::Exit => unreachable!("Exit is broadcast, not round-tripped"),
+                };
+                cmd_txs[worker].send(cmd).expect("pool worker alive");
+                reply_rx.recv().expect("pool worker alive")
             };
+            // Whether each rank's continuation still holds a live stack
+            // (running bodies and not-yet-started entries both count).
+            let mut alive = vec![true; n];
             let mut finished = 0usize;
-            while finished < n {
+
+            while finished < n && error.is_none() {
                 enum Next {
                     Resume(usize, u64),
                     Kill(usize, u64),
                     Service(Callback),
-                    Deadlock(String),
+                    Deadlock(SimTime, Vec<usize>),
                 }
                 let next = {
                     let mut st = inner.state.lock();
@@ -550,76 +687,105 @@ impl Sim {
                                     .filter(|(_, s)| **s != Status::Finished)
                                     .map(|(r, _)| r)
                                     .collect();
-                                break Next::Deadlock(format!(
-                                    "simcluster deadlock at {}: ranks {blocked:?} blocked with no pending events",
-                                    SimTime(st.clock)
-                                ));
+                                break Next::Deadlock(SimTime(st.clock), blocked);
                             }
                         }
                     }
                 };
-                let rank = match next {
+                match next {
                     Next::Resume(r, t) => {
                         inner.trace_engine(r, t, "wake");
-                        r
+                        match roundtrip(Cmd::Resume(r)) {
+                            Reply::Yielded(YIELD_BLOCKED) => {
+                                let t = {
+                                    let mut st = inner.state.lock();
+                                    st.status[r] = Status::Blocked;
+                                    st.clock
+                                };
+                                inner.trace_engine(r, t, "block");
+                            }
+                            Reply::Yielded(DONE_FINISHED) => {
+                                alive[r] = false;
+                                let t = {
+                                    let mut st = inner.state.lock();
+                                    st.status[r] = Status::Finished;
+                                    finished += 1;
+                                    st.clock
+                                };
+                                inner.trace_engine(r, t, "finish");
+                            }
+                            Reply::Yielded(DONE_PANICKED) => {
+                                alive[r] = false;
+                                let message = panics_ref[r].lock().take().unwrap_or_default();
+                                error = Some(SimError::RankPanic { rank: r, message });
+                            }
+                            _ => unreachable!("impossible resume reply"),
+                        }
                     }
                     Next::Kill(r, t) => {
-                        // The rank thread is parked at its gate; shutdown
-                        // unwinds it through the quiet `SimAborted` path,
-                        // so it never reports an output.
                         inner.trace_engine(r, t, "kill");
-                        inner.gates[r].shutdown();
+                        // Unwind the continuation *now*: destructors (and
+                        // their trace events) run synchronously at the
+                        // kill time, and the rank never reports an
+                        // output (any stored one is discarded below).
+                        if alive[r] {
+                            if let Reply::Unwound(Some(DONE_PANICKED)) = roundtrip(Cmd::Unwind(r)) {
+                                let message = panics_ref[r].lock().take().unwrap_or_default();
+                                error = Some(SimError::RankPanic { rank: r, message });
+                            }
+                            alive[r] = false;
+                        }
                         killed.push(r);
                         finished += 1;
-                        continue;
                     }
                     Next::Service(cb) => {
                         // Run the service action on the scheduler thread
                         // while every rank is parked; the callback may
                         // schedule wakes, further callbacks, or posts.
                         cb();
-                        continue;
                     }
-                    Next::Deadlock(msg) => abort(msg),
-                };
-                inner.gates[rank].resume();
-                match inner
-                    .yield_rx
-                    .recv()
-                    .expect("rank threads outlive scheduler")
-                {
-                    YieldMsg::Blocked(r) => {
-                        let t = {
-                            let mut st = inner.state.lock();
-                            st.status[r] = Status::Blocked;
-                            st.clock
-                        };
-                        inner.trace_engine(r, t, "block");
-                    }
-                    YieldMsg::Finished(r) => {
-                        let t = {
-                            let mut st = inner.state.lock();
-                            st.status[r] = Status::Finished;
-                            finished += 1;
-                            st.clock
-                        };
-                        inner.trace_engine(r, t, "finish");
-                    }
-                    YieldMsg::Panicked(r, msg) => {
-                        abort(format!("rank {r} panicked: {msg}"));
+                    Next::Deadlock(at, blocked) => {
+                        error = Some(SimError::Deadlock { at, blocked });
                     }
                 }
             }
+
+            // Drain: force-unwind every remaining live continuation (in
+            // rank order, for deterministic teardown traces) so workers
+            // never join on a suspended stack. After a clean run this
+            // loop finds nothing.
+            for (r, live) in alive.iter_mut().enumerate() {
+                if *live {
+                    if let Reply::Unwound(Some(DONE_PANICKED)) = roundtrip(Cmd::Unwind(r)) {
+                        if error.is_none() {
+                            let message = panics_ref[r].lock().take().unwrap_or_default();
+                            error = Some(SimError::RankPanic { rank: r, message });
+                        }
+                    }
+                    *live = false;
+                }
+            }
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Exit);
+            }
         });
+
+        if let Some(e) = error {
+            return Err(e);
+        }
 
         killed.sort_unstable();
         let st = inner.state.lock();
-        FaultySimOutcome {
-            outputs: outputs.iter().map(|m| m.lock().take()).collect(),
+        let mut outs: Vec<Option<R>> = outputs.iter().map(|m| m.lock().take()).collect();
+        for &r in &killed {
+            outs[r] = None;
+        }
+        Ok(FaultySimOutcome {
+            outputs: outs,
             elapsed: SimTime(st.clock),
             stats: st.stats,
             killed,
-        }
+        })
     }
 }
 
@@ -747,9 +913,14 @@ impl RankCtx {
     /// Yield to the scheduler and block until some wake fires for this
     /// rank. The caller must have arranged a wake (or be a service's
     /// registered waiter), or the run will deadlock-panic.
+    ///
+    /// This is *the* engine yield point: it suspends the rank's
+    /// continuation, handing the OS thread back to the worker pool. If
+    /// the engine is tearing the rank down (kill, panic drain), the
+    /// suspension resumes by unwinding ([`fiber::ForcedUnwind`]) so
+    /// destructors on the rank stack run at the teardown time.
     pub fn wait_woken(&self) {
-        let _ = self.inner.yield_tx.send(YieldMsg::Blocked(self.rank));
-        self.inner.gates[self.rank].wait();
+        let _ = fiber::suspend(YIELD_BLOCKED);
     }
 
     /// Advance this rank's virtual time by `d` (a pure compute charge).
@@ -775,8 +946,8 @@ impl RankCtx {
     }
 
     /// Run real code and charge its measured wall time (scaled by
-    /// `scale`) to the virtual clock. Only one rank thread runs at a
-    /// time, so the measurement is not polluted by sibling ranks.
+    /// `scale`) to the virtual clock. Only one rank runs at a time, so
+    /// the measurement is not polluted by sibling ranks.
     pub fn run_measured<T>(&self, scale: f64, f: impl FnOnce() -> T) -> T {
         let start = std::time::Instant::now();
         let out = f();
@@ -793,11 +964,11 @@ impl RankCtx {
     /// the maximum slot load plus `fork_join` overhead per slice.
     ///
     /// The slices themselves execute serially in real time on this
-    /// rank's thread — the engine still coschedules exactly one OS
-    /// thread — so measured compute stays honest, and a kill or fault
-    /// tears down every slot with the rank (the only blocking point is
-    /// the single trailing [`RankCtx::charge`], which unwinds through
-    /// the scheduler's shutdown gate like any other block).
+    /// rank's continuation — the engine still runs exactly one rank at
+    /// a time — so measured compute stays honest, and a kill or fault
+    /// tears down every slot with the rank (the only yield point is the
+    /// single trailing [`RankCtx::charge`], which unwinds through the
+    /// engine's forced teardown like any other block).
     ///
     /// Each slot's packed slices are mirrored onto the rank's
     /// [`tracelog::Lane::Search`] timeline as retroactive `search.slot`
@@ -1499,6 +1670,193 @@ mod tests {
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.stats, b.stats);
         assert!(b.killed.is_empty());
+    }
+
+    /// An exchange-heavy body whose outputs, clocks, and stats all depend
+    /// on deterministic scheduling — any pool-width leak shows up here.
+    fn pool_probe_body(ctx: RankCtx) -> (u64, u64) {
+        let me = ctx.rank();
+        ctx.charge(SimDuration::from_micros((me * 31 % 7) as u64 + 1));
+        for dst in 0..ctx.nranks() {
+            if dst != me {
+                ctx.post(
+                    dst,
+                    1,
+                    Bytes::from(vec![me as u8]),
+                    SimDuration::from_micros(3 + (me + dst) as u64 % 5),
+                );
+            }
+        }
+        let mut sum = 0u64;
+        for _ in 0..ctx.nranks() - 1 {
+            let m = ctx.recv(None, Some(1));
+            sum = sum.wrapping_mul(31).wrapping_add(m.payload[0] as u64);
+        }
+        (sum, ctx.now().0)
+    }
+
+    #[test]
+    fn pool_width_is_invisible_to_outputs_and_traces() {
+        // nproc may be 1 in CI, so exercise explicit widths, including
+        // one wider than the rank count.
+        let run = |pool: usize| {
+            let sim = Sim::with_pool(9, pool);
+            let tracer = tracelog::Tracer::new(9);
+            sim.set_tracer(tracer.clone());
+            let out = sim.run(pool_probe_body);
+            let trace = tracer.finish(out.elapsed.0);
+            let events: Vec<String> = trace.events.iter().map(|e| format!("{e:?}")).collect();
+            (out.outputs, out.elapsed, out.stats, events)
+        };
+        let base = run(1);
+        for pool in [2, 3, 16] {
+            assert_eq!(run(pool), base, "pool={pool} diverged from pool=1");
+        }
+    }
+
+    #[test]
+    fn pool_threads_clamps_to_rank_count() {
+        assert_eq!(Sim::with_pool(4, 16).pool_threads(), 4);
+        assert_eq!(Sim::with_pool(32, 8).pool_threads(), 8);
+        assert_eq!(Sim::with_pool(4, 0).pool_threads(), 1, "zero is promoted");
+        let d = default_pool_threads();
+        assert!((1..=16).contains(&d));
+    }
+
+    #[test]
+    fn try_run_faulty_surfaces_rank_panic_as_typed_error() {
+        // Every other rank is parked in a receive that will never
+        // complete; the panic must drain them all and return, not hang.
+        let err = Sim::with_pool(8, 2)
+            .try_run_faulty(FaultPlan::none(), |ctx| {
+                if ctx.rank() == 3 {
+                    ctx.charge(SimDuration::from_micros(5));
+                    panic!("fragment 3 corrupt");
+                }
+                let _ = ctx.recv(None, None);
+            })
+            .expect_err("panic must surface as an error");
+        match &err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(*rank, 3);
+                assert_eq!(message, "fragment 3 corrupt");
+            }
+            other => panic!("expected RankPanic, got {other}"),
+        }
+        assert_eq!(err.to_string(), "rank 3 panicked: fragment 3 corrupt");
+    }
+
+    #[test]
+    fn try_run_faulty_surfaces_deadlock_as_typed_error() {
+        let err = Sim::with_pool(3, 2)
+            .try_run_faulty(FaultPlan::none(), |ctx| {
+                ctx.charge(SimDuration::from_micros(ctx.rank() as u64));
+                if ctx.rank() != 0 {
+                    let _ = ctx.recv(Some(0), None);
+                }
+            })
+            .expect_err("unmatched receives must deadlock");
+        match &err {
+            SimError::Deadlock { at, blocked } => {
+                assert_eq!(*at, SimTime(2_000));
+                assert_eq!(blocked, &vec![1, 2]);
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_drains_pool_and_runs_peer_destructors() {
+        // Peers hold guard values whose destructors record the unwind; a
+        // leaked (never-unwound) fiber would leave its flag unset.
+        struct DropFlag(Arc<Mutex<Vec<usize>>>, usize);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.lock().push(self.1);
+            }
+        }
+        let dropped = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&dropped);
+        let err = Sim::with_pool(5, 2)
+            .try_run_faulty(FaultPlan::none(), move |ctx| {
+                let _guard = DropFlag(Arc::clone(&seen), ctx.rank());
+                if ctx.rank() == 2 {
+                    // Yield once so every rank has started (and parked)
+                    // before the panic lands.
+                    let _ = ctx.recv_until(None, Some(99), SimTime(1_000));
+                    panic!("boom");
+                }
+                let _ = ctx.recv(None, None);
+            })
+            .expect_err("rank 2 panics");
+        assert!(matches!(err, SimError::RankPanic { rank: 2, .. }));
+        let mut order = dropped.lock().clone();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "every rank body unwound");
+    }
+
+    #[test]
+    fn panic_in_killed_rank_window_still_reports_other_ranks() {
+        // A kill and a panic in one run: the kill tears down rank 1, the
+        // panic on rank 2 ends the run, and rank 0's fiber still drains.
+        let err = Sim::with_pool(3, 2)
+            .try_run_faulty(
+                FaultPlan::none().kill_at(1, SimTime(1_000)),
+                |ctx| match ctx.rank() {
+                    1 => ctx.charge(SimDuration::from_secs(1)),
+                    2 => {
+                        ctx.charge(SimDuration::from_micros(10));
+                        panic!("late failure");
+                    }
+                    _ => {
+                        let _ = ctx.recv(None, None);
+                    }
+                },
+            )
+            .expect_err("rank 2 panics after the kill");
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 2);
+                assert_eq!(message, "late failure");
+            }
+            other => panic!("expected RankPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn try_run_faulty_ok_matches_run_faulty() {
+        let plan = || FaultPlan::none().kill_at(2, SimTime(5_000));
+        let body = |ctx: RankCtx| {
+            if ctx.rank() == 2 {
+                ctx.charge(SimDuration::from_secs(1));
+            }
+            ctx.charge(SimDuration::from_micros(ctx.rank() as u64 + 1));
+            ctx.now()
+        };
+        let a = Sim::with_pool(4, 1)
+            .try_run_faulty(plan(), body)
+            .expect("no error");
+        let b = Sim::with_pool(4, 3).run_faulty(plan(), body);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.killed, b.killed);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_described() {
+        let err = Sim::new(1)
+            .try_run_faulty(FaultPlan::none(), |_ctx| {
+                std::panic::panic_any(42u32);
+            })
+            .expect_err("panic");
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected RankPanic, got {other}"),
+        }
     }
 
     #[test]

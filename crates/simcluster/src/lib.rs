@@ -4,13 +4,15 @@
 //! — the substitute for the SGI Altix and the IBM blade cluster the paper
 //! ran on.
 //!
-//! Every simulated MPI rank is an OS thread coscheduled by the [`engine`]
-//! so exactly one thread runs at a time against a shared virtual clock.
+//! Every simulated MPI rank is a resumable continuation (a stackful
+//! [`fiber`]) executed by a small worker pool and coscheduled by the
+//! [`engine`] so exactly one rank runs at a time against a shared
+//! virtual clock — 512-rank runs need `pool + 1` OS threads, not 512.
 //! Communication and I/O charge *modeled* time; computation can charge
 //! either modeled time ([`engine::RankCtx::charge`]) or the *measured*
 //! wall time of real code ([`engine::RankCtx::run_measured`]), which is
 //! how the benchmark harnesses embed genuine BLAST searches in simulated
-//! 64-rank runs.
+//! multi-hundred-rank runs.
 //!
 //! Services built on the [`engine::SimHandle`] (the `parafs` file system,
 //! the `mpisim` communication layer) can schedule and cancel wakes for
@@ -20,12 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fiber;
 pub mod metrics;
 pub mod time;
 
 pub use engine::{
-    FaultPlan, FaultSpec, FaultTrigger, FaultySimOutcome, Message, RankCtx, Sim, SimHandle,
-    SimOutcome, WakeId,
+    default_pool_threads, FaultPlan, FaultSpec, FaultTrigger, FaultySimOutcome, Message, RankCtx,
+    Sim, SimError, SimHandle, SimOutcome, WakeId,
 };
 pub use metrics::PhaseTimes;
 pub use time::{SimDuration, SimTime};

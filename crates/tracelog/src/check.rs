@@ -29,7 +29,7 @@ pub struct CheckStats {
 }
 
 /// Extract the string value of `"key":"..."` from `line`.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -46,7 +46,7 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Extract the numeric value of `"key":123` or `"key":123.456`.
-fn field_num(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_num(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -57,7 +57,7 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 }
 
 /// Parse a `ts` in microseconds into integer nanoseconds.
-fn ts_ns(line: &str) -> Option<u64> {
+pub(crate) fn ts_ns(line: &str) -> Option<u64> {
     let us = field_num(line, "ts")?;
     if us < 0.0 {
         return None;

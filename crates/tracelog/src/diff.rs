@@ -1,0 +1,465 @@
+//! Trace diffing — align two runs' exported event streams and report
+//! where they diverge.
+//!
+//! The scale sweep needs a sharper tool than "the wall clocks differ":
+//! when a 512-rank run and a 128-rank run disagree, *which lane* (I/O,
+//! search, net, a compute-slot sub-lane) and *which phase or span name*
+//! moved, and by how much? [`profile_chrome`] folds an exported Chrome
+//! trace into busy-time totals keyed by `(rank, lane, name)` — lane
+//! labels come from the exporter's `thread_name` metadata, so slot
+//! sub-lanes (`search slot k`) and ordinary lanes diff alike —
+//! and [`diff_profiles`] aligns two profiles:
+//!
+//! * **cluster rows** always: per-`(lane, name)` totals summed over
+//!   ranks, compared both as totals and as per-rank means so runs at
+//!   different scales stay comparable;
+//! * **rank rows** only when both runs have the same rank count, so a
+//!   lane that diverged on one straggler is named precisely.
+//!
+//! Two byte-identical exports — the engine's pool-size invariance
+//! contract — produce an empty diff. The parser reuses the
+//! [`crate::check`] line readers and the same tolerance: one event
+//! object per line, fixed field order.
+
+use std::collections::BTreeMap;
+
+use crate::check::{field_num, field_str, ts_ns};
+
+/// Busy-time totals for one run, keyed by `(rank, lane label, name)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Distinct ranks (`pid`s) that emitted events.
+    pub ranks: usize,
+    /// Latest timestamp seen, in virtual nanoseconds.
+    pub wall_ns: u64,
+    /// Summed span durations (ns) per `(rank, lane, name)`.
+    totals: BTreeMap<(usize, String, String), u64>,
+}
+
+/// One aligned divergence between two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRow {
+    /// `Some(rank)` for a per-rank row, `None` for a cluster aggregate.
+    pub rank: Option<usize>,
+    /// Lane label from the exporter's `thread_name` metadata (e.g.
+    /// `"io"`, `"phase"`, `"search slot 3"`).
+    pub lane: String,
+    /// Span or phase name (e.g. `"search"`, `"read"`, `"search.slot"`).
+    pub name: String,
+    /// Busy nanoseconds in run A.
+    pub a_ns: u64,
+    /// Busy nanoseconds in run B.
+    pub b_ns: u64,
+}
+
+impl DiffRow {
+    /// Signed change from A to B in nanoseconds.
+    pub fn delta_ns(&self) -> i128 {
+        self.b_ns as i128 - self.a_ns as i128
+    }
+}
+
+/// The aligned comparison of two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Rank count of run A.
+    pub a_ranks: usize,
+    /// Rank count of run B.
+    pub b_ranks: usize,
+    /// Wall clock of run A (ns).
+    pub a_wall_ns: u64,
+    /// Wall clock of run B (ns).
+    pub b_wall_ns: u64,
+    /// Cluster-aggregate divergences, largest |delta| first.
+    pub cluster: Vec<DiffRow>,
+    /// Per-rank divergences (empty when the rank counts differ),
+    /// largest |delta| first.
+    pub per_rank: Vec<DiffRow>,
+}
+
+impl TraceDiff {
+    /// True when the two runs' profiles are indistinguishable.
+    pub fn is_empty(&self) -> bool {
+        self.cluster.is_empty() && self.per_rank.is_empty() && self.a_wall_ns == self.b_wall_ns
+    }
+}
+
+/// Fold an exported Chrome trace into per-`(rank, lane, name)` busy
+/// time. Returns a message naming the first offending line on malformed
+/// input.
+pub fn profile_chrome(text: &str) -> Result<RunProfile, String> {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("trace is not a JSON array".into());
+    }
+    // Pass 1: lane labels from thread_name metadata. The exporter emits
+    // all metadata before any event, but a hand-edited trace may not —
+    // collecting labels up front keeps the profile order-insensitive.
+    let mut labels: BTreeMap<(usize, u64), String> = BTreeMap::new();
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if field_str(line, "ph") == Some("M") && field_str(line, "name") == Some("thread_name") {
+            let (Some(pid), Some(tid)) = (field_num(line, "pid"), field_num(line, "tid")) else {
+                continue;
+            };
+            // The label lives in args: {"name":"io"} — the *second*
+            // "name" field on the line.
+            let tail = &line[line.find("\"args\"").unwrap_or(0)..];
+            if let Some(label) = field_str(tail, "name") {
+                labels.insert((pid as usize, tid as u64), label.to_string());
+            }
+        }
+    }
+
+    let mut profile = RunProfile::default();
+    let mut open: BTreeMap<(usize, u64), Vec<(u64, String)>> = BTreeMap::new();
+    let mut ranks: BTreeMap<usize, ()> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {lineno}: not an event object"));
+        }
+        let ph = field_str(line, "ph").ok_or(format!("line {lineno}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = field_num(line, "pid").ok_or(format!("line {lineno}: missing pid"))? as usize;
+        let tid = field_num(line, "tid").ok_or(format!("line {lineno}: missing tid"))? as u64;
+        let name = field_str(line, "name").ok_or(format!("line {lineno}: missing name"))?;
+        let ts = ts_ns(line).ok_or(format!("line {lineno}: missing or negative ts"))?;
+        ranks.insert(pid, ());
+        profile.wall_ns = profile.wall_ns.max(ts);
+        match ph {
+            "B" => open
+                .entry((pid, tid))
+                .or_default()
+                .push((ts, name.to_string())),
+            "E" => {
+                let Some((start, begin_name)) = open.entry((pid, tid)).or_default().pop() else {
+                    return Err(format!(
+                        "line {lineno}: unmatched end on pid {pid} tid {tid}"
+                    ));
+                };
+                let lane = labels
+                    .get(&(pid, tid))
+                    .cloned()
+                    .unwrap_or_else(|| format!("tid {tid}"));
+                *profile.totals.entry((pid, lane, begin_name)).or_insert(0) +=
+                    ts.saturating_sub(start);
+            }
+            // Instants and counters carry no duration; they advance the
+            // wall clock above but add no busy time.
+            "i" | "C" => {}
+            other => return Err(format!("line {lineno}: unknown ph {other:?}")),
+        }
+    }
+    profile.ranks = ranks.len();
+    Ok(profile)
+}
+
+/// Align two profiles by `(rank, lane, name)` and collect every key
+/// whose busy time differs.
+pub fn diff_profiles(a: &RunProfile, b: &RunProfile) -> TraceDiff {
+    // Cluster aggregates: totals per (lane, name) across all ranks.
+    let fold = |p: &RunProfile| -> BTreeMap<(String, String), u64> {
+        let mut agg = BTreeMap::new();
+        for ((_, lane, name), ns) in &p.totals {
+            *agg.entry((lane.clone(), name.clone())).or_insert(0) += ns;
+        }
+        agg
+    };
+    let (agg_a, agg_b) = (fold(a), fold(b));
+    let mut cluster = Vec::new();
+    let keys: std::collections::BTreeSet<_> = agg_a.keys().chain(agg_b.keys()).cloned().collect();
+    for (lane, name) in keys {
+        let a_ns = *agg_a.get(&(lane.clone(), name.clone())).unwrap_or(&0);
+        let b_ns = *agg_b.get(&(lane.clone(), name.clone())).unwrap_or(&0);
+        if a_ns != b_ns {
+            cluster.push(DiffRow {
+                rank: None,
+                lane,
+                name,
+                a_ns,
+                b_ns,
+            });
+        }
+    }
+
+    // Per-rank rows only when the rank spaces are the same — across
+    // scales a rank-by-rank pairing would be meaningless.
+    let mut per_rank = Vec::new();
+    if a.ranks == b.ranks {
+        let keys: std::collections::BTreeSet<_> =
+            a.totals.keys().chain(b.totals.keys()).cloned().collect();
+        for key in keys {
+            let a_ns = *a.totals.get(&key).unwrap_or(&0);
+            let b_ns = *b.totals.get(&key).unwrap_or(&0);
+            if a_ns != b_ns {
+                let (rank, lane, name) = key;
+                per_rank.push(DiffRow {
+                    rank: Some(rank),
+                    lane,
+                    name,
+                    a_ns,
+                    b_ns,
+                });
+            }
+        }
+    }
+    let magnitude = |r: &DiffRow| std::cmp::Reverse(r.delta_ns().unsigned_abs());
+    cluster.sort_by(|x, y| {
+        magnitude(x)
+            .cmp(&magnitude(y))
+            .then_with(|| (&x.lane, &x.name).cmp(&(&y.lane, &y.name)))
+    });
+    per_rank.sort_by(|x, y| {
+        magnitude(x)
+            .cmp(&magnitude(y))
+            .then_with(|| (&x.lane, &x.name, x.rank).cmp(&(&y.lane, &y.name, y.rank)))
+    });
+    TraceDiff {
+        a_ranks: a.ranks,
+        b_ranks: b.ranks,
+        a_wall_ns: a.wall_ns,
+        b_wall_ns: b.wall_ns,
+        cluster,
+        per_rank,
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_delta(d: i128) -> String {
+    let sign = if d < 0 { "-" } else { "+" };
+    format!("{sign}{}", fmt_ns(d.unsigned_abs() as u64))
+}
+
+/// Render a [`TraceDiff`] as a human-readable report, listing at most
+/// `top` rows per section.
+pub fn render_diff(d: &TraceDiff, top: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run A: {} rank(s), wall {}  |  run B: {} rank(s), wall {}",
+        d.a_ranks,
+        fmt_ns(d.a_wall_ns),
+        d.b_ranks,
+        fmt_ns(d.b_wall_ns),
+    );
+    if d.is_empty() {
+        out.push_str("traces are equivalent: no lane or phase diverged\n");
+        return out;
+    }
+    if !d.cluster.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ncluster totals ({} diverging lane/phase pairs):",
+            d.cluster.len()
+        );
+        let show_mean = d.a_ranks != d.b_ranks && d.a_ranks > 0 && d.b_ranks > 0;
+        for row in d.cluster.iter().take(top) {
+            let mut line = format!(
+                "  {:<18} {:<22} A {:>12}  B {:>12}  {}",
+                row.lane,
+                row.name,
+                fmt_ns(row.a_ns),
+                fmt_ns(row.b_ns),
+                fmt_delta(row.delta_ns()),
+            );
+            if show_mean {
+                let _ = write!(
+                    line,
+                    "  (per-rank mean A {} vs B {})",
+                    fmt_ns(row.a_ns / d.a_ranks as u64),
+                    fmt_ns(row.b_ns / d.b_ranks as u64),
+                );
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if d.cluster.len() > top {
+            let _ = writeln!(out, "  ... {} more", d.cluster.len() - top);
+        }
+    }
+    if !d.per_rank.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nper-rank rows ({} diverging, same rank space):",
+            d.per_rank.len()
+        );
+        for row in d.per_rank.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  rank {:<5} {:<18} {:<22} A {:>12}  B {:>12}  {}",
+                row.rank.expect("per-rank row"),
+                row.lane,
+                row.name,
+                fmt_ns(row.a_ns),
+                fmt_ns(row.b_ns),
+                fmt_delta(row.delta_ns()),
+            );
+        }
+        if d.per_rank.len() > top {
+            let _ = writeln!(out, "  ... {} more", d.per_rank.len() - top);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::export_chrome;
+    use crate::event::{ArgVal, EventKind, Lane};
+    use crate::sink::Tracer;
+
+    fn trace_json(build: impl Fn(&Tracer), nranks: usize, wall: u64) -> String {
+        let tracer = Tracer::new(nranks);
+        build(&tracer);
+        export_chrome(&tracer.finish(wall), None)
+    }
+
+    #[test]
+    fn identical_exports_diff_empty() {
+        let build = |t: &Tracer| {
+            t.record(0, 0, Lane::Io, EventKind::Begin, "read".into(), Vec::new());
+            t.record(0, 70, Lane::Io, EventKind::End, "".into(), Vec::new());
+        };
+        let a = profile_chrome(&trace_json(build, 2, 100)).unwrap();
+        let b = profile_chrome(&trace_json(build, 2, 100)).unwrap();
+        let d = diff_profiles(&a, &b);
+        assert!(d.is_empty());
+        assert!(render_diff(&d, 10).contains("equivalent"));
+    }
+
+    #[test]
+    fn io_divergence_names_the_io_lane() {
+        let short = |t: &Tracer| {
+            t.record(1, 0, Lane::Io, EventKind::Begin, "read".into(), Vec::new());
+            t.record(1, 10, Lane::Io, EventKind::End, "".into(), Vec::new());
+        };
+        let long = |t: &Tracer| {
+            t.record(1, 0, Lane::Io, EventKind::Begin, "read".into(), Vec::new());
+            t.record(1, 90, Lane::Io, EventKind::End, "".into(), Vec::new());
+        };
+        let a = profile_chrome(&trace_json(short, 2, 100)).unwrap();
+        let b = profile_chrome(&trace_json(long, 2, 100)).unwrap();
+        let d = diff_profiles(&a, &b);
+        let row = d
+            .cluster
+            .iter()
+            .find(|r| r.lane == "io")
+            .expect("io lane diverges");
+        assert_eq!(row.name, "read");
+        assert_eq!(row.delta_ns(), 80);
+        // Same rank count: the per-rank section pins it to rank 1.
+        assert!(d
+            .per_rank
+            .iter()
+            .any(|r| r.rank == Some(1) && r.lane == "io"));
+        let text = render_diff(&d, 10);
+        assert!(text.contains("io"), "{text}");
+        assert!(text.contains("read"), "{text}");
+    }
+
+    #[test]
+    fn slot_sub_lanes_diff_by_their_labels() {
+        let slots = |t: &Tracer| {
+            t.record(
+                0,
+                0,
+                Lane::Search,
+                EventKind::Begin,
+                "search.slot".into(),
+                vec![("slot", ArgVal::U64(1)), ("slice", ArgVal::U64(0))],
+            );
+            t.record(0, 40, Lane::Search, EventKind::End, "".into(), Vec::new());
+        };
+        let serial = |t: &Tracer| {
+            t.record(
+                0,
+                0,
+                Lane::Search,
+                EventKind::Begin,
+                "search.fragment".into(),
+                Vec::new(),
+            );
+            t.record(0, 40, Lane::Search, EventKind::End, "".into(), Vec::new());
+        };
+        let a = profile_chrome(&trace_json(serial, 1, 50)).unwrap();
+        let b = profile_chrome(&trace_json(slots, 1, 50)).unwrap();
+        let d = diff_profiles(&a, &b);
+        assert!(
+            d.cluster.iter().any(|r| r.lane == "search slot 1"),
+            "slot sub-lane appears as its own row: {:?}",
+            d.cluster
+        );
+        assert!(d.cluster.iter().any(|r| r.lane == "search"));
+    }
+
+    #[test]
+    fn differing_scales_aggregate_without_rank_rows() {
+        let build = |nranks: usize| {
+            move |t: &Tracer| {
+                for r in 0..nranks {
+                    t.record(r, 0, Lane::Net, EventKind::Begin, "send".into(), Vec::new());
+                    t.record(r, 20, Lane::Net, EventKind::End, "".into(), Vec::new());
+                }
+            }
+        };
+        let a = profile_chrome(&trace_json(build(2), 2, 30)).unwrap();
+        let b = profile_chrome(&trace_json(build(8), 8, 30)).unwrap();
+        let d = diff_profiles(&a, &b);
+        assert!(d.per_rank.is_empty(), "no rank pairing across scales");
+        let row = d.cluster.iter().find(|r| r.lane == "net").unwrap();
+        assert_eq!(row.a_ns, 40);
+        assert_eq!(row.b_ns, 160);
+        let text = render_diff(&d, 10);
+        assert!(text.contains("per-rank mean"), "{text}");
+    }
+
+    #[test]
+    fn profile_rejects_malformed_input() {
+        assert!(profile_chrome("nope").is_err());
+        assert!(profile_chrome("[\njunk\n]\n").is_err());
+        let bad_end = "[\n{\"name\":\"x\",\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":1.000}\n]\n";
+        assert!(profile_chrome(bad_end).unwrap_err().contains("unmatched"));
+    }
+
+    #[test]
+    fn wall_clock_only_divergence_is_reported() {
+        let build = |t: &Tracer| {
+            t.record(
+                0,
+                5,
+                Lane::Runtime,
+                EventKind::Instant,
+                "x".into(),
+                Vec::new(),
+            );
+        };
+        let a = profile_chrome(&trace_json(build, 1, 10)).unwrap();
+        let mut b = a.clone();
+        b.wall_ns += 1_500;
+        let d = diff_profiles(&a, &b);
+        assert!(!d.is_empty());
+        assert!(d.cluster.is_empty());
+        let text = render_diff(&d, 10);
+        assert!(text.contains("wall"), "{text}");
+    }
+}

@@ -3,13 +3,14 @@
 //! The cluster-wide observability plane: structured span/event tracing
 //! stamped with the discrete-event simulator's virtual clock.
 //!
-//! Every simulated rank is an OS thread coscheduled by `simcluster`, so
-//! the plane hangs off a thread-local tracer installed by the engine
-//! when it spawns a rank thread. Instrumented code anywhere in the
-//! stack calls the free functions ([`span`], [`instant`], [`counter`],
-//! [`phase`]) without threading a handle through every signature; when
-//! no tracer is installed they are no-ops, so untraced runs pay almost
-//! nothing.
+//! Simulated ranks run as resumable continuations on `simcluster`'s
+//! worker pool, so the plane hangs off a thread-local slot that the
+//! engine fills per *resumption*: each rank's [`RankHandle`] (rank id +
+//! virtual-clock closure) is swapped in before the rank runs and back
+//! out when it yields. Instrumented code anywhere in the stack calls
+//! the free functions ([`span`], [`instant`], [`counter`], [`phase`])
+//! without threading a handle through every signature; when no tracer
+//! is installed they are no-ops, so untraced runs pay almost nothing.
 //!
 //! The pieces:
 //!
@@ -25,7 +26,10 @@
 //!   critical-path phase breakdown, both exact partitions of the
 //!   virtual wall clock in integer nanoseconds;
 //! * [`check`] — a schema validator for the exported JSON (monotonic
-//!   timestamps, balanced begin/end pairs), used by `trace-check` in CI.
+//!   timestamps, balanced begin/end pairs), used by `trace-check` in CI;
+//! * [`diff`] — aligns two exported runs by `(rank, lane, phase)` and
+//!   reports which lane/phase diverged and by how much, used by
+//!   `trace-diff` to compare scale-sweep runs.
 //!
 //! ## Clock domain
 //!
@@ -40,12 +44,13 @@ pub mod analyze;
 pub mod check;
 pub mod chrome;
 mod counters;
+pub mod diff;
 mod event;
 mod sink;
 
 pub use counters::Counters;
 pub use event::{ArgVal, Event, EventKind, Lane};
 pub use sink::{
-    closed_span, counter, install, instant, instant_at, is_installed, now, phase, span, span_args,
-    InstallGuard, Span, Trace, Tracer,
+    closed_span, counter, install, instant, instant_at, is_installed, now, phase, rank_handle,
+    span, span_args, InstallGuard, RankHandle, Span, Trace, Tracer,
 };

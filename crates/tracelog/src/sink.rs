@@ -1,13 +1,16 @@
 //! The trace sink: per-rank ring buffers behind a cloneable handle,
 //! plus the thread-local recording API instrumented code calls.
 //!
-//! `simcluster` runs every rank as an OS thread, coscheduled so exactly
-//! one runs at a time. The engine installs a thread-local tracer
-//! ([`install`]) in each rank thread, carrying the rank id and a
-//! virtual-clock closure; the free functions here ([`span`],
-//! [`instant`], [`counter`], [`phase`]) look it up and record into the
-//! rank's buffer. When nothing is installed they are no-ops, so
-//! instrumentation can live permanently in every crate.
+//! `simcluster` executes ranks as resumable continuations on a small
+//! worker pool, coscheduled so exactly one runs at a time. The engine
+//! keeps one [`RankHandle`] per rank (rank id + virtual-clock closure)
+//! and swaps it into the worker's thread-local slot around every
+//! resumption, so the recording context follows the rank across
+//! threads; plain thread-per-task hosts can use [`install`] instead.
+//! The free functions here ([`span`], [`instant`], [`counter`],
+//! [`phase`]) look the slot up and record into the rank's buffer. When
+//! nothing is installed they are no-ops, so instrumentation can live
+//! permanently in every crate.
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -164,6 +167,40 @@ pub fn install(tracer: Tracer, rank: usize, clock: impl Fn() -> u64 + 'static) -
 #[must_use = "dropping the guard uninstalls the tracer"]
 pub struct InstallGuard {
     _priv: (),
+}
+
+/// A detached per-rank tracer installation for engines that execute
+/// ranks as resumable continuations on a worker pool: the handle is
+/// built once per rank (boxing the clock closure exactly once) and then
+/// [`RankHandle::swap`]ped into the thread-local slot before each
+/// resumption and back out after the rank yields — so the recording
+/// context follows the *rank*, not the OS thread, with no per-resume
+/// allocation.
+pub struct RankHandle {
+    slot: Option<Installed>,
+}
+
+/// Build a [`RankHandle`] for `rank` recording into `tracer`, with
+/// `clock` supplying the virtual time. Nothing is installed until the
+/// first [`RankHandle::swap`].
+pub fn rank_handle(tracer: Tracer, rank: usize, clock: impl Fn() -> u64 + 'static) -> RankHandle {
+    RankHandle {
+        slot: Some(Installed {
+            tracer,
+            rank,
+            clock: Box::new(clock),
+        }),
+    }
+}
+
+impl RankHandle {
+    /// Exchange this handle's installation with the current thread's
+    /// slot. Calling it twice (around a resumption) restores whatever
+    /// was installed before — swaps therefore nest correctly even if a
+    /// pool worker briefly resumes nested continuations.
+    pub fn swap(&mut self) {
+        CURRENT.with(|c| std::mem::swap(&mut *c.borrow_mut(), &mut self.slot));
+    }
 }
 
 impl Drop for InstallGuard {

@@ -28,6 +28,10 @@ cargo test --release -q --test hybrid
 # to its one-shot run across affinity x io-async x threads x Recover
 # kills, and the resident store actually hits.
 cargo test --release -q --test service
+# Pooled rank execution: pool width must be invisible (byte-identical
+# reports, traces, clocks, stats across pool 1/2/ncpus), and a rank-body
+# panic must drain the pool into a typed error, never a deadlock.
+cargo test --release -q --test pool
 # Bench targets (paper exhibits + kernel perf gate, ablate_hybrid
 # included via --workspace) must at least compile.
 cargo bench --workspace --no-run
@@ -79,3 +83,20 @@ for b in $(seq 0 $((nq - 1))); do
     --out "$tracetmp/ref$b.txt"
   cmp "$tracetmp/svc.txt.q$b" "$tracetmp/ref$b.txt"
 done
+# Pooled-engine smoke at scale: 128 ranks run as fibers on the default
+# worker pool. The trace must validate, and the report must be
+# byte-identical to a 16-rank run over the same 15 fragments — rank
+# count is a simulation parameter, not an OS resource.
+"$cli" run --program pio --procs 128 --frags 15 \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/report-128.txt" --trace "$tracetmp/trace-128.json"
+"$cli" trace-check --in "$tracetmp/trace-128.json"
+"$cli" run --program pio --procs 16 --frags 15 \
+  --db-dir "$tracetmp/db" --queries "$tracetmp/q.fa" \
+  --out "$tracetmp/report-16ref.txt"
+cmp "$tracetmp/report-128.txt" "$tracetmp/report-16ref.txt"
+# And the trace-diff of two identical runs must be empty. (Via a file:
+# grep -q would close the pipe early and SIGPIPE the still-printing CLI.)
+"$cli" trace-diff --a "$tracetmp/trace-128.json" --b "$tracetmp/trace-128.json" \
+  >"$tracetmp/diff-self.txt"
+grep -q "traces are equivalent" "$tracetmp/diff-self.txt"

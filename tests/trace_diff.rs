@@ -1,0 +1,154 @@
+//! Golden tests for trace diffing (`tracelog::diff`, surfaced as the
+//! `pioblast-sim trace-diff` subcommand).
+//!
+//! The diff aligns two exported runs by `(rank, lane, phase)` and must
+//! name the lane that actually moved:
+//!
+//! * `--threads 4` vs serial: the divergence is in the Search
+//!   compute-slot sub-lanes (`search slot k`) — threading reshapes the
+//!   search timeline and nothing about the report;
+//! * `--io-async` vs sync: the divergence includes the Io lane — the
+//!   read-ahead plane overlaps reads that the sync plane serializes;
+//! * identical configurations: the diff is empty, byte-for-byte — the
+//!   determinism contract seen through the diff tool.
+
+use blast_core::search::SearchParams;
+use blast_core::seq::SeqRecord;
+use mpiblast::setup::{stage_queries, stage_shared_db};
+use mpiblast::{ClusterEnv, ComputeModel, Platform, ReportOptions};
+use pioblast::{FaultMode, FragmentSchedule, IoOptions, PioBlastConfig};
+use seqfmt::formatdb::{format_records, FormatDbConfig};
+use seqfmt::synth::{generate, SynthConfig};
+use seqfmt::FormattedDb;
+use simcluster::Sim;
+use tracelog::diff::{diff_profiles, profile_chrome, render_diff, TraceDiff};
+use tracelog::{chrome, Tracer};
+
+fn small_db(seed: u64) -> FormattedDb {
+    let recs = generate(&SynthConfig::nr_like(seed, 40_000));
+    format_records(&recs, &FormatDbConfig::protein("nr-diff"))
+}
+
+fn sample_queries(db: &FormattedDb, n: usize) -> Vec<SeqRecord> {
+    use blast_core::search::SubjectSource;
+    let frag = seqfmt::FragmentData::from_volume(&db.volumes[0]);
+    (0..n)
+        .map(|i| {
+            let s = frag.subject((i * 13) % frag.num_subjects());
+            SeqRecord {
+                defline: format!("query_{i:05} sampled"),
+                residues: s.residues.to_vec(),
+                molecule: blast_core::Molecule::Protein,
+            }
+        })
+        .collect()
+}
+
+/// Run a modeled pioBLAST job and return its Chrome export plus the
+/// report bytes.
+fn run_export(threads: usize, io_async: bool) -> (String, Vec<u8>) {
+    let db = small_db(33);
+    let queries = sample_queries(&db, 3);
+    let sim = Sim::new(4);
+    let tracer = Tracer::new(4);
+    sim.set_tracer(tracer.clone());
+    let env = ClusterEnv::new(&sim, &Platform::altix());
+    let db_alias = stage_shared_db(&env.shared, &db);
+    let query_path = stage_queries(&env.shared, &queries);
+    let cfg = PioBlastConfig {
+        platform: Platform::altix(),
+        env: env.clone(),
+        compute: ComputeModel::modeled(),
+        params: SearchParams::blastp(),
+        report: ReportOptions::default(),
+        db_alias,
+        query_path,
+        output_path: "results.txt".into(),
+        num_fragments: Some(6),
+        collective_output: false,
+        local_prune: false,
+        query_batch: None,
+        collective_input: false,
+        schedule: FragmentSchedule::Dynamic,
+        fault: FaultMode::Off,
+        checkpoint: false,
+        rank_compute: None,
+        threads,
+        io: IoOptions {
+            io_async,
+            ..Default::default()
+        },
+        service: None,
+    };
+    let out = sim.run(|ctx| pioblast::run_rank(&ctx, &cfg));
+    for r in &out.outputs {
+        r.as_ref().expect("rank failed");
+    }
+    let report = env.shared.peek("results.txt").expect("report exists");
+    let trace = tracer.finish(out.elapsed.since(simcluster::SimTime::ZERO).0);
+    (chrome::export_chrome(&trace, None), report.to_vec())
+}
+
+fn diff_of(a: &str, b: &str) -> TraceDiff {
+    diff_profiles(
+        &profile_chrome(a).expect("run A parses"),
+        &profile_chrome(b).expect("run B parses"),
+    )
+}
+
+#[test]
+fn identical_runs_diff_empty() {
+    let (a, _) = run_export(1, false);
+    let (b, _) = run_export(1, false);
+    assert_eq!(a, b, "determinism: identical configs export identically");
+    let d = diff_of(&a, &b);
+    assert!(d.is_empty(), "diff must be empty: {}", render_diff(&d, 20));
+    assert!(render_diff(&d, 20).contains("equivalent"));
+}
+
+#[test]
+fn threaded_vs_serial_diverges_in_search_slot_lanes() {
+    let (serial, report_serial) = run_export(1, false);
+    let (threaded, report_threaded) = run_export(4, false);
+    assert_eq!(
+        report_serial, report_threaded,
+        "threading must not change report bytes"
+    );
+    let d = diff_of(&serial, &threaded);
+    assert!(!d.is_empty());
+    let slot_rows: Vec<_> = d
+        .cluster
+        .iter()
+        .filter(|r| r.lane.starts_with("search slot"))
+        .collect();
+    assert!(
+        !slot_rows.is_empty(),
+        "slot sub-lanes must appear in the diff: {}",
+        render_diff(&d, 20)
+    );
+    // Slot lanes exist only in the threaded run: the serial side of
+    // every slot row is zero.
+    assert!(slot_rows.iter().all(|r| r.a_ns == 0 && r.b_ns > 0));
+    let text = render_diff(&d, 20);
+    assert!(text.contains("search slot"), "{text}");
+}
+
+#[test]
+fn async_vs_sync_io_diverges_in_io_lane() {
+    let (sync, report_sync) = run_export(1, false);
+    let (asynch, report_async) = run_export(1, true);
+    assert_eq!(
+        report_sync, report_async,
+        "read-ahead must not change report bytes"
+    );
+    let d = diff_of(&sync, &asynch);
+    assert!(!d.is_empty());
+    assert!(
+        d.cluster.iter().any(|r| r.lane == "io"),
+        "the io lane must be named: {}",
+        render_diff(&d, 20)
+    );
+    // With the same rank count, the per-rank section pins divergence to
+    // specific ranks.
+    assert!(d.per_rank.iter().any(|r| r.lane == "io"));
+}
